@@ -1,0 +1,144 @@
+// Ablation A3 — planner strategy.
+//
+// Rule-based reflexes vs goal-model-guided greedy search, on a recovery
+// problem where the obvious reflex (restart in place) is sometimes the
+// wrong answer: the host may be degraded, in which case migrating to a
+// healthy host restores more goal satisfaction.
+//
+// measured: recovery quality (post-recovery goal satisfaction), planning
+// cost (candidates evaluated), and decision latency.
+#include <chrono>
+#include <memory>
+
+#include "adapt/planner.hpp"
+#include "bench_util.hpp"
+#include "model/goals.hpp"
+#include "sim/rng.hpp"
+
+using namespace riot;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Synthetic recovery world: a component lives on one of 4 hosts; each
+/// host has a health in [0,1]; post-action goal satisfaction equals the
+/// chosen host's health (restart keeps the current host, migrate picks
+/// another).
+struct World {
+  std::array<double, 4> host_health{};
+  int component_host = 0;
+
+  double satisfaction_after(const adapt::Action& action) const {
+    if (action.kind == adapt::ActionKind::kRestartComponent) {
+      return host_health[static_cast<std::size_t>(component_host)];
+    }
+    if (action.kind == adapt::ActionKind::kMigrate) {
+      const int target = std::stoi(action.argument);
+      return host_health[static_cast<std::size_t>(target)];
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation A3: planner strategy — reflexes vs goal-guided search",
+      "Component fault on a possibly-degraded host; 4 candidate hosts.\n"
+      "Quality = goal satisfaction restored by the chosen action.\n"
+      "1000 random worlds per strategy, seed-fixed.");
+
+  bench::Table table({"planner", "mean_quality", "optimal_rate",
+                      "cand_evals", "us_per_plan"});
+  table.print_header();
+
+  constexpr int kTrials = 1000;
+  const std::vector<adapt::Violation> violations{
+      adapt::Violation{"svc-down", 1.0, ""}};
+
+  // --- rule-based: always restart in place --------------------------------
+  {
+    sim::Rng rng(42);
+    adapt::RuleBasedPlanner planner;
+    planner.when("svc-down",
+                 adapt::Action{.kind = adapt::ActionKind::kRestartComponent,
+                               .component = "svc"});
+    double quality_sum = 0.0;
+    int optimal = 0;
+    const auto start = Clock::now();
+    for (int i = 0; i < kTrials; ++i) {
+      World world;
+      for (auto& health : world.host_health) health = rng.uniform01();
+      world.component_host = static_cast<int>(rng.below(4));
+      const auto actions = planner.plan(violations, adapt::KnowledgeBase{});
+      const double quality = world.satisfaction_after(actions.at(0));
+      quality_sum += quality;
+      const double best =
+          *std::max_element(world.host_health.begin(),
+                            world.host_health.end());
+      if (quality >= best - 1e-9) ++optimal;
+    }
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count();
+    table.print_row({"rule-based", bench::fmt(quality_sum / kTrials),
+                     bench::fmt(static_cast<double>(optimal) / kTrials),
+                     "0", bench::fmt(elapsed_us / kTrials, 2)});
+  }
+
+  // --- greedy goal-guided: evaluate restart + 3 migrations ----------------
+  {
+    sim::Rng rng(42);
+    World world;  // shared state the closures read per-trial
+    adapt::GreedyGoalPlanner planner(
+        [&world](const adapt::Violation&, const adapt::KnowledgeBase&) {
+          std::vector<adapt::Action> candidates;
+          candidates.push_back(
+              adapt::Action{.kind = adapt::ActionKind::kRestartComponent,
+                            .component = "svc"});
+          for (int host = 0; host < 4; ++host) {
+            if (host == world.component_host) continue;
+            candidates.push_back(
+                adapt::Action{.kind = adapt::ActionKind::kMigrate,
+                              .component = "svc",
+                              .argument = std::to_string(host)});
+          }
+          return candidates;
+        },
+        [&world](const adapt::Action& action, const adapt::KnowledgeBase&) {
+          // What-if evaluation against the goal model: here the predicted
+          // satisfaction is the target host's health.
+          return world.satisfaction_after(action);
+        });
+    double quality_sum = 0.0;
+    int optimal = 0;
+    const auto start = Clock::now();
+    for (int i = 0; i < kTrials; ++i) {
+      for (auto& health : world.host_health) health = rng.uniform01();
+      world.component_host = static_cast<int>(rng.below(4));
+      const auto actions = planner.plan(violations, adapt::KnowledgeBase{});
+      const double quality = world.satisfaction_after(actions.at(0));
+      quality_sum += quality;
+      const double best =
+          *std::max_element(world.host_health.begin(),
+                            world.host_health.end());
+      if (quality >= best - 1e-9) ++optimal;
+    }
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count();
+    table.print_row(
+        {"greedy-goal", bench::fmt(quality_sum / kTrials),
+         bench::fmt(static_cast<double>(optimal) / kTrials),
+         bench::fmt_u(planner.candidates_evaluated() / kTrials),
+         bench::fmt(elapsed_us / kTrials, 2)});
+  }
+
+  std::printf(
+      "\nReading: the reflex restores a random host's health (~0.5 mean,\n"
+      "optimal ~25%%); goal-guided search restores the best host (~0.84\n"
+      "mean quality for max of 4 uniforms, optimal 100%%) at the price of\n"
+      "4 candidate evaluations per plan.\n");
+  return 0;
+}

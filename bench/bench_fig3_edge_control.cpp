@@ -1,0 +1,111 @@
+// Figure 3 — the edge entity as control agent.
+//
+// Figure 3 places control and coordination on an edge node that manages
+// the devices in its scope, versus today's cloud-resident control. This
+// bench builds one site (sensors -> controller -> actuator) and sweeps:
+//
+//   controller placement x WAN round-trip time x cloud availability
+//
+// Expected shape: with edge control, the sensing->actuation loop latency
+// is WAN-independent (all hops are LAN) and unaffected by a cloud outage;
+// with cloud control, loop latency grows with ~2x the one-way WAN latency
+// and the loop stops entirely during the outage.
+#include "bench_util.hpp"
+#include "core/app.hpp"
+#include "core/system.hpp"
+
+using namespace riot;
+
+namespace {
+
+struct Outcome {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double deadline_ratio = 0.0;
+  double outage_actuations_per_s = 0.0;
+};
+
+Outcome run(bool edge_control, sim::SimTime wan_one_way) {
+  core::SystemConfig cfg;
+  cfg.seed = 21;
+  cfg.latency.wan.base_latency = wan_one_way;
+  cfg.latency.wan.jitter = wan_one_way / 5;
+  core::IoTSystem system(cfg);
+
+  auto edge = device::make_edge("edge");
+  edge.location = {0, 0};
+  const auto edge_dev = system.add_device(std::move(edge));
+  auto cloud = device::make_cloud("cloud");
+  cloud.location = {90'000, 0};
+  const auto cloud_dev = system.add_device(std::move(cloud));
+  auto act = device::make_actuator("act", "valve");
+  act.location = {40, 0};
+  const auto act_dev = system.add_device(std::move(act));
+
+  auto& actuator = system.attach<core::ActuatorNode>(
+      act_dev, core::ActuatorNode::Config{.self_device = act_dev,
+                                          .deadline = sim::millis(250)});
+  const auto host = edge_control ? edge_dev : cloud_dev;
+  auto& controller = system.attach<core::ProcessorNode>(
+      host, core::ProcessorNode::Config{.topic = "t",
+                                        .self_device = host,
+                                        .actuator = actuator.id()});
+  for (int i = 0; i < 5; ++i) {
+    auto sensor_device =
+        device::make_micro_sensor("s" + std::to_string(i), "t");
+    sensor_device.location = {10.0 * i, 60};
+    const auto sensor_dev = system.add_device(std::move(sensor_device));
+    auto& sensor = system.attach<core::SensorNode>(
+        sensor_dev, core::SensorNode::Config{.topic = "t",
+                                             .rate_hz = 2.0,
+                                             .self_device = sensor_dev});
+    sensor.set_target(controller.id());
+  }
+
+  // Phase 1: healthy operation, 60s.
+  system.run_for(sim::minutes(1));
+  Outcome outcome;
+  outcome.p50_ms = actuator.latency().p50() / 1000.0;
+  outcome.p99_ms = actuator.latency().p99() / 1000.0;
+  outcome.deadline_ratio = actuator.deadline_ratio();
+
+  // Phase 2: cloud outage, 30s — does the control loop survive?
+  const auto before = actuator.actuations();
+  system.crash_device(cloud_dev);
+  system.run_for(sim::seconds(30));
+  system.recover_device(cloud_dev);
+  outcome.outage_actuations_per_s =
+      static_cast<double>(actuator.actuations() - before) / 30.0;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 3: control placement — edge scope vs cloud control",
+      "One site, 5 sensors @2Hz, actuation deadline 250ms. Sweep one-way\n"
+      "WAN latency; then a 30s cloud outage. Sensing->actuation loop\n"
+      "latency and survival.");
+
+  bench::Table table({"wan_1way_ms", "control", "p50_ms", "p99_ms",
+                      "deadline_ok", "outage_act/s"});
+  table.print_header();
+  for (const auto wan : {sim::millis(25), sim::millis(50), sim::millis(100),
+                         sim::millis(200)}) {
+    for (const bool edge_control : {false, true}) {
+      const auto outcome = run(edge_control, wan);
+      table.print_row({bench::fmt(sim::to_millis(wan), 0),
+                       edge_control ? "edge" : "cloud",
+                       bench::fmt(outcome.p50_ms, 2),
+                       bench::fmt(outcome.p99_ms, 2),
+                       bench::fmt(outcome.deadline_ratio, 3),
+                       bench::fmt(outcome.outage_actuations_per_s, 1)});
+    }
+  }
+  std::printf(
+      "\nReading: edge control latency is flat (~1ms) across every WAN\n"
+      "setting and continues at full rate (10 act/s) through the outage;\n"
+      "cloud control latency ~= 2x WAN one-way and stops at 0 act/s.\n");
+  return 0;
+}

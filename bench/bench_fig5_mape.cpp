@@ -1,0 +1,186 @@
+// Figure 5 — the MAPE loop for IoT, and where to put A and P.
+//
+// Figure 5 argues for placing Analysis and Planning on edge components
+// close to the devices. This bench builds the full loop explicitly —
+// TelemetrySource (Monitor) on the device, MapeLoop (Analyze+Plan) on a
+// host, Effector (Execute) on the device — and injects component faults
+// while sweeping:
+//
+//   loop host placement (edge | cloud)  x  WAN one-way latency
+//
+// measured: fault -> detection time, fault -> recovery time, and the
+// fraction of faults recovered during a concurrent cloud outage.
+//
+// Expected shape: edge placement detects and recovers in ~(telemetry
+// period + analysis period) regardless of WAN settings, and keeps healing
+// through the outage; cloud placement adds 2x WAN to every loop and heals
+// nothing while the cloud is dark.
+#include <memory>
+
+#include "adapt/mape.hpp"
+#include "adapt/planner.hpp"
+#include "bench_util.hpp"
+#include "core/system.hpp"
+
+using namespace riot;
+
+namespace {
+
+struct Outcome {
+  double detect_ms_mean = 0.0;
+  double recover_ms_mean = 0.0;
+  double outage_recovery_fraction = 0.0;
+};
+
+Outcome run(bool edge_host, sim::SimTime wan_one_way, std::uint64_t seed) {
+  core::SystemConfig cfg;
+  cfg.seed = seed;
+  cfg.latency.wan.base_latency = wan_one_way;
+  cfg.latency.wan.jitter = wan_one_way / 5;
+  core::IoTSystem system(cfg);
+
+  auto edge = device::make_edge("edge");
+  edge.location = {0, 0};
+  const auto edge_dev = system.add_device(std::move(edge));
+  auto cloud = device::make_cloud("cloud");
+  const auto cloud_dev = system.add_device(std::move(cloud));
+  auto worker = device::make_gateway("worker");
+  worker.location = {20, 0};
+  const auto worker_dev = system.add_device(std::move(worker));
+
+  // The managed component: a "service" flag on the worker device that
+  // faults flip to 0 and a restart action flips back.
+  struct Service {
+    bool healthy = true;
+  };
+  auto service = std::make_shared<Service>();
+
+  auto& effector = system.attach<adapt::Effector>(
+      worker_dev, [service](const adapt::Action& action) {
+        if (action.kind == adapt::ActionKind::kRestartComponent) {
+          service->healthy = true;
+        }
+      });
+
+  const auto host_dev = edge_host ? edge_dev : cloud_dev;
+  auto& loop = system.attach<adapt::MapeLoop>(host_dev, sim::millis(500));
+  auto& telemetry = system.attach<adapt::TelemetrySource>(
+      worker_dev, loop.id(), sim::millis(500));
+  telemetry.add_probe("svc.up",
+                      [service] { return service->healthy ? 1.0 : 0.0; });
+  loop.add_analyzer("svc-down", [](const adapt::KnowledgeBase& kb)
+                        -> std::optional<adapt::Violation> {
+    if (kb.value_or("svc.up", 1.0) < 0.5) {
+      return adapt::Violation{"svc-down", 1.0, ""};
+    }
+    return std::nullopt;
+  });
+  auto planner = std::make_unique<adapt::RuleBasedPlanner>();
+  planner->when("svc-down",
+                adapt::Action{.kind = adapt::ActionKind::kRestartComponent,
+                              .component = "svc"});
+  loop.set_planner(std::move(planner));
+  loop.route_component("svc", effector.id());
+
+  // Fault campaign: break the service every 20s; record detection (first
+  // violation raised after the fault) and recovery (service healthy again).
+  struct Episode {
+    sim::SimTime faulted, detected, recovered;
+    bool during_outage;
+  };
+  std::vector<Episode> episodes;
+  bool outage_active = false;
+  loop.on_analysis([&](const std::vector<adapt::Violation>& violations) {
+    if (violations.empty() || episodes.empty()) return;
+    auto& episode = episodes.back();
+    if (episode.detected == sim::kSimTimeZero) {
+      episode.detected = system.simulation().now();
+    }
+  });
+  system.simulation().schedule_every(sim::seconds(20), [&] {
+    service->healthy = false;
+    episodes.push_back(Episode{system.simulation().now(), sim::kSimTimeZero,
+                               sim::kSimTimeZero, outage_active});
+  });
+  // Poll for recovery to stamp the instant (fine-grained observer).
+  system.simulation().schedule_every(sim::millis(50), [&] {
+    if (episodes.empty()) return;
+    auto& episode = episodes.back();
+    if (episode.recovered == sim::kSimTimeZero && service->healthy) {
+      episode.recovered = system.simulation().now();
+    }
+  });
+  // Cloud outage window [100s, 160s).
+  system.simulation().schedule_at(sim::seconds(100), [&] {
+    outage_active = true;
+    system.crash_device(cloud_dev);
+  });
+  system.simulation().schedule_at(sim::seconds(160), [&] {
+    outage_active = false;
+    system.recover_device(cloud_dev);
+  });
+
+  system.run_for(sim::minutes(4));
+
+  Outcome outcome;
+  double detect_sum = 0.0, recover_sum = 0.0;
+  int healthy_episodes = 0, outage_episodes = 0, outage_recovered = 0;
+  for (const auto& episode : episodes) {
+    if (episode.during_outage) {
+      ++outage_episodes;
+      // Recovered within 15s of the fault (i.e. without waiting for the
+      // cloud to come back)?
+      if (episode.recovered != sim::kSimTimeZero &&
+          episode.recovered - episode.faulted < sim::seconds(15)) {
+        ++outage_recovered;
+      }
+      continue;
+    }
+    if (episode.detected == sim::kSimTimeZero ||
+        episode.recovered == sim::kSimTimeZero) {
+      continue;
+    }
+    ++healthy_episodes;
+    detect_sum += sim::to_millis(episode.detected - episode.faulted);
+    recover_sum += sim::to_millis(episode.recovered - episode.faulted);
+  }
+  if (healthy_episodes > 0) {
+    outcome.detect_ms_mean = detect_sum / healthy_episodes;
+    outcome.recover_ms_mean = recover_sum / healthy_episodes;
+  }
+  outcome.outage_recovery_fraction =
+      outage_episodes == 0
+          ? 1.0
+          : static_cast<double>(outage_recovered) / outage_episodes;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 5: MAPE loop placement — analysis/planning at the edge",
+      "Full M-A-P-E loop: telemetry 0.5s, analysis 0.5s, restart action.\n"
+      "Component fault every 20s; cloud outage 100-160s. Sweep loop host\n"
+      "and WAN latency.");
+
+  bench::Table table({"wan_1way_ms", "loop_host", "detect_ms",
+                      "recover_ms", "outage_heal"});
+  table.print_header();
+  for (const auto wan : {sim::millis(25), sim::millis(50), sim::millis(100),
+                         sim::millis(200)}) {
+    for (const bool edge_host : {false, true}) {
+      const auto outcome = run(edge_host, wan, 13);
+      table.print_row({bench::fmt(sim::to_millis(wan), 0),
+                       edge_host ? "edge" : "cloud",
+                       bench::fmt(outcome.detect_ms_mean, 0),
+                       bench::fmt(outcome.recover_ms_mean, 0),
+                       bench::fmt(outcome.outage_recovery_fraction, 2)});
+    }
+  }
+  std::printf(
+      "\nReading: the edge loop's detect/recover times are flat in WAN\n"
+      "latency and it heals 100%% of faults during the outage; the cloud\n"
+      "loop pays ~2x WAN per phase and heals nothing while dark.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Tables 1 + 2 — the maturity grid, quantified.
+//
+// The paper's Tables 1 and 2 are qualitative rows (ML1 "exclusively manual
+// interactions", ML4 "autonomous control, coordination and self-healing",
+// ...). This bench runs the identical workload and disruption schedule at
+// every maturity level and prints measured proxies for each disruption
+// vector:
+//
+//   infrastructure / service mgmt -> resilience index, availability, MTTR
+//   operations automation         -> autonomous actions vs manual repairs
+//   verification                  -> formally monitored requirements
+//   data flows / governance       -> leaks (unenforced) vs blocked
+//                                    (governed) vs archived (delivered)
+//
+// Expected shape (the paper's thesis): every metric improves monotonically
+// from ML1/ML2 to ML4; the cloud-coupled ML2 collapses during the cloud
+// outage and leaks personal data continuously; ML4 self-heals in seconds
+// with zero leaks.
+#include "bench_util.hpp"
+#include "core/maturity.hpp"
+
+using namespace riot;
+
+int main() {
+  bench::banner(
+      "Table 1+2: engineering maturity grid (measured)",
+      "Same workload (2 sites x 5 sensors @2Hz -> processing -> actuation,\n"
+      "personal-category data), same faults: cloud outage 60-105s, processing\n"
+      "host crash at 150s, WAN partition 210-240s, sensor churn throughout.\n"
+      "Evaluation window 10s-300s, seed 42.");
+
+  bench::Table table({"level", "resilience", "avail", "MTTR_s", "episodes",
+                      "auto_acts", "manual", "leaks", "blocked", "archived",
+                      "monitored"});
+  table.print_header();
+
+  for (const auto level :
+       {core::MaturityLevel::kSilo, core::MaturityLevel::kCloud,
+        core::MaturityLevel::kEdge, core::MaturityLevel::kResilient}) {
+    core::IoTSystem system(core::SystemConfig{.seed = 42});
+    core::MaturityScenario scenario(system, level);
+    scenario.install();
+    scenario.schedule_cloud_outage(sim::seconds(60), sim::seconds(45));
+    scenario.schedule_processing_crash(0, sim::seconds(150));
+    scenario.schedule_wan_partition(sim::seconds(210), sim::seconds(30));
+    scenario.schedule_sensor_churn(sim::seconds(10), sim::minutes(5),
+                                   sim::seconds(30), sim::seconds(10));
+    system.run_for(sim::minutes(5));
+    const auto report = scenario.report(sim::seconds(10), sim::minutes(5));
+    table.print_row({std::string(core::to_string(level)),
+                     bench::fmt(report.resilience_index),
+                     bench::fmt(report.availability),
+                     bench::fmt(sim::to_seconds(report.mean_time_to_repair), 1),
+                     bench::fmt_u(report.violation_episodes),
+                     bench::fmt_u(scenario.autonomous_actions()),
+                     bench::fmt_u(scenario.manual_repairs()),
+                     bench::fmt_u(scenario.privacy_leaks()),
+                     bench::fmt_u(scenario.privacy_blocked()),
+                     bench::fmt_u(scenario.archived_items()),
+                     bench::fmt_u(scenario.monitored_requirements())});
+  }
+
+  std::printf(
+      "\nPer-requirement satisfaction at the extremes (same run):\n");
+  for (const auto level :
+       {core::MaturityLevel::kCloud, core::MaturityLevel::kResilient}) {
+    core::IoTSystem system(core::SystemConfig{.seed = 42});
+    core::MaturityScenario scenario(system, level);
+    scenario.install();
+    scenario.schedule_cloud_outage(sim::seconds(60), sim::seconds(45));
+    scenario.schedule_processing_crash(0, sim::seconds(150));
+    system.run_for(sim::minutes(5));
+    const auto report = scenario.report(sim::seconds(10), sim::minutes(5));
+    std::printf("  %s:\n", std::string(core::to_string(level)).c_str());
+    for (const auto& [name, sat] : report.per_requirement) {
+      std::printf("    %-28s %.3f\n", name.c_str(), sat);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared table-printing helpers for the figure/table reproduction benches.
+//
+// Scenario benches are plain executables (they regenerate the paper's
+// tables/figures as text); microbenchmarks use google-benchmark.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace riot::bench {
+
+/// Fixed-width table printer: header once, then rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {}
+
+  void print_header() const {
+    for (const auto& column : columns_) {
+      std::printf("%-*s", width_, column.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%-*s", width_, std::string(width_ - 2, '-').c_str());
+    }
+    std::printf("\n");
+  }
+
+  void print_row(const std::vector<std::string>& cells) const {
+    for (const auto& cell : cells) {
+      std::printf("%-*s", width_, cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+inline void banner(const char* title, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", title, claim);
+}
+
+}  // namespace riot::bench

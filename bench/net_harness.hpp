@@ -1,0 +1,21 @@
+// Minimal sim+network harness for protocol-level benches.
+#pragma once
+
+#include "net/network.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace riot::bench {
+
+struct Harness {
+  explicit Harness(std::uint64_t seed)
+      : sim(seed), network(sim, metrics, trace) {}
+
+  sim::Simulation sim;
+  sim::MetricsRegistry metrics;
+  sim::TraceLog trace;
+  net::Network network;
+};
+
+}  // namespace riot::bench

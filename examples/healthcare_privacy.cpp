@@ -1,0 +1,214 @@
+// Healthcare at home — privacy scopes, edge enforcement, lineage audit.
+//
+// Section VI's running example made concrete: "a user's mobile phone as
+// an edge device can enforce privacy preferences on data generated from
+// her wearable IoT devices."
+//
+// Two homes:
+//   - Alice, in the EU (GDPR scope): her phone is the edge; heart-rate
+//     data must not leave the scope, but de-identified *aggregates* may
+//     flow to the clinic.
+//   - Bob, in California (CCPA scope): personal data may flow (opt-out
+//     model), sensitive categories may not reach low-trust parties.
+//
+// The example runs the flows, prints the policy audit and then uses the
+// lineage graph to answer the compliance questions: where did each datum
+// travel, and is the clinic's dataset tainted by raw personal data?
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "data/lineage.hpp"
+#include "data/privacy.hpp"
+#include "data/pubsub.hpp"
+
+using namespace riot;
+
+int main() {
+  std::printf("healthcare_privacy: GDPR/CCPA scopes with edge enforcement\n\n");
+  core::IoTSystem system(core::SystemConfig{.seed = 99});
+
+  const auto eu = system.add_domain(device::AdminDomain{
+      .name = "eu-home", .jurisdiction = device::Jurisdiction::kGdpr,
+      .trust = device::TrustLevel::kOwned});
+  const auto california = system.add_domain(device::AdminDomain{
+      .name = "ca-home", .jurisdiction = device::Jurisdiction::kCcpa,
+      .trust = device::TrustLevel::kOwned});
+  const auto clinic_domain = system.add_domain(device::AdminDomain{
+      .name = "clinic", .jurisdiction = device::Jurisdiction::kNone,
+      .trust = device::TrustLevel::kPartner});
+
+  auto alice_watch = device::make_micro_sensor("alice-watch", "heart_rate");
+  alice_watch.domain = eu;
+  alice_watch.location = {0, 0};
+  const auto alice_watch_dev = system.add_device(std::move(alice_watch));
+  auto alice_phone = device::make_mobile("alice-phone");
+  alice_phone.domain = eu;
+  alice_phone.location = {1, 0};
+  const auto alice_phone_dev = system.add_device(std::move(alice_phone));
+
+  auto bob_watch = device::make_micro_sensor("bob-watch", "heart_rate");
+  bob_watch.domain = california;
+  bob_watch.location = {9000, 0};
+  const auto bob_watch_dev = system.add_device(std::move(bob_watch));
+  auto bob_phone = device::make_mobile("bob-phone");
+  bob_phone.domain = california;
+  bob_phone.location = {9001, 0};
+  const auto bob_phone_dev = system.add_device(std::move(bob_phone));
+
+  auto clinic = device::make_cloud("clinic-server");
+  clinic.domain = clinic_domain;
+  const auto clinic_dev = system.add_device(std::move(clinic));
+
+  // Privacy scopes with the canonical jurisdiction policies.
+  data::PolicyEngine policy(system.registry());
+  {
+    data::PrivacyScope scope;
+    scope.name = "alice-home";
+    scope.jurisdiction = device::Jurisdiction::kGdpr;
+    scope.policy = data::make_gdpr_policy();
+    scope.members = {alice_watch_dev, alice_phone_dev};
+    policy.add_scope(std::move(scope));
+  }
+  {
+    data::PrivacyScope scope;
+    scope.name = "bob-home";
+    scope.jurisdiction = device::Jurisdiction::kCcpa;
+    scope.policy = data::make_ccpa_policy();
+    scope.members = {bob_watch_dev, bob_phone_dev};
+    policy.add_scope(std::move(scope));
+  }
+
+  data::LineageGraph lineage(system.registry());
+
+  // Data plane: each phone is its home's relay and enforces egress.
+  auto& alice_relay = system.attach<data::EpidemicPubSub>(
+      alice_phone_dev, system.registry(), alice_phone_dev);
+  alice_relay.set_policy(&policy, /*enforce=*/true);
+  auto& bob_relay = system.attach<data::EpidemicPubSub>(
+      bob_phone_dev, system.registry(), bob_phone_dev);
+  bob_relay.set_policy(&policy, /*enforce=*/true);
+  auto& clinic_sub = system.attach<data::EpidemicPubSub>(
+      clinic_dev, system.registry(), clinic_dev);
+  alice_relay.add_peer(clinic_sub.id());
+  bob_relay.add_peer(clinic_sub.id());
+
+  std::uint64_t clinic_raw = 0, clinic_aggregates = 0;
+  std::vector<std::uint64_t> clinic_items;
+  clinic_sub.subscribe("vitals/raw",
+                       [&](const data::DataItem& item, sim::SimTime) {
+                         ++clinic_raw;
+                         clinic_items.push_back(item.id);
+                       });
+  clinic_sub.subscribe("vitals/aggregate",
+                       [&](const data::DataItem& item, sim::SimTime) {
+                         ++clinic_aggregates;
+                         clinic_items.push_back(item.id);
+                       });
+
+  // Wearables publish raw (personal) readings into their home relay; the
+  // phone additionally derives a de-identified daily aggregate.
+  struct Wearable : net::Node {
+    explicit Wearable(net::Network& n) : net::Node(n) {}
+  };
+  auto& alice_producer = system.attach<Wearable>(alice_watch_dev);
+  auto& bob_producer = system.attach<Wearable>(bob_watch_dev);
+  std::uint64_t next_item = 1;
+
+  auto publish_raw = [&](net::Node& producer, device::DeviceId origin,
+                         data::EpidemicPubSub& relay) {
+    data::DataItem item;
+    item.id = next_item++;
+    item.topic = "vitals/raw";
+    item.category = data::DataCategory::kPersonal;
+    item.origin = origin;
+    item.produced_at = system.simulation().now();
+    lineage.record_produce(item.id, origin, item.category,
+                           system.simulation().now());
+    lineage.record_transfer(item.id, origin,
+                            *system.registry().find_by_node(relay.id()),
+                            system.simulation().now());
+    producer.send(relay.id(), data::Publish{std::move(item)});
+  };
+  system.simulation().schedule_every(sim::seconds(5), [&] {
+    publish_raw(alice_producer, alice_watch_dev, alice_relay);
+    publish_raw(bob_producer, bob_watch_dev, bob_relay);
+  });
+
+  // Every 30s each phone aggregates what it heard into a de-identified
+  // item (this is the explicit relabeling step GDPR requires).
+  std::vector<std::uint64_t> alice_window, bob_window;
+  alice_relay.subscribe("vitals/raw",
+                        [&](const data::DataItem& item, sim::SimTime) {
+                          alice_window.push_back(item.id);
+                        });
+  bob_relay.subscribe("vitals/raw",
+                      [&](const data::DataItem& item, sim::SimTime) {
+                        bob_window.push_back(item.id);
+                      });
+  auto aggregate = [&](data::EpidemicPubSub& relay, device::DeviceId phone,
+                       std::vector<std::uint64_t>& window) {
+    if (window.empty()) return;
+    data::DataItem item;
+    item.id = next_item++;
+    item.topic = "vitals/aggregate";
+    item.category = data::DataCategory::kAggregate;
+    item.origin = phone;
+    item.produced_at = system.simulation().now();
+    lineage.record_transform(item.id, window, phone, item.category,
+                             system.simulation().now());
+    window.clear();
+    relay.publish(std::move(item));
+  };
+  system.simulation().schedule_every(sim::seconds(30), [&] {
+    aggregate(alice_relay, alice_phone_dev, alice_window);
+    aggregate(bob_relay, bob_phone_dev, bob_window);
+  });
+
+  system.run_for(sim::minutes(3));
+
+  // --- Report ------------------------------------------------------------
+  std::printf("Clinic received: %llu raw items, %llu aggregates\n",
+              static_cast<unsigned long long>(clinic_raw),
+              static_cast<unsigned long long>(clinic_aggregates));
+  std::printf("Policy engine: %llu evaluations, %llu blocked, %llu leaks\n\n",
+              static_cast<unsigned long long>(policy.evaluations()),
+              static_cast<unsigned long long>(policy.blocked()),
+              static_cast<unsigned long long>(policy.violations() -
+                                              policy.blocked()));
+  std::printf("Audit log (first 3 entries):\n");
+  for (std::size_t i = 0; i < policy.audit_log().size() && i < 3; ++i) {
+    const auto& entry = policy.audit_log()[i];
+    std::printf("  t=%-8s item=%llu %s -> %s : denied by '%s'%s\n",
+                sim::format_time(entry.at).c_str(),
+                static_cast<unsigned long long>(entry.item_id),
+                system.registry().get(entry.from).name.c_str(),
+                system.registry().get(entry.to).name.c_str(),
+                entry.decision.rule.c_str(),
+                entry.enforced ? " (blocked)" : " (LEAKED)");
+  }
+
+  std::printf("\nLineage audit of the clinic's dataset:\n");
+  std::uint64_t tainted = 0;
+  for (const auto item : clinic_items) {
+    if (lineage.tainted_by_personal(item)) ++tainted;
+  }
+  std::printf("  items at clinic: %zu, tainted by personal origins: %llu\n",
+              clinic_items.size(),
+              static_cast<unsigned long long>(tainted));
+  if (!clinic_items.empty()) {
+    const auto sample = clinic_items.front();
+    std::printf("  sample item %llu traversed jurisdictions:",
+                static_cast<unsigned long long>(sample));
+    for (const auto jurisdiction : lineage.jurisdictions_traversed(sample)) {
+      std::printf(" %s", std::string(device::to_string(jurisdiction)).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nNote: Bob's raw (personal) readings reach the clinic — CCPA's\n"
+      "opt-out regime permits that; Alice's do not (GDPR blocks them at\n"
+      "her phone). Aggregates flow from both homes. The taint count shows\n"
+      "derived aggregates still trace back to personal origins — the\n"
+      "lineage graph is what makes that auditable.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: build the reference workload at two maturity levels, hit
+// both with the same disruptions, and compare resilience.
+//
+//   $ ./quickstart
+//
+// The run is fully deterministic (seeded); you should see the ML2
+// configuration collapse during the cloud outage while ML4 keeps its
+// requirements satisfied, and recover from the edge crash via SWIM-driven
+// failover within seconds instead of waiting for a remote restart.
+#include <cstdio>
+
+#include "core/maturity.hpp"
+#include "core/system.hpp"
+
+using namespace riot;
+
+namespace {
+
+core::ResilienceReport run_level(core::MaturityLevel level,
+                                 std::uint64_t seed) {
+  core::IoTSystem system(core::SystemConfig{.seed = seed});
+  core::MaturityScenario scenario(system, level);
+  scenario.install();
+
+  // Disruption schedule: a cloud outage, then an internal fault in the
+  // site-0 processing host.
+  scenario.schedule_cloud_outage(sim::seconds(60), sim::seconds(30));
+  scenario.schedule_processing_crash(0, sim::seconds(150));
+
+  system.run_for(sim::minutes(5));
+
+  const auto report = scenario.report(sim::seconds(5), sim::minutes(5));
+  std::printf(
+      "%-14s resilience=%.3f availability=%.3f MTTR=%6.1fs episodes=%llu "
+      "auto-actions=%llu manual=%llu leaks=%llu blocked=%llu\n",
+      std::string(core::to_string(level)).c_str(), report.resilience_index,
+      report.availability, sim::to_seconds(report.mean_time_to_repair),
+      static_cast<unsigned long long>(report.violation_episodes),
+      static_cast<unsigned long long>(scenario.autonomous_actions()),
+      static_cast<unsigned long long>(scenario.manual_repairs()),
+      static_cast<unsigned long long>(scenario.privacy_leaks()),
+      static_cast<unsigned long long>(scenario.privacy_blocked()));
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("riot quickstart — same workload, same faults, two maturity "
+              "levels\n\n");
+  run_level(core::MaturityLevel::kCloud, 42);
+  run_level(core::MaturityLevel::kResilient, 42);
+  std::printf(
+      "\nInterpretation: ML2 funnels everything through the cloud — the\n"
+      "outage takes data plane, control plane and privacy down with it.\n"
+      "ML4 coordinates at the edge (SWIM + warm standby + local MAPE), so\n"
+      "the same faults cost seconds, and GDPR-scoped personal data never\n"
+      "leaves its site (leaks=0; blocked>0 shows the policy working).\n");
+  return 0;
+}

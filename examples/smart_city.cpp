@@ -1,0 +1,254 @@
+// Smart-city traffic control — the paper's flagship motivating domain.
+//
+// Three intersections, each an administrative site with induction-loop
+// sensors, a traffic-light actuator, an edge cabinet and a gateway.
+// Control is fully decentralized (ML4-style), assembled here from the
+// public API piece by piece rather than via MaturityScenario, to show how
+// the building blocks compose:
+//
+//   - EpidemicPubSub      data plane inside each site
+//   - SWIM                edge/gateway failure detection
+//   - MAPE loop           per-site self-healing (failover + watchdog)
+//   - GossipNode          city-wide dissemination of signal-timing plans
+//   - CRDT store          city-wide vehicle counts (available under
+//                         partition, convergent after)
+//
+// A mid-run cabinet failure at intersection 1 is healed autonomously; the
+// cross-town backbone partition never interrupts local control.
+#include <cstdio>
+#include <memory>
+
+#include "adapt/mape.hpp"
+#include "adapt/planner.hpp"
+#include "coord/gossip.hpp"
+#include "core/app.hpp"
+#include "core/system.hpp"
+#include "data/crdt_store.hpp"
+#include "data/pubsub.hpp"
+#include "membership/swim.hpp"
+
+using namespace riot;
+
+namespace {
+
+struct Intersection {
+  std::string name;
+  device::DeviceId edge, gateway, light;
+  std::vector<device::DeviceId> loops;
+  core::ProcessorNode* controller = nullptr;
+  core::ProcessorNode* standby = nullptr;
+  core::ActuatorNode* signal = nullptr;
+  data::EpidemicPubSub* edge_relay = nullptr;
+  data::EpidemicPubSub* gw_relay = nullptr;
+  membership::SwimMember* edge_swim = nullptr;
+  membership::SwimMember* gw_swim = nullptr;
+  adapt::MapeLoop* gw_mape = nullptr;
+  coord::GossipNode* plan_gossip = nullptr;
+  data::CrdtStore* counts = nullptr;
+  bool failover_done = false;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("smart_city: decentralized traffic control, 3 intersections\n\n");
+  core::IoTSystem system(core::SystemConfig{.seed = 2026});
+
+  std::vector<std::unique_ptr<Intersection>> intersections;
+  for (int i = 0; i < 3; ++i) {
+    auto junction = std::make_unique<Intersection>();
+    junction->name = "junction" + std::to_string(i);
+    const device::Location center{i * 2'000.0, 0.0};
+    const auto domain = system.add_domain(device::AdminDomain{
+        .name = junction->name, .jurisdiction = device::Jurisdiction::kGdpr,
+        .trust = device::TrustLevel::kOwned});
+
+    auto edge = device::make_edge(junction->name + "-cabinet");
+    edge.location = center;
+    edge.domain = domain;
+    junction->edge = system.add_device(std::move(edge));
+    auto gateway = device::make_gateway(junction->name + "-gw");
+    gateway.location = {center.x + 15, center.y};
+    gateway.domain = domain;
+    junction->gateway = system.add_device(std::move(gateway));
+    auto light = device::make_actuator(junction->name + "-light",
+                                       "traffic_light");
+    light.location = {center.x + 30, center.y};
+    light.domain = domain;
+    junction->light = system.add_device(std::move(light));
+    for (int lane = 0; lane < 4; ++lane) {
+      auto loop = device::make_micro_sensor(
+          junction->name + "-loop" + std::to_string(lane), "induction");
+      loop.location = {center.x + 10.0 * lane, center.y + 40};
+      loop.domain = domain;
+      junction->loops.push_back(system.add_device(std::move(loop)));
+    }
+
+    // Data plane + controller + warm standby.
+    junction->signal = &system.attach<core::ActuatorNode>(
+        junction->light,
+        core::ActuatorNode::Config{.self_device = junction->light,
+                                   .deadline = sim::millis(150)});
+    junction->edge_relay = &system.attach<data::EpidemicPubSub>(
+        junction->edge, system.registry(), junction->edge);
+    junction->gw_relay = &system.attach<data::EpidemicPubSub>(
+        junction->gateway, system.registry(), junction->gateway);
+    junction->edge_relay->add_peer(junction->gw_relay->id());
+    junction->gw_relay->add_peer(junction->edge_relay->id());
+    junction->controller = &system.attach<core::ProcessorNode>(
+        junction->edge,
+        core::ProcessorNode::Config{.name = junction->name + "-ctl",
+                                    .topic = junction->name + "/traffic",
+                                    .self_device = junction->edge,
+                                    .actuator = junction->signal->id()});
+    junction->standby = &system.attach<core::ProcessorNode>(
+        junction->gateway,
+        core::ProcessorNode::Config{.name = junction->name + "-ctl2",
+                                    .topic = junction->name + "/traffic",
+                                    .self_device = junction->gateway,
+                                    .actuator = junction->signal->id(),
+                                    .active = false});
+    junction->edge_relay->subscribe(
+        junction->name + "/traffic",
+        [controller = junction->controller](const data::DataItem& item,
+                                            sim::SimTime) {
+          controller->handle_item(item);
+        });
+    junction->gw_relay->subscribe(
+        junction->name + "/traffic",
+        [standby = junction->standby](const data::DataItem& item,
+                                      sim::SimTime) {
+          standby->handle_item(item);
+        });
+    for (const auto loop_dev : junction->loops) {
+      auto& loop_sensor = system.attach<core::SensorNode>(
+          loop_dev,
+          core::SensorNode::Config{.topic = junction->name + "/traffic",
+                                   .category = data::DataCategory::kTelemetry,
+                                   .rate_hz = 2.0,
+                                   .self_device = loop_dev});
+      loop_sensor.set_target(junction->edge_relay->id());
+      loop_sensor.set_secondary_target(junction->gw_relay->id());
+    }
+
+    // Failure detection + self-healing.
+    junction->edge_swim =
+        &system.attach<membership::SwimMember>(junction->edge);
+    junction->gw_swim =
+        &system.attach<membership::SwimMember>(junction->gateway);
+    junction->edge_swim->add_peer(junction->gw_swim->id());
+    junction->gw_swim->add_peer(junction->edge_swim->id());
+    junction->gw_mape =
+        &system.attach<adapt::MapeLoop>(junction->gateway, sim::millis(500));
+    Intersection* raw = junction.get();
+    junction->gw_mape->add_analyzer(
+        "cabinet-alive", [raw](const adapt::KnowledgeBase&)
+                             -> std::optional<adapt::Violation> {
+          if (raw->failover_done) return std::nullopt;
+          if (raw->gw_swim->state_of(raw->edge_swim->id()) ==
+              membership::MemberState::kDead) {
+            return adapt::Violation{"cabinet-alive", 1.0, "cabinet dead"};
+          }
+          return std::nullopt;
+        });
+    auto planner = std::make_unique<adapt::RuleBasedPlanner>();
+    planner->when("cabinet-alive",
+                  adapt::Action{.kind = adapt::ActionKind::kFailover,
+                                .component = raw->name});
+    junction->gw_mape->set_local_handler(
+        [raw, &system](const adapt::Action& action) {
+          if (action.kind != adapt::ActionKind::kFailover ||
+              raw->failover_done) {
+            return;
+          }
+          raw->failover_done = true;
+          raw->controller->set_active(false);
+          raw->standby->set_active(true);
+          std::printf("[%8s] %s: gateway MAPE failed over to standby\n",
+                      sim::format_time(system.simulation().now()).c_str(),
+                      raw->name.c_str());
+        });
+    junction->gw_mape->set_planner(std::move(planner));
+
+    // City-wide coordination: signal plans via gossip, counts via CRDTs.
+    junction->plan_gossip =
+        &system.attach<coord::GossipNode>(junction->edge);
+    junction->counts = &system.attach<data::CrdtStore>(junction->edge);
+    intersections.push_back(std::move(junction));
+  }
+  // Wire the city backbone (edges only, MAN links).
+  for (auto& a : intersections) {
+    for (auto& b : intersections) {
+      if (a != b) {
+        a->plan_gossip->add_peer(b->plan_gossip->id());
+      }
+    }
+    std::vector<net::NodeId> peers;
+    for (auto& b : intersections) {
+      if (a != b) peers.push_back(b->counts->id());
+    }
+    a->counts->set_replicas(peers);
+  }
+  // Each junction bumps its vehicle counter per sensed item.
+  for (auto& junction : intersections) {
+    auto* counts = junction->counts;
+    junction->edge_relay->subscribe(
+        junction->name + "/traffic",
+        [counts](const data::DataItem&, sim::SimTime) {
+          counts->gcounter("vehicles").increment(counts->replica_id());
+        });
+  }
+
+  // --- Scenario ------------------------------------------------------------
+  // t=30s: junction0 publishes a new city-wide signal-timing plan.
+  system.simulation().schedule_at(sim::seconds(30), [&] {
+    intersections[0]->plan_gossip->put("signal-plan", "rush-hour-v2");
+    std::printf("[%8s] junction0: published signal plan rush-hour-v2\n",
+                sim::format_time(system.simulation().now()).c_str());
+  });
+  // t=60s: the junction1 cabinet dies (hardware fault).
+  system.simulation().schedule_at(sim::seconds(60), [&] {
+    std::printf("[%8s] FAULT: junction1 cabinet (edge) crashes\n",
+                sim::format_time(system.simulation().now()).c_str());
+    system.crash_device(intersections[1]->edge);
+  });
+  // t=120s: backbone partition between junctions for 60s.
+  system.simulation().schedule_at(sim::seconds(120), [&] {
+    std::printf("[%8s] FAULT: city backbone partition (60s)\n",
+                sim::format_time(system.simulation().now()).c_str());
+    std::vector<net::NodeId> junction0_nodes;
+    for (const auto* node : system.nodes_of(intersections[0]->edge)) {
+      junction0_nodes.push_back(node->id());
+    }
+    system.network().partition({junction0_nodes});
+  });
+  system.simulation().schedule_at(sim::seconds(180), [&] {
+    system.network().heal_partition();
+    std::printf("[%8s] backbone healed\n",
+                sim::format_time(system.simulation().now()).c_str());
+  });
+
+  system.run_for(sim::minutes(4));
+
+  // --- Results ---------------------------------------------------------------
+  std::printf("\nAfter 4 minutes:\n");
+  for (auto& junction : intersections) {
+    const auto* active = junction->failover_done ? junction->standby
+                                                 : junction->controller;
+    std::printf(
+        "  %s: actuations=%llu deadline-ok=%.1f%% active=%s plan=%s "
+        "city-vehicles=%llu\n",
+        junction->name.c_str(),
+        static_cast<unsigned long long>(junction->signal->actuations()),
+        junction->signal->deadline_ratio() * 100.0, active->name().c_str(),
+        junction->plan_gossip->get("signal-plan").value_or("none").c_str(),
+        static_cast<unsigned long long>(
+            junction->counts->gcounter("vehicles").value()));
+  }
+  std::printf(
+      "\nEvery junction kept actuating through the cabinet crash (local\n"
+      "failover) and the backbone partition (local control loops); the\n"
+      "signal plan reached all junctions by gossip and the city-wide\n"
+      "vehicle count converged after the partition healed.\n");
+  return 0;
+}

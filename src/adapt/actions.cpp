@@ -1,0 +1,33 @@
+#include "adapt/actions.hpp"
+
+namespace riot::adapt {
+
+std::string_view to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kRestartComponent:
+      return "restart";
+    case ActionKind::kFailover:
+      return "failover";
+    case ActionKind::kMigrate:
+      return "migrate";
+    case ActionKind::kReplicate:
+      return "replicate";
+    case ActionKind::kRerouteFlow:
+      return "reroute";
+    case ActionKind::kShedLoad:
+      return "shed-load";
+    case ActionKind::kTransferControl:
+      return "transfer-control";
+  }
+  return "?";
+}
+
+std::string Action::describe() const {
+  std::string out{to_string(kind)};
+  out += "(" + component;
+  if (!argument.empty()) out += " -> " + argument;
+  out += ")";
+  return out;
+}
+
+}  // namespace riot::adapt

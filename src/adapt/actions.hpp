@@ -1,0 +1,30 @@
+// Adaptation actions (the vocabulary of the Plan and Execute phases).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace riot::adapt {
+
+enum class ActionKind : std::uint8_t {
+  kRestartComponent,   // restart a crashed/hung component in place
+  kFailover,           // promote a standby replica of the component
+  kMigrate,            // move the component to another host
+  kReplicate,          // add a replica (capacity / redundancy)
+  kRerouteFlow,        // switch a data flow to an alternate path/plane
+  kShedLoad,           // degrade gracefully (drop low-priority work)
+  kTransferControl,    // move control scope (e.g. cloud -> local edge)
+};
+
+std::string_view to_string(ActionKind kind);
+
+struct Action {
+  ActionKind kind = ActionKind::kRestartComponent;
+  std::string component;   // managed component the action applies to
+  std::string argument;    // action-specific (e.g. target host name)
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace riot::adapt

@@ -1,0 +1,103 @@
+// Knowledge base — the K of MAPE-K, a model@runtime.
+//
+// Section VII: "a composite model of the environment must be kept alive at
+// runtime and populated with information as it becomes available." The
+// KnowledgeBase holds timestamped observations (metrics shipped by
+// telemetry), component/configuration records, and uncertainty tags, and
+// answers the staleness questions analyzers need ("how old is my newest
+// view of X?") — under cloud placement that age includes WAN latency,
+// which is the measurable cost of centralization in Figure 5's experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/uncertainty.hpp"
+#include "sim/time.hpp"
+
+namespace riot::adapt {
+
+struct Observation {
+  double value = 0.0;
+  sim::SimTime sampled_at = sim::kSimTimeZero;   // at the source
+  sim::SimTime received_at = sim::kSimTimeZero;  // at the loop host
+  model::UncertaintyTag uncertainty;
+};
+
+/// A managed component as the loop sees it (software configuration model).
+struct ComponentRecord {
+  std::string name;
+  std::uint32_t host_node = 0xffffffff;  // net::NodeId value
+  bool believed_healthy = true;
+  sim::SimTime last_seen = sim::kSimTimeZero;
+};
+
+class KnowledgeBase {
+ public:
+  void observe(const std::string& key, Observation obs) {
+    observations_[key] = obs;
+  }
+
+  [[nodiscard]] std::optional<Observation> get(const std::string& key) const {
+    auto it = observations_.find(key);
+    return it == observations_.end() ? std::nullopt
+                                     : std::optional<Observation>(it->second);
+  }
+
+  [[nodiscard]] double value_or(const std::string& key,
+                                double fallback) const {
+    auto obs = get(key);
+    return obs ? obs->value : fallback;
+  }
+
+  /// Age of the observation relative to when it was *sampled* — the
+  /// epistemic staleness the uncertainty taxonomy labels "monitoring".
+  [[nodiscard]] std::optional<sim::SimTime> age(const std::string& key,
+                                                sim::SimTime now) const {
+    auto obs = get(key);
+    if (!obs) return std::nullopt;
+    return now - obs->sampled_at;
+  }
+
+  // --- configuration model ---------------------------------------------
+  void upsert_component(ComponentRecord record) {
+    components_[record.name] = std::move(record);
+  }
+  [[nodiscard]] std::optional<ComponentRecord> component(
+      const std::string& name) const {
+    auto it = components_.find(name);
+    return it == components_.end()
+               ? std::nullopt
+               : std::optional<ComponentRecord>(it->second);
+  }
+  [[nodiscard]] const std::map<std::string, ComponentRecord>& components()
+      const {
+    return components_;
+  }
+  void mark_component(const std::string& name, bool healthy,
+                      sim::SimTime at) {
+    auto it = components_.find(name);
+    if (it == components_.end()) return;
+    it->second.believed_healthy = healthy;
+    it->second.last_seen = at;
+  }
+
+  [[nodiscard]] const std::map<std::string, Observation>& observations()
+      const {
+    return observations_;
+  }
+
+  void clear() {
+    observations_.clear();
+    components_.clear();
+  }
+
+ private:
+  std::map<std::string, Observation> observations_;
+  std::map<std::string, ComponentRecord> components_;
+};
+
+}  // namespace riot::adapt

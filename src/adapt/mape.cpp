@@ -1,0 +1,154 @@
+#include "adapt/mape.hpp"
+
+namespace riot::adapt {
+
+// --- TelemetrySource --------------------------------------------------------
+
+TelemetrySource::TelemetrySource(net::Network& network,
+                                 net::NodeId loop_host, sim::SimTime period)
+    : net::Node(network), loop_host_(loop_host), period_(period) {}
+
+void TelemetrySource::add_probe(std::string key, ProbeFn fn) {
+  probes_.emplace_back(std::move(key), std::move(fn));
+}
+
+void TelemetrySource::on_start() {
+  every(period_, [this] { sample_and_send(); });
+}
+
+void TelemetrySource::on_recover() {
+  every(period_, [this] { sample_and_send(); });
+}
+
+void TelemetrySource::sample_and_send() {
+  TelemetryReport report;
+  report.sampled_at = now();
+  report.entries.reserve(probes_.size());
+  for (const auto& [key, fn] : probes_) {
+    report.entries.emplace_back(key, fn());
+  }
+  send(loop_host_, std::move(report));
+}
+
+// --- Effector ---------------------------------------------------------------
+
+Effector::Effector(net::Network& network, Handler handler)
+    : net::Node(network), handler_(std::move(handler)) {
+  on<ActionCommand>([this](net::NodeId /*from*/, const ActionCommand& cmd) {
+    ++executed_;
+    if (handler_) handler_(cmd.action);
+  });
+}
+
+// --- MapeLoop ---------------------------------------------------------------
+
+MapeLoop::MapeLoop(net::Network& network, sim::SimTime period)
+    : net::Node(network), period_(period) {
+  on<TelemetryReport>(
+      [this](net::NodeId from, const TelemetryReport& report) {
+        for (const auto& [key, value] : report.entries) {
+          knowledge_.observe(
+              key, Observation{.value = value,
+                               .sampled_at = report.sampled_at,
+                               .received_at = now(),
+                               .uncertainty = {
+                                   model::UncertaintyLocation::kMonitoring,
+                                   model::UncertaintyLevel::kKnownUnknown,
+                                   model::UncertaintyNature::kEpistemic}});
+        }
+        (void)from;
+      });
+}
+
+void MapeLoop::add_analyzer(std::string name, AnalyzerFn fn) {
+  analyzers_.emplace_back(std::move(name), std::move(fn));
+}
+
+void MapeLoop::add_ltl_analyzer(
+    std::string name, model::ltl::FormulaPtr formula,
+    std::function<model::ltl::State(const KnowledgeBase&)> extract_state) {
+  ltl_analyzers_.push_back(LtlAnalyzer{std::move(name),
+                                       model::ltl::Monitor(std::move(formula)),
+                                       std::move(extract_state)});
+}
+
+void MapeLoop::add_mtl_analyzer(
+    std::string name, model::mtl::FormulaPtr formula,
+    std::function<model::mtl::State(const KnowledgeBase&)> extract_state) {
+  mtl_analyzers_.push_back(MtlAnalyzer{std::move(name),
+                                       model::mtl::Monitor(std::move(formula)),
+                                       std::move(extract_state)});
+}
+
+void MapeLoop::route_component(const std::string& component,
+                               net::NodeId effector) {
+  action_routes_[component] = effector;
+}
+
+void MapeLoop::on_start() {
+  every(period_, [this] { iterate(); });
+}
+
+void MapeLoop::on_recover() {
+  // A restarted loop host has an empty model@runtime; telemetry refills it.
+  knowledge_.clear();
+  for (auto& analyzer : ltl_analyzers_) analyzer.monitor.reset();
+  for (auto& analyzer : mtl_analyzers_) analyzer.monitor.reset();
+  every(period_, [this] { iterate(); });
+}
+
+void MapeLoop::iterate() {
+  ++iterations_;
+  // Analyze.
+  std::vector<Violation> violations;
+  for (const auto& [name, fn] : analyzers_) {
+    if (auto v = fn(knowledge_)) violations.push_back(std::move(*v));
+  }
+  for (auto& analyzer : ltl_analyzers_) {
+    const auto verdict = analyzer.monitor.step(analyzer.extract(knowledge_));
+    if (verdict == model::ltl::Verdict::kViolated) {
+      violations.push_back(Violation{analyzer.name, 1.0,
+                                     "LTL monitor violated: " +
+                                         analyzer.monitor.residual()
+                                             ->to_string()});
+      analyzer.monitor.reset();
+    } else if (verdict == model::ltl::Verdict::kSatisfied) {
+      analyzer.monitor.reset();  // keep guarding
+    }
+  }
+  for (auto& analyzer : mtl_analyzers_) {
+    const auto verdict = analyzer.monitor.step(analyzer.extract(knowledge_),
+                                               now());
+    if (verdict == model::mtl::Verdict::kViolated) {
+      violations.push_back(Violation{analyzer.name, 1.0,
+                                     "MTL monitor violated (deadline)"});
+      analyzer.monitor.reset();
+    } else if (verdict == model::mtl::Verdict::kSatisfied) {
+      analyzer.monitor.reset();
+    }
+  }
+  last_violations_ = violations;
+  violations_raised_ += violations.size();
+  if (analysis_cb_) analysis_cb_(violations);
+
+  // Plan.
+  if (violations.empty() || planner_ == nullptr) return;
+  const std::vector<Action> actions = planner_->plan(violations, knowledge_);
+
+  // Execute.
+  for (const Action& action : actions) execute(action);
+}
+
+void MapeLoop::execute(const Action& action) {
+  ++actions_issued_;
+  network().trace().log(now(), sim::TraceLevel::kInfo, "mape", id().value,
+                        "execute", action.describe());
+  auto it = action_routes_.find(action.component);
+  if (it != action_routes_.end()) {
+    send(it->second, ActionCommand{action, next_plan_id_++});
+  } else if (local_handler_) {
+    local_handler_(action);
+  }
+}
+
+}  // namespace riot::adapt

@@ -1,0 +1,42 @@
+#include "adapt/patterns.hpp"
+
+namespace riot::adapt {
+
+KnowledgeSharer::KnowledgeSharer(MapeLoop& loop,
+                                 std::vector<std::string> summary_keys,
+                                 sim::SimTime period)
+    : loop_(loop), keys_(std::move(summary_keys)), period_(period) {}
+
+void KnowledgeSharer::add_peer(net::NodeId peer_loop) {
+  if (peer_loop != loop_.id()) peers_.push_back(peer_loop);
+}
+
+void KnowledgeSharer::start() {
+  loop_.every(period_, [this] { share(); });
+}
+
+void KnowledgeSharer::share() {
+  if (peers_.empty()) return;
+  TelemetryReport report;
+  report.sampled_at = loop_.now();
+  const std::string prefix =
+      "peer." + std::to_string(loop_.id().value) + ".";
+  for (const std::string& key : keys_) {
+    if (auto obs = loop_.knowledge().get(key)) {
+      report.entries.emplace_back(prefix + key, obs->value);
+      // Share the *sample* time of the oldest entry, conservatively: the
+      // report carries one timestamp, so use the oldest sampled_at among
+      // shared keys to avoid overstating freshness at the peers.
+      if (obs->sampled_at < report.sampled_at) {
+        report.sampled_at = obs->sampled_at;
+      }
+    }
+  }
+  if (report.entries.empty()) return;
+  for (const net::NodeId peer : peers_) {
+    loop_.send(peer, report);
+    ++sent_;
+  }
+}
+
+}  // namespace riot::adapt

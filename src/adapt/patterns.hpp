@@ -1,0 +1,42 @@
+// Decentralized MAPE patterns.
+//
+// Section V cites "information sharing patterns where each entity
+// self-adapts locally by implementing its own MAPE-K loop, using
+// information from other entities in the system". KnowledgeSharer links a
+// local MapeLoop to peer loops: a selected subset of the local knowledge
+// (the "summary") is periodically pushed to peers, landing in their KBs
+// under a `peer.<key>` prefix — regional loops thus plan with awareness of
+// their neighbours without any central coordinator.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adapt/mape.hpp"
+
+namespace riot::adapt {
+
+class KnowledgeSharer {
+ public:
+  /// `summary_keys`: which KB keys to share. Shared entries appear at the
+  /// peers as "peer.<node>.<key>".
+  KnowledgeSharer(MapeLoop& loop, std::vector<std::string> summary_keys,
+                  sim::SimTime period = sim::seconds(1));
+
+  void add_peer(net::NodeId peer_loop);
+  void start();
+
+  [[nodiscard]] std::uint64_t shares_sent() const { return sent_; }
+
+ private:
+  void share();
+
+  MapeLoop& loop_;
+  std::vector<std::string> keys_;
+  sim::SimTime period_;
+  std::vector<net::NodeId> peers_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace riot::adapt

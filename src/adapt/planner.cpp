@@ -1,0 +1,55 @@
+#include "adapt/planner.hpp"
+
+namespace riot::adapt {
+
+std::vector<Action> RuleBasedPlanner::plan(
+    const std::vector<Violation>& violations,
+    const KnowledgeBase& knowledge) {
+  std::vector<Action> actions;
+  for (const Violation& violation : violations) {
+    for (const PlanningRule& rule : rules_) {
+      if (rule.matches(violation)) {
+        auto made = rule.make(violation, knowledge);
+        actions.insert(actions.end(), made.begin(), made.end());
+        break;  // first matching rule wins per violation
+      }
+    }
+  }
+  return actions;
+}
+
+void RuleBasedPlanner::when(const std::string& requirement, Action action) {
+  add_rule(PlanningRule{
+      .name = "when-" + requirement,
+      .matches = [requirement](const Violation& v) {
+        return v.requirement == requirement;
+      },
+      .make = [action](const Violation&, const KnowledgeBase&) {
+        return std::vector<Action>{action};
+      }});
+}
+
+std::vector<Action> GreedyGoalPlanner::plan(
+    const std::vector<Violation>& violations,
+    const KnowledgeBase& knowledge) {
+  std::vector<Action> chosen;
+  for (const Violation& violation : violations) {
+    const std::vector<Action> candidates = candidates_(violation, knowledge);
+    const Action* best = nullptr;
+    double best_score = -1.0;
+    for (const Action& candidate : candidates) {
+      ++evaluated_;
+      const double score = score_(candidate, knowledge);
+      if (score > best_score) {
+        best_score = score;
+        best = &candidate;
+      }
+    }
+    if (best != nullptr && best_score >= min_improvement_) {
+      chosen.push_back(*best);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace riot::adapt

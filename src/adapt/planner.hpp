@@ -1,0 +1,83 @@
+// Planners: rule-based and goal-model-guided greedy search.
+//
+// The planning ablation (bench_ablation_planner) compares:
+//   RuleBasedPlanner  — constant-time reflexes ("component dead ->
+//     failover"), the classic self-healing baseline;
+//   GreedyGoalPlanner — generates candidate actions, scores each by the
+//     predicted goal-model satisfaction (a what-if evaluation against the
+//     models@runtime), and picks the best per violation. Costlier, but
+//     finds repairs rules don't encode.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/mape.hpp"
+#include "model/goals.hpp"
+
+namespace riot::adapt {
+
+/// Reflex rule: if `matches(violation)`, emit `make(violation, kb)`.
+struct PlanningRule {
+  std::string name;
+  std::function<bool(const Violation&)> matches;
+  std::function<std::vector<Action>(const Violation&, const KnowledgeBase&)>
+      make;
+};
+
+class RuleBasedPlanner final : public Planner {
+ public:
+  void add_rule(PlanningRule rule) { rules_.push_back(std::move(rule)); }
+
+  [[nodiscard]] std::vector<Action> plan(
+      const std::vector<Violation>& violations,
+      const KnowledgeBase& knowledge) override;
+
+  [[nodiscard]] std::string_view name() const override {
+    return "rule-based";
+  }
+
+  /// Convenience rule: violation on requirement `requirement` -> action.
+  void when(const std::string& requirement, Action action);
+
+ private:
+  std::vector<PlanningRule> rules_;
+};
+
+/// Candidate generator: possible actions for a violation.
+using CandidateFn = std::function<std::vector<Action>(
+    const Violation&, const KnowledgeBase&)>;
+/// What-if evaluator: predicted top-goal satisfaction if `action` were
+/// applied in the current knowledge state.
+using ScoreFn = std::function<double(const Action&, const KnowledgeBase&)>;
+
+class GreedyGoalPlanner final : public Planner {
+ public:
+  GreedyGoalPlanner(CandidateFn candidates, ScoreFn score,
+                    double min_improvement = 0.0)
+      : candidates_(std::move(candidates)),
+        score_(std::move(score)),
+        min_improvement_(min_improvement) {}
+
+  [[nodiscard]] std::vector<Action> plan(
+      const std::vector<Violation>& violations,
+      const KnowledgeBase& knowledge) override;
+
+  [[nodiscard]] std::string_view name() const override {
+    return "greedy-goal";
+  }
+
+  [[nodiscard]] std::uint64_t candidates_evaluated() const {
+    return evaluated_;
+  }
+
+ private:
+  CandidateFn candidates_;
+  ScoreFn score_;
+  double min_improvement_;
+  std::uint64_t evaluated_ = 0;
+};
+
+}  // namespace riot::adapt

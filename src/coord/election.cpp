@@ -1,0 +1,72 @@
+#include "coord/election.hpp"
+
+namespace riot::coord {
+
+BullyElector::BullyElector(net::Network& network, ElectionConfig config)
+    : net::Node(network), cfg_(config) {
+  on<ElectionMsg>([this](net::NodeId from, const ElectionMsg&) {
+    // A lower-id node is electing: answer and take over the election.
+    if (from < id()) {
+      send(from, AnswerMsg{});
+      start_election();
+    }
+  });
+  on<AnswerMsg>([this](net::NodeId, const AnswerMsg&) {
+    answered_ = true;
+    // A higher node lives; wait for its Coordinator announcement, and if
+    // none comes, restart.
+    const std::uint64_t round = round_;
+    after(cfg_.coordinator_timeout, [this, round] {
+      if (round == round_ && leader_ == net::kInvalidNode) start_election();
+    });
+  });
+  on<CoordinatorMsg>([this](net::NodeId from, const CoordinatorMsg&) {
+    ++round_;
+    leader_ = from;
+    if (elected_cb_) elected_cb_(from);
+  });
+}
+
+void BullyElector::set_peers(std::vector<net::NodeId> peers) {
+  peers_ = std::move(peers);
+}
+
+void BullyElector::on_recover() {
+  leader_ = net::kInvalidNode;
+  start_election();
+}
+
+void BullyElector::start_election() {
+  if (!alive()) return;
+  ++round_;
+  leader_ = net::kInvalidNode;
+  answered_ = false;
+  bool sent_any = false;
+  for (const net::NodeId peer : peers_) {
+    if (peer > id()) {
+      send(peer, ElectionMsg{});
+      sent_any = true;
+    }
+  }
+  if (!sent_any) {
+    declare_victory();
+    return;
+  }
+  const std::uint64_t round = round_;
+  after(cfg_.answer_timeout, [this, round] {
+    if (round == round_ && !answered_) declare_victory();
+  });
+}
+
+void BullyElector::declare_victory() {
+  ++round_;
+  leader_ = id();
+  for (const net::NodeId peer : peers_) {
+    if (peer != id()) send(peer, CoordinatorMsg{});
+  }
+  network().trace().log(now(), sim::TraceLevel::kInfo, "election", id().value,
+                        "leader");
+  if (elected_cb_) elected_cb_(id());
+}
+
+}  // namespace riot::coord

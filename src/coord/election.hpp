@@ -1,0 +1,57 @@
+// Bully leader election.
+//
+// A lightweight alternative to Raft for scopes that only need a
+// coordinator (not a replicated log) — e.g. choosing which edge node in a
+// locality acts as the control agent of Figure 3. Classic bully: a node
+// that suspects the leader starts an election among higher-id peers;
+// whoever hears no higher-id answer becomes leader and announces itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/node.hpp"
+
+namespace riot::coord {
+
+struct ElectionConfig {
+  sim::SimTime answer_timeout = sim::millis(300);
+  sim::SimTime coordinator_timeout = sim::millis(600);
+};
+
+class BullyElector : public net::Node {
+ public:
+  BullyElector(net::Network& network, ElectionConfig config = {});
+
+  void set_peers(std::vector<net::NodeId> peers);  // includes self
+
+  /// Begin an election (call when the current leader is suspected dead).
+  void start_election();
+
+  [[nodiscard]] net::NodeId leader() const { return leader_; }
+  [[nodiscard]] bool is_leader() const { return leader_ == id(); }
+
+  void on_leader_elected(std::function<void(net::NodeId)> cb) {
+    elected_cb_ = std::move(cb);
+  }
+
+ protected:
+  void on_recover() override;
+
+ private:
+  struct ElectionMsg {};
+  struct AnswerMsg {};
+  struct CoordinatorMsg {};
+
+  void declare_victory();
+
+  ElectionConfig cfg_;
+  std::vector<net::NodeId> peers_;
+  net::NodeId leader_ = net::kInvalidNode;
+  std::uint64_t round_ = 0;  // invalidates stale timeouts
+  bool answered_ = false;
+  std::function<void(net::NodeId)> elected_cb_;
+};
+
+}  // namespace riot::coord

@@ -1,0 +1,121 @@
+#include "coord/gossip.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace riot::coord {
+
+GossipNode::GossipNode(net::Network& network, GossipConfig config)
+    : net::Node(network),
+      cfg_(config),
+      rng_(network.simulation().rng().split("gossip" + to_string(id()))) {
+  on<Digest>([this](net::NodeId from, const Digest& digest) {
+    // Push-pull reconciliation: push entries where we are ahead (or the
+    // sender is silent), pull keys where the sender is ahead. Ordering is
+    // (version, origin) lexicographic — origin breaks concurrent
+    // same-version writes deterministically.
+    Delta ahead;
+    DigestRequest want;
+    std::unordered_set<std::string> remote;
+    remote.reserve(digest.entries.size());
+    for (const auto& entry : digest.entries) {
+      remote.insert(entry.key);
+      if (newer_than_local(entry.key, entry.version, entry.origin)) {
+        want.keys.push_back(entry.key);
+      } else {
+        auto it = store_.find(entry.key);
+        if (it != store_.end() &&
+            (it->second.version != entry.version ||
+             it->second.origin != entry.origin)) {
+          ahead.entries.emplace_back(entry.key, it->second);
+        }
+      }
+    }
+    for (const auto& [key, value] : store_) {
+      if (!remote.contains(key)) ahead.entries.emplace_back(key, value);
+    }
+    if (!ahead.entries.empty()) send(from, std::move(ahead));
+    if (!want.keys.empty()) send(from, std::move(want));
+  });
+  on<DigestRequest>([this](net::NodeId from, const DigestRequest& req) {
+    Delta delta;
+    for (const auto& key : req.keys) {
+      if (auto it = store_.find(key); it != store_.end()) {
+        delta.entries.emplace_back(key, it->second);
+      }
+    }
+    if (!delta.entries.empty()) send(from, std::move(delta));
+  });
+  on<Delta>([this](net::NodeId /*from*/, const Delta& delta) {
+    for (const auto& [key, value] : delta.entries) absorb(key, value);
+  });
+}
+
+void GossipNode::add_peer(net::NodeId peer) {
+  if (peer != id() &&
+      std::find(peers_.begin(), peers_.end(), peer) == peers_.end()) {
+    peers_.push_back(peer);
+  }
+}
+
+void GossipNode::set_peers(std::vector<net::NodeId> peers) {
+  peers_.clear();
+  for (const net::NodeId p : peers) add_peer(p);
+}
+
+void GossipNode::put(const std::string& key, std::string value) {
+  auto& entry = store_[key];
+  entry.value = std::move(value);
+  ++entry.version;
+  entry.origin = id().value;
+  if (update_cb_) update_cb_(key, entry.value);
+}
+
+std::optional<std::string> GossipNode::get(const std::string& key) const {
+  auto it = store_.find(key);
+  return it == store_.end() ? std::nullopt
+                            : std::optional<std::string>(it->second.value);
+}
+
+void GossipNode::on_start() {
+  every(cfg_.round_interval, [this] { round(); });
+}
+
+void GossipNode::on_recover() {
+  // Volatile store is gone after a crash; anti-entropy refills it.
+  store_.clear();
+  every(cfg_.round_interval, [this] { round(); });
+}
+
+void GossipNode::round() {
+  if (peers_.empty()) return;
+  // An empty digest is still useful: the receiver pushes everything we
+  // lack, which is how crashed-and-recovered nodes re-hydrate.
+  const auto picks = rng_.sample_indices(
+      peers_.size(), static_cast<std::size_t>(cfg_.fanout));
+  Digest digest;
+  digest.entries.reserve(store_.size());
+  for (const auto& [key, value] : store_) {
+    digest.entries.push_back(DigestEntry{key, value.version, value.origin});
+  }
+  for (const std::size_t i : picks) {
+    send(peers_[i], digest);
+  }
+}
+
+bool GossipNode::newer_than_local(const std::string& key,
+                                  std::uint64_t version,
+                                  std::uint32_t origin) const {
+  auto it = store_.find(key);
+  if (it == store_.end()) return true;
+  if (it->second.version != version) return version > it->second.version;
+  return origin > it->second.origin;  // deterministic tie-break
+}
+
+void GossipNode::absorb(const std::string& key, const VersionedValue& value) {
+  if (!newer_than_local(key, value.version, value.origin)) return;
+  store_[key] = value;
+  if (update_cb_) update_cb_(key, value.value);
+}
+
+}  // namespace riot::coord

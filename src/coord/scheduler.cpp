@@ -1,0 +1,231 @@
+#include "coord/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace riot::coord {
+
+void PlacementEngine::upsert_device(const DeviceView& view) {
+  if (DeviceView* existing = find(view.id)) {
+    const double allocated = existing->cpu_allocated;
+    *existing = view;
+    existing->cpu_allocated = allocated;
+  } else {
+    fleet_.push_back(view);
+  }
+}
+
+void PlacementEngine::set_alive(device::DeviceId id, bool alive) {
+  if (DeviceView* v = find(id)) v->alive = alive;
+}
+
+void PlacementEngine::clear() {
+  fleet_.clear();
+  placements_.clear();
+}
+
+PlacementEngine::DeviceView* PlacementEngine::find(device::DeviceId id) {
+  auto it = std::find_if(fleet_.begin(), fleet_.end(),
+                         [&](const DeviceView& v) { return v.id == id; });
+  return it == fleet_.end() ? nullptr : &*it;
+}
+
+std::optional<device::DeviceId> PlacementEngine::place(
+    const ServiceTask& task) {
+  DeviceView* best = nullptr;
+  double best_distance = std::numeric_limits<double>::infinity();
+  double best_residual = -1.0;
+  for (DeviceView& v : fleet_) {
+    if (!v.alive) continue;
+    if (!v.stack.compatible_with(task.required_stack)) continue;
+    if (!v.caps.satisfies(task.required_caps)) continue;
+    const double residual = v.caps.cpu_mips - v.cpu_allocated;
+    if (residual < task.cpu_load) continue;
+    if (task.domain && v.domain != *task.domain) continue;
+    const double distance = v.location.distance_to(task.near);
+    if (task.max_distance_m > 0.0 && distance > task.max_distance_m) continue;
+    const bool closer = distance < best_distance - 1e-9;
+    const bool tie_but_roomier =
+        std::abs(distance - best_distance) <= 1e-9 && residual > best_residual;
+    if (best == nullptr || closer || tie_but_roomier) {
+      best = &v;
+      best_distance = distance;
+      best_residual = residual;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  best->cpu_allocated += task.cpu_load;
+  placements_[task.id] = Placement{task, best->id};
+  return best->id;
+}
+
+void PlacementEngine::release(std::uint64_t task_id) {
+  auto it = placements_.find(task_id);
+  if (it == placements_.end()) return;
+  if (DeviceView* host = find(it->second.host)) {
+    host->cpu_allocated =
+        std::max(0.0, host->cpu_allocated - it->second.task.cpu_load);
+  }
+  placements_.erase(it);
+}
+
+std::vector<ServiceTask> PlacementEngine::evict_host(device::DeviceId dead) {
+  std::vector<ServiceTask> evicted;
+  for (auto it = placements_.begin(); it != placements_.end();) {
+    if (it->second.host == dead) {
+      evicted.push_back(it->second.task);
+      it = placements_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (DeviceView* host = find(dead)) {
+    host->alive = false;
+    host->cpu_allocated = 0.0;
+  }
+  return evicted;
+}
+
+std::optional<device::DeviceId> PlacementEngine::host_of(
+    std::uint64_t task_id) const {
+  auto it = placements_.find(task_id);
+  return it == placements_.end()
+             ? std::nullopt
+             : std::optional<device::DeviceId>(it->second.host);
+}
+
+PlacementEngine::DeviceView view_of(const device::Device& d) {
+  return PlacementEngine::DeviceView{
+      .id = d.id,
+      .caps = d.caps,
+      .stack = d.stack,
+      .location = d.location,
+      .domain = d.domain,
+      .cpu_allocated = 0.0,
+      .alive = true,
+  };
+}
+
+// --- CentralScheduler -------------------------------------------------------
+
+CentralScheduler::CentralScheduler(net::Network& network,
+                                   device::Registry& registry,
+                                   sim::SimTime sync_interval)
+    : net::Node(network),
+      registry_(registry),
+      sync_interval_(sync_interval),
+      rpc_(*this) {
+  rpc_.serve<PlaceRequest, PlaceReply>(
+      [this](net::NodeId, const PlaceRequest& req) {
+        ++served_;
+        const auto host = engine_.place(req.task);
+        return PlaceReply{host.has_value(),
+                          host.value_or(device::DeviceId{})};
+      });
+}
+
+void CentralScheduler::on_start() {
+  refresh_snapshot();
+  every(sync_interval_, [this] { refresh_snapshot(); });
+}
+
+void CentralScheduler::on_recover() {
+  engine_.clear();
+  refresh_snapshot();
+  every(sync_interval_, [this] { refresh_snapshot(); });
+}
+
+void CentralScheduler::refresh_snapshot() {
+  // A snapshot, not a live view: between refreshes the cloud plans against
+  // stale capability/liveness data — the ML2 weakness the benchmarks show.
+  for (const auto& d : registry_.devices()) {
+    auto view = view_of(d);
+    // Devices with no network endpoint (pure compute records in tests, or
+    // not yet attached) are assumed schedulable.
+    view.alive = !d.node.valid() || this->network().node_up(d.node);
+    engine_.upsert_device(view);
+  }
+}
+
+// --- EdgeScheduler ----------------------------------------------------------
+
+EdgeScheduler::EdgeScheduler(net::Network& network,
+                             device::Registry& registry)
+    : net::Node(network), registry_(registry), rpc_(*this) {
+  rpc_.serve<PlaceRequest, PlaceReply>(
+      [this](net::NodeId, const PlaceRequest& req) {
+        // Peer-forwarded placement: local attempt only (no re-forwarding,
+        // which bounds the negotiation at one hop).
+        const auto host = place_local(req.task);
+        if (host) ++served_;
+        return PlaceReply{host.has_value(),
+                          host.value_or(device::DeviceId{})};
+      });
+}
+
+void EdgeScheduler::set_scope(std::vector<device::DeviceId> scope) {
+  scope_ = std::move(scope);
+  refresh();
+}
+
+void EdgeScheduler::add_peer(net::NodeId peer_edge) {
+  if (peer_edge != id() &&
+      std::find(peers_.begin(), peers_.end(), peer_edge) == peers_.end()) {
+    peers_.push_back(peer_edge);
+  }
+}
+
+void EdgeScheduler::refresh() {
+  for (const device::DeviceId id : scope_) {
+    const auto& d = registry_.get(id);
+    auto view = view_of(d);
+    view.alive = d.node.valid() ? this->network().node_up(d.node) : true;
+    engine_.upsert_device(view);
+  }
+}
+
+void EdgeScheduler::on_start() {
+  // Live view: edges are co-located with their scope, so refresh is cheap
+  // and frequent.
+  every(sim::millis(500), [this] { refresh(); });
+}
+
+std::optional<device::DeviceId> EdgeScheduler::place_local(
+    const ServiceTask& task) {
+  refresh();
+  return engine_.place(task);
+}
+
+void EdgeScheduler::place(
+    const ServiceTask& task,
+    std::function<void(std::optional<device::DeviceId>)> done) {
+  if (auto host = place_local(task)) {
+    ++served_;
+    done(host);
+    return;
+  }
+  try_peers(task, 0, std::move(done));
+}
+
+void EdgeScheduler::try_peers(
+    const ServiceTask& task, std::size_t peer_index,
+    std::function<void(std::optional<device::DeviceId>)> done) {
+  if (peer_index >= peers_.size()) {
+    done(std::nullopt);
+    return;
+  }
+  ++forwarded_;
+  rpc_.call<PlaceRequest, PlaceReply>(
+      peers_[peer_index], PlaceRequest{task},
+      net::RpcOptions{.timeout = sim::millis(200), .max_attempts = 1},
+      [this, task, peer_index, done = std::move(done)](
+          std::optional<PlaceReply> reply) mutable {
+        if (reply && reply->ok) {
+          done(reply->host);
+        } else {
+          try_peers(task, peer_index + 1, std::move(done));
+        }
+      });
+}
+
+}  // namespace riot::coord

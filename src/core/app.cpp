@@ -1,0 +1,118 @@
+#include "core/app.hpp"
+
+#include <algorithm>
+
+namespace riot::core {
+
+// --- SensorNode -------------------------------------------------------------
+
+SensorNode::SensorNode(net::Network& network, Config config)
+    : net::Node(network), cfg_(std::move(config)) {}
+
+void SensorNode::on_start() {
+  every(sim::seconds_f(1.0 / cfg_.rate_hz), [this] { produce(); });
+}
+
+void SensorNode::on_recover() {
+  every(sim::seconds_f(1.0 / cfg_.rate_hz), [this] { produce(); });
+}
+
+void SensorNode::produce() {
+  if (!target_.valid()) return;
+  data::DataItem item;
+  item.id = (static_cast<std::uint64_t>(id().value) << 32) | next_item_++;
+  item.topic = cfg_.topic;
+  item.category = cfg_.category;
+  item.origin = cfg_.self_device;
+  item.produced_at = now();
+  item.payload = "r" + std::to_string(next_item_);
+  ++produced_;
+  if (lineage_ != nullptr) {
+    lineage_->record_produce(item.id, cfg_.self_device, item.category, now());
+  }
+  send(target_, data::Publish{item});
+  if (secondary_target_) send(*secondary_target_, data::Publish{item});
+}
+
+// --- ProcessorNode ----------------------------------------------------------
+
+ProcessorNode::ProcessorNode(net::Network& network, Config config)
+    : net::Node(network), cfg_(std::move(config)) {
+  on<data::Publish>([this](net::NodeId /*from*/, const data::Publish& pub) {
+    handle_item(pub.item);
+  });
+}
+
+void ProcessorNode::use_broker(net::NodeId broker) {
+  broker_ = broker;
+  if (alive()) subscribe();
+}
+
+void ProcessorNode::subscribe() {
+  if (broker_) send(*broker_, data::Subscribe{cfg_.topic});
+}
+
+void ProcessorNode::on_start() { subscribe(); }
+
+void ProcessorNode::on_recover() {
+  // Broker subscriptions are soft state at the client; re-establish.
+  subscribe();
+}
+
+void ProcessorNode::handle_item(const data::DataItem& item) {
+  if (!alive()) return;
+  if (item.topic != cfg_.topic) return;
+  ++processed_;
+  freshness_.observe(item.topic, item.produced_at, now());
+  if (lineage_ != nullptr) {
+    const std::uint64_t derived =
+        (static_cast<std::uint64_t>(id().value) << 32) | (next_derived_item_++);
+    lineage_->record_transform(derived, {item.id}, cfg_.self_device,
+                               data::DataCategory::kAggregate, now());
+  }
+  if (!cfg_.active) return;  // standby shadows the stream silently
+  ++actuated_;
+  send(cfg_.actuator, ActuationCommand{.cause_item = item.id,
+                                       .produced_at = item.produced_at,
+                                       .issued_at = now(),
+                                       .value = 1.0});
+}
+
+void ProcessorNode::set_active(bool active) { cfg_.active = active; }
+
+std::optional<sim::SimTime> ProcessorNode::data_age() const {
+  return freshness_.age(cfg_.topic, now());
+}
+
+// --- ActuatorNode -----------------------------------------------------------
+
+ActuatorNode::ActuatorNode(net::Network& network, Config config)
+    : net::Node(network), cfg_(config), recent_(32, false) {
+  on<ActuationCommand>(
+      [this](net::NodeId /*from*/, const ActuationCommand& cmd) {
+        ++actuations_;
+        last_at_ = now();
+        const sim::SimTime latency = now() - cmd.produced_at;
+        latency_.record_time(latency);
+        const bool met = latency <= cfg_.deadline;
+        if (met) ++deadline_met_;
+        recent_[recent_pos_ % recent_.size()] = met;
+        ++recent_pos_;
+      });
+}
+
+double ActuatorNode::recent_deadline_ratio(std::size_t window_size) const {
+  if (recent_pos_ == 0) return 0.0;
+  const std::size_t n =
+      std::min({window_size, recent_.size(),
+                static_cast<std::size_t>(recent_pos_)});
+  std::size_t met = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx =
+        (recent_pos_ - 1 - i) % recent_.size();
+    if (recent_[idx]) ++met;
+  }
+  return static_cast<double>(met) / static_cast<double>(n);
+}
+
+}  // namespace riot::core

@@ -1,0 +1,173 @@
+// Maturity-level scenarios (Tables 1 and 2, executable).
+//
+// The same smart-city-style workload — per site: sensors -> processing ->
+// actuation, with personal-category data — assembled at each maturity
+// level of the roadmap:
+//
+//   ML1 kSilo      vertically closed: sensors wired to a site controller
+//                  (gateway); no detection, no automation — a crash is
+//                  repaired manually after a long on-site delay; data
+//                  never leaves the site (isolated flows).
+//   ML2 kCloud     everything in the cloud: central broker, processing,
+//                  heartbeat monitoring and a cloud MAPE loop; sensors
+//                  cross the WAN both ways; a cloud archiver consumes the
+//                  raw (personal) stream with NO policy enforcement.
+//   ML3 kEdge      per-site broker/processing/MAPE on the edge; the cloud
+//                  supervises edges (hierarchical); governance only for
+//                  GDPR-jurisdiction sites.
+//   ML4 kResilient decentralized: epidemic data plane over edge+gateway
+//                  relays, SWIM failure detection, warm-standby processor
+//                  on the gateway with MAPE failover, policy enforcement
+//                  at every relay, autonomous watchdog restarts.
+//
+// A MaturityScenario builds the fleet, wires the requirement probes
+// (freshness, actuation timeliness, privacy) into the ResilienceEvaluator
+// and exposes the disruption schedule used by the benchmarks.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adapt/mape.hpp"
+#include "adapt/planner.hpp"
+#include "core/app.hpp"
+#include "core/system.hpp"
+#include "data/lineage.hpp"
+#include "data/privacy.hpp"
+#include "data/pubsub.hpp"
+#include "membership/heartbeat.hpp"
+#include "membership/swim.hpp"
+
+namespace riot::core {
+
+enum class MaturityLevel : int {
+  kSilo = 1,
+  kCloud = 2,
+  kEdge = 3,
+  kResilient = 4,
+};
+
+std::string_view to_string(MaturityLevel level);
+
+struct MaturityConfig {
+  int sites = 2;
+  int sensors_per_site = 5;
+  double sensor_rate_hz = 2.0;
+  data::DataCategory category = data::DataCategory::kPersonal;
+  sim::SimTime freshness_bound = sim::seconds(3);
+  sim::SimTime actuation_deadline = sim::millis(250);
+  sim::SimTime manual_repair_delay = sim::seconds(120);
+  sim::SimTime restart_delay = sim::seconds(5);
+  sim::SimTime mape_period = sim::millis(500);
+  membership::SwimConfig swim;            // ML4 failure detection
+  membership::HeartbeatConfig heartbeat;  // ML2/ML3 detection
+};
+
+class MaturityScenario {
+ public:
+  struct Site {
+    device::DomainId domain;
+    device::DeviceId edge;
+    device::DeviceId gateway;
+    device::DeviceId actuator_dev;
+    std::vector<device::DeviceId> sensor_devs;
+    std::string topic;
+
+    std::vector<SensorNode*> sensors;
+    ActuatorNode* actuator = nullptr;
+    ProcessorNode* primary = nullptr;
+    ProcessorNode* standby = nullptr;       // ML4
+    ProcessorNode* active = nullptr;        // whichever currently actuates
+    data::BrokerNode* site_broker = nullptr;        // ML3
+    data::EpidemicPubSub* edge_relay = nullptr;     // ML4
+    data::EpidemicPubSub* gateway_relay = nullptr;  // ML4
+    membership::SwimMember* edge_swim = nullptr;    // ML4
+    membership::SwimMember* gateway_swim = nullptr; // ML4
+    adapt::MapeLoop* edge_mape = nullptr;           // ML3/ML4
+    adapt::MapeLoop* gateway_mape = nullptr;        // ML4
+    membership::HeartbeatEmitter* edge_heartbeat = nullptr;  // ML3
+    bool failover_done = false;
+  };
+
+  MaturityScenario(IoTSystem& system, MaturityLevel level,
+                   MaturityConfig config = {});
+
+  /// Build devices, components, probes. Call once before running.
+  void install();
+
+  // --- Disruptions ---------------------------------------------------------
+  /// The cloud datacenter goes dark for `duration`.
+  void schedule_cloud_outage(sim::SimTime start, sim::SimTime duration);
+  /// The device hosting site `site`'s processing crashes; recovery follows
+  /// the level's operations model (manual / cloud-restart / supervisor /
+  /// local failover + watchdog).
+  void schedule_processing_crash(int site, sim::SimTime at);
+  /// WAN partition: the cloud is unreachable but alive.
+  void schedule_wan_partition(sim::SimTime start, sim::SimTime duration);
+  /// Random sensor churn (crash + self-recovery) across all sites.
+  void schedule_sensor_churn(sim::SimTime from, sim::SimTime until,
+                             sim::SimTime mean_interarrival,
+                             sim::SimTime downtime);
+
+  // --- Results -------------------------------------------------------------
+  [[nodiscard]] ResilienceReport report(sim::SimTime from,
+                                        sim::SimTime to) const {
+    return system_.resilience().report(from, to);
+  }
+  [[nodiscard]] std::uint64_t manual_repairs() const {
+    return manual_repairs_;
+  }
+  [[nodiscard]] std::uint64_t autonomous_actions() const;
+  /// Privacy leaks = policy denials that were not enforced (data left
+  /// anyway) — zero is the ML4 target.
+  [[nodiscard]] std::uint64_t privacy_leaks() const;
+  [[nodiscard]] std::uint64_t privacy_blocked() const {
+    return policy_ ? policy_->blocked() : 0;
+  }
+  /// Requirements guarded by a formal runtime monitor.
+  [[nodiscard]] std::size_t monitored_requirements() const {
+    return monitored_requirements_;
+  }
+
+  [[nodiscard]] const std::vector<Site>& sites() const { return sites_; }
+  [[nodiscard]] std::vector<Site>& sites() { return sites_; }
+  [[nodiscard]] device::DeviceId cloud_device() const { return cloud_; }
+  [[nodiscard]] data::PolicyEngine* policy() { return policy_.get(); }
+  [[nodiscard]] data::LineageGraph& lineage() { return *lineage_; }
+  [[nodiscard]] MaturityLevel level() const { return level_; }
+  [[nodiscard]] const MaturityConfig& config() const { return cfg_; }
+
+ private:
+  void build_fleet();
+  void build_silo();
+  void build_cloud();
+  void build_edge();
+  void build_resilient();
+  void add_probes();
+  void wire_site_failover(Site& site);
+  void do_failover(Site& site);
+
+  IoTSystem& system_;
+  MaturityLevel level_;
+  MaturityConfig cfg_;
+  std::vector<Site> sites_;
+  device::DeviceId cloud_;
+  device::DomainId cloud_domain_;
+  data::BrokerNode* cloud_broker_ = nullptr;        // ML2
+  data::EpidemicPubSub* cloud_relay_ = nullptr;     // ML4 archiver plane
+  membership::HeartbeatMonitor* cloud_monitor_ = nullptr;  // ML2/ML3
+  adapt::MapeLoop* cloud_mape_ = nullptr;           // ML2/ML3
+  std::uint64_t archived_ = 0;                      // items at cloud archiver
+  std::unique_ptr<data::PolicyEngine> policy_;
+  std::unique_ptr<data::LineageGraph> lineage_;
+  std::uint64_t manual_repairs_ = 0;
+  std::size_t monitored_requirements_ = 0;
+  bool installed_ = false;
+
+ public:
+  [[nodiscard]] std::uint64_t archived_items() const { return archived_; }
+};
+
+}  // namespace riot::core

@@ -1,0 +1,125 @@
+#include "core/orchestrator.hpp"
+
+namespace riot::core {
+
+void ServiceOrchestrator::add_service(ServiceSpec spec) {
+  spec.task.id = next_task_id_++;
+  if (spec.task.name.empty()) spec.task.name = spec.name;
+  services_.push_back(Managed{std::move(spec), std::nullopt});
+}
+
+void ServiceOrchestrator::start() {
+  if (timer_ != sim::kInvalidEventId) return;
+  reconcile();
+  timer_ = system_.simulation().schedule_every(period_,
+                                               [this] { reconcile(); });
+}
+
+void ServiceOrchestrator::stop() {
+  if (timer_ == sim::kInvalidEventId) return;
+  system_.simulation().cancel(timer_);
+  timer_ = sim::kInvalidEventId;
+}
+
+bool ServiceOrchestrator::host_healthy(device::DeviceId id) const {
+  const auto& d = system_.registry().get(id);
+  if (d.node.valid() && !system_.network().node_up(d.node)) return false;
+  return system_.device_alive(id);
+}
+
+void ServiceOrchestrator::refresh_engine() {
+  const auto consider = [this](const device::Device& d) {
+    auto view = coord::view_of(d);
+    view.alive = host_healthy(d.id);
+    engine_.upsert_device(view);
+  };
+  if (fleet_.empty()) {
+    for (const auto& d : system_.registry().devices()) consider(d);
+  } else {
+    for (const auto id : fleet_) consider(system_.registry().get(id));
+  }
+}
+
+void ServiceOrchestrator::reconcile() {
+  refresh_engine();
+  for (Managed& managed : services_) {
+    // Dead host: evict and re-place.
+    if (managed.host && !host_healthy(*managed.host)) {
+      engine_.release(managed.spec.task.id);
+      if (undeploy_) undeploy_(managed.spec.name, *managed.host);
+      system_.trace().log(system_.simulation().now(),
+                          sim::TraceLevel::kWarn, "orchestrator",
+                          sim::TraceEvent::kNoNode, "host-lost",
+                          managed.spec.name);
+      managed.host.reset();
+    }
+    if (!managed.host) {
+      const auto placed = engine_.place(managed.spec.task);
+      if (!placed) {
+        ++placement_failures_;
+        continue;
+      }
+      managed.host = placed;
+      if (managed.ever_placed) ++migrations_;
+      managed.ever_placed = true;
+      if (deploy_) deploy_(managed.spec.name, *placed);
+      system_.trace().log(system_.simulation().now(), sim::TraceLevel::kInfo,
+                          "orchestrator", sim::TraceEvent::kNoNode, "place",
+                          managed.spec.name + " -> " +
+                              system_.registry().get(*placed).name);
+      continue;
+    }
+    if (managed.spec.allow_rebalance) {
+      // Would a fresh placement land somewhere strictly closer?
+      const double current_distance =
+          system_.registry()
+              .get(*managed.host)
+              .location.distance_to(managed.spec.task.near);
+      coord::ServiceTask probe = managed.spec.task;
+      probe.id = 0;  // trial placement, never recorded under the real id
+      const auto better = engine_.place(probe);
+      if (better) {
+        const double better_distance =
+            system_.registry()
+                .get(*better)
+                .location.distance_to(managed.spec.task.near);
+        engine_.release(0);
+        if (*better != *managed.host &&
+            better_distance + 1e-9 < current_distance) {
+          engine_.release(managed.spec.task.id);
+          if (undeploy_) undeploy_(managed.spec.name, *managed.host);
+          const auto moved = engine_.place(managed.spec.task);
+          if (moved) {
+            managed.host = moved;
+            ++migrations_;
+            if (deploy_) deploy_(managed.spec.name, *moved);
+            system_.trace().log(system_.simulation().now(),
+                                sim::TraceLevel::kInfo, "orchestrator",
+                                sim::TraceEvent::kNoNode, "rebalance",
+                                managed.spec.name);
+          } else {
+            managed.host.reset();  // re-placed next round
+          }
+        }
+      }
+    }
+  }
+}
+
+std::optional<device::DeviceId> ServiceOrchestrator::host_of(
+    const std::string& service) const {
+  for (const Managed& managed : services_) {
+    if (managed.spec.name == service) return managed.host;
+  }
+  return std::nullopt;
+}
+
+std::size_t ServiceOrchestrator::unplaced_count() const {
+  std::size_t count = 0;
+  for (const Managed& managed : services_) {
+    if (!managed.host) ++count;
+  }
+  return count;
+}
+
+}  // namespace riot::core

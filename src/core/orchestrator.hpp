@@ -1,0 +1,102 @@
+// Deviceless service orchestration — reconciliation loop.
+//
+// Table 2's end state for service management: "deviceless — business
+// logic fully managed and abstracted from the infrastructure
+// capabilities". Applications declare *services* (requirements, not
+// devices); the orchestrator owns their placements and continuously
+// reconciles desired state against the live fleet:
+//
+//   - initial placement through the PlacementEngine (capabilities,
+//     stack compatibility, locality, domain constraints);
+//   - on host death: automatic re-placement onto the best surviving
+//     feasible device (self-healing migration);
+//   - on recovery of a strictly better host: optional rebalancing.
+//
+// The actual lifecycle of the business logic is delegated to a Deployer
+// callback pair — in the simulator that activates/deactivates component
+// replicas; against a real platform it would drive containers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coord/scheduler.hpp"
+#include "core/system.hpp"
+
+namespace riot::core {
+
+struct ServiceSpec {
+  std::string name;
+  coord::ServiceTask task;  // requirements; task.id is assigned internally
+  bool allow_rebalance = false;  // move back when a closer host returns
+};
+
+class ServiceOrchestrator {
+ public:
+  using DeployFn =
+      std::function<void(const std::string& service, device::DeviceId host)>;
+  using UndeployFn =
+      std::function<void(const std::string& service, device::DeviceId host)>;
+
+  ServiceOrchestrator(IoTSystem& system,
+                      sim::SimTime reconcile_period = sim::seconds(1))
+      : system_(system), period_(reconcile_period) {}
+
+  void set_deployer(DeployFn deploy, UndeployFn undeploy) {
+    deploy_ = std::move(deploy);
+    undeploy_ = std::move(undeploy);
+  }
+
+  /// Restrict the schedulable fleet (empty = every registry device).
+  void set_fleet(std::vector<device::DeviceId> fleet) {
+    fleet_ = std::move(fleet);
+  }
+
+  /// Declare a service; placement happens on the next reconcile (or
+  /// immediately via reconcile_now()).
+  void add_service(ServiceSpec spec);
+
+  /// Begin the reconciliation loop. Idempotent.
+  void start();
+  void stop();
+
+  /// Force one reconciliation pass (tests, or MAPE-triggered).
+  void reconcile_now() { reconcile(); }
+
+  [[nodiscard]] std::optional<device::DeviceId> host_of(
+      const std::string& service) const;
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+  [[nodiscard]] std::uint64_t placement_failures() const {
+    return placement_failures_;
+  }
+  [[nodiscard]] std::size_t unplaced_count() const;
+
+ private:
+  struct Managed {
+    ServiceSpec spec;
+    std::optional<device::DeviceId> host;
+    bool ever_placed = false;  // a later re-placement counts as migration
+  };
+
+  void reconcile();
+  void refresh_engine();
+  [[nodiscard]] bool host_healthy(device::DeviceId id) const;
+
+  IoTSystem& system_;
+  sim::SimTime period_;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  coord::PlacementEngine engine_;
+  std::vector<device::DeviceId> fleet_;
+  std::vector<Managed> services_;
+  DeployFn deploy_;
+  UndeployFn undeploy_;
+  std::uint64_t next_task_id_ = 1;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t placement_failures_ = 0;
+};
+
+}  // namespace riot::core

@@ -1,0 +1,109 @@
+#include "core/resilience.hpp"
+
+#include <algorithm>
+
+namespace riot::core {
+
+void ResilienceEvaluator::add_probe(RequirementProbe probe) {
+  probes_.push_back(std::move(probe));
+  probe_history_.emplace_back();
+}
+
+void ResilienceEvaluator::start() {
+  if (timer_ != sim::kInvalidEventId) return;
+  timer_ = sim_.schedule_every(period_, [this] { sample(); });
+}
+
+void ResilienceEvaluator::stop() {
+  if (timer_ == sim::kInvalidEventId) return;
+  sim_.cancel(timer_);
+  timer_ = sim::kInvalidEventId;
+}
+
+void ResilienceEvaluator::sample() {
+  double weight_total = 0.0;
+  double weight_satisfied = 0.0;
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    const bool ok = probes_[i].satisfied();
+    probe_history_[i].push_back(ok);
+    weight_total += probes_[i].weight;
+    if (ok) weight_satisfied += probes_[i].weight;
+  }
+  const double r =
+      weight_total <= 0.0 ? 1.0 : weight_satisfied / weight_total;
+  series_.sample(sim_.now(), r);
+}
+
+ResilienceReport ResilienceEvaluator::report(sim::SimTime from,
+                                             sim::SimTime to) const {
+  ResilienceReport rep;
+  const auto& points = series_.points();
+  double sum = 0.0;
+  std::uint64_t fully = 0;
+  bool in_episode = false;
+  sim::SimTime episode_start = sim::kSimTimeZero;
+  sim::SimTime repair_total = sim::kSimTimeZero;
+  std::vector<double> probe_sat(probes_.size(), 0.0);
+  std::vector<std::uint64_t> probe_n(probes_.size(), 0);
+
+  for (std::size_t idx = 0; idx < points.size(); ++idx) {
+    const auto& p = points[idx];
+    if (p.at < from || p.at > to) continue;
+    ++rep.samples;
+    sum += p.value;
+    const bool full = p.value >= 1.0 - 1e-12;
+    if (full) ++fully;
+    if (!full && !in_episode) {
+      in_episode = true;
+      episode_start = p.at;
+    } else if (full && in_episode) {
+      in_episode = false;
+      ++rep.violation_episodes;
+      repair_total += p.at - episode_start;
+    }
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+      if (idx < probe_history_[i].size()) {
+        probe_sat[i] += probe_history_[i][idx] ? 1.0 : 0.0;
+        ++probe_n[i];
+      }
+    }
+  }
+  if (in_episode) {
+    // Unclosed episode at window end still counts.
+    ++rep.violation_episodes;
+    repair_total += (points.empty() ? from : points.back().at) - episode_start;
+  }
+  if (rep.samples > 0) {
+    rep.resilience_index = sum / static_cast<double>(rep.samples);
+    rep.availability = static_cast<double>(fully) /
+                       static_cast<double>(rep.samples);
+  }
+  if (rep.violation_episodes > 0) {
+    rep.mean_time_to_repair =
+        repair_total / static_cast<std::int64_t>(rep.violation_episodes);
+  }
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    rep.per_requirement.emplace_back(
+        probes_[i].name,
+        probe_n[i] == 0 ? 0.0
+                        : probe_sat[i] / static_cast<double>(probe_n[i]));
+  }
+  return rep;
+}
+
+std::optional<sim::SimTime> ResilienceEvaluator::recovery_time_after(
+    sim::SimTime instant) const {
+  bool seen_violation = false;
+  for (const auto& p : series_.points()) {
+    if (p.at < instant) continue;
+    const bool full = p.value >= 1.0 - 1e-12;
+    if (!full) {
+      seen_violation = true;
+    } else if (seen_violation) {
+      return p.at - instant;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace riot::core

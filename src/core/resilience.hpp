@@ -1,0 +1,82 @@
+// Resilience metrics.
+//
+// The paper's working definition: "resilience is the persistence of
+// reliable requirements satisfaction when facing change". We make that
+// measurable: a scenario registers requirement probes (predicates sampled
+// on a fixed tick); the evaluator records the satisfaction ratio R(t) and
+// derives
+//
+//   resilience index  — mean R(t) over an evaluation window (area under
+//                       the satisfaction curve, normalized)
+//   availability      — fraction of ticks with R(t) == 1
+//   MTTR              — mean length of violation episodes
+//   recovery time     — first return to full satisfaction after a
+//                       disruption instant
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulation.hpp"
+
+namespace riot::core {
+
+struct RequirementProbe {
+  std::string name;
+  double weight = 1.0;
+  std::function<bool()> satisfied;
+};
+
+struct ResilienceReport {
+  double resilience_index = 0.0;  // mean weighted satisfaction
+  double availability = 0.0;      // fraction of ticks fully satisfied
+  sim::SimTime mean_time_to_repair = sim::kSimTimeZero;
+  std::uint64_t violation_episodes = 0;
+  std::uint64_t samples = 0;
+  std::vector<std::pair<std::string, double>> per_requirement;  // name, sat
+};
+
+class ResilienceEvaluator {
+ public:
+  ResilienceEvaluator(sim::Simulation& simulation,
+                      sim::SimTime sample_period = sim::millis(250))
+      : sim_(simulation), period_(sample_period) {}
+
+  void add_probe(RequirementProbe probe);
+
+  /// Begin sampling (idempotent).
+  void start();
+  void stop();
+
+  /// R(t) series (weighted satisfaction in [0,1] per sample).
+  [[nodiscard]] const sim::TimeSeries& series() const { return series_; }
+
+  /// Report over [from, to] (defaults to everything sampled so far).
+  [[nodiscard]] ResilienceReport report(
+      sim::SimTime from = sim::kSimTimeZero,
+      sim::SimTime to = sim::kSimTimeMax) const;
+
+  /// Time from `instant` until the first subsequent sample with R == 1;
+  /// nullopt if satisfaction never fully recovers in the samples.
+  [[nodiscard]] std::optional<sim::SimTime> recovery_time_after(
+      sim::SimTime instant) const;
+
+  [[nodiscard]] sim::SimTime sample_period() const { return period_; }
+
+ private:
+  void sample();
+
+  sim::Simulation& sim_;
+  sim::SimTime period_;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::vector<RequirementProbe> probes_;
+  sim::TimeSeries series_;
+  // Per-probe satisfaction history aligned with series_.
+  std::vector<std::vector<bool>> probe_history_;
+};
+
+}  // namespace riot::core

@@ -1,0 +1,48 @@
+#include "data/causal.hpp"
+
+namespace riot::data {
+
+CausalBroadcaster::CausalBroadcaster(net::Network& network)
+    : net::Node(network) {
+  on<CausalMessage>([this](net::NodeId from, const CausalMessage& m) {
+    buffer_.emplace_back(from, m);
+    try_deliver();
+  });
+}
+
+void CausalBroadcaster::set_group(std::vector<net::NodeId> group) {
+  group_ = std::move(group);
+}
+
+void CausalBroadcaster::broadcast(std::string payload) {
+  clock_.tick(id().value);
+  CausalMessage m{clock_, std::move(payload)};
+  for (const net::NodeId member : group_) {
+    if (member != id()) send(member, m);
+  }
+  deliver(id(), m);  // local delivery, already causally consistent
+}
+
+void CausalBroadcaster::try_deliver() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      if (clock_.ready_for(it->second.stamp, it->first.value)) {
+        auto [origin, message] = std::move(*it);
+        buffer_.erase(it);
+        clock_.merge(message.stamp);
+        deliver(origin, message);
+        progressed = true;
+        break;  // iterator invalidated; rescan
+      }
+    }
+  }
+}
+
+void CausalBroadcaster::deliver(net::NodeId origin, const CausalMessage& m) {
+  ++delivered_;
+  if (deliver_cb_) deliver_cb_(origin, m.payload);
+}
+
+}  // namespace riot::data

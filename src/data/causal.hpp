@@ -1,0 +1,58 @@
+// Causal broadcast.
+//
+// Delivers application payloads to a group such that causally related
+// messages are delivered in cause-before-effect order at every member
+// (concurrent messages may interleave differently). Out-of-order arrivals
+// are buffered until their causal predecessors arrive — the standard
+// vector-clock algorithm, run per group member.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/vector_clock.hpp"
+#include "net/node.hpp"
+
+namespace riot::data {
+
+class CausalBroadcaster : public net::Node {
+ public:
+  explicit CausalBroadcaster(net::Network& network);
+
+  void set_group(std::vector<net::NodeId> group);  // includes self
+
+  /// Broadcast a payload to the group (including local delivery).
+  void broadcast(std::string payload);
+
+  /// Delivery callback: (origin, payload), in causal order.
+  void on_deliver(std::function<void(net::NodeId, const std::string&)> cb) {
+    deliver_cb_ = std::move(cb);
+  }
+
+  [[nodiscard]] std::size_t delivered_count() const { return delivered_; }
+  [[nodiscard]] std::size_t buffered_count() const { return buffer_.size(); }
+  [[nodiscard]] const VectorClock& clock() const { return clock_; }
+
+ private:
+  struct CausalMessage {
+    VectorClock stamp;
+    std::string payload;
+    std::uint32_t wire_size() const {
+      return static_cast<std::uint32_t>(payload.size() + 32);
+    }
+  };
+
+  void try_deliver();
+  void deliver(net::NodeId origin, const CausalMessage& m);
+
+  std::vector<net::NodeId> group_;
+  VectorClock clock_;
+  std::deque<std::pair<net::NodeId, CausalMessage>> buffer_;
+  std::function<void(net::NodeId, const std::string&)> deliver_cb_;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace riot::data

@@ -1,0 +1,266 @@
+// State-based CRDTs (convergent replicated data types).
+//
+// Section VI: "the particularities of IoT software components require
+// novel applications of data synchronization ... in a decentralized
+// manner". CRDTs give components data that stays writable during
+// partitions and provably converges after anti-entropy exchange — the
+// mathematical backing the paper asks of decentralized data management.
+//
+// All types here are state-based (CvRDTs): `merge` is a join on a
+// semilattice (commutative, associative, idempotent), which the property
+// tests verify directly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace riot::data {
+
+using ReplicaId = std::uint32_t;
+
+/// Grow-only counter: per-replica non-decreasing counts; value = sum.
+class GCounter {
+ public:
+  void increment(ReplicaId replica, std::uint64_t by = 1) {
+    counts_[replica] += by;
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& [r, c] : counts_) sum += c;
+    return sum;
+  }
+  void merge(const GCounter& other) {
+    for (const auto& [r, c] : other.counts_) {
+      auto& mine = counts_[r];
+      mine = std::max(mine, c);
+    }
+  }
+  [[nodiscard]] bool operator==(const GCounter&) const = default;
+
+ private:
+  std::map<ReplicaId, std::uint64_t> counts_;
+};
+
+/// Increment/decrement counter as a pair of G-Counters.
+class PNCounter {
+ public:
+  void increment(ReplicaId replica, std::uint64_t by = 1) {
+    positive_.increment(replica, by);
+  }
+  void decrement(ReplicaId replica, std::uint64_t by = 1) {
+    negative_.increment(replica, by);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return static_cast<std::int64_t>(positive_.value()) -
+           static_cast<std::int64_t>(negative_.value());
+  }
+  void merge(const PNCounter& other) {
+    positive_.merge(other.positive_);
+    negative_.merge(other.negative_);
+  }
+  [[nodiscard]] bool operator==(const PNCounter&) const = default;
+
+ private:
+  GCounter positive_;
+  GCounter negative_;
+};
+
+/// Last-writer-wins register. Ties on the timestamp break by replica id,
+/// so merge stays deterministic and commutative. LWW *loses concurrent
+/// updates by design* — the sync-strategy ablation measures exactly this
+/// against OR-Set/MV-Register.
+template <typename T>
+class LwwRegister {
+ public:
+  void set(T value, std::uint64_t timestamp, ReplicaId replica) {
+    if (wins(timestamp, replica)) {
+      value_ = std::move(value);
+      timestamp_ = timestamp;
+      replica_ = replica;
+      has_value_ = true;
+    }
+  }
+  [[nodiscard]] const std::optional<T> value() const {
+    return has_value_ ? std::optional<T>(value_) : std::nullopt;
+  }
+  [[nodiscard]] std::uint64_t timestamp() const { return timestamp_; }
+  void merge(const LwwRegister& other) {
+    if (other.has_value_ && wins(other.timestamp_, other.replica_)) {
+      value_ = other.value_;
+      timestamp_ = other.timestamp_;
+      replica_ = other.replica_;
+      has_value_ = true;
+    }
+  }
+  [[nodiscard]] bool operator==(const LwwRegister&) const = default;
+
+ private:
+  [[nodiscard]] bool wins(std::uint64_t timestamp, ReplicaId replica) const {
+    if (!has_value_) return true;
+    if (timestamp != timestamp_) return timestamp > timestamp_;
+    return replica > replica_;
+  }
+
+  T value_{};
+  std::uint64_t timestamp_ = 0;
+  ReplicaId replica_ = 0;
+  bool has_value_ = false;
+};
+
+/// Multi-value register: keeps *all* concurrent writes (version-vector
+/// based); readers see the set of siblings and resolve at the application
+/// level. The convergent alternative to LWW when losing a concurrent
+/// update is unacceptable.
+template <typename T>
+class MvRegister {
+ public:
+  void set(T value, ReplicaId replica) {
+    // New write dominates everything currently known locally.
+    std::map<ReplicaId, std::uint64_t> vv = combined_vv();
+    ++vv[replica];
+    entries_.clear();
+    entries_.push_back(Entry{std::move(value), std::move(vv)});
+  }
+
+  [[nodiscard]] std::vector<T> values() const {
+    std::vector<T> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.value);
+    return out;
+  }
+  [[nodiscard]] std::size_t sibling_count() const { return entries_.size(); }
+
+  void merge(const MvRegister& other) {
+    std::vector<Entry> all = entries_;
+    for (const auto& e : other.entries_) {
+      if (!contains(all, e)) all.push_back(e);
+    }
+    // Keep only entries not dominated by another entry.
+    std::vector<Entry> kept;
+    for (const auto& candidate : all) {
+      bool dominated = false;
+      for (const auto& other_entry : all) {
+        if (&candidate != &other_entry &&
+            dominates(other_entry.vv, candidate.vv)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated && !contains(kept, candidate)) kept.push_back(candidate);
+    }
+    entries_ = std::move(kept);
+  }
+
+ private:
+  struct Entry {
+    T value;
+    std::map<ReplicaId, std::uint64_t> vv;
+    [[nodiscard]] bool operator==(const Entry&) const = default;
+  };
+
+  static bool contains(const std::vector<Entry>& v, const Entry& e) {
+    return std::find(v.begin(), v.end(), e) != v.end();
+  }
+
+  /// a strictly dominates b (a >= b pointwise and a != b).
+  static bool dominates(const std::map<ReplicaId, std::uint64_t>& a,
+                        const std::map<ReplicaId, std::uint64_t>& b) {
+    bool strictly_greater = false;
+    for (const auto& [r, c] : b) {
+      auto it = a.find(r);
+      const std::uint64_t av = it == a.end() ? 0 : it->second;
+      if (av < c) return false;
+      if (av > c) strictly_greater = true;
+    }
+    for (const auto& [r, c] : a) {
+      if (c > 0 && b.find(r) == b.end()) strictly_greater = true;
+    }
+    return strictly_greater;
+  }
+
+  [[nodiscard]] std::map<ReplicaId, std::uint64_t> combined_vv() const {
+    std::map<ReplicaId, std::uint64_t> vv;
+    for (const auto& e : entries_) {
+      for (const auto& [r, c] : e.vv) {
+        auto& mine = vv[r];
+        mine = std::max(mine, c);
+      }
+    }
+    return vv;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Observed-remove set: adds win over concurrent removes; removal only
+/// affects add-instances the remover has seen (unique tags).
+template <typename T>
+class OrSet {
+ public:
+  void add(const T& element, ReplicaId replica) {
+    const Tag tag{replica, ++tag_counters_[replica]};
+    live_[element].insert(tag);
+  }
+
+  void remove(const T& element) {
+    auto it = live_.find(element);
+    if (it == live_.end()) return;
+    for (const Tag& tag : it->second) tombstones_[element].insert(tag);
+    live_.erase(it);
+  }
+
+  [[nodiscard]] bool contains(const T& element) const {
+    return live_.find(element) != live_.end();
+  }
+
+  [[nodiscard]] std::set<T> elements() const {
+    std::set<T> out;
+    for (const auto& [element, tags] : live_) out.insert(element);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  void merge(const OrSet& other) {
+    // Union tombstones first.
+    for (const auto& [element, tags] : other.tombstones_) {
+      tombstones_[element].insert(tags.begin(), tags.end());
+    }
+    // Union live tags.
+    for (const auto& [element, tags] : other.live_) {
+      live_[element].insert(tags.begin(), tags.end());
+    }
+    // Drop any live tag that is tombstoned; erase emptied elements.
+    for (auto it = live_.begin(); it != live_.end();) {
+      auto ts = tombstones_.find(it->first);
+      if (ts != tombstones_.end()) {
+        for (const Tag& dead : ts->second) it->second.erase(dead);
+      }
+      it = it->second.empty() ? live_.erase(it) : std::next(it);
+    }
+    // Tag counters: max per replica, so future adds stay unique.
+    for (const auto& [r, c] : other.tag_counters_) {
+      auto& mine = tag_counters_[r];
+      mine = std::max(mine, c);
+    }
+  }
+
+  [[nodiscard]] bool operator==(const OrSet& other) const {
+    return elements() == other.elements();
+  }
+
+ private:
+  using Tag = std::pair<ReplicaId, std::uint64_t>;
+
+  std::map<T, std::set<Tag>> live_;
+  std::map<T, std::set<Tag>> tombstones_;
+  std::map<ReplicaId, std::uint64_t> tag_counters_;
+};
+
+}  // namespace riot::data

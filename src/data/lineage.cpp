@@ -1,0 +1,143 @@
+#include "data/lineage.hpp"
+
+namespace riot::data {
+
+std::string_view to_string(LineageOp op) {
+  switch (op) {
+    case LineageOp::kProduce:
+      return "produce";
+    case LineageOp::kTransform:
+      return "transform";
+    case LineageOp::kTransfer:
+      return "transfer";
+    case LineageOp::kStore:
+      return "store";
+  }
+  return "?";
+}
+
+std::uint64_t LineageGraph::append(LineageRecord record) {
+  record.sequence = records_.size();
+  by_item_[record.item].push_back(records_.size());
+  records_.push_back(std::move(record));
+  return records_.back().sequence;
+}
+
+std::uint64_t LineageGraph::record_produce(std::uint64_t item,
+                                           device::DeviceId at,
+                                           DataCategory category,
+                                           sim::SimTime when) {
+  return append(LineageRecord{.op = LineageOp::kProduce,
+                              .item = item,
+                              .at_device = at,
+                              .when = when,
+                              .category = category});
+}
+
+std::uint64_t LineageGraph::record_transform(std::uint64_t item,
+                                             std::vector<std::uint64_t> inputs,
+                                             device::DeviceId at,
+                                             DataCategory category,
+                                             sim::SimTime when) {
+  return append(LineageRecord{.op = LineageOp::kTransform,
+                              .item = item,
+                              .inputs = std::move(inputs),
+                              .at_device = at,
+                              .when = when,
+                              .category = category});
+}
+
+std::uint64_t LineageGraph::record_transfer(std::uint64_t item,
+                                            device::DeviceId from,
+                                            device::DeviceId to,
+                                            sim::SimTime when) {
+  return append(LineageRecord{.op = LineageOp::kTransfer,
+                              .item = item,
+                              .at_device = from,
+                              .to_device = to,
+                              .when = when});
+}
+
+std::uint64_t LineageGraph::record_store(std::uint64_t item,
+                                         device::DeviceId at,
+                                         sim::SimTime when) {
+  return append(
+      LineageRecord{.op = LineageOp::kStore, .item = item, .at_device = at,
+                    .when = when});
+}
+
+void LineageGraph::walk_ancestry(std::uint64_t item,
+                                 std::set<std::uint64_t>& seen) const {
+  if (!seen.insert(item).second) return;
+  auto it = by_item_.find(item);
+  if (it == by_item_.end()) return;
+  for (const std::size_t index : it->second) {
+    for (const std::uint64_t input : records_[index].inputs) {
+      walk_ancestry(input, seen);
+    }
+  }
+}
+
+std::set<std::uint64_t> LineageGraph::origins_of(std::uint64_t item) const {
+  std::set<std::uint64_t> ancestry;
+  walk_ancestry(item, ancestry);
+  std::set<std::uint64_t> origins;
+  for (const std::uint64_t ancestor : ancestry) {
+    auto it = by_item_.find(ancestor);
+    if (it == by_item_.end()) continue;
+    for (const std::size_t index : it->second) {
+      if (records_[index].op == LineageOp::kProduce) {
+        origins.insert(ancestor);
+        break;
+      }
+    }
+  }
+  return origins;
+}
+
+bool LineageGraph::tainted_by_personal(std::uint64_t item) const {
+  std::set<std::uint64_t> ancestry;
+  walk_ancestry(item, ancestry);
+  for (const std::uint64_t ancestor : ancestry) {
+    auto it = by_item_.find(ancestor);
+    if (it == by_item_.end()) continue;
+    for (const std::size_t index : it->second) {
+      const LineageRecord& r = records_[index];
+      if (r.op == LineageOp::kProduce &&
+          (r.category == DataCategory::kPersonal ||
+           r.category == DataCategory::kSensitive)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::set<device::DeviceId> LineageGraph::devices_touched(
+    std::uint64_t item) const {
+  std::set<std::uint64_t> ancestry;
+  walk_ancestry(item, ancestry);
+  std::set<device::DeviceId> devices;
+  for (const std::uint64_t ancestor : ancestry) {
+    auto it = by_item_.find(ancestor);
+    if (it == by_item_.end()) continue;
+    for (const std::size_t index : it->second) {
+      const LineageRecord& r = records_[index];
+      devices.insert(r.at_device);
+      if (r.to_device) devices.insert(*r.to_device);
+    }
+  }
+  return devices;
+}
+
+std::set<device::Jurisdiction> LineageGraph::jurisdictions_traversed(
+    std::uint64_t item) const {
+  std::set<device::Jurisdiction> jurisdictions;
+  for (const device::DeviceId dev : devices_touched(item)) {
+    jurisdictions.insert(
+        registry_.domain(registry_.get(dev).domain).jurisdiction);
+  }
+  return jurisdictions;
+}
+
+}  // namespace riot::data

@@ -1,0 +1,95 @@
+// Data lineage / provenance.
+//
+// Section VI-B: "methodologically follow the data lineage within IoT —
+// data's origins, what happens to it and where it moves over time — and
+// provide mechanisms for resilient data governance." LineageGraph records
+// produce/transform/transfer/store events as a DAG over data item ids and
+// answers the governance queries that matter: where did this item come
+// from, is it tainted by a sensitive origin, and which jurisdictions has
+// it traversed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/privacy.hpp"
+#include "device/registry.hpp"
+#include "sim/time.hpp"
+
+namespace riot::data {
+
+enum class LineageOp : std::uint8_t {
+  kProduce,    // item created from the physical world (sensor reading)
+  kTransform,  // item derived from input items (analytics, aggregation)
+  kTransfer,   // item moved between devices
+  kStore,      // item persisted at a device
+};
+
+std::string_view to_string(LineageOp op);
+
+struct LineageRecord {
+  std::uint64_t sequence = 0;  // graph-assigned, totally ordered
+  LineageOp op = LineageOp::kProduce;
+  std::uint64_t item = 0;                 // the data item affected
+  std::vector<std::uint64_t> inputs;      // for kTransform: source items
+  device::DeviceId at_device;             // where it happened
+  std::optional<device::DeviceId> to_device;  // for kTransfer
+  sim::SimTime when = sim::kSimTimeZero;
+  DataCategory category = DataCategory::kTelemetry;
+};
+
+class LineageGraph {
+ public:
+  explicit LineageGraph(const device::Registry& registry)
+      : registry_(registry) {}
+
+  std::uint64_t record_produce(std::uint64_t item, device::DeviceId at,
+                               DataCategory category, sim::SimTime when);
+  std::uint64_t record_transform(std::uint64_t item,
+                                 std::vector<std::uint64_t> inputs,
+                                 device::DeviceId at, DataCategory category,
+                                 sim::SimTime when);
+  std::uint64_t record_transfer(std::uint64_t item, device::DeviceId from,
+                                device::DeviceId to, sim::SimTime when);
+  std::uint64_t record_store(std::uint64_t item, device::DeviceId at,
+                             sim::SimTime when);
+
+  /// Transitive origins: the produce-records reachable through transform
+  /// inputs (an item's "raw sources").
+  [[nodiscard]] std::set<std::uint64_t> origins_of(std::uint64_t item) const;
+
+  /// True if any transitive origin was produced with category >=
+  /// kPersonal — i.e. derived data still carries personal taint unless it
+  /// went through an explicit aggregation step that relabeled it.
+  [[nodiscard]] bool tainted_by_personal(std::uint64_t item) const;
+
+  /// All devices an item (or its ancestors) has touched.
+  [[nodiscard]] std::set<device::DeviceId> devices_touched(
+      std::uint64_t item) const;
+
+  /// All jurisdictions an item (or its ancestors) has traversed — the
+  /// compliance question behind GDPR-style geographic restrictions.
+  [[nodiscard]] std::set<device::Jurisdiction> jurisdictions_traversed(
+      std::uint64_t item) const;
+
+  [[nodiscard]] const std::vector<LineageRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+ private:
+  void walk_ancestry(std::uint64_t item, std::set<std::uint64_t>& seen) const;
+
+  const device::Registry& registry_;
+  std::vector<LineageRecord> records_;
+  // item -> indices of records mentioning it (in order).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_item_;
+
+  std::uint64_t append(LineageRecord record);
+};
+
+}  // namespace riot::data

@@ -1,0 +1,165 @@
+#include "data/privacy.hpp"
+
+#include <stdexcept>
+
+namespace riot::data {
+
+std::string_view to_string(DataCategory c) {
+  switch (c) {
+    case DataCategory::kTelemetry:
+      return "telemetry";
+    case DataCategory::kAggregate:
+      return "aggregate";
+    case DataCategory::kPersonal:
+      return "personal";
+    case DataCategory::kSensitive:
+      return "sensitive";
+  }
+  return "?";
+}
+
+FlowPolicy make_gdpr_policy() {
+  FlowPolicy p;
+  p.rules.push_back(FlowRule{
+      .name = "gdpr-no-cross-jurisdiction-personal",
+      .effect = Effect::kDeny,
+      .direction = FlowDirection::kEgress,
+      .categories = {DataCategory::kPersonal, DataCategory::kSensitive},
+      .cross_jurisdiction = true,
+  });
+  p.rules.push_back(FlowRule{
+      .name = "gdpr-no-untrusted-personal",
+      .effect = Effect::kDeny,
+      .direction = FlowDirection::kEgress,
+      .categories = {DataCategory::kPersonal, DataCategory::kSensitive},
+      .remote_trust_at_most = device::TrustLevel::kPartner,
+  });
+  p.rules.push_back(FlowRule{
+      .name = "gdpr-no-sensitive-ingress-from-untrusted",
+      .effect = Effect::kDeny,
+      .direction = FlowDirection::kIngress,
+      .categories = {DataCategory::kSensitive},
+      .remote_trust_at_most = device::TrustLevel::kUntrusted,
+  });
+  return p;
+}
+
+FlowPolicy make_ccpa_policy() {
+  FlowPolicy p;
+  p.rules.push_back(FlowRule{
+      .name = "ccpa-no-untrusted-sensitive",
+      .effect = Effect::kDeny,
+      .direction = FlowDirection::kEgress,
+      .categories = {DataCategory::kSensitive},
+      .remote_trust_at_most = device::TrustLevel::kPartner,
+  });
+  return p;
+}
+
+ScopeId PolicyEngine::add_scope(PrivacyScope scope) {
+  scope.id = ScopeId{static_cast<std::uint32_t>(scopes_.size())};
+  for (const device::DeviceId member : scope.members) {
+    member_index_[member] = scope.id;
+  }
+  scopes_.push_back(std::move(scope));
+  return scopes_.back().id;
+}
+
+void PolicyEngine::add_member(ScopeId scope, device::DeviceId member) {
+  if (scope.value >= scopes_.size()) {
+    throw std::out_of_range("PolicyEngine::add_member: unknown scope");
+  }
+  scopes_[scope.value].members.insert(member);
+  member_index_[member] = scope;
+}
+
+const PrivacyScope& PolicyEngine::scope(ScopeId id) const {
+  if (id.value >= scopes_.size()) {
+    throw std::out_of_range("PolicyEngine::scope: unknown scope");
+  }
+  return scopes_[id.value];
+}
+
+std::optional<ScopeId> PolicyEngine::scope_of(device::DeviceId id) const {
+  auto it = member_index_.find(id);
+  return it == member_index_.end() ? std::nullopt
+                                   : std::optional<ScopeId>(it->second);
+}
+
+FlowDecision PolicyEngine::evaluate(const DataItem& item,
+                                    device::DeviceId from,
+                                    device::DeviceId to) const {
+  const auto from_scope = scope_of(from);
+  const auto to_scope = scope_of(to);
+  // Intra-scope transfers are always allowed: the scope *is* the privacy
+  // boundary.
+  if (from_scope && to_scope && *from_scope == *to_scope) {
+    return FlowDecision{true, "intra-scope"};
+  }
+  if (from_scope) {
+    const FlowDecision egress = apply_policy(
+        scope(*from_scope), FlowDirection::kEgress, item, to);
+    if (!egress.allowed) return egress;
+  }
+  if (to_scope) {
+    const FlowDecision ingress = apply_policy(
+        scope(*to_scope), FlowDirection::kIngress, item, from);
+    if (!ingress.allowed) return ingress;
+  }
+  return FlowDecision{true, "default"};
+}
+
+bool PolicyEngine::check(sim::SimTime at, const DataItem& item,
+                         device::DeviceId from, device::DeviceId to,
+                         bool enforce) {
+  ++evaluations_;
+  const FlowDecision decision = evaluate(item, from, to);
+  if (!decision.allowed) {
+    ++violations_;
+    if (enforce) ++blocked_;
+    audit_.push_back(AuditEntry{at, item.id, from, to, decision, enforce});
+    return !enforce;
+  }
+  return true;
+}
+
+FlowDecision PolicyEngine::apply_policy(const PrivacyScope& scope,
+                                        FlowDirection direction,
+                                        const DataItem& item,
+                                        device::DeviceId remote) const {
+  for (const FlowRule& rule : scope.policy.rules) {
+    if (rule_matches(rule, scope, direction, item, remote)) {
+      return FlowDecision{rule.effect == Effect::kAllow, rule.name};
+    }
+  }
+  return FlowDecision{scope.policy.default_effect == Effect::kAllow,
+                      "default"};
+}
+
+bool PolicyEngine::rule_matches(const FlowRule& rule,
+                                const PrivacyScope& scope,
+                                FlowDirection direction, const DataItem& item,
+                                device::DeviceId remote) const {
+  if (rule.direction != direction) return false;
+  if (!rule.categories.empty() && !rule.categories.contains(item.category)) {
+    return false;
+  }
+  if (!rule.topic_prefix.empty() &&
+      item.topic.rfind(rule.topic_prefix, 0) != 0) {
+    return false;
+  }
+  const device::Device& remote_device = registry_.get(remote);
+  const device::AdminDomain& remote_domain =
+      registry_.domain(remote_device.domain);
+  if (rule.cross_jurisdiction.has_value()) {
+    const bool crosses = remote_domain.jurisdiction != scope.jurisdiction;
+    if (crosses != *rule.cross_jurisdiction) return false;
+  }
+  if (rule.remote_trust_at_most.has_value() &&
+      remote_domain.trust > *rule.remote_trust_at_most) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace riot::data

@@ -1,0 +1,170 @@
+// Privacy scopes and machine-checkable data-flow policies.
+//
+// Section VI / Figure 4: "Sensitive data-producing devices can be in
+// privacy scopes, defined by particular legal jurisdictions (e.g. EU GDPR)
+// or end-user privacy preferences. Privacy requirements dictate what data
+// should leave (or enter) a component, and each component must have
+// control of its own data out- or in-flow privacy policies."
+//
+// We model that literally:
+//   - every DataItem carries a category label and its origin;
+//   - a PrivacyScope groups devices under a jurisdiction and owns a
+//     FlowPolicy (ordered first-match-wins rules over category, direction,
+//     and destination attributes);
+//   - the PolicyEngine evaluates any prospective transfer and either
+//     *enforces* (blocks) or merely *observes* (counts the violation) —
+//     the observe mode is how the ML1/ML2 baselines, which funnel
+//     everything to the cloud unchecked, are measured against edge
+//     enforcement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "device/registry.hpp"
+#include "sim/time.hpp"
+
+namespace riot::data {
+
+enum class DataCategory : std::uint8_t {
+  kTelemetry,  // machine state, non-personal
+  kAggregate,  // statistically aggregated, de-identified
+  kPersonal,   // attributable to a person
+  kSensitive,  // health, location traces, biometrics
+};
+
+std::string_view to_string(DataCategory c);
+
+/// A unit of application data moving between components.
+struct DataItem {
+  std::uint64_t id = 0;
+  std::string topic;
+  DataCategory category = DataCategory::kTelemetry;
+  device::DeviceId origin;
+  sim::SimTime produced_at = sim::kSimTimeZero;
+  std::string payload;
+
+  std::uint32_t wire_size() const {
+    return static_cast<std::uint32_t>(48 + topic.size() + payload.size());
+  }
+};
+
+struct ScopeId {
+  std::uint32_t value = 0xffffffff;
+  [[nodiscard]] constexpr bool valid() const { return value != 0xffffffff; }
+  constexpr auto operator<=>(const ScopeId&) const = default;
+};
+
+enum class FlowDirection : std::uint8_t { kEgress, kIngress };
+enum class Effect : std::uint8_t { kAllow, kDeny };
+
+/// One policy rule. A rule *matches* a transfer when every specified
+/// condition holds (unspecified conditions match anything); the first
+/// matching rule's effect decides.
+struct FlowRule {
+  std::string name;
+  Effect effect = Effect::kDeny;
+  FlowDirection direction = FlowDirection::kEgress;
+  std::set<DataCategory> categories;  // empty = any category
+  /// Match only transfers that leave/enter across a scope boundary where
+  /// the remote jurisdiction differs from the scope's.
+  std::optional<bool> cross_jurisdiction;
+  /// Match only when the remote endpoint's domain trust is at most this.
+  std::optional<device::TrustLevel> remote_trust_at_most;
+  /// Match only this topic prefix (empty = any).
+  std::string topic_prefix;
+};
+
+struct FlowPolicy {
+  std::vector<FlowRule> rules;
+  Effect default_effect = Effect::kAllow;
+};
+
+/// GDPR-flavored default: personal/sensitive data may not egress across a
+/// jurisdiction boundary nor to untrusted domains; aggregates flow freely.
+FlowPolicy make_gdpr_policy();
+/// CCPA-flavored default: sensitive data may not leave to untrusted
+/// domains; personal data may cross jurisdictions (opt-out model).
+FlowPolicy make_ccpa_policy();
+
+struct PrivacyScope {
+  ScopeId id;
+  std::string name;
+  device::Jurisdiction jurisdiction = device::Jurisdiction::kNone;
+  FlowPolicy policy;
+  std::set<device::DeviceId> members;
+};
+
+struct FlowDecision {
+  bool allowed = true;
+  std::string rule;  // matching rule name, or "default"
+};
+
+/// Records every evaluation for auditability (Table 2's "data governance").
+struct AuditEntry {
+  sim::SimTime at;
+  std::uint64_t item_id;
+  device::DeviceId from;
+  device::DeviceId to;
+  FlowDecision decision;
+  bool enforced;  // false = observe-only (violation counted, flow allowed)
+};
+
+class PolicyEngine {
+ public:
+  explicit PolicyEngine(const device::Registry& registry)
+      : registry_(registry) {}
+
+  ScopeId add_scope(PrivacyScope scope);
+  void add_member(ScopeId scope, device::DeviceId member);
+
+  [[nodiscard]] const PrivacyScope& scope(ScopeId id) const;
+  [[nodiscard]] std::optional<ScopeId> scope_of(device::DeviceId id) const;
+
+  /// Evaluate the transfer of `item` from `from` to `to`. Both the origin
+  /// scope's egress rules and the destination scope's ingress rules are
+  /// consulted; deny wins. Devices in no scope are unconstrained.
+  [[nodiscard]] FlowDecision evaluate(const DataItem& item,
+                                      device::DeviceId from,
+                                      device::DeviceId to) const;
+
+  /// Evaluate, record in the audit log, count violations, and return
+  /// whether the transfer may proceed. With `enforce == false` the
+  /// transfer always proceeds but denials still count (baseline mode).
+  bool check(sim::SimTime at, const DataItem& item, device::DeviceId from,
+             device::DeviceId to, bool enforce = true);
+
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t blocked() const { return blocked_; }
+  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+  [[nodiscard]] const std::vector<AuditEntry>& audit_log() const {
+    return audit_;
+  }
+
+ private:
+  [[nodiscard]] FlowDecision apply_policy(const PrivacyScope& scope,
+                                          FlowDirection direction,
+                                          const DataItem& item,
+                                          device::DeviceId remote) const;
+  [[nodiscard]] bool rule_matches(const FlowRule& rule,
+                                  const PrivacyScope& scope,
+                                  FlowDirection direction,
+                                  const DataItem& item,
+                                  device::DeviceId remote) const;
+
+  const device::Registry& registry_;
+  std::vector<PrivacyScope> scopes_;
+  std::unordered_map<device::DeviceId, ScopeId> member_index_;
+  std::vector<AuditEntry> audit_;
+  std::uint64_t violations_ = 0;
+  std::uint64_t blocked_ = 0;
+  std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace riot::data

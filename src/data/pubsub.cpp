@@ -1,0 +1,162 @@
+#include "data/pubsub.hpp"
+
+#include <algorithm>
+
+namespace riot::data {
+
+// --- BrokerNode --------------------------------------------------------------
+
+BrokerNode::BrokerNode(net::Network& network,
+                       const device::Registry& registry)
+    : net::Node(network), registry_(registry) {
+  on<Subscribe>([this](net::NodeId from, const Subscribe& sub) {
+    subscribers_[sub.topic].insert(from);
+  });
+  on<Publish>([this](net::NodeId /*from*/, const Publish& pub) {
+    ++published_;
+    auto it = subscribers_.find(pub.item.topic);
+    if (it == subscribers_.end()) return;
+    for (const net::NodeId subscriber : it->second) {
+      if (policy_ != nullptr) {
+        const auto to_device = registry_.find_by_node(subscriber);
+        if (to_device.has_value() &&
+            !policy_->check(now(), pub.item, pub.item.origin, *to_device,
+                            enforce_)) {
+          continue;  // blocked by egress/ingress policy
+        }
+      }
+      send(subscriber, pub);
+      ++forwarded_;
+    }
+  });
+}
+
+// --- BrokerClient ------------------------------------------------------------
+
+BrokerClient::BrokerClient(net::Network& network, net::NodeId broker,
+                           device::DeviceId self_device)
+    : net::Node(network), broker_(broker), device_(self_device) {
+  on<Publish>([this](net::NodeId /*from*/, const Publish& pub) {
+    auto it = subscriptions_.find(pub.item.topic);
+    if (it == subscriptions_.end()) return;
+    ++received_;
+    for (const auto& cb : it->second) cb(pub.item, pub.item.produced_at);
+  });
+}
+
+void BrokerClient::on_start() {
+  for (const auto& [topic, cb] : subscriptions_) {
+    send(broker_, Subscribe{topic});
+  }
+}
+
+void BrokerClient::subscribe(const std::string& topic, DeliveryCallback cb) {
+  subscriptions_[topic].push_back(std::move(cb));
+  if (alive()) send(broker_, Subscribe{topic});
+}
+
+void BrokerClient::publish(DataItem item) {
+  item.produced_at = item.produced_at == sim::kSimTimeZero
+                         ? now()
+                         : item.produced_at;
+  send(broker_, Publish{std::move(item)});
+}
+
+// --- EpidemicPubSub ----------------------------------------------------------
+
+EpidemicPubSub::EpidemicPubSub(net::Network& network,
+                               const device::Registry& registry,
+                               device::DeviceId self_device, int max_hops)
+    : net::Node(network),
+      registry_(registry),
+      device_(self_device),
+      max_hops_(max_hops) {
+  on<Flood>([this](net::NodeId from, const Flood& flood) {
+    handle_flood(from, flood);
+  });
+  // Devices too small to run the overlay themselves hand publications to
+  // their relay with a plain Publish.
+  on<Publish>([this](net::NodeId /*from*/, const Publish& pub) {
+    publish(pub.item);
+  });
+}
+
+void EpidemicPubSub::add_peer(net::NodeId peer) {
+  if (peer != id() &&
+      std::find(peers_.begin(), peers_.end(), peer) == peers_.end()) {
+    peers_.push_back(peer);
+  }
+}
+
+void EpidemicPubSub::subscribe(const std::string& topic,
+                               DeliveryCallback cb) {
+  subscriptions_[topic].push_back(std::move(cb));
+}
+
+void EpidemicPubSub::publish(DataItem item) {
+  if (item.produced_at == sim::kSimTimeZero) item.produced_at = now();
+  if (!seen_.insert(item.id).second) return;  // already flooded to us
+  deliver_local(item);
+  relay(Flood{std::move(item), max_hops_}, id());
+}
+
+void EpidemicPubSub::handle_flood(net::NodeId from, const Flood& flood) {
+  if (!seen_.insert(flood.item.id).second) return;  // duplicate
+  deliver_local(flood.item);
+  if (flood.hops_left > 0) {
+    relay(Flood{flood.item, flood.hops_left - 1}, from);
+  }
+}
+
+void EpidemicPubSub::relay(const Flood& flood, net::NodeId except) {
+  for (const net::NodeId peer : peers_) {
+    if (peer == except) continue;
+    if (!transfer_allowed(flood.item, device_, peer)) continue;
+    send(peer, flood);
+    ++relayed_;
+  }
+}
+
+void EpidemicPubSub::deliver_local(const DataItem& item) {
+  auto it = subscriptions_.find(item.topic);
+  if (it == subscriptions_.end()) return;
+  ++received_;
+  for (const auto& cb : it->second) cb(item, item.produced_at);
+}
+
+bool EpidemicPubSub::transfer_allowed(const DataItem& item,
+                                      device::DeviceId from_device,
+                                      net::NodeId to_node) {
+  if (policy_ == nullptr) return true;
+  const auto to_device = registry_.find_by_node(to_node);
+  if (!to_device.has_value()) return true;
+  return policy_->check(now(), item, from_device, *to_device, enforce_);
+}
+
+// --- FreshnessTracker --------------------------------------------------------
+
+void FreshnessTracker::observe(const std::string& topic,
+                               sim::SimTime produced_at,
+                               sim::SimTime delivered_at) {
+  auto& state = topics_[topic];
+  state.newest_produced = std::max(state.newest_produced, produced_at);
+  state.any = true;
+  state.latency_sum_us += sim::to_micros(delivered_at - produced_at);
+  ++state.count;
+}
+
+std::optional<sim::SimTime> FreshnessTracker::age(const std::string& topic,
+                                                  sim::SimTime at) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || !it->second.any) return std::nullopt;
+  return at - it->second.newest_produced;
+}
+
+double FreshnessTracker::mean_delivery_latency_us(
+    const std::string& topic) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || it->second.count == 0) return 0.0;
+  return it->second.latency_sum_us / static_cast<double>(it->second.count);
+}
+
+}  // namespace riot::data

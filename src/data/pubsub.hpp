@@ -1,0 +1,168 @@
+// Topic-based publish/subscribe: centralized broker vs epidemic dissemination.
+//
+// The data-plane counterpart of the coordination story. BrokerNode is the
+// ML2 archetype — all flows funnel through one (cloud) broker, which also
+// makes it the natural policy-enforcement point *and* the single point of
+// failure. EpidemicPubSub floods publications peer-to-peer with
+// deduplication and per-hop policy checks at the *publisher's edge*, so
+// intra-scope flows keep working when the broker or WAN is gone (Figure 4).
+//
+// Both variants consult an optional PolicyEngine before handing an item to
+// a subscriber on a different device, so the privacy experiments can run
+// the same workload through either plane.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/privacy.hpp"
+#include "device/registry.hpp"
+#include "net/node.hpp"
+
+namespace riot::data {
+
+using DeliveryCallback =
+    std::function<void(const DataItem&, sim::SimTime produced_at)>;
+
+struct Subscribe {
+  std::string topic;
+};
+struct Publish {
+  DataItem item;
+  std::uint32_t wire_size() const { return item.wire_size(); }
+};
+
+/// Central broker (runs on the cloud node in the scenarios).
+class BrokerNode : public net::Node {
+ public:
+  BrokerNode(net::Network& network, const device::Registry& registry);
+
+  /// Attach policy checking at the broker. `enforce=false` counts
+  /// violations without blocking (the naive-funnel baseline).
+  void set_policy(PolicyEngine* engine, bool enforce) {
+    policy_ = engine;
+    enforce_ = enforce;
+  }
+
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  const device::Registry& registry_;
+  std::unordered_map<std::string, std::set<net::NodeId>> subscribers_;
+  PolicyEngine* policy_ = nullptr;
+  bool enforce_ = true;
+  std::uint64_t published_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+/// Client of the central broker.
+class BrokerClient : public net::Node {
+ public:
+  BrokerClient(net::Network& network, net::NodeId broker,
+               device::DeviceId self_device);
+
+  /// Register a callback for a topic; multiple subscriptions per topic
+  /// are supported (all callbacks fire per delivery).
+  void subscribe(const std::string& topic, DeliveryCallback cb);
+  void publish(DataItem item);
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ protected:
+  void on_start() override;
+
+ private:
+  net::NodeId broker_;
+  device::DeviceId device_;
+  std::unordered_map<std::string, std::vector<DeliveryCallback>>
+      subscriptions_;
+  std::uint64_t received_ = 0;
+};
+
+/// Decentralized epidemic pub/sub node. Publications flood through the
+/// peer overlay with a hop limit and duplicate suppression; every node
+/// delivers matching topics locally. Policy is checked per peer transfer.
+class EpidemicPubSub : public net::Node {
+ public:
+  EpidemicPubSub(net::Network& network, const device::Registry& registry,
+                 device::DeviceId self_device, int max_hops = 8);
+
+  void add_peer(net::NodeId peer);
+  void subscribe(const std::string& topic, DeliveryCallback cb);
+  void publish(DataItem item);
+
+  void set_policy(PolicyEngine* engine, bool enforce) {
+    policy_ = engine;
+    enforce_ = enforce;
+  }
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] std::uint64_t relayed() const { return relayed_; }
+
+ private:
+  struct Flood {
+    DataItem item;
+    int hops_left;
+    std::uint32_t wire_size() const { return item.wire_size() + 8; }
+  };
+
+  void handle_flood(net::NodeId from, const Flood& flood);
+  void relay(const Flood& flood, net::NodeId except);
+  void deliver_local(const DataItem& item);
+  [[nodiscard]] bool transfer_allowed(const DataItem& item,
+                                      device::DeviceId from_device,
+                                      net::NodeId to_node);
+
+  const device::Registry& registry_;
+  device::DeviceId device_;
+  int max_hops_;
+  std::vector<net::NodeId> peers_;
+  std::unordered_map<std::string, std::vector<DeliveryCallback>>
+      subscriptions_;
+  std::unordered_set<std::uint64_t> seen_;
+  PolicyEngine* policy_ = nullptr;
+  bool enforce_ = true;
+  std::uint64_t received_ = 0;
+  std::uint64_t relayed_ = 0;
+};
+
+/// Freshness / timeliness bookkeeping for consumers: tracks, per topic,
+/// when the newest delivered item was *produced*, and answers "is my view
+/// fresher than `bound`?" — the timeliness requirement of Figure 4.
+class FreshnessTracker {
+ public:
+  void observe(const std::string& topic, sim::SimTime produced_at,
+               sim::SimTime delivered_at);
+
+  /// Age of the newest data for `topic` at time `at` (time since its
+  /// production); nullopt if nothing was ever delivered.
+  [[nodiscard]] std::optional<sim::SimTime> age(const std::string& topic,
+                                                sim::SimTime at) const;
+
+  [[nodiscard]] bool fresh_within(const std::string& topic, sim::SimTime at,
+                                  sim::SimTime bound) const {
+    const auto a = age(topic, at);
+    return a.has_value() && *a <= bound;
+  }
+
+  /// Mean delivery latency (produced -> delivered) per topic, microseconds.
+  [[nodiscard]] double mean_delivery_latency_us(const std::string& topic) const;
+
+ private:
+  struct TopicState {
+    sim::SimTime newest_produced = sim::kSimTimeZero;
+    bool any = false;
+    double latency_sum_us = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<std::string, TopicState> topics_;
+};
+
+}  // namespace riot::data

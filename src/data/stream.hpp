@@ -1,0 +1,193 @@
+// Edge stream analytics.
+//
+// Section V names "edge analytics leveraging stream operations before
+// reaching remote storage" as an established edge pattern; the privacy
+// layer additionally depends on *aggregation at the edge* to turn
+// personal readings into freely flowing kAggregate items. This header
+// provides the windowed operators those components use:
+//
+//   TimeWindow          time-bounded sliding window with count/mean/min/
+//                       max/stddev/sum
+//   Ewma                exponentially weighted moving average
+//   RateEstimator       events per second over a sliding window
+//   ThresholdDetector   level detector with hysteresis (no flapping)
+//
+// All operators are plain value types driven by (timestamp, value) pushes
+// — no simulation dependency beyond SimTime, so they are equally usable
+// from tests, examples and protocol code.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <optional>
+
+#include "sim/time.hpp"
+
+namespace riot::data {
+
+/// Sliding time window over (timestamp, value) samples. Samples older
+/// than `span` relative to the newest *pushed or queried* time are
+/// evicted lazily.
+class TimeWindow {
+ public:
+  explicit TimeWindow(sim::SimTime span) : span_(span) {}
+
+  void push(sim::SimTime at, double value) {
+    samples_.push_back({at, value});
+    evict(at);
+  }
+
+  /// Evict samples older than `now - span` (call when time advances
+  /// without new samples).
+  void evict(sim::SimTime now) {
+    while (!samples_.empty() && samples_.front().at + span_ < now) {
+      samples_.pop_front();
+    }
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double sum() const {
+    double total = 0.0;
+    for (const auto& s : samples_) total += s.value;
+    return total;
+  }
+  [[nodiscard]] double mean() const {
+    return empty() ? 0.0 : sum() / static_cast<double>(count());
+  }
+  [[nodiscard]] double min() const {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& s : samples_) best = std::min(best, s.value);
+    return empty() ? 0.0 : best;
+  }
+  [[nodiscard]] double max() const {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& s : samples_) best = std::max(best, s.value);
+    return empty() ? 0.0 : best;
+  }
+  [[nodiscard]] double stddev() const {
+    if (count() < 2) return 0.0;
+    const double m = mean();
+    double sq = 0.0;
+    for (const auto& s : samples_) sq += (s.value - m) * (s.value - m);
+    return std::sqrt(sq / static_cast<double>(count() - 1));
+  }
+  [[nodiscard]] std::optional<double> newest() const {
+    return empty() ? std::nullopt
+                   : std::optional<double>(samples_.back().value);
+  }
+  [[nodiscard]] sim::SimTime span() const { return span_; }
+
+ private:
+  struct Sample {
+    sim::SimTime at;
+    double value;
+  };
+  sim::SimTime span_;
+  std::deque<Sample> samples_;
+};
+
+/// Exponentially weighted moving average with a time-aware decay: the
+/// weight of history decays with elapsed time, so irregular sampling does
+/// not skew the estimate. half_life is the time for a sample's influence
+/// to halve.
+class Ewma {
+ public:
+  explicit Ewma(sim::SimTime half_life) : half_life_(half_life) {}
+
+  void push(sim::SimTime at, double value) {
+    if (!has_value_) {
+      value_ = value;
+      has_value_ = true;
+    } else {
+      const double dt = sim::to_seconds(at - last_at_);
+      const double alpha =
+          1.0 - std::exp2(-dt / sim::to_seconds(half_life_));
+      value_ += alpha * (value - value_);
+    }
+    last_at_ = at;
+  }
+
+  [[nodiscard]] std::optional<double> value() const {
+    return has_value_ ? std::optional<double>(value_) : std::nullopt;
+  }
+
+ private:
+  sim::SimTime half_life_;
+  sim::SimTime last_at_ = sim::kSimTimeZero;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+/// Events per second over a sliding window.
+class RateEstimator {
+ public:
+  explicit RateEstimator(sim::SimTime window = sim::seconds(10))
+      : window_(window) {}
+
+  void record(sim::SimTime at) {
+    events_.push_back(at);
+    evict(at);
+  }
+
+  [[nodiscard]] double per_second(sim::SimTime now) {
+    evict(now);
+    return static_cast<double>(events_.size()) /
+           sim::to_seconds(window_);
+  }
+
+ private:
+  void evict(sim::SimTime now) {
+    while (!events_.empty() && events_.front() + window_ < now) {
+      events_.pop_front();
+    }
+  }
+
+  sim::SimTime window_;
+  std::deque<sim::SimTime> events_;
+};
+
+/// Level detector with hysteresis: fires `on_enter` when the value rises
+/// to `high` or above, `on_exit` only when it falls back to `low` or
+/// below. The gap between the two thresholds suppresses flapping on noisy
+/// signals — the kind of debounce an analyzer needs before waking the
+/// planner.
+class ThresholdDetector {
+ public:
+  ThresholdDetector(double low, double high) : low_(low), high_(high) {}
+
+  void on_enter(std::function<void(sim::SimTime, double)> cb) {
+    enter_cb_ = std::move(cb);
+  }
+  void on_exit(std::function<void(sim::SimTime, double)> cb) {
+    exit_cb_ = std::move(cb);
+  }
+
+  void push(sim::SimTime at, double value) {
+    if (!active_ && value >= high_) {
+      active_ = true;
+      ++activations_;
+      if (enter_cb_) enter_cb_(at, value);
+    } else if (active_ && value <= low_) {
+      active_ = false;
+      if (exit_cb_) exit_cb_(at, value);
+    }
+  }
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] std::uint64_t activations() const { return activations_; }
+
+ private:
+  double low_;
+  double high_;
+  bool active_ = false;
+  std::uint64_t activations_ = 0;
+  std::function<void(sim::SimTime, double)> enter_cb_;
+  std::function<void(sim::SimTime, double)> exit_cb_;
+};
+
+}  // namespace riot::data

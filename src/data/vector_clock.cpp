@@ -1,0 +1,22 @@
+#include "data/vector_clock.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace riot::data {
+
+std::string VectorClock::to_string() const {
+  std::vector<std::pair<NodeKey, std::uint64_t>> sorted(entries_.begin(),
+                                                        entries_.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(sorted[i].first) + ":" +
+           std::to_string(sorted[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace riot::data

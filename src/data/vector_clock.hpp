@@ -1,0 +1,79 @@
+// Vector clocks — the causality backbone of the inter-IoT data layer.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace riot::data {
+
+/// Partial order over events in a distributed execution. Keys are node
+/// ids (net::NodeId::value); absent keys count as zero.
+class VectorClock {
+ public:
+  using NodeKey = std::uint32_t;
+
+  void tick(NodeKey node) { ++entries_[node]; }
+
+  [[nodiscard]] std::uint64_t at(NodeKey node) const {
+    auto it = entries_.find(node);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  /// Pointwise maximum (used on receive).
+  void merge(const VectorClock& other) {
+    for (const auto& [node, count] : other.entries_) {
+      auto& mine = entries_[node];
+      if (count > mine) mine = count;
+    }
+  }
+
+  /// True when every component of *this <= other's (this happened-before
+  /// or equals other).
+  [[nodiscard]] bool leq(const VectorClock& other) const {
+    for (const auto& [node, count] : entries_) {
+      if (count > other.at(node)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool equals(const VectorClock& other) const {
+    return leq(other) && other.leq(*this);
+  }
+
+  /// Strict happened-before.
+  [[nodiscard]] bool before(const VectorClock& other) const {
+    return leq(other) && !equals(other);
+  }
+
+  [[nodiscard]] bool concurrent_with(const VectorClock& other) const {
+    return !leq(other) && !other.leq(*this);
+  }
+
+  /// Causal-delivery readiness: a message stamped `msg` from `sender` is
+  /// deliverable at a process with clock *this iff msg[sender] ==
+  /// this[sender] + 1 and msg[k] <= this[k] for all k != sender.
+  [[nodiscard]] bool ready_for(const VectorClock& msg, NodeKey sender) const {
+    for (const auto& [node, count] : msg.entries_) {
+      if (node == sender) {
+        if (count != at(node) + 1) return false;
+      } else if (count > at(node)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::unordered_map<NodeKey, std::uint64_t>& entries()
+      const {
+    return entries_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::unordered_map<NodeKey, std::uint64_t> entries_;
+};
+
+}  // namespace riot::data

@@ -1,0 +1,171 @@
+#include "device/device.hpp"
+
+#include <algorithm>
+
+namespace riot::device {
+
+std::string_view to_string(Jurisdiction j) {
+  switch (j) {
+    case Jurisdiction::kNone:
+      return "none";
+    case Jurisdiction::kGdpr:
+      return "GDPR";
+    case Jurisdiction::kCcpa:
+      return "CCPA";
+  }
+  return "?";
+}
+
+std::string_view to_string(TrustLevel t) {
+  switch (t) {
+    case TrustLevel::kUntrusted:
+      return "untrusted";
+    case TrustLevel::kPartner:
+      return "partner";
+    case TrustLevel::kTrusted:
+      return "trusted";
+    case TrustLevel::kOwned:
+      return "owned";
+  }
+  return "?";
+}
+
+std::string_view to_string(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::kMicroSensor:
+      return "micro-sensor";
+    case DeviceClass::kActuator:
+      return "actuator";
+    case DeviceClass::kMobile:
+      return "mobile";
+    case DeviceClass::kGateway:
+      return "gateway";
+    case DeviceClass::kEdge:
+      return "edge";
+    case DeviceClass::kCloud:
+      return "cloud";
+  }
+  return "?";
+}
+
+namespace {
+bool contains(const std::vector<std::string>& haystack,
+              std::string_view needle) {
+  return std::any_of(haystack.begin(), haystack.end(),
+                     [&](const std::string& s) { return s == needle; });
+}
+}  // namespace
+
+bool Capabilities::has_sensor(std::string_view kind) const {
+  return contains(sensors, kind);
+}
+
+bool Capabilities::has_actuator(std::string_view kind) const {
+  return contains(actuators, kind);
+}
+
+bool Capabilities::satisfies(const Capabilities& required) const {
+  if (cpu_mips < required.cpu_mips) return false;
+  if (memory_mb < required.memory_mb) return false;
+  if (storage_mb < required.storage_mb) return false;
+  if (required.can_host_services && !can_host_services) return false;
+  if (required.can_store_data && !can_store_data) return false;
+  if (required.can_run_analysis && !can_run_analysis) return false;
+  for (const auto& s : required.sensors) {
+    if (!has_sensor(s)) return false;
+  }
+  for (const auto& a : required.actuators) {
+    if (!has_actuator(a)) return false;
+  }
+  return true;
+}
+
+Device make_micro_sensor(std::string name, std::string sensor_kind) {
+  Device d;
+  d.name = std::move(name);
+  d.cls = DeviceClass::kMicroSensor;
+  d.caps = Capabilities{.cpu_mips = 20,
+                        .memory_mb = 1,
+                        .storage_mb = 1,
+                        .sensors = {std::move(sensor_kind)}};
+  d.stack = SoftwareStack{.os = "rtos", .runtime = "native"};
+  d.energy = Energy{.mains_powered = false,
+                    .capacity_j = 10'000.0,
+                    .remaining_j = 10'000.0,
+                    .idle_draw_w = 0.01,
+                    .tx_cost_j = 0.02};
+  return d;
+}
+
+Device make_actuator(std::string name, std::string actuator_kind) {
+  Device d;
+  d.name = std::move(name);
+  d.cls = DeviceClass::kActuator;
+  d.caps = Capabilities{.cpu_mips = 20,
+                        .memory_mb = 1,
+                        .storage_mb = 1,
+                        .actuators = {std::move(actuator_kind)}};
+  d.stack = SoftwareStack{.os = "rtos", .runtime = "native"};
+  return d;
+}
+
+Device make_mobile(std::string name) {
+  Device d;
+  d.name = std::move(name);
+  d.cls = DeviceClass::kMobile;
+  d.caps = Capabilities{.cpu_mips = 4000,
+                        .memory_mb = 4096,
+                        .storage_mb = 65536,
+                        .can_host_services = true,
+                        .can_store_data = true};
+  d.stack = SoftwareStack{.os = "android", .runtime = "container"};
+  d.energy = Energy{.mains_powered = false,
+                    .capacity_j = 40'000.0,
+                    .remaining_j = 40'000.0,
+                    .idle_draw_w = 0.5,
+                    .tx_cost_j = 0.05};
+  return d;
+}
+
+Device make_gateway(std::string name) {
+  Device d;
+  d.name = std::move(name);
+  d.cls = DeviceClass::kGateway;
+  d.caps = Capabilities{.cpu_mips = 1000,
+                        .memory_mb = 512,
+                        .storage_mb = 4096,
+                        .can_host_services = true,
+                        .can_store_data = true};
+  d.stack = SoftwareStack{.os = "linux", .runtime = "container"};
+  return d;
+}
+
+Device make_edge(std::string name) {
+  Device d;
+  d.name = std::move(name);
+  d.cls = DeviceClass::kEdge;
+  d.caps = Capabilities{.cpu_mips = 20'000,
+                        .memory_mb = 16'384,
+                        .storage_mb = 512'000,
+                        .can_host_services = true,
+                        .can_store_data = true,
+                        .can_run_analysis = true};
+  d.stack = SoftwareStack{.os = "linux", .runtime = "container"};
+  return d;
+}
+
+Device make_cloud(std::string name) {
+  Device d;
+  d.name = std::move(name);
+  d.cls = DeviceClass::kCloud;
+  d.caps = Capabilities{.cpu_mips = 1'000'000,
+                        .memory_mb = 1'048'576,
+                        .storage_mb = 0x7fffffff,
+                        .can_host_services = true,
+                        .can_store_data = true,
+                        .can_run_analysis = true};
+  d.stack = SoftwareStack{.os = "cloudos", .runtime = "container"};
+  return d;
+}
+
+}  // namespace riot::device

@@ -1,0 +1,143 @@
+// Device model: classes, capabilities, software stacks, location, energy.
+//
+// Mirrors the paper's landscape (Figure 1): "devices may range from
+// computationally powerful mobile devices to microcontrollers responsible
+// for sensing or actuation, having minimal software", with edge components
+// ("cloudlets and gateways deployed close to end-devices") able to host
+// computational, control and data facilities.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/domain.hpp"
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace riot::device {
+
+enum class DeviceClass : std::uint8_t {
+  kMicroSensor,   // microcontroller-class sensor node
+  kActuator,      // microcontroller-class actuator
+  kMobile,        // phone / vehicle-class computer
+  kGateway,       // local protocol gateway
+  kEdge,          // cloudlet / micro-cloud at the network boundary
+  kCloud,         // remote datacenter service
+};
+
+std::string_view to_string(DeviceClass c);
+
+/// Resource capabilities — the "formal representation and treatment of
+/// resource capabilities" the pervasiveness disruption vector calls for.
+struct Capabilities {
+  double cpu_mips = 100.0;     // compute capacity
+  std::uint32_t memory_mb = 64;
+  std::uint32_t storage_mb = 128;
+  bool can_host_services = false;   // can run third-party components
+  bool can_store_data = false;      // has a durable data facility
+  bool can_run_analysis = false;    // heavy enough for model checking / MAPE
+  std::vector<std::string> sensors;    // e.g. "temperature", "camera"
+  std::vector<std::string> actuators;  // e.g. "valve", "traffic_light"
+
+  [[nodiscard]] bool has_sensor(std::string_view kind) const;
+  [[nodiscard]] bool has_actuator(std::string_view kind) const;
+  /// True when these capabilities dominate `required` (enough CPU/mem/
+  /// storage and all flags/peripherals present).
+  [[nodiscard]] bool satisfies(const Capabilities& required) const;
+};
+
+/// Heterogeneous software stack descriptor (the paper's heterogeneity
+/// disruption vector): platforms differ in OS, runtime and vendor, and
+/// compatibility constraints follow from that.
+struct SoftwareStack {
+  std::string os = "rtos";        // "rtos", "linux", "android", "cloudos"
+  std::string runtime = "native"; // "native", "microservice", "container", "wasm"
+  std::string vendor = "acme";
+  std::uint32_t version = 1;
+
+  /// A component built for `required` runs here if OS and runtime match
+  /// (vendor/version are allowed to differ — interface-level compat).
+  [[nodiscard]] bool compatible_with(const SoftwareStack& required) const {
+    return os == required.os && runtime == required.runtime;
+  }
+};
+
+/// Planar location (meters). The simulation world is a flat region; this
+/// is enough to express the paper's "locality as a key contextual
+/// characteristic".
+struct Location {
+  double x = 0.0;
+  double y = 0.0;
+
+  [[nodiscard]] double distance_to(const Location& other) const {
+    const double dx = x - other.x;
+    const double dy = y - other.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+};
+
+/// Battery state. Devices with `mains_powered` never deplete.
+struct Energy {
+  bool mains_powered = true;
+  double capacity_j = 0.0;      // joules when battery-powered
+  double remaining_j = 0.0;
+  double idle_draw_w = 0.0;     // watts drawn continuously
+  double tx_cost_j = 0.0;       // joules per message sent
+
+  [[nodiscard]] bool depleted() const {
+    return !mains_powered && remaining_j <= 0.0;
+  }
+  [[nodiscard]] double fraction_remaining() const {
+    return mains_powered || capacity_j <= 0.0
+               ? 1.0
+               : std::max(0.0, remaining_j / capacity_j);
+  }
+};
+
+struct DeviceId {
+  std::uint32_t value = 0xffffffff;
+  [[nodiscard]] constexpr bool valid() const { return value != 0xffffffff; }
+  constexpr auto operator<=>(const DeviceId&) const = default;
+};
+
+/// The device record: identity, class, placement, domain and resources.
+/// The network address (`node`) is assigned when the device is wired into
+/// a Network by src/core.
+struct Device {
+  DeviceId id;
+  std::string name;
+  DeviceClass cls = DeviceClass::kMicroSensor;
+  Capabilities caps;
+  SoftwareStack stack;
+  Location location;
+  Energy energy;
+  DomainId domain;
+  net::NodeId node;  // network endpoint, once attached
+
+  [[nodiscard]] bool is_edge_capable() const {
+    return cls == DeviceClass::kEdge || cls == DeviceClass::kCloud ||
+           cls == DeviceClass::kGateway;
+  }
+};
+
+/// Canonical device profiles so scenarios build consistent fleets.
+Device make_micro_sensor(std::string name, std::string sensor_kind);
+Device make_actuator(std::string name, std::string actuator_kind);
+Device make_mobile(std::string name);
+Device make_gateway(std::string name);
+Device make_edge(std::string name);
+Device make_cloud(std::string name);
+
+}  // namespace riot::device
+
+template <>
+struct std::hash<riot::device::DeviceId> {
+  std::size_t operator()(const riot::device::DeviceId& d) const noexcept {
+    return std::hash<std::uint32_t>{}(d.value);
+  }
+};

@@ -1,0 +1,50 @@
+// Administrative domains, jurisdictions and trust levels.
+//
+// The paper repeatedly calls out that IoT components "may belong in
+// different administrative domains or legal jurisdictions" and that data
+// governance must work "among administrative domains and different levels
+// of trust" (Section VI, Table 2/ML4). These types make domain membership
+// a first-class, checkable attribute of every device.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace riot::device {
+
+/// Legal jurisdiction governing data produced within a domain. Modeled on
+/// the regimes the paper names (EU GDPR vs. California CCPA) plus an
+/// unregulated default.
+enum class Jurisdiction : std::uint8_t { kNone, kGdpr, kCcpa };
+
+std::string_view to_string(Jurisdiction j);
+
+/// Coarse trust the rest of the system places in a domain — the paper's
+/// "deployment in adverse environments or unknown administrative domains".
+enum class TrustLevel : std::uint8_t { kUntrusted, kPartner, kTrusted, kOwned };
+
+std::string_view to_string(TrustLevel t);
+
+struct DomainId {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const DomainId&) const = default;
+};
+
+struct AdminDomain {
+  DomainId id;
+  std::string name;
+  Jurisdiction jurisdiction = Jurisdiction::kNone;
+  TrustLevel trust = TrustLevel::kOwned;
+};
+
+}  // namespace riot::device
+
+template <>
+struct std::hash<riot::device::DomainId> {
+  std::size_t operator()(const riot::device::DomainId& d) const noexcept {
+    return std::hash<std::uint32_t>{}(d.value);
+  }
+};

@@ -1,0 +1,43 @@
+#include "device/energy.hpp"
+
+namespace riot::device {
+
+void EnergyManager::start() {
+  if (timer_ != sim::kInvalidEventId) return;
+  timer_ = sim_.schedule_every(tick_, [this] { tick_all(); });
+}
+
+void EnergyManager::stop() {
+  if (timer_ == sim::kInvalidEventId) return;
+  sim_.cancel(timer_);
+  timer_ = sim::kInvalidEventId;
+}
+
+void EnergyManager::charge_tx(DeviceId id) {
+  Device& d = registry_.get(id);
+  drain(d, d.energy.tx_cost_j);
+}
+
+void EnergyManager::charge(DeviceId id, double joules) {
+  drain(registry_.get(id), joules);
+}
+
+void EnergyManager::tick_all() {
+  const double dt = sim::to_seconds(tick_);
+  for (auto& d : registry_.devices()) {
+    if (!d.energy.mains_powered) drain(d, d.energy.idle_draw_w * dt);
+  }
+}
+
+void EnergyManager::drain(Device& d, double joules) {
+  if (d.energy.mains_powered || joules <= 0.0) return;
+  const bool was_depleted = d.energy.depleted();
+  d.energy.remaining_j -= joules;
+  if (d.energy.remaining_j < 0.0) d.energy.remaining_j = 0.0;
+  if (!was_depleted && d.energy.depleted()) {
+    ++depleted_count_;
+    if (depleted_cb_) depleted_cb_(d.id);
+  }
+}
+
+}  // namespace riot::device

@@ -1,0 +1,53 @@
+// Battery accounting for resource-constrained devices.
+//
+// "Edge components may be themselves resource-constrained, low-powered"
+// (Section I). EnergyManager drains battery-powered devices continuously
+// (idle draw) and per message sent, and reports depletion so src/core can
+// crash the device's node — battery exhaustion is one of the internal
+// faults resilience must tolerate.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "device/registry.hpp"
+#include "sim/simulation.hpp"
+
+namespace riot::device {
+
+class EnergyManager {
+ public:
+  EnergyManager(sim::Simulation& simulation, Registry& registry,
+                sim::SimTime tick = sim::seconds(10))
+      : sim_(simulation), registry_(registry), tick_(tick) {}
+
+  /// Fired once per device when its battery reaches zero.
+  void on_depleted(std::function<void(DeviceId)> cb) {
+    depleted_cb_ = std::move(cb);
+  }
+
+  /// Charge `tx_cost_j` for one transmission by the device (call from the
+  /// messaging layer or application).
+  void charge_tx(DeviceId id);
+
+  /// Explicit draw, e.g. for running a local analysis.
+  void charge(DeviceId id, double joules);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::size_t depleted_count() const { return depleted_count_; }
+
+ private:
+  void tick_all();
+  void drain(Device& d, double joules);
+
+  sim::Simulation& sim_;
+  Registry& registry_;
+  sim::SimTime tick_;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::function<void(DeviceId)> depleted_cb_;
+  std::size_t depleted_count_ = 0;
+};
+
+}  // namespace riot::device

@@ -1,0 +1,52 @@
+#include "device/mobility.hpp"
+
+#include <cmath>
+
+namespace riot::device {
+
+void MobilityManager::add_route(DeviceId id, std::vector<Location> waypoints,
+                                double speed_mps) {
+  if (waypoints.empty() || speed_mps <= 0.0) return;
+  routes_[id.value] = Route{std::move(waypoints), speed_mps, 0};
+}
+
+void MobilityManager::start() {
+  if (timer_ != sim::kInvalidEventId) return;
+  timer_ = sim_.schedule_every(tick_, [this] { step_all(); });
+}
+
+void MobilityManager::stop() {
+  if (timer_ == sim::kInvalidEventId) return;
+  sim_.cancel(timer_);
+  timer_ = sim::kInvalidEventId;
+}
+
+void MobilityManager::step_all() {
+  const double dt = sim::to_seconds(tick_);
+  for (auto& [raw_id, route] : routes_) {
+    const DeviceId id{raw_id};
+    Device& d = registry_.get(id);
+    double budget = route.speed_mps * dt;
+    // Advance along the route, possibly passing several waypoints in one
+    // tick at high speed.
+    while (budget > 0.0) {
+      const Location& target = route.waypoints[route.next_waypoint];
+      const double dist = d.location.distance_to(target);
+      if (dist <= budget) {
+        d.location = target;
+        budget -= dist;
+        route.next_waypoint =
+            (route.next_waypoint + 1) % route.waypoints.size();
+        if (route.waypoints.size() == 1) break;  // parked at sole waypoint
+      } else {
+        const double frac = budget / dist;
+        d.location.x += (target.x - d.location.x) * frac;
+        d.location.y += (target.y - d.location.y) * frac;
+        budget = 0.0;
+      }
+    }
+    if (moved_cb_) moved_cb_(id, d.location);
+  }
+}
+
+}  // namespace riot::device

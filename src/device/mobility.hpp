@@ -1,0 +1,58 @@
+// Waypoint mobility.
+//
+// "The overall systems are further characterized by mobility" (Section II).
+// MobilityManager moves selected devices along waypoint routes on a fixed
+// tick, and invokes a callback on every move so upper layers can react —
+// e.g. re-associating a mobile with its nearest edge, or transferring its
+// administrative domain when it crosses a boundary.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "device/registry.hpp"
+#include "sim/simulation.hpp"
+
+namespace riot::device {
+
+class MobilityManager {
+ public:
+  MobilityManager(sim::Simulation& simulation, Registry& registry,
+                  sim::SimTime tick = sim::seconds(1))
+      : sim_(simulation), registry_(registry), tick_(tick) {}
+
+  /// The device will cycle through `waypoints` at `speed_mps`, starting
+  /// toward the first waypoint from its current location.
+  void add_route(DeviceId id, std::vector<Location> waypoints,
+                 double speed_mps);
+
+  /// Callback fired after each position update.
+  void on_moved(std::function<void(DeviceId, const Location&)> cb) {
+    moved_cb_ = std::move(cb);
+  }
+
+  /// Begin ticking. Idempotent.
+  void start();
+  void stop();
+
+  [[nodiscard]] std::size_t routes() const { return routes_.size(); }
+
+ private:
+  struct Route {
+    std::vector<Location> waypoints;
+    double speed_mps;
+    std::size_t next_waypoint = 0;
+  };
+
+  void step_all();
+
+  sim::Simulation& sim_;
+  Registry& registry_;
+  sim::SimTime tick_;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::unordered_map<std::uint32_t, Route> routes_;  // DeviceId.value -> route
+  std::function<void(DeviceId, const Location&)> moved_cb_;
+};
+
+}  // namespace riot::device

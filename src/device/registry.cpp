@@ -1,0 +1,90 @@
+#include "device/registry.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace riot::device {
+
+DeviceId Registry::add(Device device) {
+  device.id = DeviceId{static_cast<std::uint32_t>(devices_.size())};
+  devices_.push_back(std::move(device));
+  return devices_.back().id;
+}
+
+DomainId Registry::add_domain(AdminDomain domain) {
+  domain.id = DomainId{static_cast<std::uint32_t>(domains_.size())};
+  domains_.push_back(std::move(domain));
+  return domains_.back().id;
+}
+
+const Device& Registry::get(DeviceId id) const {
+  if (!id.valid() || id.value >= devices_.size()) {
+    throw std::out_of_range("Registry::get: unknown device");
+  }
+  return devices_[id.value];
+}
+
+Device& Registry::get(DeviceId id) {
+  return const_cast<Device&>(std::as_const(*this).get(id));
+}
+
+std::optional<DeviceId> Registry::find_by_node(net::NodeId node) const {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? std::nullopt
+                              : std::optional<DeviceId>(it->second);
+}
+
+const AdminDomain& Registry::domain(DomainId id) const {
+  if (id.value >= domains_.size()) {
+    throw std::out_of_range("Registry::domain: unknown domain");
+  }
+  return domains_[id.value];
+}
+
+std::vector<DeviceId> Registry::where(
+    const std::function<bool(const Device&)>& pred) const {
+  std::vector<DeviceId> out;
+  for (const auto& d : devices_) {
+    if (pred(d)) out.push_back(d.id);
+  }
+  return out;
+}
+
+std::vector<DeviceId> Registry::with_capabilities(
+    const Capabilities& required) const {
+  return where(
+      [&](const Device& d) { return d.caps.satisfies(required); });
+}
+
+std::vector<DeviceId> Registry::within(const Location& center,
+                                       double radius) const {
+  return where([&](const Device& d) {
+    return d.location.distance_to(center) <= radius;
+  });
+}
+
+std::vector<DeviceId> Registry::in_domain(DomainId id) const {
+  return where([&](const Device& d) { return d.domain == id; });
+}
+
+std::optional<DeviceId> Registry::nearest(const Location& from,
+                                          DeviceClass cls) const {
+  std::optional<DeviceId> best;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const auto& d : devices_) {
+    if (d.cls != cls) continue;
+    const double dist = d.location.distance_to(from);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = d.id;
+    }
+  }
+  return best;
+}
+
+void Registry::transfer_domain(DeviceId id, DomainId new_domain) {
+  get(id).domain = new_domain;
+}
+
+}  // namespace riot::device

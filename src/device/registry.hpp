@@ -1,0 +1,72 @@
+// Device registry with capability, locality and domain queries.
+//
+// Realizes the pervasiveness vector of the roadmap: IoT resources become
+// uniformly discoverable ("consume IoT resources as a full-fledged
+// utility") through capability-based queries instead of hard-wired device
+// references.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace riot::device {
+
+class Registry {
+ public:
+  /// Add a device; assigns its DeviceId. Returns the id.
+  DeviceId add(Device device);
+
+  /// Register a domain (id assigned). Returns the id.
+  DomainId add_domain(AdminDomain domain);
+
+  [[nodiscard]] const Device& get(DeviceId id) const;
+  [[nodiscard]] Device& get(DeviceId id);
+  [[nodiscard]] std::optional<DeviceId> find_by_node(net::NodeId node) const;
+  [[nodiscard]] const AdminDomain& domain(DomainId id) const;
+
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  [[nodiscard]] std::vector<Device>& devices() { return devices_; }
+
+  /// Devices matching an arbitrary predicate.
+  [[nodiscard]] std::vector<DeviceId> where(
+      const std::function<bool(const Device&)>& pred) const;
+
+  /// Devices whose capabilities satisfy `required` (see
+  /// Capabilities::satisfies).
+  [[nodiscard]] std::vector<DeviceId> with_capabilities(
+      const Capabilities& required) const;
+
+  /// Devices within `radius` meters of `center`.
+  [[nodiscard]] std::vector<DeviceId> within(const Location& center,
+                                             double radius) const;
+
+  /// Devices in an administrative domain.
+  [[nodiscard]] std::vector<DeviceId> in_domain(DomainId id) const;
+
+  /// The nearest device of a class to a location (e.g. "my local edge");
+  /// nullopt if none exists.
+  [[nodiscard]] std::optional<DeviceId> nearest(const Location& from,
+                                                DeviceClass cls) const;
+
+  /// Move a device to another administrative domain — the paper's
+  /// "transfer of administrative domains may occur" disruption.
+  void transfer_domain(DeviceId id, DomainId new_domain);
+
+  /// Record the network endpoint of a device once attached.
+  void attach_node(DeviceId id, net::NodeId node) {
+    get(id).node = node;
+    by_node_[node] = id;
+  }
+
+ private:
+  std::vector<Device> devices_;
+  std::vector<AdminDomain> domains_;
+  std::unordered_map<net::NodeId, DeviceId> by_node_;
+};
+
+}  // namespace riot::device

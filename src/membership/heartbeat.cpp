@@ -1,0 +1,65 @@
+#include "membership/heartbeat.hpp"
+
+#include <algorithm>
+
+namespace riot::membership {
+
+HeartbeatMonitor::HeartbeatMonitor(net::Network& network,
+                                   HeartbeatConfig config)
+    : net::Node(network), cfg_(config) {
+  on<Heartbeat>([this](net::NodeId from, const Heartbeat&) {
+    auto [it, inserted] = watched_.try_emplace(from, Watched{});
+    it->second.last_heartbeat = now();
+    if (!it->second.alive) {
+      it->second.alive = true;
+      this->network().trace().log(now(), sim::TraceLevel::kInfo, "heartbeat",
+                            id().value, "alive", to_string(from));
+      if (alive_cb_) alive_cb_(from);
+    }
+  });
+}
+
+void HeartbeatMonitor::watch(net::NodeId member) {
+  watched_.try_emplace(member, Watched{now(), true});
+}
+
+bool HeartbeatMonitor::considers_alive(net::NodeId member) const {
+  auto it = watched_.find(member);
+  return it != watched_.end() && it->second.alive;
+}
+
+std::vector<net::NodeId> HeartbeatMonitor::alive_members() const {
+  std::vector<net::NodeId> out;
+  for (const auto& [member, w] : watched_) {
+    if (w.alive) out.push_back(member);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void HeartbeatMonitor::on_start() {
+  every(cfg_.interval, [this] { sweep(); });
+}
+
+void HeartbeatMonitor::on_recover() {
+  // A recovered monitor has lost its state: re-learn liveness from the
+  // next heartbeats, optimistically resetting clocks so members get a full
+  // timeout before being re-declared dead.
+  for (auto& [member, w] : watched_) {
+    w.last_heartbeat = now();
+  }
+  every(cfg_.interval, [this] { sweep(); });
+}
+
+void HeartbeatMonitor::sweep() {
+  for (auto& [member, w] : watched_) {
+    if (w.alive && now() - w.last_heartbeat >= cfg_.timeout) {
+      w.alive = false;
+      this->network().trace().log(now(), sim::TraceLevel::kInfo, "heartbeat",
+                            id().value, "dead", to_string(member));
+      if (dead_cb_) dead_cb_(member);
+    }
+  }
+}
+
+}  // namespace riot::membership

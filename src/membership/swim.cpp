@@ -1,0 +1,280 @@
+#include "membership/swim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace riot::membership {
+
+std::string_view to_string(MemberState s) {
+  switch (s) {
+    case MemberState::kAlive:
+      return "alive";
+    case MemberState::kSuspect:
+      return "suspect";
+    case MemberState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+namespace {
+/// SWIM precedence: does `incoming` override `current` knowledge?
+bool overrides(const MemberUpdate& incoming, MemberState cur_state,
+               std::uint32_t cur_inc) {
+  if (incoming.incarnation != cur_inc) {
+    // Dead is sticky: only a higher incarnation *alive/suspect* refutes
+    // nothing — dead stays dead in classic SWIM. We allow re-join via a
+    // strictly higher incarnation alive message (crash-recovery).
+    if (cur_state == MemberState::kDead &&
+        incoming.state != MemberState::kAlive) {
+      return incoming.state == MemberState::kDead &&
+             incoming.incarnation > cur_inc;
+    }
+    return incoming.incarnation > cur_inc;
+  }
+  // Same incarnation: Dead > Suspect > Alive.
+  return static_cast<int>(incoming.state) > static_cast<int>(cur_state);
+}
+}  // namespace
+
+SwimMember::SwimMember(net::Network& network, SwimConfig config)
+    : net::Node(network),
+      cfg_(config),
+      rng_(network.simulation().rng().split("swim" + to_string(id()))) {
+  on<Ping>([this](net::NodeId from, const Ping& p) { on_ping(from, p); });
+  on<Ack>([this](net::NodeId from, const Ack& a) { on_ack(from, a); });
+  on<PingReq>(
+      [this](net::NodeId from, const PingReq& r) { on_ping_req(from, r); });
+  on<IndirectAck>([this](net::NodeId from, const IndirectAck& a) {
+    on_indirect_ack(from, a);
+  });
+}
+
+void SwimMember::add_peer(net::NodeId peer) {
+  if (peer == id()) return;
+  members_.try_emplace(peer, MemberInfo{});
+}
+
+MemberState SwimMember::state_of(net::NodeId peer) const {
+  if (peer == id()) return MemberState::kAlive;
+  auto it = members_.find(peer);
+  return it == members_.end() ? MemberState::kDead : it->second.state;
+}
+
+std::vector<net::NodeId> SwimMember::alive_peers() const {
+  std::vector<net::NodeId> out;
+  for (const auto& [peer, info] : members_) {
+    if (info.state != MemberState::kDead) out.push_back(peer);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SwimMember::on_start() {
+  every(cfg_.period, [this] { protocol_period(); });
+}
+
+void SwimMember::on_crash() {
+  awaiting_.clear();
+  relay_requests_.clear();
+}
+
+void SwimMember::on_recover() {
+  // Rejoin with a fresh incarnation so peers accept us over their "dead"
+  // record; volatile view state restarts from the bootstrap peers we kept.
+  incarnation_ += 2;
+  for (auto& [peer, info] : members_) {
+    info = MemberInfo{};  // start optimistic; probing corrects quickly
+  }
+  enqueue_update({id(), MemberState::kAlive, incarnation_});
+  every(cfg_.period, [this] { protocol_period(); });
+}
+
+void SwimMember::protocol_period() {
+  check_suspects();
+  auto targets = shuffled_alive(1);
+  if (targets.empty()) return;
+  probe(targets.front());
+}
+
+void SwimMember::probe(net::NodeId target) {
+  if (awaiting_.contains(target)) return;  // one probe in flight per target
+  const std::uint64_t seq = next_seq_++;
+  send(target, Ping{seq, take_piggyback()});
+  const sim::EventId timeout = after(cfg_.ping_timeout, [this, target] {
+    // Direct probe timed out: fan out k indirect probes; if nothing acks
+    // by the end of the period, suspect.
+    auto helpers = shuffled_alive(static_cast<std::size_t>(cfg_.indirect_probes),
+                                  target);
+    for (const net::NodeId helper : helpers) {
+      send(helper, PingReq{next_seq_++, target, take_piggyback()});
+    }
+    const sim::SimTime rest =
+        cfg_.period > cfg_.ping_timeout ? cfg_.period - cfg_.ping_timeout
+                                        : cfg_.ping_timeout;
+    const sim::EventId final_timeout = after(rest, [this, target] {
+      awaiting_.erase(target);
+      auto it = members_.find(target);
+      if (it == members_.end() || it->second.state != MemberState::kAlive) {
+        return;
+      }
+      mark(target, MemberState::kSuspect, it->second.incarnation);
+      enqueue_update({target, MemberState::kSuspect, it->second.incarnation});
+      network().trace().log(now(), sim::TraceLevel::kInfo, "swim", id().value,
+                            "suspect", to_string(target));
+    });
+    awaiting_[target] = final_timeout;
+  });
+  awaiting_[target] = timeout;
+}
+
+void SwimMember::ack_received_for(net::NodeId target) {
+  if (auto it = awaiting_.find(target); it != awaiting_.end()) {
+    cancel(it->second);
+    awaiting_.erase(it);
+  }
+}
+
+void SwimMember::on_ping(net::NodeId from, const Ping& ping) {
+  apply_updates(ping.updates);
+  add_peer(from);
+  send(from, Ack{ping.seq, take_piggyback()});
+}
+
+void SwimMember::on_ack(net::NodeId from, const Ack& ack) {
+  apply_updates(ack.updates);
+  ack_received_for(from);
+  // An ack proves liveness regardless of gossip state.
+  auto it = members_.find(from);
+  if (it != members_.end() && it->second.state == MemberState::kSuspect) {
+    mark(from, MemberState::kAlive, it->second.incarnation);
+  }
+  // Serve any relays waiting on this target.
+  if (auto rit = relay_requests_.find(from); rit != relay_requests_.end()) {
+    for (const auto& [requester, seq] : rit->second) {
+      send(requester, IndirectAck{seq, from, take_piggyback()});
+    }
+    relay_requests_.erase(rit);
+  }
+}
+
+void SwimMember::on_ping_req(net::NodeId from, const PingReq& req) {
+  apply_updates(req.updates);
+  relay_requests_[req.target].emplace_back(from, req.seq);
+  send(req.target, Ping{next_seq_++, take_piggyback()});
+  // Garbage-collect the relay slot if the target never answers.
+  after(cfg_.period, [this, target = req.target] {
+    relay_requests_.erase(target);
+  });
+}
+
+void SwimMember::on_indirect_ack(net::NodeId /*from*/,
+                                 const IndirectAck& ack) {
+  apply_updates(ack.updates);
+  ack_received_for(ack.target);
+  auto it = members_.find(ack.target);
+  if (it != members_.end() && it->second.state == MemberState::kSuspect) {
+    mark(ack.target, MemberState::kAlive, it->second.incarnation);
+  }
+}
+
+void SwimMember::apply_updates(const std::vector<MemberUpdate>& updates) {
+  for (const auto& u : updates) apply(u);
+}
+
+void SwimMember::apply(const MemberUpdate& update) {
+  if (update.member == id()) {
+    // Someone thinks we are suspect/dead: refute with a higher incarnation.
+    if (update.state != MemberState::kAlive &&
+        update.incarnation >= incarnation_) {
+      incarnation_ = update.incarnation + 1;
+      enqueue_update({id(), MemberState::kAlive, incarnation_});
+      network().trace().log(now(), sim::TraceLevel::kInfo, "swim", id().value,
+                            "refute");
+    }
+    return;
+  }
+  auto [it, inserted] = members_.try_emplace(update.member, MemberInfo{});
+  MemberInfo& info = it->second;
+  if (inserted) {
+    info.state = update.state;
+    info.incarnation = update.incarnation;
+    if (info.state == MemberState::kSuspect) info.suspected_at = now();
+    enqueue_update(update);
+    return;
+  }
+  if (!overrides(update, info.state, info.incarnation)) return;
+  mark(update.member, update.state, update.incarnation);
+  enqueue_update(update);
+}
+
+void SwimMember::mark(net::NodeId peer, MemberState state,
+                      std::uint32_t incarnation) {
+  auto& info = members_[peer];
+  const MemberState old = info.state;
+  info.state = state;
+  info.incarnation = incarnation;
+  if (state == MemberState::kSuspect && old != MemberState::kSuspect) {
+    info.suspected_at = now();
+  }
+  if (state == MemberState::kDead && old != MemberState::kDead) {
+    network().trace().log(now(), sim::TraceLevel::kInfo, "swim", id().value,
+                          "dead", to_string(peer));
+    if (dead_cb_) dead_cb_(peer);
+  }
+  if (state == MemberState::kAlive && old != MemberState::kAlive) {
+    if (alive_cb_) alive_cb_(peer);
+  }
+}
+
+void SwimMember::enqueue_update(const MemberUpdate& update) {
+  // Retransmit budget ~ factor * log2(view size), the infection-style
+  // dissemination bound from the SWIM paper.
+  const double n = static_cast<double>(std::max<std::size_t>(members_.size(), 2));
+  const int budget = std::max(
+      1, static_cast<int>(std::lround(cfg_.retransmit_factor * std::log2(n))));
+  // Newer assertion about a member supersedes any queued one.
+  std::erase_if(outbox_, [&](const OutstandingUpdate& o) {
+    return o.update.member == update.member;
+  });
+  outbox_.push_back(OutstandingUpdate{update, budget});
+}
+
+std::vector<MemberUpdate> SwimMember::take_piggyback() {
+  std::vector<MemberUpdate> out;
+  for (auto& o : outbox_) {
+    if (out.size() >= static_cast<std::size_t>(cfg_.max_piggyback)) break;
+    out.push_back(o.update);
+    --o.remaining_transmissions;
+  }
+  std::erase_if(outbox_, [](const OutstandingUpdate& o) {
+    return o.remaining_transmissions <= 0;
+  });
+  return out;
+}
+
+void SwimMember::check_suspects() {
+  for (auto& [peer, info] : members_) {
+    if (info.state == MemberState::kSuspect &&
+        now() - info.suspected_at >= cfg_.suspect_timeout) {
+      mark(peer, MemberState::kDead, info.incarnation);
+      enqueue_update({peer, MemberState::kDead, info.incarnation});
+    }
+  }
+}
+
+std::vector<net::NodeId> SwimMember::shuffled_alive(std::size_t max_count,
+                                                    net::NodeId exclude) {
+  std::vector<net::NodeId> candidates;
+  for (const auto& [peer, info] : members_) {
+    if (peer != exclude && info.state != MemberState::kDead) {
+      candidates.push_back(peer);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());  // determinism
+  rng_.shuffle(candidates);
+  if (candidates.size() > max_count) candidates.resize(max_count);
+  return candidates;
+}
+
+}  // namespace riot::membership

@@ -1,0 +1,146 @@
+// SWIM-style membership and failure detection.
+//
+// Decentralized failure detection is the first mechanism the paper's
+// coordination pillar needs: "situating coordination facilities on edge
+// components eliminates central points of failure" (Section V). SWIM gives
+// every member a consistent-enough view of who is alive without any
+// monitor node:
+//
+//   - each protocol period, a member pings one random peer;
+//   - on timeout it asks k other peers to ping indirectly;
+//   - still no ack => the peer is *suspected* and the suspicion gossips;
+//   - a suspected member that hears about itself refutes by bumping its
+//     incarnation number; unrefuted suspicion becomes *dead* after a
+//     timeout.
+//
+// Membership updates ride piggybacked on the ping/ack traffic (infection-
+// style dissemination), so the protocol has no broadcast and its load per
+// member is constant in group size.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/node.hpp"
+
+namespace riot::membership {
+
+enum class MemberState : std::uint8_t { kAlive, kSuspect, kDead };
+
+std::string_view to_string(MemberState s);
+
+/// One gossiped membership assertion. Precedence follows SWIM: higher
+/// incarnation wins; at equal incarnation, Dead > Suspect > Alive.
+struct MemberUpdate {
+  net::NodeId member;
+  MemberState state = MemberState::kAlive;
+  std::uint32_t incarnation = 0;
+};
+
+struct SwimConfig {
+  sim::SimTime period = sim::seconds(1);          // protocol period T
+  sim::SimTime ping_timeout = sim::millis(300);   // direct ack wait
+  int indirect_probes = 3;                        // k helpers on timeout
+  sim::SimTime suspect_timeout = sim::seconds(3); // suspicion -> dead
+  int max_piggyback = 6;                          // updates per message
+  int retransmit_factor = 3;  // each update rides ~factor*log2(n) times
+};
+
+/// Per-node SWIM agent. Construct one per participating node, seed all of
+/// them with the full peer list (or let joins propagate), then start().
+class SwimMember : public net::Node {
+ public:
+  SwimMember(net::Network& network, SwimConfig config = {});
+
+  /// Introduce a known peer as initially alive (bootstrap).
+  void add_peer(net::NodeId peer);
+
+  /// View accessors.
+  [[nodiscard]] MemberState state_of(net::NodeId peer) const;
+  [[nodiscard]] std::vector<net::NodeId> alive_peers() const;
+  [[nodiscard]] std::size_t view_size() const { return members_.size(); }
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+
+  /// Callbacks, invoked on local view transitions.
+  void on_member_dead(std::function<void(net::NodeId)> cb) {
+    dead_cb_ = std::move(cb);
+  }
+  void on_member_alive(std::function<void(net::NodeId)> cb) {
+    alive_cb_ = std::move(cb);
+  }
+
+ protected:
+  void on_start() override;
+  void on_recover() override;
+  void on_crash() override;
+
+ private:
+  struct Ping {
+    std::uint64_t seq;
+    std::vector<MemberUpdate> updates;
+  };
+  struct Ack {
+    std::uint64_t seq;
+    std::vector<MemberUpdate> updates;
+  };
+  struct PingReq {
+    std::uint64_t seq;
+    net::NodeId target;
+    std::vector<MemberUpdate> updates;
+  };
+  // Ack relayed back by an indirect prober.
+  struct IndirectAck {
+    std::uint64_t seq;
+    net::NodeId target;
+    std::vector<MemberUpdate> updates;
+  };
+
+  struct MemberInfo {
+    MemberState state = MemberState::kAlive;
+    std::uint32_t incarnation = 0;
+    sim::SimTime suspected_at = sim::kSimTimeZero;
+  };
+
+  struct OutstandingUpdate {
+    MemberUpdate update;
+    int remaining_transmissions;
+  };
+
+  void protocol_period();
+  void probe(net::NodeId target);
+  void on_ping(net::NodeId from, const Ping& ping);
+  void on_ack(net::NodeId from, const Ack& ack);
+  void on_ping_req(net::NodeId from, const PingReq& req);
+  void on_indirect_ack(net::NodeId from, const IndirectAck& ack);
+  void ack_received_for(net::NodeId target);
+
+  void apply_updates(const std::vector<MemberUpdate>& updates);
+  void apply(const MemberUpdate& update);
+  void enqueue_update(const MemberUpdate& update);
+  std::vector<MemberUpdate> take_piggyback();
+  void check_suspects();
+  void mark(net::NodeId peer, MemberState state, std::uint32_t incarnation);
+
+  [[nodiscard]] std::vector<net::NodeId> shuffled_alive(
+      std::size_t max_count, net::NodeId exclude = net::kInvalidNode);
+
+  SwimConfig cfg_;
+  sim::Rng rng_;
+  std::uint32_t incarnation_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<net::NodeId, MemberInfo> members_;
+  std::deque<OutstandingUpdate> outbox_;
+  // Probes awaiting an ack (direct or indirect), keyed by target.
+  std::unordered_map<net::NodeId, sim::EventId> awaiting_;
+  // Relays we owe an IndirectAck for: (target -> requesters).
+  std::unordered_map<net::NodeId, std::vector<std::pair<net::NodeId, std::uint64_t>>>
+      relay_requests_;
+  std::function<void(net::NodeId)> dead_cb_;
+  std::function<void(net::NodeId)> alive_cb_;
+};
+
+}  // namespace riot::membership

@@ -1,0 +1,233 @@
+#include "model/ctl.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace riot::model::ctl {
+
+namespace {
+FormulaPtr make(Op op, std::string prop_name, FormulaPtr left,
+                FormulaPtr right) {
+  auto f = std::make_shared<Formula>();
+  f->op = op;
+  f->prop = std::move(prop_name);
+  f->left = std::move(left);
+  f->right = std::move(right);
+  return f;  // converts to shared_ptr<const Formula>
+}
+}  // namespace
+
+FormulaPtr truth() { return make(Op::kTrue, {}, nullptr, nullptr); }
+FormulaPtr prop(std::string name) {
+  return make(Op::kProp, std::move(name), nullptr, nullptr);
+}
+FormulaPtr not_(FormulaPtr f) {
+  return make(Op::kNot, {}, std::move(f), nullptr);
+}
+FormulaPtr and_(FormulaPtr a, FormulaPtr b) {
+  return make(Op::kAnd, {}, std::move(a), std::move(b));
+}
+FormulaPtr or_(FormulaPtr a, FormulaPtr b) {
+  return make(Op::kOr, {}, std::move(a), std::move(b));
+}
+FormulaPtr implies(FormulaPtr a, FormulaPtr b) {
+  return make(Op::kImplies, {}, std::move(a), std::move(b));
+}
+FormulaPtr ex(FormulaPtr f) { return make(Op::kEX, {}, std::move(f), nullptr); }
+FormulaPtr ef(FormulaPtr f) { return make(Op::kEF, {}, std::move(f), nullptr); }
+FormulaPtr eg(FormulaPtr f) { return make(Op::kEG, {}, std::move(f), nullptr); }
+FormulaPtr eu(FormulaPtr a, FormulaPtr b) {
+  return make(Op::kEU, {}, std::move(a), std::move(b));
+}
+FormulaPtr ax(FormulaPtr f) { return make(Op::kAX, {}, std::move(f), nullptr); }
+FormulaPtr af(FormulaPtr f) { return make(Op::kAF, {}, std::move(f), nullptr); }
+FormulaPtr ag(FormulaPtr f) { return make(Op::kAG, {}, std::move(f), nullptr); }
+FormulaPtr au(FormulaPtr a, FormulaPtr b) {
+  return make(Op::kAU, {}, std::move(a), std::move(b));
+}
+
+std::string Formula::to_string() const {
+  switch (op) {
+    case Op::kTrue:
+      return "true";
+    case Op::kProp:
+      return prop;
+    case Op::kNot:
+      return "!(" + left->to_string() + ")";
+    case Op::kAnd:
+      return "(" + left->to_string() + " & " + right->to_string() + ")";
+    case Op::kOr:
+      return "(" + left->to_string() + " | " + right->to_string() + ")";
+    case Op::kImplies:
+      return "(" + left->to_string() + " -> " + right->to_string() + ")";
+    case Op::kEX:
+      return "EX " + left->to_string();
+    case Op::kEF:
+      return "EF " + left->to_string();
+    case Op::kEG:
+      return "EG " + left->to_string();
+    case Op::kEU:
+      return "E[" + left->to_string() + " U " + right->to_string() + "]";
+    case Op::kAX:
+      return "AX " + left->to_string();
+    case Op::kAF:
+      return "AF " + left->to_string();
+    case Op::kAG:
+      return "AG " + left->to_string();
+    case Op::kAU:
+      return "A[" + left->to_string() + " U " + right->to_string() + "]";
+  }
+  return "?";
+}
+
+namespace {
+std::vector<bool> negate(std::vector<bool> v) {
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = !v[i];
+  return v;
+}
+std::vector<bool> conj(const std::vector<bool>& a,
+                       const std::vector<bool>& b) {
+  std::vector<bool> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] && b[i];
+  return out;
+}
+std::vector<bool> disj(const std::vector<bool>& a,
+                       const std::vector<bool>& b) {
+  std::vector<bool> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] || b[i];
+  return out;
+}
+}  // namespace
+
+std::vector<bool> Checker::sat(const FormulaPtr& f) const {
+  if (!f) throw std::invalid_argument("Checker::sat: null formula");
+  const std::size_t n = model_.state_count();
+  switch (f->op) {
+    case Op::kTrue:
+      return std::vector<bool>(n, true);
+    case Op::kProp: {
+      std::vector<bool> out(n, false);
+      // Unknown props hold nowhere; look up without inserting.
+      // Kripke::prop inserts, so scan names instead.
+      for (PropId p = 0; p < model_.prop_count(); ++p) {
+        if (model_.prop_name(p) == f->prop) {
+          for (StateId s = 0; s < n; ++s) out[s] = model_.has_label(s, p);
+          break;
+        }
+      }
+      return out;
+    }
+    case Op::kNot:
+      return negate(sat(f->left));
+    case Op::kAnd:
+      return conj(sat(f->left), sat(f->right));
+    case Op::kOr:
+      return disj(sat(f->left), sat(f->right));
+    case Op::kImplies:
+      return disj(negate(sat(f->left)), sat(f->right));
+    case Op::kEX:
+      return sat_ex(sat(f->left));
+    case Op::kEF:
+      // EF f == E[true U f]
+      return sat_eu(std::vector<bool>(n, true), sat(f->left));
+    case Op::kEG:
+      return sat_eg(sat(f->left));
+    case Op::kEU:
+      return sat_eu(sat(f->left), sat(f->right));
+    case Op::kAX:
+      // AX f == !EX !f
+      return negate(sat_ex(negate(sat(f->left))));
+    case Op::kAF:
+      // AF f == !EG !f
+      return negate(sat_eg(negate(sat(f->left))));
+    case Op::kAG:
+      // AG f == !EF !f == !E[true U !f]
+      return negate(
+          sat_eu(std::vector<bool>(n, true), negate(sat(f->left))));
+    case Op::kAU: {
+      // A[a U b] == !(E[!b U (!a & !b)] | EG !b)
+      const auto not_a = negate(sat(f->left));
+      const auto not_b = negate(sat(f->right));
+      const auto eu_part = sat_eu(not_b, conj(not_a, not_b));
+      const auto eg_part = sat_eg(not_b);
+      return negate(disj(eu_part, eg_part));
+    }
+  }
+  throw std::logic_error("Checker::sat: unknown operator");
+}
+
+std::vector<bool> Checker::sat_ex(const std::vector<bool>& inner) const {
+  const std::size_t n = model_.state_count();
+  std::vector<bool> out(n, false);
+  for (StateId s = 0; s < n; ++s) {
+    if (!inner[s]) continue;
+    for (const StateId p : model_.predecessors(s)) out[p] = true;
+  }
+  return out;
+}
+
+std::vector<bool> Checker::sat_eu(const std::vector<bool>& a,
+                                  const std::vector<bool>& b) const {
+  const std::size_t n = model_.state_count();
+  std::vector<bool> out(n, false);
+  std::deque<StateId> frontier;
+  for (StateId s = 0; s < n; ++s) {
+    if (b[s]) {
+      out[s] = true;
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const StateId s = frontier.front();
+    frontier.pop_front();
+    for (const StateId p : model_.predecessors(s)) {
+      if (!out[p] && a[p]) {
+        out[p] = true;
+        frontier.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<bool> Checker::sat_eg(const std::vector<bool>& inner) const {
+  // Greatest fixpoint by successive removal: start with Sat(inner); remove
+  // states with no successor remaining in the set, to exhaustion.
+  const std::size_t n = model_.state_count();
+  std::vector<bool> in_set = inner;
+  std::vector<std::uint32_t> live_successors(n, 0);
+  std::deque<StateId> remove_queue;
+  for (StateId s = 0; s < n; ++s) {
+    if (!in_set[s]) continue;
+    std::uint32_t count = 0;
+    for (const StateId t : model_.successors(s)) {
+      if (in_set[t]) ++count;
+    }
+    live_successors[s] = count;
+    if (count == 0) remove_queue.push_back(s);
+  }
+  while (!remove_queue.empty()) {
+    const StateId s = remove_queue.front();
+    remove_queue.pop_front();
+    if (!in_set[s]) continue;
+    in_set[s] = false;
+    for (const StateId p : model_.predecessors(s)) {
+      if (in_set[p] && --live_successors[p] == 0) remove_queue.push_back(p);
+    }
+  }
+  return in_set;
+}
+
+bool Checker::holds_at(const FormulaPtr& f, StateId state) const {
+  return sat(f).at(state);
+}
+
+bool Checker::holds(const FormulaPtr& f) const {
+  const auto s = sat(f);
+  for (const StateId init : model_.initial_states()) {
+    if (!s.at(init)) return false;
+  }
+  return !model_.initial_states().empty();
+}
+
+}  // namespace riot::model::ctl

@@ -1,0 +1,94 @@
+// Explicit-state CTL model checking.
+//
+// "The verification process checks whether a given system (a facet of an
+// IoT system model) satisfies a given correctness specification (resilience
+// properties)" — Figure 2's design-time analysis. The checker computes
+// satisfaction sets bottom-up with the standard fixpoint characterization
+// over the Kripke structure's predecessor relation:
+//
+//   EX f   : pre(Sat(f))
+//   E[f U g]: least fixpoint   Z = Sat(g) ∪ (Sat(f) ∩ pre(Z))
+//   EG f   : greatest fixpoint Z = Sat(f) ∩ pre(Z)
+//
+// Universal operators derive by duality. Complexity O(|φ|·(|S|+|T|)).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/kripke.hpp"
+
+namespace riot::model::ctl {
+
+enum class Op {
+  kTrue,
+  kProp,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kEX,
+  kEF,
+  kEG,
+  kEU,
+  kAX,
+  kAF,
+  kAG,
+  kAU,
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct Formula {
+  Op op;
+  std::string prop;      // kProp
+  FormulaPtr left;       // unary operand, or left of binary
+  FormulaPtr right;      // right of binary / until
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Builders (value-semantic formula construction).
+FormulaPtr truth();
+FormulaPtr prop(std::string name);
+FormulaPtr not_(FormulaPtr f);
+FormulaPtr and_(FormulaPtr a, FormulaPtr b);
+FormulaPtr or_(FormulaPtr a, FormulaPtr b);
+FormulaPtr implies(FormulaPtr a, FormulaPtr b);
+FormulaPtr ex(FormulaPtr f);
+FormulaPtr ef(FormulaPtr f);
+FormulaPtr eg(FormulaPtr f);
+FormulaPtr eu(FormulaPtr a, FormulaPtr b);
+FormulaPtr ax(FormulaPtr f);
+FormulaPtr af(FormulaPtr f);
+FormulaPtr ag(FormulaPtr f);
+FormulaPtr au(FormulaPtr a, FormulaPtr b);
+
+class Checker {
+ public:
+  /// The model must have a total transition relation (call
+  /// complete_with_self_loops() first if needed). Unknown propositions in
+  /// the formula denote the empty set (hold nowhere).
+  explicit Checker(const Kripke& model) : model_(model) {}
+
+  /// Satisfaction set of `f` (one flag per state).
+  [[nodiscard]] std::vector<bool> sat(const FormulaPtr& f) const;
+
+  /// Does the state satisfy f?
+  [[nodiscard]] bool holds_at(const FormulaPtr& f, StateId state) const;
+
+  /// Do all initial states satisfy f?
+  [[nodiscard]] bool holds(const FormulaPtr& f) const;
+
+ private:
+  [[nodiscard]] std::vector<bool> sat_ex(const std::vector<bool>& inner) const;
+  [[nodiscard]] std::vector<bool> sat_eu(const std::vector<bool>& a,
+                                         const std::vector<bool>& b) const;
+  [[nodiscard]] std::vector<bool> sat_eg(const std::vector<bool>& inner) const;
+
+  const Kripke& model_;
+};
+
+}  // namespace riot::model::ctl

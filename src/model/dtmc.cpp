@@ -1,0 +1,198 @@
+#include "model/dtmc.hpp"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace riot::model {
+
+Dtmc::State Dtmc::add_state(std::string name) {
+  rows_.emplace_back();
+  if (name.empty()) name = "s" + std::to_string(rows_.size() - 1);
+  names_.push_back(std::move(name));
+  return static_cast<State>(rows_.size() - 1);
+}
+
+void Dtmc::add_transition(State from, State to, double p) {
+  if (from >= rows_.size() || to >= rows_.size()) {
+    throw std::out_of_range("Dtmc::add_transition");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Dtmc::add_transition: p outside [0,1]");
+  }
+  if (p > 0.0) rows_[from].push_back(Entry{to, p});
+}
+
+bool Dtmc::validate(double tolerance) const {
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;  // absorbing by convention
+    double sum = 0.0;
+    for (const Entry& e : row) sum += e.p;
+    if (std::abs(sum - 1.0) > tolerance) return false;
+  }
+  return true;
+}
+
+std::vector<bool> Dtmc::can_reach(const std::vector<State>& targets) const {
+  // Backwards BFS over the support graph.
+  std::vector<std::vector<State>> preds(rows_.size());
+  for (State s = 0; s < rows_.size(); ++s) {
+    for (const Entry& e : rows_[s]) preds[e.to].push_back(s);
+  }
+  std::vector<bool> reach(rows_.size(), false);
+  std::deque<State> frontier;
+  for (const State t : targets) {
+    if (t >= rows_.size()) throw std::out_of_range("Dtmc: unknown target");
+    reach[t] = true;
+    frontier.push_back(t);
+  }
+  while (!frontier.empty()) {
+    const State s = frontier.front();
+    frontier.pop_front();
+    for (const State p : preds[s]) {
+      if (!reach[p]) {
+        reach[p] = true;
+        frontier.push_back(p);
+      }
+    }
+  }
+  return reach;
+}
+
+std::vector<double> Dtmc::reach_probability(const std::vector<State>& targets,
+                                            double epsilon,
+                                            std::size_t max_iterations) const {
+  const std::size_t n = rows_.size();
+  std::vector<bool> is_target(n, false);
+  for (const State t : targets) is_target[t] = true;
+  const std::vector<bool> reachable = can_reach(targets);
+
+  std::vector<double> x(n, 0.0);
+  for (const State t : targets) x[t] = 1.0;
+
+  // Gauss–Seidel value iteration over states that can reach the target.
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    double delta = 0.0;
+    for (State s = 0; s < n; ++s) {
+      if (is_target[s] || !reachable[s]) continue;
+      double v = 0.0;
+      for (const Entry& e : rows_[s]) v += e.p * x[e.to];
+      delta = std::max(delta, std::abs(v - x[s]));
+      x[s] = v;
+    }
+    if (delta < epsilon) break;
+  }
+  return x;
+}
+
+std::vector<double> Dtmc::bounded_reach_probability(
+    const std::vector<State>& targets, std::size_t k) const {
+  const std::size_t n = rows_.size();
+  std::vector<bool> is_target(n, false);
+  for (const State t : targets) {
+    if (t >= n) throw std::out_of_range("Dtmc: unknown target");
+    is_target[t] = true;
+  }
+  std::vector<double> x(n, 0.0);
+  for (const State t : targets) x[t] = 1.0;
+  for (std::size_t step = 0; step < k; ++step) {
+    std::vector<double> next(n, 0.0);
+    for (State s = 0; s < n; ++s) {
+      if (is_target[s]) {
+        next[s] = 1.0;
+        continue;
+      }
+      double v = 0.0;
+      for (const Entry& e : rows_[s]) v += e.p * x[e.to];
+      next[s] = v;
+    }
+    x = std::move(next);
+  }
+  return x;
+}
+
+std::vector<double> Dtmc::steady_state(State initial, double epsilon,
+                                       std::size_t max_iterations) const {
+  const std::size_t n = rows_.size();
+  std::vector<double> pi(n, 0.0);
+  pi.at(initial) = 1.0;
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    std::vector<double> next(n, 0.0);
+    for (State s = 0; s < n; ++s) {
+      if (pi[s] == 0.0) continue;
+      if (rows_[s].empty()) {
+        next[s] += pi[s];  // absorbing
+        continue;
+      }
+      for (const Entry& e : rows_[s]) next[e.to] += pi[s] * e.p;
+    }
+    double delta = 0.0;
+    for (State s = 0; s < n; ++s) delta = std::max(delta, std::abs(next[s] - pi[s]));
+    pi = std::move(next);
+    if (delta < epsilon) break;
+  }
+  return pi;
+}
+
+std::vector<double> Dtmc::expected_steps_to(const std::vector<State>& targets,
+                                            double epsilon,
+                                            std::size_t max_iterations) const {
+  const std::size_t n = rows_.size();
+  std::vector<bool> is_target(n, false);
+  for (const State t : targets) is_target[t] = true;
+
+  // States that reach the target with probability 1: complement of states
+  // from which an escape to a non-reaching region exists. We approximate
+  // with: must be able to reach, and every path stays in reaching states
+  // (sufficient for the chains used here); others get -1.
+  const std::vector<bool> reachable = can_reach(targets);
+  std::vector<double> h(n, 0.0);
+  for (State s = 0; s < n; ++s) {
+    if (!reachable[s]) h[s] = -1.0;
+  }
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    double delta = 0.0;
+    for (State s = 0; s < n; ++s) {
+      if (is_target[s] || h[s] < 0.0) continue;
+      double v = 1.0;
+      bool infinite = false;
+      for (const Entry& e : rows_[s]) {
+        if (h[e.to] < 0.0) {
+          infinite = true;
+          break;
+        }
+        v += e.p * h[e.to];
+      }
+      if (infinite) {
+        h[s] = -1.0;
+        continue;
+      }
+      delta = std::max(delta, std::abs(v - h[s]));
+      h[s] = v;
+    }
+    if (delta < epsilon) break;
+  }
+  return h;
+}
+
+ComponentChain make_component_chain(const ComponentChainRates& r) {
+  ComponentChain c;
+  c.ok = c.chain.add_state("ok");
+  c.degraded = c.chain.add_state("degraded");
+  c.failed = c.chain.add_state("failed");
+  c.recovering = c.chain.add_state("recovering");
+  c.chain.add_transition(c.ok, c.degraded, r.degrade);
+  c.chain.add_transition(c.ok, c.failed, r.fail_hard);
+  c.chain.add_transition(c.ok, c.ok, 1.0 - r.degrade - r.fail_hard);
+  c.chain.add_transition(c.degraded, c.failed, r.fail_soft);
+  c.chain.add_transition(c.degraded, c.ok, r.recover_soft);
+  c.chain.add_transition(c.degraded, c.degraded,
+                         1.0 - r.fail_soft - r.recover_soft);
+  c.chain.add_transition(c.failed, c.recovering, r.repair);
+  c.chain.add_transition(c.failed, c.failed, 1.0 - r.repair);
+  c.chain.add_transition(c.recovering, c.ok, r.restore);
+  c.chain.add_transition(c.recovering, c.recovering, 1.0 - r.restore);
+  return c;
+}
+
+}  // namespace riot::model

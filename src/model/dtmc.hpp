@@ -1,0 +1,94 @@
+// Discrete-time Markov chains and PCTL reachability.
+//
+// The quantitative side of Section IV ("stochastic processes or
+// uncertainty quantification techniques", "quantitative logical
+// properties"): model a device/link as a DTMC (ok, degraded, failed,
+// recovering, ...) and ask
+//
+//   P=? [ F target ]          unbounded reachability
+//   P=? [ F<=k target ]       bounded reachability
+//   steady-state distribution (power iteration)
+//
+// Unbounded reachability uses the standard qualitative precomputation
+// (prob0 via backwards reachability) followed by Gauss–Seidel value
+// iteration on the remaining states.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace riot::model {
+
+class Dtmc {
+ public:
+  using State = std::uint32_t;
+
+  State add_state(std::string name = {});
+  /// Add P(from -> to) = p. Row sums are validated by validate().
+  void add_transition(State from, State to, double p);
+
+  [[nodiscard]] std::size_t state_count() const { return rows_.size(); }
+  [[nodiscard]] const std::string& name(State s) const { return names_[s]; }
+
+  /// True when every row sums to 1 within tolerance (absorbing states may
+  /// be declared by a self-loop or left rowless — rowless states are
+  /// treated as absorbing).
+  [[nodiscard]] bool validate(double tolerance = 1e-9) const;
+
+  /// Probability, per state, of eventually reaching any state in
+  /// `targets`.
+  [[nodiscard]] std::vector<double> reach_probability(
+      const std::vector<State>& targets, double epsilon = 1e-10,
+      std::size_t max_iterations = 100000) const;
+
+  /// Probability of reaching `targets` within `k` steps.
+  [[nodiscard]] std::vector<double> bounded_reach_probability(
+      const std::vector<State>& targets, std::size_t k) const;
+
+  /// Long-run distribution from `initial` by power iteration (chain should
+  /// be ergodic for this to be meaningful).
+  [[nodiscard]] std::vector<double> steady_state(
+      State initial, double epsilon = 1e-12,
+      std::size_t max_iterations = 100000) const;
+
+  /// Expected number of steps to reach `targets` from each state
+  /// (infinity encoded as -1 for states that cannot reach them).
+  [[nodiscard]] std::vector<double> expected_steps_to(
+      const std::vector<State>& targets, double epsilon = 1e-10,
+      std::size_t max_iterations = 100000) const;
+
+ private:
+  struct Entry {
+    State to;
+    double p;
+  };
+
+  /// States that can reach `targets` with positive probability.
+  [[nodiscard]] std::vector<bool> can_reach(
+      const std::vector<State>& targets) const;
+
+  std::vector<std::vector<Entry>> rows_;
+  std::vector<std::string> names_;
+};
+
+/// Canonical resilience chain used in docs/tests/benches: a component that
+/// is ok, degrades, fails, and recovers — with tunable rates.
+struct ComponentChainRates {
+  double degrade = 0.05;   // ok -> degraded
+  double fail_soft = 0.10; // degraded -> failed
+  double fail_hard = 0.01; // ok -> failed directly
+  double repair = 0.30;    // failed -> recovering
+  double restore = 0.50;   // recovering -> ok
+  double recover_soft = 0.20;  // degraded -> ok
+};
+
+struct ComponentChain {
+  Dtmc chain;
+  Dtmc::State ok, degraded, failed, recovering;
+};
+
+ComponentChain make_component_chain(const ComponentChainRates& rates);
+
+}  // namespace riot::model

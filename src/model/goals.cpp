@@ -1,0 +1,105 @@
+#include "model/goals.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace riot::model {
+
+GoalId GoalModel::add_goal(std::string name, Refinement refinement) {
+  const GoalId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{.name = std::move(name),
+                        .type = GoalType::kGoal,
+                        .refinement = refinement});
+  return id;
+}
+
+GoalId GoalModel::add_requirement(std::string name, GoalId parent) {
+  const GoalId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(
+      Node{.name = std::move(name), .type = GoalType::kRequirement});
+  add_child(parent, id);
+  return id;
+}
+
+GoalId GoalModel::add_obstacle(std::string name, GoalId target,
+                               double severity) {
+  const GoalId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{.name = std::move(name),
+                        .type = GoalType::kObstacle,
+                        .leaf_satisfaction = 0.0});  // inactive by default
+  if (!target.valid() || target.value >= nodes_.size() - 1) {
+    throw std::out_of_range("GoalModel::add_obstacle: unknown target");
+  }
+  nodes_[target.value].obstacles.emplace_back(
+      id, std::clamp(severity, 0.0, 1.0));
+  return id;
+}
+
+void GoalModel::add_child(GoalId parent, GoalId child) {
+  if (!parent.valid() || parent.value >= nodes_.size() || !child.valid() ||
+      child.value >= nodes_.size()) {
+    throw std::out_of_range("GoalModel::add_child");
+  }
+  nodes_[parent.value].children.push_back(child);
+}
+
+void GoalModel::set_satisfaction(GoalId leaf, double value) {
+  if (!leaf.valid() || leaf.value >= nodes_.size()) {
+    throw std::out_of_range("GoalModel::set_satisfaction");
+  }
+  nodes_[leaf.value].leaf_satisfaction = std::clamp(value, 0.0, 1.0);
+}
+
+const GoalModel::Node& GoalModel::node(GoalId id) const {
+  if (!id.valid() || id.value >= nodes_.size()) {
+    throw std::out_of_range("GoalModel::node");
+  }
+  return nodes_[id.value];
+}
+
+double GoalModel::raw_satisfaction(GoalId id) const {
+  const Node& n = node(id);
+  if (n.children.empty()) return n.leaf_satisfaction;
+  double value = n.refinement == Refinement::kAnd ? 1.0 : 0.0;
+  for (const GoalId child : n.children) {
+    const double child_sat = satisfaction(child);
+    value = n.refinement == Refinement::kAnd ? std::min(value, child_sat)
+                                             : std::max(value, child_sat);
+  }
+  return value;
+}
+
+double GoalModel::satisfaction(GoalId id) const {
+  const Node& n = node(id);
+  double value = raw_satisfaction(id);
+  for (const auto& [obstacle, severity] : n.obstacles) {
+    value *= 1.0 - severity * node(obstacle).leaf_satisfaction;
+  }
+  return std::clamp(value, 0.0, 1.0);
+}
+
+std::vector<std::pair<GoalId, double>> GoalModel::weakest_requirements()
+    const {
+  std::vector<std::pair<GoalId, double>> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type == GoalType::kRequirement) {
+      out.emplace_back(GoalId{i}, nodes_[i].leaf_satisfaction);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second
+                                : a.first.value < b.first.value;
+  });
+  return out;
+}
+
+const std::string& GoalModel::name(GoalId id) const { return node(id).name; }
+
+std::optional<GoalId> GoalModel::find(const std::string& name) const {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return GoalId{i};
+  }
+  return std::nullopt;
+}
+
+}  // namespace riot::model

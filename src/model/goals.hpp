@@ -1,0 +1,77 @@
+// Goal models (KAOS-style) with obstacle analysis.
+//
+// Section IV: "requirements methods (e.g. goal modeling and validation)
+// can be applied in novel ways" — system-wide requirements state desired
+// collective behaviour, refined down to leaf requirements that concrete
+// probes can score. Satisfaction propagates upward:
+//
+//   AND-refined goal = min of children   (all subgoals needed)
+//   OR-refined goal  = max of children   (alternatives)
+//
+// Obstacles attach to goals and *discount* them: sat' = sat * (1 -
+// severity * obstacle_sat), modelling partial degradation (e.g. "cloud
+// link down" obstructs "telemetry archived" without nullifying sibling
+// goals). The MAPE planner (src/adapt) uses the model both to detect which
+// goal is failing and to validate candidate reconfigurations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace riot::model {
+
+enum class GoalType : std::uint8_t { kGoal, kRequirement, kObstacle };
+enum class Refinement : std::uint8_t { kAnd, kOr };
+
+struct GoalId {
+  std::uint32_t value = 0xffffffff;
+  [[nodiscard]] constexpr bool valid() const { return value != 0xffffffff; }
+  constexpr auto operator<=>(const GoalId&) const = default;
+};
+
+class GoalModel {
+ public:
+  GoalId add_goal(std::string name, Refinement refinement = Refinement::kAnd);
+  /// A leaf requirement; its satisfaction is set externally (by probes).
+  GoalId add_requirement(std::string name, GoalId parent);
+  /// An obstacle obstructing `target` with the given severity in [0,1].
+  GoalId add_obstacle(std::string name, GoalId target, double severity);
+
+  void add_child(GoalId parent, GoalId child);
+
+  /// Set a leaf's satisfaction in [0,1] (requirements and obstacles; for
+  /// obstacles 1 = fully active).
+  void set_satisfaction(GoalId leaf, double value);
+
+  /// Propagated satisfaction of any node in [0,1].
+  [[nodiscard]] double satisfaction(GoalId id) const;
+
+  /// Leaves sorted by satisfaction ascending — "what is failing most".
+  [[nodiscard]] std::vector<std::pair<GoalId, double>> weakest_requirements()
+      const;
+
+  [[nodiscard]] const std::string& name(GoalId id) const;
+  [[nodiscard]] std::optional<GoalId> find(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string name;
+    GoalType type = GoalType::kGoal;
+    Refinement refinement = Refinement::kAnd;
+    std::vector<GoalId> children;
+    std::vector<std::pair<GoalId, double>> obstacles;  // (obstacle, severity)
+    double leaf_satisfaction = 1.0;
+  };
+
+  [[nodiscard]] const Node& node(GoalId id) const;
+  [[nodiscard]] double raw_satisfaction(GoalId id) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace riot::model

@@ -1,0 +1,54 @@
+#include "model/kripke.hpp"
+
+#include <stdexcept>
+
+namespace riot::model {
+
+PropId Kripke::prop(const std::string& name) {
+  if (auto it = prop_index_.find(name); it != prop_index_.end()) {
+    return it->second;
+  }
+  const PropId id = static_cast<PropId>(prop_names_.size());
+  prop_names_.push_back(name);
+  prop_index_.emplace(name, id);
+  labels_.emplace_back(successors_.size(), false);
+  return id;
+}
+
+StateId Kripke::add_state(const std::vector<PropId>& labels) {
+  const StateId id = static_cast<StateId>(successors_.size());
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  for (auto& per_prop : labels_) per_prop.push_back(false);
+  for (const PropId p : labels) label(id, p);
+  return id;
+}
+
+void Kripke::label(StateId state, PropId prop) {
+  if (prop >= labels_.size() || state >= successors_.size()) {
+    throw std::out_of_range("Kripke::label");
+  }
+  labels_[prop][state] = true;
+}
+
+bool Kripke::has_label(StateId state, PropId prop) const {
+  return prop < labels_.size() && state < labels_[prop].size() &&
+         labels_[prop][state];
+}
+
+void Kripke::add_transition(StateId from, StateId to) {
+  if (from >= successors_.size() || to >= successors_.size()) {
+    throw std::out_of_range("Kripke::add_transition");
+  }
+  successors_[from].push_back(to);
+  predecessors_[to].push_back(from);
+  ++transitions_;
+}
+
+void Kripke::complete_with_self_loops() {
+  for (StateId s = 0; s < successors_.size(); ++s) {
+    if (successors_[s].empty()) add_transition(s, s);
+  }
+}
+
+}  // namespace riot::model

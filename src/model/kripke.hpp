@@ -1,0 +1,63 @@
+// Kripke structures (labeled state-transition models).
+//
+// Section IV-B: "modeling is not merely a representation, but a foundation
+// for both design-time analysis of resilience factors and resilient system
+// operationalization." A Kripke structure is the common substrate of the
+// CTL checker (design-time, exhaustive) and of the trace semantics the
+// LTL monitors run against (runtime).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace riot::model {
+
+using StateId = std::uint32_t;
+using PropId = std::uint32_t;
+
+class Kripke {
+ public:
+  /// Register (or look up) an atomic proposition by name.
+  PropId prop(const std::string& name);
+  [[nodiscard]] std::size_t prop_count() const { return prop_names_.size(); }
+  [[nodiscard]] const std::string& prop_name(PropId p) const {
+    return prop_names_.at(p);
+  }
+
+  /// Add a state labeled with the given propositions. Returns its id.
+  StateId add_state(const std::vector<PropId>& labels = {});
+  void label(StateId state, PropId prop);
+  [[nodiscard]] bool has_label(StateId state, PropId prop) const;
+
+  void add_transition(StateId from, StateId to);
+  void set_initial(StateId state) { initial_.push_back(state); }
+
+  [[nodiscard]] std::size_t state_count() const { return successors_.size(); }
+  [[nodiscard]] std::size_t transition_count() const { return transitions_; }
+  [[nodiscard]] const std::vector<StateId>& successors(StateId s) const {
+    return successors_[s];
+  }
+  [[nodiscard]] const std::vector<StateId>& predecessors(StateId s) const {
+    return predecessors_[s];
+  }
+  [[nodiscard]] const std::vector<StateId>& initial_states() const {
+    return initial_;
+  }
+
+  /// CTL semantics require a total transition relation; make it total by
+  /// adding self-loops on deadlock states (standard completion).
+  void complete_with_self_loops();
+
+ private:
+  std::vector<std::string> prop_names_;
+  std::unordered_map<std::string, PropId> prop_index_;
+  std::vector<std::vector<StateId>> successors_;
+  std::vector<std::vector<StateId>> predecessors_;
+  std::vector<std::vector<bool>> labels_;  // [prop][state]
+  std::vector<StateId> initial_;
+  std::size_t transitions_ = 0;
+};
+
+}  // namespace riot::model

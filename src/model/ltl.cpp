@@ -1,0 +1,235 @@
+#include "model/ltl.hpp"
+
+namespace riot::model::ltl {
+
+namespace {
+
+FormulaPtr make(Op op, std::string prop_name, FormulaPtr left,
+                FormulaPtr right) {
+  auto f = std::make_shared<Formula>();
+  f->op = op;
+  f->prop = std::move(prop_name);
+  f->left = std::move(left);
+  f->right = std::move(right);
+  return f;
+}
+
+bool is_true(const FormulaPtr& f) { return f->op == Op::kTrue; }
+bool is_false(const FormulaPtr& f) { return f->op == Op::kFalse; }
+
+/// Structural equality — used by the simplifier to collapse idempotent
+/// conjunctions/disjunctions and keep residuals small.
+bool equal(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a->op != b->op || a->prop != b->prop) return false;
+  const bool left_ok = (a->left == nullptr) == (b->left == nullptr) &&
+                       (a->left == nullptr || equal(a->left, b->left));
+  if (!left_ok) return false;
+  return (a->right == nullptr) == (b->right == nullptr) &&
+         (a->right == nullptr || equal(a->right, b->right));
+}
+
+}  // namespace
+
+FormulaPtr truth() {
+  static const FormulaPtr t = make(Op::kTrue, {}, nullptr, nullptr);
+  return t;
+}
+FormulaPtr falsity() {
+  static const FormulaPtr f = make(Op::kFalse, {}, nullptr, nullptr);
+  return f;
+}
+FormulaPtr prop(std::string name) {
+  return make(Op::kProp, std::move(name), nullptr, nullptr);
+}
+
+/// Negation is pushed to the atoms (negation normal form) so that monitor
+/// residuals contain kNot only directly above propositions — this keeps
+/// both progression and finite-trace closure simple and sound.
+FormulaPtr not_(FormulaPtr f) {
+  switch (f->op) {
+    case Op::kTrue:
+      return falsity();
+    case Op::kFalse:
+      return truth();
+    case Op::kProp:
+      return make(Op::kNot, {}, std::move(f), nullptr);
+    case Op::kNot:
+      return f->left;  // double negation
+    case Op::kAnd:
+      return or_(not_(f->left), not_(f->right));
+    case Op::kOr:
+      return and_(not_(f->left), not_(f->right));
+    case Op::kNext:
+      return next(not_(f->left));
+    case Op::kUntil:
+      return release(not_(f->left), not_(f->right));
+    case Op::kRelease:
+      return until(not_(f->left), not_(f->right));
+    case Op::kEventually:
+      return always(not_(f->left));
+    case Op::kAlways:
+      return eventually(not_(f->left));
+  }
+  return falsity();
+}
+
+FormulaPtr and_(FormulaPtr a, FormulaPtr b) {
+  if (is_false(a) || is_false(b)) return falsity();
+  if (is_true(a)) return b;
+  if (is_true(b)) return a;
+  if (equal(a, b)) return a;
+  return make(Op::kAnd, {}, std::move(a), std::move(b));
+}
+
+FormulaPtr or_(FormulaPtr a, FormulaPtr b) {
+  if (is_true(a) || is_true(b)) return truth();
+  if (is_false(a)) return b;
+  if (is_false(b)) return a;
+  if (equal(a, b)) return a;
+  return make(Op::kOr, {}, std::move(a), std::move(b));
+}
+
+FormulaPtr implies(FormulaPtr a, FormulaPtr b) {
+  return or_(not_(std::move(a)), std::move(b));
+}
+FormulaPtr next(FormulaPtr f) {
+  return make(Op::kNext, {}, std::move(f), nullptr);
+}
+FormulaPtr until(FormulaPtr a, FormulaPtr b) {
+  return make(Op::kUntil, {}, std::move(a), std::move(b));
+}
+FormulaPtr release(FormulaPtr a, FormulaPtr b) {
+  return make(Op::kRelease, {}, std::move(a), std::move(b));
+}
+FormulaPtr eventually(FormulaPtr f) {
+  return make(Op::kEventually, {}, std::move(f), nullptr);
+}
+FormulaPtr always(FormulaPtr f) {
+  return make(Op::kAlways, {}, std::move(f), nullptr);
+}
+
+std::string Formula::to_string() const {
+  switch (op) {
+    case Op::kTrue:
+      return "true";
+    case Op::kFalse:
+      return "false";
+    case Op::kProp:
+      return prop;
+    case Op::kNot:
+      return "!" + left->to_string();
+    case Op::kAnd:
+      return "(" + left->to_string() + " & " + right->to_string() + ")";
+    case Op::kOr:
+      return "(" + left->to_string() + " | " + right->to_string() + ")";
+    case Op::kNext:
+      return "X(" + left->to_string() + ")";
+    case Op::kUntil:
+      return "(" + left->to_string() + " U " + right->to_string() + ")";
+    case Op::kRelease:
+      return "(" + left->to_string() + " R " + right->to_string() + ")";
+    case Op::kEventually:
+      return "F(" + left->to_string() + ")";
+    case Op::kAlways:
+      return "G(" + left->to_string() + ")";
+  }
+  return "?";
+}
+
+FormulaPtr progress(const FormulaPtr& f, const State& state) {
+  switch (f->op) {
+    case Op::kTrue:
+    case Op::kFalse:
+      return f;
+    case Op::kProp:
+      return state.contains(f->prop) ? truth() : falsity();
+    case Op::kNot:  // NNF: operand is a proposition
+      return state.contains(f->left->prop) ? falsity() : truth();
+    case Op::kAnd:
+      return and_(progress(f->left, state), progress(f->right, state));
+    case Op::kOr:
+      return or_(progress(f->left, state), progress(f->right, state));
+    case Op::kNext:
+      return f->left;
+    case Op::kUntil:
+      // f U g  ≡  g | (f & X(f U g))
+      return or_(progress(f->right, state),
+                 and_(progress(f->left, state), f));
+    case Op::kRelease:
+      // f R g  ≡  g & (f | X(f R g))
+      return and_(progress(f->right, state),
+                  or_(progress(f->left, state), f));
+    case Op::kEventually:
+      return or_(progress(f->left, state), f);
+    case Op::kAlways:
+      return and_(progress(f->left, state), f);
+  }
+  return falsity();
+}
+
+std::size_t formula_size(const FormulaPtr& f) {
+  if (!f) return 0;
+  return 1 + formula_size(f->left) + formula_size(f->right);
+}
+
+std::string_view to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kInconclusive:
+      return "inconclusive";
+    case Verdict::kSatisfied:
+      return "satisfied";
+    case Verdict::kViolated:
+      return "violated";
+  }
+  return "?";
+}
+
+Verdict Monitor::step(const State& state) {
+  if (verdict_ != Verdict::kInconclusive) return verdict_;
+  ++steps_;
+  residual_ = progress(residual_, state);
+  if (is_true(residual_)) verdict_ = Verdict::kSatisfied;
+  if (is_false(residual_)) verdict_ = Verdict::kViolated;
+  return verdict_;
+}
+
+namespace {
+/// Finite-trace closure of a residual: obligations on states that will
+/// never come (props, X, U, F) fail; invariants that were never broken
+/// (G, R) hold.
+bool finite_eval(const FormulaPtr& f) {
+  switch (f->op) {
+    case Op::kTrue:
+      return true;
+    case Op::kFalse:
+    case Op::kProp:
+    case Op::kNot:
+    case Op::kNext:
+    case Op::kUntil:
+    case Op::kEventually:
+      return false;
+    case Op::kAnd:
+      return finite_eval(f->left) && finite_eval(f->right);
+    case Op::kOr:
+      return finite_eval(f->left) || finite_eval(f->right);
+    case Op::kRelease:
+    case Op::kAlways:
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+Verdict Monitor::conclude() const {
+  if (verdict_ != Verdict::kInconclusive) return verdict_;
+  return finite_eval(residual_) ? Verdict::kSatisfied : Verdict::kViolated;
+}
+
+void Monitor::reset() {
+  residual_ = initial_;
+  verdict_ = Verdict::kInconclusive;
+  steps_ = 0;
+}
+
+}  // namespace riot::model::ltl

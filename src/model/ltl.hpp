@@ -1,0 +1,109 @@
+// LTL runtime monitors by formula progression.
+//
+// Design-time checking (ctl.hpp) cannot cover "unforeseen or emergent
+// behaviors ... at the system's runtime" (Section VII). Runtime
+// verification closes the gap: a Monitor consumes the system's event trace
+// one state at a time and rewrites its LTL formula by *progression*
+// (Bauer/Leucker/Schallhart-style three-valued semantics):
+//
+//   prog(p, σ)      = σ(p)
+//   prog(X f, σ)    = f
+//   prog(f U g, σ)  = prog(g,σ) | (prog(f,σ) & f U g)
+//   prog(G f, σ)    = prog(f,σ) & G f
+//   prog(F f, σ)    = prog(f,σ) | F f
+//
+// The verdict is kSatisfied/kViolated as soon as the residual formula
+// collapses to true/false, kInconclusive otherwise. Progression is O(|φ|)
+// per event, cheap enough to run on edge components — which is precisely
+// why the MAPE analyzer (src/adapt) embeds these monitors.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace riot::model::ltl {
+
+enum class Op {
+  kTrue,
+  kFalse,
+  kProp,
+  kNot,
+  kAnd,
+  kOr,
+  kNext,
+  kUntil,
+  kRelease,
+  kEventually,
+  kAlways,
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct Formula {
+  Op op;
+  std::string prop;
+  FormulaPtr left;
+  FormulaPtr right;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+FormulaPtr truth();
+FormulaPtr falsity();
+FormulaPtr prop(std::string name);
+FormulaPtr not_(FormulaPtr f);
+FormulaPtr and_(FormulaPtr a, FormulaPtr b);
+FormulaPtr or_(FormulaPtr a, FormulaPtr b);
+FormulaPtr implies(FormulaPtr a, FormulaPtr b);
+FormulaPtr next(FormulaPtr f);
+FormulaPtr until(FormulaPtr a, FormulaPtr b);
+FormulaPtr release(FormulaPtr a, FormulaPtr b);
+FormulaPtr eventually(FormulaPtr f);
+FormulaPtr always(FormulaPtr f);
+
+/// The set of atomic propositions true in one trace state.
+using State = std::set<std::string>;
+
+/// One progression step: rewrite `f` against `state`, with boolean
+/// simplification.
+FormulaPtr progress(const FormulaPtr& f, const State& state);
+
+/// Structural formula size (AST nodes) — monitors guard against residual
+/// blow-up with it.
+std::size_t formula_size(const FormulaPtr& f);
+
+enum class Verdict { kInconclusive, kSatisfied, kViolated };
+
+std::string_view to_string(Verdict v);
+
+class Monitor {
+ public:
+  explicit Monitor(FormulaPtr formula)
+      : initial_(formula), residual_(std::move(formula)) {}
+
+  /// Feed the next trace state; returns the (possibly final) verdict.
+  Verdict step(const State& state);
+
+  /// End-of-trace evaluation with finite-trace semantics: an undischarged
+  /// eventually/until is a violation, an undischarged always is satisfied
+  /// (weak closure of the residual).
+  [[nodiscard]] Verdict conclude() const;
+
+  [[nodiscard]] Verdict verdict() const { return verdict_; }
+  [[nodiscard]] const FormulaPtr& residual() const { return residual_; }
+  [[nodiscard]] std::size_t steps() const { return steps_; }
+
+  /// Reset to the initial formula (monitor reuse across MAPE windows).
+  void reset();
+
+ private:
+  FormulaPtr initial_;
+  FormulaPtr residual_;
+  Verdict verdict_ = Verdict::kInconclusive;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace riot::model::ltl

@@ -1,0 +1,237 @@
+#include "model/mtl.hpp"
+
+#include <stdexcept>
+
+namespace riot::model::mtl {
+
+namespace {
+
+FormulaPtr make(Op op, std::string prop_name, FormulaPtr left,
+                FormulaPtr right, sim::SimTime bound = sim::kSimTimeZero) {
+  auto f = std::make_shared<Formula>();
+  f->op = op;
+  f->prop = std::move(prop_name);
+  f->left = std::move(left);
+  f->right = std::move(right);
+  f->bound = bound;
+  return f;
+}
+
+bool is_true(const FormulaPtr& f) { return f->op == Op::kTrue; }
+bool is_false(const FormulaPtr& f) { return f->op == Op::kFalse; }
+
+/// Copy a bounded node, arming its absolute deadline.
+FormulaPtr armed_copy(const Formula& f, sim::SimTime now) {
+  auto copy = std::make_shared<Formula>(f);
+  copy->armed = true;
+  copy->deadline = now + f.bound;
+  return copy;
+}
+
+}  // namespace
+
+FormulaPtr truth() {
+  static const FormulaPtr t = make(Op::kTrue, {}, nullptr, nullptr);
+  return t;
+}
+FormulaPtr falsity() {
+  static const FormulaPtr f = make(Op::kFalse, {}, nullptr, nullptr);
+  return f;
+}
+FormulaPtr prop(std::string name) {
+  return make(Op::kProp, std::move(name), nullptr, nullptr);
+}
+
+FormulaPtr not_(FormulaPtr f) {
+  switch (f->op) {
+    case Op::kTrue:
+      return falsity();
+    case Op::kFalse:
+      return truth();
+    case Op::kProp:
+      return make(Op::kNot, {}, std::move(f), nullptr);
+    case Op::kNot:
+      return f->left;
+    case Op::kAnd:
+      return or_(not_(f->left), not_(f->right));
+    case Op::kOr:
+      return and_(not_(f->left), not_(f->right));
+    case Op::kEventuallyWithin:
+      return make(Op::kAlwaysWithin, {}, not_(f->left), nullptr, f->bound);
+    case Op::kAlwaysWithin:
+      return make(Op::kEventuallyWithin, {}, not_(f->left), nullptr,
+                  f->bound);
+    case Op::kUntilWithin:
+    case Op::kAlways:
+      throw std::invalid_argument(
+          "mtl::not_: negation over U[<=d]/G is not supported; rewrite the "
+          "property in negation normal form");
+  }
+  return falsity();
+}
+
+FormulaPtr and_(FormulaPtr a, FormulaPtr b) {
+  if (is_false(a) || is_false(b)) return falsity();
+  if (is_true(a)) return b;
+  if (is_true(b)) return a;
+  return make(Op::kAnd, {}, std::move(a), std::move(b));
+}
+
+FormulaPtr or_(FormulaPtr a, FormulaPtr b) {
+  if (is_true(a) || is_true(b)) return truth();
+  if (is_false(a)) return b;
+  if (is_false(b)) return a;
+  return make(Op::kOr, {}, std::move(a), std::move(b));
+}
+
+FormulaPtr implies(FormulaPtr a, FormulaPtr b) {
+  return or_(not_(std::move(a)), std::move(b));
+}
+
+FormulaPtr eventually_within(sim::SimTime bound, FormulaPtr f) {
+  return make(Op::kEventuallyWithin, {}, std::move(f), nullptr, bound);
+}
+FormulaPtr always_within(sim::SimTime bound, FormulaPtr f) {
+  return make(Op::kAlwaysWithin, {}, std::move(f), nullptr, bound);
+}
+FormulaPtr until_within(sim::SimTime bound, FormulaPtr a, FormulaPtr b) {
+  return make(Op::kUntilWithin, {}, std::move(a), std::move(b), bound);
+}
+FormulaPtr always(FormulaPtr f) {
+  return make(Op::kAlways, {}, std::move(f), nullptr);
+}
+
+std::string Formula::to_string() const {
+  const auto bound_str = [this] {
+    return "[<=" + sim::format_time(bound) + "]";
+  };
+  switch (op) {
+    case Op::kTrue:
+      return "true";
+    case Op::kFalse:
+      return "false";
+    case Op::kProp:
+      return prop;
+    case Op::kNot:
+      return "!" + left->to_string();
+    case Op::kAnd:
+      return "(" + left->to_string() + " & " + right->to_string() + ")";
+    case Op::kOr:
+      return "(" + left->to_string() + " | " + right->to_string() + ")";
+    case Op::kEventuallyWithin:
+      return "F" + bound_str() + "(" + left->to_string() + ")";
+    case Op::kAlwaysWithin:
+      return "G" + bound_str() + "(" + left->to_string() + ")";
+    case Op::kUntilWithin:
+      return "(" + left->to_string() + " U" + bound_str() + " " +
+             right->to_string() + ")";
+    case Op::kAlways:
+      return "G(" + left->to_string() + ")";
+  }
+  return "?";
+}
+
+FormulaPtr progress(const FormulaPtr& f, const State& state,
+                    sim::SimTime now) {
+  switch (f->op) {
+    case Op::kTrue:
+    case Op::kFalse:
+      return f;
+    case Op::kProp:
+      return state.contains(f->prop) ? truth() : falsity();
+    case Op::kNot:
+      return state.contains(f->left->prop) ? falsity() : truth();
+    case Op::kAnd:
+      return and_(progress(f->left, state, now),
+                  progress(f->right, state, now));
+    case Op::kOr:
+      return or_(progress(f->left, state, now),
+                 progress(f->right, state, now));
+    case Op::kEventuallyWithin: {
+      const FormulaPtr armed = f->armed ? f : armed_copy(*f, now);
+      if (now > armed->deadline) return falsity();  // expired unmet
+      if (is_true(progress(armed->left, state, now))) return truth();
+      return armed;
+    }
+    case Op::kAlwaysWithin: {
+      const FormulaPtr armed = f->armed ? f : armed_copy(*f, now);
+      if (now > armed->deadline) return truth();  // window over, never broken
+      if (is_false(progress(armed->left, state, now))) return falsity();
+      return armed;
+    }
+    case Op::kUntilWithin: {
+      const FormulaPtr armed = f->armed ? f : armed_copy(*f, now);
+      if (is_true(progress(armed->right, state, now))) return truth();
+      if (now > armed->deadline) return falsity();
+      if (is_false(progress(armed->left, state, now))) return falsity();
+      return armed;
+    }
+    case Op::kAlways:
+      return and_(progress(f->left, state, now), f);
+  }
+  return falsity();
+}
+
+namespace {
+
+/// Resolve armed obligations whose deadline has passed; leaves everything
+/// else intact.
+FormulaPtr expire(const FormulaPtr& f, sim::SimTime now) {
+  switch (f->op) {
+    case Op::kEventuallyWithin:
+      if (f->armed && now > f->deadline) return falsity();
+      return f;
+    case Op::kAlwaysWithin:
+      if (f->armed && now > f->deadline) return truth();
+      return f;
+    case Op::kUntilWithin:
+      if (f->armed && now > f->deadline) return falsity();
+      return f;
+    case Op::kAnd:
+      return and_(expire(f->left, now), expire(f->right, now));
+    case Op::kOr:
+      return or_(expire(f->left, now), expire(f->right, now));
+    default:
+      return f;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kInconclusive:
+      return "inconclusive";
+    case Verdict::kSatisfied:
+      return "satisfied";
+    case Verdict::kViolated:
+      return "violated";
+  }
+  return "?";
+}
+
+Verdict Monitor::step(const State& state, sim::SimTime now) {
+  if (verdict_ != Verdict::kInconclusive) return verdict_;
+  residual_ = progress(residual_, state, now);
+  settle();
+  return verdict_;
+}
+
+Verdict Monitor::advance_time(sim::SimTime now) {
+  if (verdict_ != Verdict::kInconclusive) return verdict_;
+  residual_ = expire(residual_, now);
+  settle();
+  return verdict_;
+}
+
+void Monitor::settle() {
+  if (residual_->op == Op::kTrue) verdict_ = Verdict::kSatisfied;
+  if (residual_->op == Op::kFalse) verdict_ = Verdict::kViolated;
+}
+
+void Monitor::reset() {
+  residual_ = initial_;
+  verdict_ = Verdict::kInconclusive;
+}
+
+}  // namespace riot::model::mtl

@@ -1,0 +1,109 @@
+// Metric (time-bounded) LTL runtime monitors.
+//
+// IoT resilience requirements are rarely pure LTL — they carry deadlines:
+// "every request is answered within 3 seconds", "data is never stale for
+// longer than the freshness bound". mtl.hpp extends the progression
+// monitor of ltl.hpp with bounded temporal operators over *timestamped*
+// traces:
+//
+//   F[<=d] f   — f holds at some state with timestamp <= t_arm + d
+//   G[<=d] f   — f holds at every state with timestamp <= t_arm + d
+//   f U[<=d] g — g within d, f holding until then
+//
+// where t_arm is the time the obligation was instantiated (e.g. each time
+// `G(req -> F[<=d] resp)` sees a request). Progression rewrites bounded
+// operators carrying their absolute deadline; when the trace moves past a
+// deadline the obligation resolves (F: violated, G: satisfied).
+//
+// Compared to unbounded LTL this gives monitors that *converge on their
+// own*: a missed deadline becomes a definitive verdict at runtime instead
+// of an inconclusive residual, which is what the MAPE analyzer needs to
+// trigger counteractions promptly.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace riot::model::mtl {
+
+enum class Op {
+  kTrue,
+  kFalse,
+  kProp,
+  kNot,  // NNF: only over propositions
+  kAnd,
+  kOr,
+  kEventuallyWithin,  // F[<=bound]
+  kAlwaysWithin,      // G[<=bound]
+  kUntilWithin,       // U[<=bound]
+  kAlways,            // unbounded G (for wrapping response patterns)
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct Formula {
+  Op op;
+  std::string prop;
+  FormulaPtr left;
+  FormulaPtr right;
+  sim::SimTime bound = sim::kSimTimeZero;     // for bounded operators
+  sim::SimTime deadline = sim::kSimTimeMax;   // absolute, set when armed
+  bool armed = false;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+FormulaPtr truth();
+FormulaPtr falsity();
+FormulaPtr prop(std::string name);
+FormulaPtr not_(FormulaPtr f);  // pushes negation to atoms
+FormulaPtr and_(FormulaPtr a, FormulaPtr b);
+FormulaPtr or_(FormulaPtr a, FormulaPtr b);
+FormulaPtr implies(FormulaPtr a, FormulaPtr b);
+FormulaPtr eventually_within(sim::SimTime bound, FormulaPtr f);
+FormulaPtr always_within(sim::SimTime bound, FormulaPtr f);
+FormulaPtr until_within(sim::SimTime bound, FormulaPtr a, FormulaPtr b);
+FormulaPtr always(FormulaPtr f);
+
+using State = std::set<std::string>;
+
+/// One progression step at timestamp `now`.
+FormulaPtr progress(const FormulaPtr& f, const State& state,
+                    sim::SimTime now);
+
+enum class Verdict { kInconclusive, kSatisfied, kViolated };
+std::string_view to_string(Verdict v);
+
+class Monitor {
+ public:
+  explicit Monitor(FormulaPtr formula)
+      : initial_(formula), residual_(std::move(formula)) {}
+
+  /// Feed the trace state observed at `now` (timestamps must be
+  /// non-decreasing).
+  Verdict step(const State& state, sim::SimTime now);
+
+  /// Advance time without an observation: expire deadlines that have
+  /// passed. Useful between sparse events — a missed F[<=d] becomes
+  /// kViolated as soon as the clock passes the deadline, not at the next
+  /// event.
+  Verdict advance_time(sim::SimTime now);
+
+  [[nodiscard]] Verdict verdict() const { return verdict_; }
+  [[nodiscard]] const FormulaPtr& residual() const { return residual_; }
+  void reset();
+
+ private:
+  void settle();
+
+  FormulaPtr initial_;
+  FormulaPtr residual_;
+  Verdict verdict_ = Verdict::kInconclusive;
+};
+
+}  // namespace riot::model::mtl

@@ -1,0 +1,49 @@
+#include "model/uncertainty.hpp"
+
+namespace riot::model {
+
+std::string_view to_string(UncertaintyLocation v) {
+  switch (v) {
+    case UncertaintyLocation::kEnvironment:
+      return "environment";
+    case UncertaintyLocation::kModel:
+      return "model";
+    case UncertaintyLocation::kMonitoring:
+      return "monitoring";
+    case UncertaintyLocation::kAdaptation:
+      return "adaptation";
+  }
+  return "?";
+}
+
+std::string_view to_string(UncertaintyLevel v) {
+  switch (v) {
+    case UncertaintyLevel::kKnownUnknown:
+      return "known-unknown";
+    case UncertaintyLevel::kUnknownUnknown:
+      return "unknown-unknown";
+  }
+  return "?";
+}
+
+std::string_view to_string(UncertaintyNature v) {
+  switch (v) {
+    case UncertaintyNature::kEpistemic:
+      return "epistemic";
+    case UncertaintyNature::kAleatory:
+      return "aleatory";
+  }
+  return "?";
+}
+
+std::string describe(const UncertaintyTag& tag) {
+  std::string out;
+  out += to_string(tag.location);
+  out += "/";
+  out += to_string(tag.level);
+  out += "/";
+  out += to_string(tag.nature);
+  return out;
+}
+
+}  // namespace riot::model

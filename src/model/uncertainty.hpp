@@ -1,0 +1,48 @@
+// Uncertainty taxonomy.
+//
+// Section V cites a taxonomy classifying uncertainties "by the place where
+// they manifest, their level, and their nature — whether the uncertainty
+// is because of imperfect knowledge or variability". The knowledge base of
+// the MAPE loop annotates observations with these tags so analyzers and
+// planners can treat, e.g., a stale reading (epistemic, monitoring-level)
+// differently from genuine environment churn (aleatory, context-level).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace riot::model {
+
+/// Where the uncertainty manifests.
+enum class UncertaintyLocation : std::uint8_t {
+  kEnvironment,   // physical context (weather, human activity)
+  kModel,         // abstraction gaps in our own system model
+  kMonitoring,    // sensing/measurement error, staleness
+  kAdaptation,    // effect of our own countermeasures
+};
+
+/// How much is (un)known.
+enum class UncertaintyLevel : std::uint8_t {
+  kKnownUnknown,    // recognized, quantifiable (e.g. jitter bounds)
+  kUnknownUnknown,  // emergent, discovered only at runtime
+};
+
+/// Why it exists.
+enum class UncertaintyNature : std::uint8_t {
+  kEpistemic,  // imperfect knowledge; reducible by better observation
+  kAleatory,   // genuine variability; irreducible
+};
+
+struct UncertaintyTag {
+  UncertaintyLocation location = UncertaintyLocation::kEnvironment;
+  UncertaintyLevel level = UncertaintyLevel::kKnownUnknown;
+  UncertaintyNature nature = UncertaintyNature::kAleatory;
+};
+
+std::string_view to_string(UncertaintyLocation v);
+std::string_view to_string(UncertaintyLevel v);
+std::string_view to_string(UncertaintyNature v);
+std::string describe(const UncertaintyTag& tag);
+
+}  // namespace riot::model

@@ -1,0 +1,56 @@
+// Typed message envelope.
+//
+// riot protocols exchange strongly typed payload structs. The simulator
+// carries them in a type-erased envelope (std::any) and dispatches on the
+// payload's type at the receiver — the simulated analogue of a tagged wire
+// format, without a serialization layer that would add nothing to the
+// experiments. `wire_size` carries an estimated on-the-wire size so
+// bandwidth accounting stays meaningful.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <typeindex>
+#include <utility>
+
+#include "net/node_id.hpp"
+
+namespace riot::net {
+
+struct Message {
+  NodeId from;
+  NodeId to;
+  std::any payload;
+  std::type_index type = typeid(void);
+  std::uint32_t wire_size = 64;  // bytes; headers + payload estimate
+  std::uint64_t id = 0;          // assigned by the Network, unique per send
+};
+
+/// Payload types may advertise their approximate wire size by providing
+/// `std::uint32_t wire_size() const`; otherwise a default is used.
+template <typename T>
+concept HasWireSize = requires(const T& t) {
+  { t.wire_size() } -> std::convertible_to<std::uint32_t>;
+};
+
+template <typename T>
+std::uint32_t wire_size_of(const T& payload) {
+  if constexpr (HasWireSize<T>) {
+    return payload.wire_size() + 48;  // + header estimate
+  } else {
+    return static_cast<std::uint32_t>(sizeof(T)) + 48;
+  }
+}
+
+template <typename T>
+Message make_message(NodeId from, NodeId to, T payload) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.wire_size = wire_size_of(payload);
+  m.type = typeid(T);
+  m.payload = std::move(payload);
+  return m;
+}
+
+}  // namespace riot::net

@@ -1,0 +1,152 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace riot::net {
+
+Network::Network(sim::Simulation& simulation, sim::MetricsRegistry& metrics,
+                 sim::TraceLog& trace)
+    : sim_(simulation),
+      metrics_(metrics),
+      trace_(trace),
+      rng_(simulation.rng().split("network")),
+      link_model_([](NodeId, NodeId) { return LinkQuality{}; }) {}
+
+NodeId Network::register_endpoint(DeliveryHandler handler) {
+  if (!handler) {
+    throw std::invalid_argument("Network::register_endpoint: empty handler");
+  }
+  const NodeId id{static_cast<std::uint32_t>(endpoints_.size())};
+  endpoints_.push_back(Endpoint{std::move(handler), true, 0});
+  return id;
+}
+
+void Network::set_link(NodeId from, NodeId to, LinkQuality quality) {
+  link_overrides_[pair_key(from, to)] = quality;
+}
+
+void Network::clear_link_override(NodeId from, NodeId to) {
+  link_overrides_.erase(pair_key(from, to));
+}
+
+LinkQuality Network::link_quality(NodeId from, NodeId to) const {
+  if (auto it = link_overrides_.find(pair_key(from, to));
+      it != link_overrides_.end()) {
+    return it->second;
+  }
+  return link_model_(from, to);
+}
+
+void Network::set_node_up(NodeId id, bool up) {
+  endpoints_.at(id.value).up = up;
+}
+
+bool Network::node_up(NodeId id) const {
+  return id.value < endpoints_.size() && endpoints_[id.value].up;
+}
+
+void Network::partition(const std::vector<std::vector<NodeId>>& groups) {
+  // Nodes not listed stay in group 0; listed nodes get 1-based groups so a
+  // single-group call still splits them from the unlisted remainder.
+  for (auto& ep : endpoints_) ep.group = 0;
+  std::uint32_t g = 1;
+  for (const auto& group : groups) {
+    for (const NodeId id : group) endpoints_.at(id.value).group = g;
+    ++g;
+  }
+  partitioned_ = true;
+  trace_.log(sim_.now(), sim::TraceLevel::kWarn, "net",
+             sim::TraceEvent::kNoNode, "partition",
+             std::to_string(groups.size()) + " explicit groups");
+}
+
+void Network::isolate(NodeId id) {
+  auto& ep = endpoints_.at(id.value);
+  isolated_.emplace(id.value, ep.group);
+  // Unique group far above explicit partition groups.
+  ep.group = 0x8000'0000u | id.value;
+  partitioned_ = true;
+  trace_.log(sim_.now(), sim::TraceLevel::kWarn, "net", id.value, "isolate");
+}
+
+void Network::unisolate(NodeId id) {
+  auto it = isolated_.find(id.value);
+  if (it == isolated_.end()) return;
+  endpoints_.at(id.value).group = it->second;
+  isolated_.erase(it);
+  if (isolated_.empty()) {
+    // Still partitioned if explicit groups remain.
+    bool any = false;
+    for (const auto& ep : endpoints_) any = any || ep.group != 0;
+    partitioned_ = any;
+  }
+  trace_.log(sim_.now(), sim::TraceLevel::kInfo, "net", id.value, "unisolate");
+}
+
+void Network::heal_partition() {
+  for (auto& ep : endpoints_) ep.group = 0;
+  isolated_.clear();
+  partitioned_ = false;
+  trace_.log(sim_.now(), sim::TraceLevel::kInfo, "net",
+             sim::TraceEvent::kNoNode, "heal");
+}
+
+bool Network::reachable(NodeId from, NodeId to) const {
+  if (from.value >= endpoints_.size() || to.value >= endpoints_.size()) {
+    return false;
+  }
+  if (!partitioned_) return true;
+  return endpoints_[from.value].group == endpoints_[to.value].group;
+}
+
+std::uint64_t Network::submit(Message message) {
+  if (message.from.value >= endpoints_.size() ||
+      message.to.value >= endpoints_.size()) {
+    throw std::out_of_range("Network::submit: unknown endpoint");
+  }
+  if (!endpoints_[message.from.value].up) return 0;  // dead senders say nothing
+  message.id = next_message_id_++;
+  ++sent_;
+  bytes_sent_ += message.wire_size;
+  metrics_.counter("net.sent").increment();
+
+  // Partition and loss are evaluated at send time; liveness of the target
+  // at delivery time. (A message in flight when a partition starts still
+  // arrives — the window is one latency, negligible at our scales.)
+  if (!reachable(message.from, message.to)) {
+    ++dropped_;
+    metrics_.counter("net.dropped_partition").increment();
+    return message.id;
+  }
+  const LinkQuality q = link_quality(message.from, message.to);
+  const double loss = q.loss + ambient_loss_;
+  if (loss > 0.0 && rng_.chance(loss)) {
+    ++dropped_;
+    metrics_.counter("net.dropped_loss").increment();
+    return message.id;
+  }
+  sim::SimTime latency = q.base_latency;
+  if (q.jitter > sim::kSimTimeZero) {
+    latency += sim::nanos(static_cast<std::int64_t>(
+        rng_.uniform01() * static_cast<double>(q.jitter.count())));
+  }
+  const std::uint64_t id = message.id;
+  sim_.schedule_after(latency, [this, message = std::move(message)]() mutable {
+    deliver(std::move(message));
+  });
+  return id;
+}
+
+void Network::deliver(Message message) {
+  auto& ep = endpoints_[message.to.value];
+  if (!ep.up) {
+    ++dropped_;
+    metrics_.counter("net.dropped_dead_target").increment();
+    return;
+  }
+  ++delivered_;
+  metrics_.counter("net.delivered").increment();
+  ep.handler(message);
+}
+
+}  // namespace riot::net

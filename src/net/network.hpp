@@ -1,0 +1,140 @@
+// Simulated network fabric.
+//
+// The Network delivers typed messages between registered endpoints subject
+// to a link model (latency, jitter, loss), network partitions, and per-node
+// liveness — the substrate on which the paper's disruptions ("connectivity
+// to cloud control structures may not be persistent") are exercised.
+//
+// Latency classes mirror a contemporary IoT deployment:
+//   - kLan:   devices and their local edge/gateway     (~0.5 ms)
+//   - kMan:   edge-to-edge within a metro region        (~5 ms)
+//   - kWan:   anything traversing the internet to cloud (~50–150 ms)
+// The mapping from node pairs to classes is pluggable; src/core wires it
+// from device locations and classes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/node_id.hpp"
+#include "sim/metrics.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace riot::net {
+
+/// Quality of a directed link.
+struct LinkQuality {
+  sim::SimTime base_latency = sim::millis(1);
+  sim::SimTime jitter = sim::kSimTimeZero;  // uniform in [0, jitter)
+  double loss = 0.0;                        // message loss probability
+};
+
+/// Canonical latency classes (see file header).
+struct LatencyClasses {
+  LinkQuality lan{sim::micros(500), sim::micros(200), 0.001};
+  LinkQuality man{sim::millis(5), sim::millis(2), 0.002};
+  LinkQuality wan{sim::millis(50), sim::millis(20), 0.005};
+};
+
+class Network {
+ public:
+  using DeliveryHandler = std::function<void(const Message&)>;
+  using LinkModel = std::function<LinkQuality(NodeId from, NodeId to)>;
+
+  Network(sim::Simulation& simulation, sim::MetricsRegistry& metrics,
+          sim::TraceLog& trace);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register an endpoint; the handler is invoked on delivery. Returns the
+  /// assigned id.
+  NodeId register_endpoint(DeliveryHandler handler);
+
+  /// Replace the function mapping node pairs to link quality. Per-pair
+  /// overrides (set_link) take precedence.
+  void set_link_model(LinkModel model) { link_model_ = std::move(model); }
+
+  /// Override quality of the directed link from -> to.
+  void set_link(NodeId from, NodeId to, LinkQuality quality);
+  void clear_link_override(NodeId from, NodeId to);
+
+  /// Send a typed payload. Returns the message id (0 if dropped at source
+  /// because the sender is down).
+  template <typename T>
+  std::uint64_t send(NodeId from, NodeId to, T payload) {
+    return submit(make_message(from, to, std::move(payload)));
+  }
+
+  /// Lower-level entry used by the typed helpers and by Endpoint.
+  std::uint64_t submit(Message message);
+
+  // --- Liveness -----------------------------------------------------------
+  void set_node_up(NodeId id, bool up);
+  [[nodiscard]] bool node_up(NodeId id) const;
+
+  // --- Partitions ---------------------------------------------------------
+  // A partition assigns nodes to groups; messages cross groups only if the
+  // partition allows none (healed). Nodes not mentioned keep group 0.
+  void partition(const std::vector<std::vector<NodeId>>& groups);
+  /// Isolate a single node from everyone else (degenerate partition).
+  void isolate(NodeId id);
+  void unisolate(NodeId id);
+  void heal_partition();
+  [[nodiscard]] bool reachable(NodeId from, NodeId to) const;
+
+  /// Additional global loss applied on top of link loss (disturbance
+  /// injection; 0 = none, 1 = total blackout).
+  void set_ambient_loss(double loss) { ambient_loss_ = loss; }
+  [[nodiscard]] double ambient_loss() const { return ambient_loss_; }
+
+  /// Effective quality of the directed link (override, else model).
+  [[nodiscard]] LinkQuality link_quality(NodeId from, NodeId to) const;
+
+  [[nodiscard]] std::size_t size() const { return endpoints_.size(); }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] sim::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] sim::TraceLog& trace() { return trace_; }
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Endpoint {
+    DeliveryHandler handler;
+    bool up = true;
+    std::uint32_t group = 0;
+  };
+
+  void deliver(Message message);
+
+  sim::Simulation& sim_;
+  sim::MetricsRegistry& metrics_;
+  sim::TraceLog& trace_;
+  sim::Rng rng_;
+  std::vector<Endpoint> endpoints_;
+  LinkModel link_model_;
+  std::unordered_map<std::uint64_t, LinkQuality> link_overrides_;
+  std::unordered_map<std::uint32_t, std::uint32_t> isolated_;  // id -> saved group
+  bool partitioned_ = false;
+  double ambient_loss_ = 0.0;
+  std::uint64_t next_message_id_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+
+  static std::uint64_t pair_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+  }
+};
+
+}  // namespace riot::net

@@ -1,0 +1,145 @@
+// Protocol node base class.
+//
+// A Node is one software component with an address on the Network. It
+// provides:
+//   - typed message handlers:       on<Ping>([](NodeId from, const Ping&){...})
+//   - typed sends:                  send(peer, Pong{...})
+//   - crash-safe timers:            after(...)/every(...) are silently
+//     dropped once the node crashes (epoch check), matching the semantics
+//     of a process losing its in-memory state
+//   - a lifecycle:                  crash()/recover() with on_start /
+//     on_crash / on_recover virtuals. State that must survive a crash
+//     (e.g. Raft's persistent term/log) lives *outside* the node in an
+//     explicitly persistent store.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "net/node_id.hpp"
+#include "sim/simulation.hpp"
+
+namespace riot::net {
+
+class Node {
+ public:
+  /// Registers with the network. The node starts alive; on_start() is NOT
+  /// called from the constructor (the subclass is not constructed yet) —
+  /// call start() after construction.
+  explicit Node(Network& network)
+      : net_(network), sim_(network.simulation()) {
+    id_ = net_.register_endpoint(
+        [this](const Message& m) { dispatch(m); });
+  }
+
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] sim::SimTime now() const { return sim_.now(); }
+  [[nodiscard]] Network& network() { return net_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+  /// Invoke after construction to run on_start().
+  void start() { on_start(); }
+
+  /// Crash: the node loses all volatile behaviour — handlers stay
+  /// registered but messages are not delivered (network drops them), and
+  /// all pending timers are invalidated.
+  void crash() {
+    if (!alive_) return;
+    alive_ = false;
+    ++epoch_;
+    net_.set_node_up(id_, false);
+    on_crash();
+  }
+
+  /// Recover from a crash; bumps the epoch (old timers stay dead) and
+  /// calls on_recover() so the subclass can re-arm from persistent state.
+  void recover() {
+    if (alive_) return;
+    alive_ = true;
+    ++epoch_;
+    net_.set_node_up(id_, true);
+    on_recover();
+  }
+
+  /// Register a handler for payload type T.
+  template <typename T>
+  void on(std::function<void(NodeId from, const T&)> handler) {
+    handlers_[typeid(T)] = [handler = std::move(handler)](const Message& m) {
+      handler(m.from, std::any_cast<const T&>(m.payload));
+    };
+  }
+
+  /// Send a typed payload to a peer. No-op (returns 0) while crashed.
+  template <typename T>
+  std::uint64_t send(NodeId to, T payload) {
+    if (!alive_) return 0;
+    return net_.send(id_, to, std::move(payload));
+  }
+
+  /// One-shot timer that dies with the node's current epoch.
+  sim::EventId after(sim::SimTime delay, std::function<void()> fn) {
+    const std::uint64_t epoch = epoch_;
+    return sim_.schedule_after(delay,
+                               [this, epoch, fn = std::move(fn)] {
+                                 if (alive_ && epoch_ == epoch) fn();
+                               });
+  }
+
+  /// Periodic timer that dies with the node's current epoch. Returns the
+  /// id for cancellation; a crashed node's periodic timers self-cancel.
+  sim::EventId every(sim::SimTime period, std::function<void()> fn) {
+    const std::uint64_t epoch = epoch_;
+    auto holder = std::make_shared<sim::EventId>(sim::kInvalidEventId);
+    const sim::EventId id = sim_.schedule_every(
+        period, [this, epoch, holder, fn = std::move(fn)] {
+          if (!alive_ || epoch_ != epoch) {
+            sim_.cancel(*holder);
+            return;
+          }
+          fn();
+        });
+    *holder = id;
+    return id;
+  }
+
+  void cancel(sim::EventId id) { sim_.cancel(id); }
+
+ protected:
+  virtual void on_start() {}
+  virtual void on_crash() {}
+  virtual void on_recover() {}
+
+  /// Called for payload types with no registered handler; default ignores.
+  virtual void on_unhandled(const Message&) {}
+
+ private:
+  void dispatch(const Message& m) {
+    if (!alive_) return;
+    if (auto it = handlers_.find(m.type); it != handlers_.end()) {
+      it->second(m);
+    } else {
+      on_unhandled(m);
+    }
+  }
+
+  Network& net_;
+  sim::Simulation& sim_;
+  NodeId id_;
+  bool alive_ = true;
+  std::uint64_t epoch_ = 0;
+  std::unordered_map<std::type_index, std::function<void(const Message&)>>
+      handlers_;
+};
+
+}  // namespace riot::net

@@ -1,0 +1,36 @@
+// Strongly typed node identity.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace riot::net {
+
+/// Identifies one addressable entity in the system — a device, an edge
+/// node, or a cloud service instance. Ids are dense small integers
+/// assigned by the Network at registration time.
+struct NodeId {
+  std::uint32_t value = kInvalidValue;
+
+  static constexpr std::uint32_t kInvalidValue = 0xffffffff;
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalidValue; }
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+constexpr NodeId kInvalidNode{};
+
+inline std::string to_string(NodeId id) {
+  return id.valid() ? "n" + std::to_string(id.value) : "n?";
+}
+
+}  // namespace riot::net
+
+template <>
+struct std::hash<riot::net::NodeId> {
+  std::size_t operator()(const riot::net::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

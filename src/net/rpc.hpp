@@ -1,0 +1,149 @@
+// Request/response RPC over the message substrate.
+//
+// RpcEndpoint decorates a Node with correlated request/response semantics:
+// timeouts, bounded retries, and typed server handlers. Used by protocols
+// that are naturally call-shaped (scheduler placement calls, cloud API
+// calls) — gossip/consensus traffic stays on raw typed messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace riot::net {
+
+namespace detail {
+
+struct RpcRequestEnvelope {
+  std::uint64_t call_id;
+  std::type_index body_type;
+  std::any body;
+  std::uint32_t body_size;
+  std::uint32_t wire_size() const { return body_size; }
+};
+
+struct RpcResponseEnvelope {
+  std::uint64_t call_id;
+  std::any body;
+  std::uint32_t body_size;
+  std::uint32_t wire_size() const { return body_size; }
+};
+
+}  // namespace detail
+
+struct RpcOptions {
+  sim::SimTime timeout = sim::millis(500);
+  int max_attempts = 1;  // 1 = no retry
+};
+
+class RpcEndpoint {
+ public:
+  explicit RpcEndpoint(Node& node) : node_(node) {
+    node_.on<detail::RpcRequestEnvelope>(
+        [this](NodeId from, const detail::RpcRequestEnvelope& env) {
+          handle_request(from, env);
+        });
+    node_.on<detail::RpcResponseEnvelope>(
+        [this](NodeId from, const detail::RpcResponseEnvelope& env) {
+          handle_response(from, env);
+        });
+  }
+
+  /// Register a server handler: Req -> Resp.
+  template <typename Req, typename Resp>
+  void serve(std::function<Resp(NodeId from, const Req&)> handler) {
+    servers_[typeid(Req)] = [this, handler = std::move(handler)](
+                                NodeId from,
+                                const detail::RpcRequestEnvelope& env) {
+      Resp resp = handler(from, std::any_cast<const Req&>(env.body));
+      const std::uint32_t size = wire_size_of(resp);
+      node_.send(from, detail::RpcResponseEnvelope{env.call_id,
+                                                   std::move(resp), size});
+    };
+  }
+
+  /// Issue a call. `done` receives nullopt on timeout (after all retry
+  /// attempts are exhausted).
+  template <typename Req, typename Resp>
+  void call(NodeId to, Req request, RpcOptions options,
+            std::function<void(std::optional<Resp>)> done) {
+    attempt<Req, Resp>(to, std::move(request), options, 1, std::move(done));
+  }
+
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+
+ private:
+  struct Pending {
+    std::function<void(std::optional<std::any>)> complete;
+    sim::EventId timeout_event;
+  };
+
+  template <typename Req, typename Resp>
+  void attempt(NodeId to, Req request, RpcOptions options, int attempt_no,
+               std::function<void(std::optional<Resp>)> done) {
+    const std::uint64_t call_id = next_call_id_++;
+    const std::uint32_t size = wire_size_of(request);
+    Pending pending;
+    pending.complete = [done](std::optional<std::any> body) {
+      if (!body.has_value()) {
+        done(std::nullopt);
+      } else {
+        done(std::any_cast<Resp>(std::move(*body)));
+      }
+    };
+    pending.timeout_event = node_.after(
+        options.timeout,
+        [this, call_id, to, request, options, attempt_no, done]() mutable {
+          auto it = pending_.find(call_id);
+          if (it == pending_.end()) return;  // already completed
+          pending_.erase(it);
+          ++timeouts_;
+          if (attempt_no < options.max_attempts) {
+            attempt<Req, Resp>(to, std::move(request), options,
+                               attempt_no + 1, std::move(done));
+          } else {
+            done(std::nullopt);
+          }
+        });
+    pending_.emplace(call_id, std::move(pending));
+    node_.send(to, detail::RpcRequestEnvelope{call_id, typeid(Req),
+                                              std::move(request), size});
+  }
+
+  void handle_request(NodeId from, const detail::RpcRequestEnvelope& env) {
+    if (auto it = servers_.find(env.body_type); it != servers_.end()) {
+      it->second(from, env);
+    }
+    // Unknown request types are dropped; the caller times out, which is
+    // the honest failure mode for talking to the wrong endpoint.
+  }
+
+  void handle_response(NodeId /*from*/,
+                       const detail::RpcResponseEnvelope& env) {
+    auto it = pending_.find(env.call_id);
+    if (it == pending_.end()) return;  // late response after timeout
+    auto pending = std::move(it->second);
+    pending_.erase(it);
+    node_.cancel(pending.timeout_event);
+    ++completed_;
+    pending.complete(env.body);
+  }
+
+  Node& node_;
+  std::uint64_t next_call_id_ = 1;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t completed_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::type_index,
+                     std::function<void(NodeId,
+                                        const detail::RpcRequestEnvelope&)>>
+      servers_;
+};
+
+}  // namespace riot::net

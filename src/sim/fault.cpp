@@ -1,0 +1,73 @@
+#include "sim/fault.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace riot::sim {
+
+void FaultInjector::plan(PlannedFault fault) {
+  if (!fault.disruption.apply) {
+    throw std::invalid_argument("FaultInjector::plan: missing apply hook");
+  }
+  plan_.push_back(std::move(fault));
+}
+
+void FaultInjector::plan_at(SimTime at, std::string name,
+                            std::function<void()> apply) {
+  plan(PlannedFault{at, kSimTimeZero,
+                    Disruption{std::move(name), std::move(apply), {}}});
+}
+
+void FaultInjector::plan_window(SimTime start, SimTime duration,
+                                std::string name,
+                                std::function<void()> apply,
+                                std::function<void()> revert) {
+  plan(PlannedFault{start, duration,
+                    Disruption{std::move(name), std::move(apply),
+                               std::move(revert)}});
+}
+
+void FaultInjector::plan_poisson(SimTime first_after, SimTime until,
+                                 SimTime mean_interarrival, SimTime duration,
+                                 std::function<Disruption()> make) {
+  if (mean_interarrival <= kSimTimeZero) {
+    throw std::invalid_argument("plan_poisson: mean_interarrival <= 0");
+  }
+  // Pre-draw the whole arrival process now so that arming order does not
+  // perturb other random streams.
+  SimTime t = first_after +
+              seconds_f(rng_.exponential(to_seconds(mean_interarrival)));
+  while (t < until) {
+    plan_.push_back(PlannedFault{t, duration, make()});
+    t += seconds_f(rng_.exponential(to_seconds(mean_interarrival)));
+  }
+}
+
+void FaultInjector::arm() {
+  for (; armed_ < plan_.size(); ++armed_) {
+    // Index-based capture: plan_ may still grow, but entries are stable
+    // because we only push_back and fire() takes the entry by index.
+    const std::size_t i = armed_;
+    sim_.schedule_at(plan_[i].start, [this, i] { fire(plan_[i]); });
+  }
+}
+
+void FaultInjector::fire(const PlannedFault& fault) {
+  ++injected_;
+  trace_.log(sim_.now(), TraceLevel::kWarn, "fault", TraceEvent::kNoNode,
+             "inject", fault.disruption.name);
+  fault.disruption.apply();
+  if (fault.duration > kSimTimeZero && fault.disruption.revert) {
+    // Copy what we need; the plan entry may move if the vector grows.
+    auto revert = fault.disruption.revert;
+    auto name = fault.disruption.name;
+    sim_.schedule_after(fault.duration, [this, revert = std::move(revert),
+                                         name = std::move(name)] {
+      trace_.log(sim_.now(), TraceLevel::kInfo, "fault", TraceEvent::kNoNode,
+                 "revert", name);
+      revert();
+    });
+  }
+}
+
+}  // namespace riot::sim

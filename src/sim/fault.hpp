@@ -1,0 +1,86 @@
+// Fault injection.
+//
+// The paper (Sections I–III) enumerates the disruptions resilient IoT must
+// survive: internal faults (crashes), non-persistent cloud connectivity,
+// network partitions, administrative-domain transfer, adverse/untrusted
+// environments, and resource exhaustion. FaultInjector turns these into a
+// reproducible schedule of actions against hooks registered by the upper
+// layers (network, devices, core system).
+//
+// The injector itself is deliberately generic: it owns *when* disruptions
+// happen (fixed schedule and/or Poisson processes) while the registered
+// hooks own *how* they are applied, so new disruption types never require
+// kernel changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace riot::sim {
+
+/// A named, reversible disruption. `apply` starts it, `revert` (optional)
+/// ends it.
+struct Disruption {
+  std::string name;
+  std::function<void()> apply;
+  std::function<void()> revert;  // empty => not reversible (e.g. crash-only)
+};
+
+/// One entry of a fault plan: disruption active during [start, start+duration).
+/// A zero duration with no revert models a one-shot event.
+struct PlannedFault {
+  SimTime start;
+  SimTime duration;
+  Disruption disruption;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulation& simulation, TraceLog& trace)
+      : sim_(simulation), trace_(trace), rng_(simulation.rng().split("fault")) {}
+
+  /// Schedule a one-shot or windowed disruption.
+  void plan(PlannedFault fault);
+
+  /// Convenience: one-shot event at `at`.
+  void plan_at(SimTime at, std::string name, std::function<void()> apply);
+
+  /// Convenience: windowed disruption over [start, start+duration).
+  void plan_window(SimTime start, SimTime duration, std::string name,
+                   std::function<void()> apply,
+                   std::function<void()> revert);
+
+  /// Poisson-process faults: on average every `mean_interarrival`, draw a
+  /// target via `make` (which returns the disruption to apply; it may be
+  /// windowed via `duration`). Runs until `until`.
+  void plan_poisson(SimTime first_after, SimTime until,
+                    SimTime mean_interarrival, SimTime duration,
+                    std::function<Disruption()> make);
+
+  /// Install all planned faults into the simulation. Call once, before
+  /// running. Idempotent per plan entry.
+  void arm();
+
+  [[nodiscard]] std::size_t injected_count() const { return injected_; }
+  [[nodiscard]] const std::vector<PlannedFault>& plan_entries() const {
+    return plan_;
+  }
+
+ private:
+  void fire(const PlannedFault& fault);
+
+  Simulation& sim_;
+  TraceLog& trace_;
+  Rng rng_;
+  std::vector<PlannedFault> plan_;
+  std::size_t armed_ = 0;  // how many plan entries are already installed
+  std::size_t injected_ = 0;
+};
+
+}  // namespace riot::sim

@@ -1,0 +1,112 @@
+#include "sim/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace riot::sim {
+
+int Histogram::bucket_for(double v) {
+  if (!(v >= 1.0)) return 0;  // also catches NaN
+  if (v >= 0x1.0p63) return kBuckets - 1;
+  const auto iv = static_cast<std::uint64_t>(v);
+  const int octave = 63 - std::countl_zero(iv);
+  // Sub-bucket from the bits just below the leading one.
+  const int sub =
+      octave >= kSubBits
+          ? static_cast<int>((iv >> (octave - kSubBits)) & (kSub - 1))
+          : static_cast<int>((iv << (kSubBits - octave)) & (kSub - 1));
+  return 1 + octave * kSub + sub;
+}
+
+double Histogram::bucket_value(int b) {
+  if (b <= 0) return 0.5;
+  const int octave = (b - 1) / kSub;
+  const int sub = (b - 1) % kSub;
+  const double base = std::ldexp(1.0, octave);
+  const double step = base / kSub;
+  return base + step * (sub + 0.5);
+}
+
+void Histogram::record(double v) {
+  if (std::isnan(v)) return;
+  if (v < 0.0) v = 0.0;
+  buckets_[static_cast<std::size_t>(bucket_for(v))] += 1;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen > rank) return std::clamp(bucket_value(b), min_, max_);
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double TimeSeries::mean_over(SimTime from, SimTime to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.at >= from && p.at <= to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::fraction_at_least(SimTime from, SimTime to,
+                                     double threshold) const {
+  std::size_t hit = 0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.at >= from && p.at <= to) {
+      ++n;
+      if (p.value >= threshold) ++hit;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(hit) / static_cast<double>(n);
+}
+
+std::string MetricsRegistry::report() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof line, "%-40s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof line, "%-40s %12.3f\n", name.c_str(),
+                  g.value());
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof line,
+                  "%-40s n=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f "
+                  "max=%.2f\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count()),
+                  h.mean(), h.p50(), h.p95(), h.p99(), h.max());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace riot::sim

@@ -1,0 +1,131 @@
+// Metrics: counters, gauges and log-bucketed histograms.
+//
+// Every experiment in riot reports through a MetricsRegistry so that bench
+// harnesses can print uniform tables. Histograms use logarithmic buckets
+// (HDR-style, ~4.6% relative error) which is plenty for latency shapes.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace riot::sim {
+
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram over non-negative doubles.
+class Histogram {
+ public:
+  void record(double v);
+  void record_time(SimTime t) { record(to_micros(t)); }  // canonical unit: us
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// Quantile in [0, 1]; returns the representative value of the bucket
+  /// containing the q-th sample.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  void reset();
+
+ private:
+  // Buckets: [0] for v < 1; then 64 octaves x 16 sub-buckets covering
+  // [1, 2^64) with ~4.6% relative resolution.
+  static constexpr int kSubBits = 4;
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kBuckets = 1 + 64 * kSub;
+
+  static int bucket_for(double v);
+  static double bucket_value(int b);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time series of (time, value) samples, for R(t)-style resilience curves.
+class TimeSeries {
+ public:
+  void sample(SimTime at, double value) { points_.push_back({at, value}); }
+  struct Point {
+    SimTime at;
+    double value;
+  };
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// Mean of values sampled in [from, to] (inclusive); 0 if none.
+  [[nodiscard]] double mean_over(SimTime from, SimTime to) const;
+  /// Fraction of samples in [from, to] with value >= threshold.
+  [[nodiscard]] double fraction_at_least(SimTime from, SimTime to,
+                                         double threshold) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Named metric registry. Access creates on demand; names are dotted paths
+/// ("net.delivered", "mape.recovery_us").
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  TimeSeries& series(const std::string& name) { return series_[name]; }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  /// Multi-line human-readable dump (bench harness output).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace riot::sim

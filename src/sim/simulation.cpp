@@ -1,0 +1,90 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+namespace riot::sim {
+
+EventId Simulation::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulation::schedule_at: time in the past");
+  }
+  if (!fn) {
+    throw std::invalid_argument("Simulation::schedule_at: empty callback");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId Simulation::schedule_every(SimTime period, std::function<void()> fn) {
+  return schedule_every(period, period, std::move(fn));
+}
+
+EventId Simulation::schedule_every(SimTime initial_delay, SimTime period,
+                                   std::function<void()> fn) {
+  if (period <= kSimTimeZero) {
+    throw std::invalid_argument("Simulation::schedule_every: period <= 0");
+  }
+  const EventId id = next_id_++;
+  periodics_.emplace(id, Periodic{period, std::move(fn)});
+  arm_periodic(id, initial_delay);
+  return id;
+}
+
+void Simulation::arm_periodic(EventId id, SimTime first_delay) {
+  pending_ids_.insert(id);
+  queue_.push(Event{now_ + first_delay, next_seq_++, id, [this, id] {
+                      auto it = periodics_.find(id);
+                      if (it == periodics_.end()) return;  // cancelled
+                      // Re-arm before invoking so the callback can cancel.
+                      arm_periodic(id, it->second.period);
+                      it->second.fn();
+                    }});
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == kInvalidEventId) return false;
+  if (periodics_.erase(id) > 0) {
+    // The in-queue re-arm event becomes a no-op.
+    cancelled_.insert(id);
+    pending_ids_.erase(id);
+    return true;
+  }
+  if (pending_ids_.erase(id) == 0) return false;  // already ran or unknown
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    pending_ids_.erase(ev.id);
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(SimTime deadline) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulation::run_to_completion() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+}
+
+}  // namespace riot::sim

@@ -1,0 +1,121 @@
+// Discrete-event simulation kernel.
+//
+// A Simulation owns a virtual clock and a priority queue of scheduled
+// callbacks. Everything in riot — protocol timers, message deliveries,
+// fault injections, workload arrivals — is an event on this queue, executed
+// strictly in timestamp order (FIFO among equal timestamps), which makes
+// runs fully deterministic for a given seed and configuration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace riot::sim {
+
+/// Identifies a scheduled event so it can be cancelled. Ids are never
+/// reused within a Simulation.
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1)
+      : rng_(seed), seed_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Root generator; modules should take splits, not share this directly.
+  Rng& rng() { return rng_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now). Returns a cancellable id.
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` after a delay from now.
+  EventId schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` every `period`, first firing after `period` (or after
+  /// `initial_delay` when given). The callback may cancel itself via the
+  /// returned id. Periodic events keep firing until cancelled or the run
+  /// ends.
+  EventId schedule_every(SimTime period, std::function<void()> fn);
+  EventId schedule_every(SimTime initial_delay, SimTime period,
+                         std::function<void()> fn);
+
+  /// Cancel a pending (or periodic) event. Returns false if it already ran
+  /// or was never scheduled.
+  bool cancel(EventId id);
+
+  /// Execute the next event. Returns false when the queue is exhausted.
+  bool step();
+
+  /// Run until the queue drains or the clock passes `deadline`. The clock
+  /// is left at min(deadline, last event time).
+  void run_until(SimTime deadline);
+
+  /// Run for a duration from the current clock.
+  void run_for(SimTime duration) { run_until(now_ + duration); }
+
+  /// Run until the queue is empty. Intended for tests; most experiments
+  /// have periodic events and must use run_until.
+  void run_to_completion();
+
+  /// Request that run_until/run_to_completion return after the current
+  /// event finishes.
+  void request_stop() { stop_requested_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const {
+    return pending_ids_.size();
+  }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  struct Periodic {
+    SimTime period;
+    std::function<void()> fn;
+  };
+
+  void arm_periodic(EventId id, SimTime first_delay);
+
+  SimTime now_ = kSimTimeZero;
+  Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> pending_ids_;  // scheduled, not yet run
+  std::unordered_set<EventId> cancelled_;
+  // Periodic registrations, keyed by their stable EventId (the id returned
+  // to the caller stays valid across re-arms).
+  std::unordered_map<EventId, Periodic> periodics_;
+};
+
+}  // namespace riot::sim

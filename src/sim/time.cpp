@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace riot::sim {
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  const double ns = static_cast<double>(t.count());
+  if (t < micros(10)) {
+    std::snprintf(buf, sizeof buf, "%.0fns", ns);
+  } else if (t < millis(10)) {
+    std::snprintf(buf, sizeof buf, "%.3fus", ns / 1e3);
+  } else if (t < seconds(10)) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace riot::sim

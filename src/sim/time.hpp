@@ -1,0 +1,50 @@
+// Simulated-time primitives for the riot discrete-event kernel.
+//
+// All protocol and application code in riot runs against SimTime, a
+// nanosecond-resolution simulated clock. Wall-clock time never appears in
+// library code; this is what makes every experiment deterministic and
+// reproducible from a seed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace riot::sim {
+
+/// Simulated time point / duration. We use a plain duration since the
+/// simulation epoch (t = 0) rather than a std::chrono::time_point: protocol
+/// code only ever forms differences and offsets, and a single vocabulary
+/// type keeps APIs small.
+using SimTime = std::chrono::nanoseconds;
+
+using std::chrono::duration_cast;
+
+constexpr SimTime kSimTimeZero = SimTime::zero();
+constexpr SimTime kSimTimeMax = SimTime::max();
+
+constexpr SimTime nanos(std::int64_t n) { return SimTime{n}; }
+constexpr SimTime micros(std::int64_t us) { return std::chrono::microseconds{us}; }
+constexpr SimTime millis(std::int64_t ms) { return std::chrono::milliseconds{ms}; }
+constexpr SimTime seconds(std::int64_t s) { return std::chrono::seconds{s}; }
+constexpr SimTime minutes(std::int64_t m) { return std::chrono::minutes{m}; }
+
+/// Fractional-second helper for rate-derived intervals (e.g. 1.0 / rate_hz).
+constexpr SimTime seconds_f(double s) {
+  return SimTime{static_cast<std::int64_t>(s * 1e9)};
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t.count()) / 1e9;
+}
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t.count()) / 1e6;
+}
+constexpr double to_micros(SimTime t) {
+  return static_cast<double>(t.count()) / 1e3;
+}
+
+/// Human-readable rendering ("1.500ms", "2.000s") for traces and reports.
+std::string format_time(SimTime t);
+
+}  // namespace riot::sim

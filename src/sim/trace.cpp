@@ -1,0 +1,68 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace riot::sim {
+
+std::string_view to_string(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kDebug:
+      return "DEBUG";
+    case TraceLevel::kInfo:
+      return "INFO";
+    case TraceLevel::kWarn:
+      return "WARN";
+    case TraceLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceLog::matching(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (pred(ev)) out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::find(std::string_view component,
+                                       std::string_view kind) const {
+  return matching([&](const TraceEvent& ev) {
+    return ev.component == component && ev.kind == kind;
+  });
+}
+
+const TraceEvent* TraceLog::first_after(std::string_view component,
+                                        std::string_view kind,
+                                        SimTime from) const {
+  for (const auto& ev : events_) {
+    if (ev.at >= from && ev.component == component && ev.kind == kind) {
+      return &ev;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t TraceLog::count(std::string_view component,
+                            std::string_view kind) const {
+  std::size_t n = 0;
+  for (const auto& ev : events_) {
+    if (ev.component == component && ev.kind == kind) ++n;
+  }
+  return n;
+}
+
+void TraceLog::dump(std::ostream& os) const {
+  for (const auto& ev : events_) {
+    os << format_time(ev.at) << " [" << to_string(ev.level) << "] "
+       << ev.component;
+    if (ev.node != TraceEvent::kNoNode) os << "@" << ev.node;
+    os << " " << ev.kind;
+    if (!ev.detail.empty()) os << ": " << ev.detail;
+    os << "\n";
+  }
+}
+
+}  // namespace riot::sim

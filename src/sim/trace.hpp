@@ -1,0 +1,82 @@
+// Structured trace log for simulations.
+//
+// Protocol modules emit TraceEvents (component, node, kind, detail). The
+// log is in-memory and queryable, which lets tests assert on causality
+// ("suspect precedes dead") without string-scraping stdout, and lets the
+// bench harness dump timelines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace riot::sim {
+
+enum class TraceLevel : std::uint8_t { kDebug, kInfo, kWarn, kError };
+
+std::string_view to_string(TraceLevel level);
+
+struct TraceEvent {
+  SimTime at;
+  TraceLevel level;
+  std::string component;  // e.g. "swim", "raft", "mape"
+  std::uint32_t node;     // originating node id, or kNoNode
+  std::string kind;       // machine-matchable tag, e.g. "suspect"
+  std::string detail;     // free text
+
+  static constexpr std::uint32_t kNoNode = 0xffffffff;
+};
+
+class TraceLog {
+ public:
+  void set_min_level(TraceLevel level) { min_level_ = level; }
+  void set_capacity(std::size_t max_events) { capacity_ = max_events; }
+
+  void emit(TraceEvent ev) {
+    if (ev.level < min_level_) return;
+    if (events_.size() >= capacity_) return;  // saturate, never reallocate storms
+    events_.push_back(std::move(ev));
+  }
+
+  void log(SimTime at, TraceLevel level, std::string component,
+           std::uint32_t node, std::string kind, std::string detail = {}) {
+    emit(TraceEvent{at, level, std::move(component), node, std::move(kind),
+                    std::move(detail)});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  [[nodiscard]] std::vector<TraceEvent> matching(
+      const std::function<bool(const TraceEvent&)>& pred) const;
+
+  /// Events with the given component and kind, in order.
+  [[nodiscard]] std::vector<TraceEvent> find(std::string_view component,
+                                             std::string_view kind) const;
+
+  /// First event matching (component, kind) at or after `from`; nullptr if
+  /// none.
+  [[nodiscard]] const TraceEvent* first_after(std::string_view component,
+                                              std::string_view kind,
+                                              SimTime from) const;
+
+  [[nodiscard]] std::size_t count(std::string_view component,
+                                  std::string_view kind) const;
+
+  void clear() { events_.clear(); }
+
+  void dump(std::ostream& os) const;
+
+ private:
+  TraceLevel min_level_ = TraceLevel::kInfo;
+  std::size_t capacity_ = 1u << 20;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace riot::sim

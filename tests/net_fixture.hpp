@@ -1,0 +1,36 @@
+// Shared fixture for tests that need a live network fabric.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace riot::testing {
+
+struct NetFixture : ::testing::Test {
+  explicit NetFixture(std::uint64_t seed = 42)
+      : sim(seed), network(sim, metrics, trace) {}
+
+  sim::Simulation sim;
+  sim::MetricsRegistry metrics;
+  sim::TraceLog trace;
+  net::Network network;
+};
+
+/// Minimal concrete node that records everything it receives.
+template <typename Payload>
+class Sink : public net::Node {
+ public:
+  explicit Sink(net::Network& network) : net::Node(network) {
+    on<Payload>([this](net::NodeId from, const Payload& p) {
+      received.emplace_back(from, p);
+    });
+  }
+  std::vector<std::pair<net::NodeId, Payload>> received;
+};
+
+}  // namespace riot::testing

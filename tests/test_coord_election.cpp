@@ -1,0 +1,95 @@
+#include "coord/election.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net_fixture.hpp"
+
+namespace riot::coord {
+namespace {
+
+using riot::testing::NetFixture;
+
+struct ElectionTest : NetFixture {
+  std::vector<std::unique_ptr<BullyElector>> electors;
+
+  void make_group(int n) {
+    for (int i = 0; i < n; ++i) {
+      electors.push_back(std::make_unique<BullyElector>(network));
+    }
+    std::vector<net::NodeId> ids;
+    for (auto& e : electors) ids.push_back(e->id());
+    for (auto& e : electors) e->set_peers(ids);
+  }
+
+  net::NodeId highest_alive() {
+    net::NodeId best = net::kInvalidNode;
+    for (auto& e : electors) {
+      if (e->alive() && (best == net::kInvalidNode || e->id() > best)) {
+        best = e->id();
+      }
+    }
+    return best;
+  }
+};
+
+TEST_F(ElectionTest, HighestIdWins) {
+  make_group(5);
+  electors[0]->start_election();
+  sim.run_until(sim::seconds(5));
+  for (auto& e : electors) {
+    EXPECT_EQ(e->leader(), highest_alive());
+  }
+  EXPECT_TRUE(electors.back()->is_leader());
+}
+
+TEST_F(ElectionTest, AllStartSimultaneously) {
+  make_group(6);
+  for (auto& e : electors) e->start_election();
+  sim.run_until(sim::seconds(5));
+  for (auto& e : electors) EXPECT_EQ(e->leader(), highest_alive());
+}
+
+TEST_F(ElectionTest, LeaderCrashTriggersNewLeader) {
+  make_group(4);
+  electors[0]->start_election();
+  sim.run_until(sim::seconds(5));
+  electors[3]->crash();
+  electors[0]->start_election();  // someone notices and re-elects
+  sim.run_until(sim::seconds(10));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(electors[i]->leader(), electors[2]->id());
+  }
+}
+
+TEST_F(ElectionTest, RecoveredHigherNodeTakesOver) {
+  make_group(3);
+  electors[2]->crash();
+  electors[0]->start_election();
+  sim.run_until(sim::seconds(5));
+  EXPECT_EQ(electors[0]->leader(), electors[1]->id());
+  electors[2]->recover();  // bully property: highest takes over on rejoin
+  sim.run_until(sim::seconds(10));
+  for (auto& e : electors) EXPECT_EQ(e->leader(), electors[2]->id());
+}
+
+TEST_F(ElectionTest, SingleNodeElectsItself) {
+  make_group(1);
+  electors[0]->start_election();
+  sim.run_until(sim::seconds(2));
+  EXPECT_TRUE(electors[0]->is_leader());
+}
+
+TEST_F(ElectionTest, CallbackFires) {
+  make_group(3);
+  net::NodeId announced = net::kInvalidNode;
+  electors[0]->on_leader_elected([&](net::NodeId id) { announced = id; });
+  electors[0]->start_election();
+  sim.run_until(sim::seconds(5));
+  EXPECT_EQ(announced, electors[2]->id());
+}
+
+}  // namespace
+}  // namespace riot::coord

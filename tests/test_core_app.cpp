@@ -1,0 +1,164 @@
+#include "core/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace riot::core {
+namespace {
+
+struct AppTest : ::testing::Test {
+  IoTSystem system{SystemConfig{.seed = 5}};
+  device::DeviceId sensor_dev, edge_dev, gw_dev, act_dev;
+  SensorNode* sensor = nullptr;
+  ProcessorNode* processor = nullptr;
+  ActuatorNode* actuator = nullptr;
+
+  void SetUp() override {
+    auto e = device::make_edge("e");
+    e.location = {0, 0};
+    edge_dev = system.add_device(std::move(e));
+    auto g = device::make_gateway("g");
+    g.location = {10, 0};
+    gw_dev = system.add_device(std::move(g));
+    auto s = device::make_micro_sensor("s", "t");
+    s.location = {20, 0};
+    sensor_dev = system.add_device(std::move(s));
+    auto a = device::make_actuator("a", "valve");
+    a.location = {30, 0};
+    act_dev = system.add_device(std::move(a));
+
+    actuator = &system.attach<ActuatorNode>(
+        act_dev, ActuatorNode::Config{.self_device = act_dev,
+                                      .deadline = sim::millis(100)});
+    processor = &system.attach<ProcessorNode>(
+        edge_dev, ProcessorNode::Config{.topic = "t",
+                                        .self_device = edge_dev,
+                                        .actuator = actuator->id()});
+    sensor = &system.attach<SensorNode>(
+        sensor_dev, SensorNode::Config{.topic = "t",
+                                       .rate_hz = 4.0,
+                                       .self_device = sensor_dev});
+    sensor->set_target(processor->id());
+  }
+};
+
+TEST_F(AppTest, SensorProducesAtConfiguredRate) {
+  system.run_for(sim::seconds(10));
+  EXPECT_EQ(sensor->produced(), 40u);
+}
+
+TEST_F(AppTest, EndToEndActuationWithinLanDeadline) {
+  system.run_for(sim::seconds(10) + sim::millis(50));
+  EXPECT_EQ(actuator->actuations(), sensor->produced());
+  EXPECT_DOUBLE_EQ(actuator->deadline_ratio(), 1.0);
+  EXPECT_LT(actuator->latency().p99(), 5000.0);  // < 5 ms e2e on LAN
+}
+
+TEST_F(AppTest, ProcessorTracksFreshness) {
+  system.run_for(sim::seconds(10) + sim::millis(50));
+  const auto age = processor->data_age();
+  ASSERT_TRUE(age.has_value());
+  EXPECT_LE(*age, sim::millis(500));
+  EXPECT_EQ(processor->items_processed(), 40u);
+}
+
+TEST_F(AppTest, CrashedSensorStopsProducing) {
+  system.run_for(sim::seconds(5));
+  const auto before = sensor->produced();
+  system.crash_device(sensor_dev);
+  system.run_for(sim::seconds(5));
+  EXPECT_EQ(sensor->produced(), before);
+  system.recover_device(sensor_dev);
+  system.run_for(sim::seconds(5));
+  EXPECT_GT(sensor->produced(), before);
+}
+
+TEST_F(AppTest, CrashedProcessorDataAges) {
+  system.run_for(sim::seconds(5));
+  system.crash_device(edge_dev);
+  system.run_for(sim::seconds(10));
+  system.recover_device(edge_dev);
+  // After recovery, the last seen item is 10+ seconds old until new data
+  // arrives; the tracker state survived (warm restart of the process).
+  const auto age = processor->data_age();
+  ASSERT_TRUE(age.has_value());
+  system.run_for(sim::seconds(2));
+  const auto fresh_age = processor->data_age();
+  ASSERT_TRUE(fresh_age.has_value());
+  EXPECT_LT(*fresh_age, sim::seconds(1));
+}
+
+TEST_F(AppTest, StandbyShadowsWithoutActuating) {
+  auto& standby = system.attach<ProcessorNode>(
+      gw_dev, ProcessorNode::Config{.name = "standby",
+                                    .topic = "t",
+                                    .self_device = gw_dev,
+                                    .actuator = actuator->id(),
+                                    .active = false});
+  sensor->set_secondary_target(standby.id());
+  system.run_for(sim::seconds(5) + sim::millis(50));
+  EXPECT_GT(standby.items_processed(), 0u);
+  EXPECT_EQ(standby.actuations_issued(), 0u);
+  EXPECT_EQ(actuator->actuations(), sensor->produced());
+  // Failover: activate standby, deactivate primary.
+  processor->set_active(false);
+  standby.set_active(true);
+  const auto before = actuator->actuations();
+  system.run_for(sim::seconds(5));
+  EXPECT_GT(standby.actuations_issued(), 0u);
+  EXPECT_GT(actuator->actuations(), before);
+  EXPECT_EQ(processor->actuations_issued(), before);
+}
+
+TEST_F(AppTest, LateActuationsMissDeadline) {
+  // Force a slow path between processor and actuator.
+  system.network().set_link(
+      processor->id(), actuator->id(),
+      net::LinkQuality{sim::millis(500), sim::kSimTimeZero, 0.0});
+  system.run_for(sim::seconds(5));
+  EXPECT_GT(actuator->actuations(), 0u);
+  EXPECT_DOUBLE_EQ(actuator->deadline_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(actuator->recent_deadline_ratio(8), 0.0);
+}
+
+TEST_F(AppTest, RecentDeadlineRatioTracksWindow) {
+  system.run_for(sim::seconds(3));
+  EXPECT_DOUBLE_EQ(actuator->recent_deadline_ratio(8), 1.0);
+  system.network().set_link(
+      processor->id(), actuator->id(),
+      net::LinkQuality{sim::millis(500), sim::kSimTimeZero, 0.0});
+  system.run_for(sim::seconds(5));
+  EXPECT_DOUBLE_EQ(actuator->recent_deadline_ratio(8), 0.0);
+  // Overall ratio is mixed.
+  EXPECT_GT(actuator->deadline_ratio(), 0.0);
+  EXPECT_LT(actuator->deadline_ratio(), 1.0);
+}
+
+TEST_F(AppTest, LineageRecordsProduceAndTransform) {
+  data::LineageGraph lineage(system.registry());
+  sensor->set_lineage(&lineage);
+  processor->set_lineage(&lineage);
+  system.run_for(sim::seconds(2));
+  EXPECT_GT(lineage.size(), 0u);
+  std::size_t produces = 0, transforms = 0;
+  for (const auto& record : lineage.records()) {
+    if (record.op == data::LineageOp::kProduce) ++produces;
+    if (record.op == data::LineageOp::kTransform) ++transforms;
+  }
+  EXPECT_EQ(produces, sensor->produced());
+  EXPECT_EQ(transforms, processor->items_processed());
+}
+
+TEST_F(AppTest, ProcessorIgnoresForeignTopics) {
+  auto& other = system.attach<SensorNode>(
+      sensor_dev, SensorNode::Config{.topic = "other",
+                                     .rate_hz = 10.0,
+                                     .self_device = sensor_dev});
+  other.set_target(processor->id());
+  system.run_for(sim::seconds(2) + sim::millis(50));
+  EXPECT_EQ(processor->items_processed(), sensor->produced());
+}
+
+}  // namespace
+}  // namespace riot::core

@@ -1,0 +1,162 @@
+#include "core/orchestrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace riot::core {
+namespace {
+
+struct OrchestratorTest : ::testing::Test {
+  IoTSystem system{SystemConfig{.seed = 3}};
+  device::DeviceId edge_near, edge_far, gateway;
+  ServiceOrchestrator orchestrator{system, sim::millis(500)};
+  std::map<std::string, std::vector<std::string>> events;  // svc -> log
+
+  struct Dummy : net::Node {
+    explicit Dummy(net::Network& n) : net::Node(n) {}
+  };
+
+  void SetUp() override {
+    auto near = device::make_edge("edge-near");
+    near.location = {10, 0};
+    edge_near = system.add_device(std::move(near));
+    auto far = device::make_edge("edge-far");
+    far.location = {2000, 0};
+    edge_far = system.add_device(std::move(far));
+    auto gw = device::make_gateway("gw");
+    gw.location = {30, 0};
+    gateway = system.add_device(std::move(gw));
+    // Attach endpoints so crash_device affects liveness checks.
+    system.attach<Dummy>(edge_near);
+    system.attach<Dummy>(edge_far);
+    system.attach<Dummy>(gateway);
+
+    orchestrator.set_deployer(
+        [this](const std::string& service, device::DeviceId host) {
+          events[service].push_back(
+              "deploy@" + system.registry().get(host).name);
+        },
+        [this](const std::string& service, device::DeviceId host) {
+          events[service].push_back(
+              "undeploy@" + system.registry().get(host).name);
+        });
+  }
+
+  ServiceSpec edge_service(const std::string& name) {
+    ServiceSpec spec;
+    spec.name = name;
+    spec.task.required_caps.can_run_analysis = true;
+    spec.task.required_stack = {.os = "linux", .runtime = "container"};
+    spec.task.cpu_load = 100;
+    spec.task.near = {0, 0};
+    return spec;
+  }
+};
+
+TEST_F(OrchestratorTest, PlacesOnClosestFeasibleHost) {
+  orchestrator.add_service(edge_service("analytics"));
+  orchestrator.start();
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_near);
+  ASSERT_EQ(events["analytics"].size(), 1u);
+  EXPECT_EQ(events["analytics"][0], "deploy@edge-near");
+}
+
+TEST_F(OrchestratorTest, RespectsCapabilityRequirements) {
+  auto spec = edge_service("big");
+  spec.task.required_caps.memory_mb = 1 << 30;  // nothing has this
+  orchestrator.add_service(std::move(spec));
+  orchestrator.start();
+  EXPECT_FALSE(orchestrator.host_of("big").has_value());
+  EXPECT_EQ(orchestrator.unplaced_count(), 1u);
+  EXPECT_GT(orchestrator.placement_failures(), 0u);
+}
+
+TEST_F(OrchestratorTest, MigratesOffDeadHost) {
+  orchestrator.add_service(edge_service("analytics"));
+  orchestrator.start();
+  ASSERT_EQ(orchestrator.host_of("analytics"), edge_near);
+  system.crash_device(edge_near);
+  system.run_for(sim::seconds(2));
+  ASSERT_TRUE(orchestrator.host_of("analytics").has_value());
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_far);
+  EXPECT_EQ(orchestrator.migrations(), 1u);
+  const auto& log = events["analytics"];
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[1], "undeploy@edge-near");
+  EXPECT_EQ(log[2], "deploy@edge-far");
+}
+
+TEST_F(OrchestratorTest, WaitsWhenNothingFeasible) {
+  orchestrator.add_service(edge_service("analytics"));
+  orchestrator.start();
+  system.crash_device(edge_near);
+  system.crash_device(edge_far);
+  system.run_for(sim::seconds(2));
+  EXPECT_EQ(orchestrator.unplaced_count(), 1u);
+  // Host recovers: service comes back.
+  system.recover_device(edge_far);
+  system.run_for(sim::seconds(2));
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_far);
+}
+
+TEST_F(OrchestratorTest, RebalancesWhenCloserHostReturns) {
+  auto spec = edge_service("analytics");
+  spec.allow_rebalance = true;
+  orchestrator.add_service(std::move(spec));
+  orchestrator.start();
+  system.crash_device(edge_near);
+  system.run_for(sim::seconds(2));
+  ASSERT_EQ(orchestrator.host_of("analytics"), edge_far);
+  system.recover_device(edge_near);
+  system.run_for(sim::seconds(2));
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_near);
+  EXPECT_GE(orchestrator.migrations(), 2u);
+}
+
+TEST_F(OrchestratorTest, StickyWithoutRebalanceFlag) {
+  orchestrator.add_service(edge_service("analytics"));
+  orchestrator.start();
+  system.crash_device(edge_near);
+  system.run_for(sim::seconds(2));
+  ASSERT_EQ(orchestrator.host_of("analytics"), edge_far);
+  system.recover_device(edge_near);
+  system.run_for(sim::seconds(2));
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_far);  // stays put
+}
+
+TEST_F(OrchestratorTest, MultipleServicesShareCapacity) {
+  // edge-near: 20'000 MIPS. Two 15'000 services cannot co-reside.
+  auto a = edge_service("a");
+  a.task.cpu_load = 15'000;
+  auto b = edge_service("b");
+  b.task.cpu_load = 15'000;
+  orchestrator.add_service(std::move(a));
+  orchestrator.add_service(std::move(b));
+  orchestrator.start();
+  ASSERT_TRUE(orchestrator.host_of("a").has_value());
+  ASSERT_TRUE(orchestrator.host_of("b").has_value());
+  EXPECT_NE(*orchestrator.host_of("a"), *orchestrator.host_of("b"));
+}
+
+TEST_F(OrchestratorTest, FleetRestriction) {
+  orchestrator.set_fleet({edge_far});
+  orchestrator.add_service(edge_service("analytics"));
+  orchestrator.start();
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_far);
+}
+
+TEST_F(OrchestratorTest, DomainConstraintHonored) {
+  const auto domain_a = system.add_domain(device::AdminDomain{.name = "a"});
+  const auto domain_b = system.add_domain(device::AdminDomain{.name = "b"});
+  system.registry().get(edge_near).domain = domain_a;
+  system.registry().get(edge_far).domain = domain_b;
+  auto spec = edge_service("pinned");
+  spec.task.domain = domain_b;
+  orchestrator.add_service(std::move(spec));
+  orchestrator.start();
+  EXPECT_EQ(orchestrator.host_of("pinned"), edge_far);
+}
+
+}  // namespace
+}  // namespace riot::core

@@ -1,0 +1,134 @@
+#include "core/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::core {
+namespace {
+
+struct ResilienceTest : ::testing::Test {
+  sim::Simulation sim{1};
+  ResilienceEvaluator evaluator{sim, sim::millis(100)};
+};
+
+TEST_F(ResilienceTest, AllSatisfiedGivesPerfectScores) {
+  evaluator.add_probe({"always-ok", 1.0, [] { return true; }});
+  evaluator.start();
+  sim.run_until(sim::seconds(1));
+  const auto report = evaluator.report();
+  EXPECT_DOUBLE_EQ(report.resilience_index, 1.0);
+  EXPECT_DOUBLE_EQ(report.availability, 1.0);
+  EXPECT_EQ(report.violation_episodes, 0u);
+  EXPECT_EQ(report.samples, 10u);
+}
+
+TEST_F(ResilienceTest, WeightedSatisfaction) {
+  evaluator.add_probe({"heavy", 3.0, [] { return true; }});
+  evaluator.add_probe({"light", 1.0, [] { return false; }});
+  evaluator.start();
+  sim.run_until(sim::seconds(1));
+  const auto report = evaluator.report();
+  EXPECT_NEAR(report.resilience_index, 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(report.availability, 0.0);
+}
+
+TEST_F(ResilienceTest, EpisodeAndMttrAccounting) {
+  bool ok = true;
+  evaluator.add_probe({"flaky", 1.0, [&] { return ok; }});
+  evaluator.start();
+  // Violation window [300ms, 800ms): samples at 300..700 fail.
+  sim.schedule_at(sim::millis(250), [&] { ok = false; });
+  sim.schedule_at(sim::millis(750), [&] { ok = true; });
+  sim.run_until(sim::seconds(2));
+  const auto report = evaluator.report();
+  EXPECT_EQ(report.violation_episodes, 1u);
+  // Episode spans from the first failing sample (300ms) to the first
+  // succeeding one (800ms).
+  EXPECT_EQ(report.mean_time_to_repair, sim::millis(500));
+}
+
+TEST_F(ResilienceTest, MultipleEpisodes) {
+  bool ok = true;
+  evaluator.add_probe({"flaky", 1.0, [&] { return ok; }});
+  evaluator.start();
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule_at(sim::millis(300 + i * 600), [&] { ok = false; });
+    sim.schedule_at(sim::millis(500 + i * 600), [&] { ok = true; });
+  }
+  sim.run_until(sim::seconds(3));
+  EXPECT_EQ(evaluator.report().violation_episodes, 3u);
+}
+
+TEST_F(ResilienceTest, UnclosedEpisodeCounted) {
+  bool ok = true;
+  evaluator.add_probe({"dies", 1.0, [&] { return ok; }});
+  evaluator.start();
+  sim.schedule_at(sim::millis(450), [&] { ok = false; });
+  sim.run_until(sim::seconds(1));
+  const auto report = evaluator.report();
+  EXPECT_EQ(report.violation_episodes, 1u);
+  EXPECT_LT(report.availability, 1.0);
+}
+
+TEST_F(ResilienceTest, WindowedReport) {
+  bool ok = false;
+  evaluator.add_probe({"later-ok", 1.0, [&] { return ok; }});
+  evaluator.start();
+  sim.schedule_at(sim::seconds(1), [&] { ok = true; });
+  sim.run_until(sim::seconds(2));
+  const auto early = evaluator.report(sim::kSimTimeZero, sim::millis(950));
+  const auto late = evaluator.report(sim::seconds(1) + sim::millis(1),
+                                     sim::seconds(2));
+  EXPECT_DOUBLE_EQ(early.resilience_index, 0.0);
+  EXPECT_DOUBLE_EQ(late.resilience_index, 1.0);
+}
+
+TEST_F(ResilienceTest, PerRequirementBreakdown) {
+  evaluator.add_probe({"a", 1.0, [] { return true; }});
+  evaluator.add_probe({"b", 1.0, [] { return false; }});
+  evaluator.start();
+  sim.run_until(sim::seconds(1));
+  const auto report = evaluator.report();
+  ASSERT_EQ(report.per_requirement.size(), 2u);
+  EXPECT_EQ(report.per_requirement[0].first, "a");
+  EXPECT_DOUBLE_EQ(report.per_requirement[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(report.per_requirement[1].second, 0.0);
+}
+
+TEST_F(ResilienceTest, RecoveryTimeAfterInstant) {
+  bool ok = true;
+  evaluator.add_probe({"dip", 1.0, [&] { return ok; }});
+  evaluator.start();
+  sim.schedule_at(sim::seconds(1), [&] { ok = false; });
+  sim.schedule_at(sim::seconds(3), [&] { ok = true; });
+  sim.run_until(sim::seconds(5));
+  const auto recovery = evaluator.recovery_time_after(sim::seconds(1));
+  ASSERT_TRUE(recovery.has_value());
+  EXPECT_NEAR(sim::to_seconds(*recovery), 2.0, 0.15);
+}
+
+TEST_F(ResilienceTest, RecoveryNeverWhenStuck) {
+  bool ok = true;
+  evaluator.add_probe({"dead", 1.0, [&] { return ok; }});
+  evaluator.start();
+  sim.schedule_at(sim::seconds(1), [&] { ok = false; });
+  sim.run_until(sim::seconds(5));
+  EXPECT_FALSE(evaluator.recovery_time_after(sim::seconds(1)).has_value());
+}
+
+TEST_F(ResilienceTest, NoProbesGivesVacuousSatisfaction) {
+  evaluator.start();
+  sim.run_until(sim::seconds(1));
+  EXPECT_DOUBLE_EQ(evaluator.report().resilience_index, 1.0);
+}
+
+TEST_F(ResilienceTest, StopHaltsSampling) {
+  evaluator.add_probe({"x", 1.0, [] { return true; }});
+  evaluator.start();
+  sim.run_until(sim::millis(500));
+  evaluator.stop();
+  sim.run_until(sim::seconds(2));
+  EXPECT_EQ(evaluator.report().samples, 5u);
+}
+
+}  // namespace
+}  // namespace riot::core

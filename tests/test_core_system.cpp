@@ -1,0 +1,134 @@
+#include "core/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/app.hpp"
+
+namespace riot::core {
+namespace {
+
+struct Probe {
+  int n = 0;
+};
+
+struct SystemTest : ::testing::Test {
+  IoTSystem system{SystemConfig{.seed = 7}};
+
+  device::DeviceId add_at(device::Device d, double x, double y) {
+    d.location = {x, y};
+    return system.add_device(std::move(d));
+  }
+};
+
+TEST_F(SystemTest, LinkModelClassesByPlacement) {
+  const auto edge = add_at(device::make_edge("e"), 0, 0);
+  const auto sensor = add_at(device::make_micro_sensor("s", "t"), 50, 0);
+  const auto far_edge = add_at(device::make_edge("e2"), 5000, 0);
+  const auto cloud = add_at(device::make_cloud("c"), 99999, 0);
+  const auto cloud2 = add_at(device::make_cloud("c2"), 99999, 10);
+
+  struct Dummy : net::Node {
+    explicit Dummy(net::Network& n) : net::Node(n) {}
+  };
+  auto& edge_node = system.attach<Dummy>(edge);
+  auto& sensor_node = system.attach<Dummy>(sensor);
+  auto& far_node = system.attach<Dummy>(far_edge);
+  auto& cloud_node = system.attach<Dummy>(cloud);
+  auto& cloud2_node = system.attach<Dummy>(cloud2);
+
+  const auto& latency = system.config().latency;
+  EXPECT_EQ(system.network().link_quality(edge_node.id(), sensor_node.id())
+                .base_latency,
+            latency.lan.base_latency);
+  EXPECT_EQ(system.network().link_quality(edge_node.id(), far_node.id())
+                .base_latency,
+            latency.man.base_latency);
+  EXPECT_EQ(system.network().link_quality(edge_node.id(), cloud_node.id())
+                .base_latency,
+            latency.wan.base_latency);
+  // Intra-datacenter traffic is LAN-class.
+  EXPECT_EQ(system.network().link_quality(cloud_node.id(), cloud2_node.id())
+                .base_latency,
+            latency.lan.base_latency);
+}
+
+TEST_F(SystemTest, CrashDeviceTakesAllComponentsDown) {
+  const auto edge = add_at(device::make_edge("e"), 0, 0);
+  struct Dummy : net::Node {
+    explicit Dummy(net::Network& n) : net::Node(n) {}
+  };
+  auto& first = system.attach<Dummy>(edge);
+  auto& second = system.attach<Dummy>(edge);
+  EXPECT_TRUE(system.device_alive(edge));
+  system.crash_device(edge);
+  EXPECT_FALSE(first.alive());
+  EXPECT_FALSE(second.alive());
+  EXPECT_FALSE(system.device_alive(edge));
+  system.recover_device(edge);
+  EXPECT_TRUE(first.alive());
+  EXPECT_TRUE(second.alive());
+}
+
+TEST_F(SystemTest, NodesOfListsComponents) {
+  const auto edge = add_at(device::make_edge("e"), 0, 0);
+  struct Dummy : net::Node {
+    explicit Dummy(net::Network& n) : net::Node(n) {}
+  };
+  system.attach<Dummy>(edge);
+  system.attach<Dummy>(edge);
+  EXPECT_EQ(system.nodes_of(edge).size(), 2u);
+  EXPECT_TRUE(system.nodes_of(device::DeviceId{55}).empty());
+}
+
+TEST_F(SystemTest, FirstAttachmentIsPrimaryEndpoint) {
+  const auto edge = add_at(device::make_edge("e"), 0, 0);
+  struct Dummy : net::Node {
+    explicit Dummy(net::Network& n) : net::Node(n) {}
+  };
+  auto& first = system.attach<Dummy>(edge);
+  auto& second = system.attach<Dummy>(edge);
+  EXPECT_EQ(system.registry().get(edge).node, first.id());
+  // Both resolve back to the device.
+  EXPECT_EQ(system.registry().find_by_node(first.id()), edge);
+  EXPECT_EQ(system.registry().find_by_node(second.id()), edge);
+}
+
+TEST_F(SystemTest, EnergyDepletionCrashesDevice) {
+  auto sensor = device::make_micro_sensor("s", "t");
+  sensor.energy.capacity_j = 5.0;
+  sensor.energy.remaining_j = 5.0;
+  sensor.energy.idle_draw_w = 1.0;  // dies after 5 simulated seconds
+  const auto dev = add_at(std::move(sensor), 0, 0);
+  struct Dummy : net::Node {
+    explicit Dummy(net::Network& n) : net::Node(n) {}
+  };
+  auto& node = system.attach<Dummy>(dev);
+  system.energy().start();
+  system.run_for(sim::seconds(30));
+  EXPECT_FALSE(node.alive());
+  EXPECT_EQ(system.trace().count("energy", "depleted"), 1u);
+}
+
+TEST_F(SystemTest, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    IoTSystem system(SystemConfig{.seed = seed});
+    const auto edge = system.add_device(device::make_edge("e"));
+    const auto act = system.add_device(device::make_actuator("a", "v"));
+    auto& actuator = system.attach<ActuatorNode>(
+        act, ActuatorNode::Config{.self_device = act});
+    auto& processor = system.attach<ProcessorNode>(
+        edge, ProcessorNode::Config{.self_device = edge,
+                                    .actuator = actuator.id()});
+    const auto s = system.add_device(device::make_micro_sensor("s", "t"));
+    auto& sensor = system.attach<SensorNode>(
+        s, SensorNode::Config{.rate_hz = 10.0, .self_device = s});
+    sensor.set_target(processor.id());
+    system.run_for(sim::seconds(10));
+    return std::make_pair(actuator.actuations(),
+                          system.network().messages_sent());
+  };
+  EXPECT_EQ(run_once(33), run_once(33));
+}
+
+}  // namespace
+}  // namespace riot::core

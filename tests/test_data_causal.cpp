@@ -1,0 +1,119 @@
+#include "data/causal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net_fixture.hpp"
+
+namespace riot::data {
+namespace {
+
+using riot::testing::NetFixture;
+
+struct CausalTest : NetFixture {
+  std::vector<std::unique_ptr<CausalBroadcaster>> members;
+  std::vector<std::vector<std::string>> delivered;  // per member
+
+  void make_group(int n) {
+    for (int i = 0; i < n; ++i) {
+      members.push_back(std::make_unique<CausalBroadcaster>(network));
+      delivered.emplace_back();
+    }
+    std::vector<net::NodeId> ids;
+    for (auto& m : members) ids.push_back(m->id());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      members[i]->set_group(ids);
+      members[i]->on_deliver([this, i](net::NodeId,
+                                       const std::string& payload) {
+        delivered[i].push_back(payload);
+      });
+      members[i]->start();
+    }
+  }
+};
+
+TEST_F(CausalTest, BroadcastReachesEveryone) {
+  make_group(4);
+  members[0]->broadcast("hello");
+  sim.run_until(sim::seconds(1));
+  for (const auto& log : delivered) {
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0], "hello");
+  }
+}
+
+TEST_F(CausalTest, LocalDeliveryImmediate) {
+  make_group(3);
+  members[1]->broadcast("x");
+  EXPECT_EQ(delivered[1].size(), 1u);
+}
+
+TEST_F(CausalTest, CausalChainDeliveredInOrderEverywhere) {
+  make_group(3);
+  // m0 broadcasts a, then (causally after) m0 broadcasts b.
+  members[0]->broadcast("a");
+  members[0]->broadcast("b");
+  sim.run_until(sim::seconds(1));
+  for (const auto& log : delivered) {
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], "a");
+    EXPECT_EQ(log[1], "b");
+  }
+}
+
+TEST_F(CausalTest, CrossNodeCausalityRespected) {
+  make_group(3);
+  // Make the link from 0 to 2 very slow so 1's causally-later message
+  // would overtake 0's without buffering.
+  network.set_link(members[0]->id(), members[2]->id(),
+                   net::LinkQuality{sim::millis(500), sim::kSimTimeZero, 0});
+  members[0]->broadcast("cause");
+  sim.run_until(sim::millis(50));
+  // member1 saw "cause" and reacts.
+  ASSERT_EQ(delivered[1].size(), 1u);
+  members[1]->broadcast("effect");
+  sim.run_until(sim::seconds(2));
+  ASSERT_EQ(delivered[2].size(), 2u);
+  EXPECT_EQ(delivered[2][0], "cause");
+  EXPECT_EQ(delivered[2][1], "effect");
+}
+
+TEST_F(CausalTest, BuffersWhileWaiting) {
+  make_group(3);
+  network.set_link(members[0]->id(), members[2]->id(),
+                   net::LinkQuality{sim::millis(500), sim::kSimTimeZero, 0});
+  members[0]->broadcast("cause");
+  sim.run_until(sim::millis(50));
+  members[1]->broadcast("effect");
+  sim.run_until(sim::millis(100));
+  // member2 has "effect" buffered, undeliverable.
+  EXPECT_EQ(delivered[2].size(), 0u);
+  EXPECT_GE(members[2]->buffered_count(), 1u);
+  sim.run_until(sim::seconds(2));
+  EXPECT_EQ(delivered[2].size(), 2u);
+  EXPECT_EQ(members[2]->buffered_count(), 0u);
+}
+
+TEST_F(CausalTest, ConcurrentMessagesBothDelivered) {
+  make_group(4);
+  members[0]->broadcast("left");
+  members[1]->broadcast("right");
+  sim.run_until(sim::seconds(1));
+  for (const auto& log : delivered) {
+    EXPECT_EQ(log.size(), 2u);
+  }
+}
+
+TEST_F(CausalTest, DeliveredCountTracks) {
+  make_group(2);
+  members[0]->broadcast("1");
+  members[0]->broadcast("2");
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(members[0]->delivered_count(), 2u);
+  EXPECT_EQ(members[1]->delivered_count(), 2u);
+}
+
+}  // namespace
+}  // namespace riot::data

@@ -1,0 +1,311 @@
+// CRDT semantics plus the lattice laws every state-based CRDT must obey:
+// merge is commutative, associative and idempotent. The laws are checked
+// by randomized property sweeps over generated operation histories.
+#include "data/crdt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace riot::data {
+namespace {
+
+// --- GCounter ---------------------------------------------------------------
+
+TEST(GCounter, IncrementAndValue) {
+  GCounter c;
+  c.increment(0);
+  c.increment(0, 4);
+  c.increment(1, 2);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(GCounter, MergeTakesMax) {
+  GCounter a, b;
+  a.increment(0, 5);
+  b.increment(0, 3);
+  b.increment(1, 2);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 7u);  // max(5,3) + 2
+}
+
+// --- PNCounter ---------------------------------------------------------------
+
+TEST(PNCounter, IncrementDecrement) {
+  PNCounter c;
+  c.increment(0, 10);
+  c.decrement(1, 3);
+  EXPECT_EQ(c.value(), 7);
+  c.decrement(0, 10);
+  EXPECT_EQ(c.value(), -3);
+}
+
+TEST(PNCounter, MergeConverges) {
+  PNCounter a, b;
+  a.increment(0, 5);
+  b.decrement(1, 2);
+  PNCounter a_copy = a;
+  a.merge(b);
+  b.merge(a_copy);
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.value(), 3);
+}
+
+// --- LwwRegister ---------------------------------------------------------------
+
+TEST(LwwRegister, LatestTimestampWins) {
+  LwwRegister<std::string> r;
+  r.set("first", 10, 0);
+  r.set("second", 20, 0);
+  r.set("stale", 15, 0);
+  EXPECT_EQ(r.value(), "second");
+}
+
+TEST(LwwRegister, TieBrokenByReplica) {
+  LwwRegister<std::string> a, b;
+  a.set("from-low", 10, 1);
+  b.set("from-high", 10, 2);
+  a.merge(b);
+  b.merge(a);
+  EXPECT_EQ(a.value(), "from-high");
+  EXPECT_EQ(b.value(), "from-high");
+}
+
+TEST(LwwRegister, LosesConcurrentUpdate) {
+  // The documented weakness the sync ablation measures: one of two
+  // concurrent writes disappears.
+  LwwRegister<std::string> a, b;
+  a.set("alpha", 10, 1);
+  b.set("beta", 10, 2);
+  a.merge(b);
+  EXPECT_NE(a.value(), "alpha");
+}
+
+TEST(LwwRegister, EmptyHasNoValue) {
+  LwwRegister<int> r;
+  EXPECT_FALSE(r.value().has_value());
+}
+
+// --- MvRegister ---------------------------------------------------------------
+
+TEST(MvRegister, KeepsConcurrentSiblings) {
+  MvRegister<std::string> a, b;
+  a.set("alpha", 1);
+  b.set("beta", 2);
+  a.merge(b);
+  EXPECT_EQ(a.sibling_count(), 2u);
+  const auto values = a.values();
+  EXPECT_NE(std::find(values.begin(), values.end(), "alpha"), values.end());
+  EXPECT_NE(std::find(values.begin(), values.end(), "beta"), values.end());
+}
+
+TEST(MvRegister, NewWriteDominatesMergedState) {
+  MvRegister<std::string> a, b;
+  a.set("alpha", 1);
+  b.set("beta", 2);
+  a.merge(b);
+  ASSERT_EQ(a.sibling_count(), 2u);
+  a.set("resolved", 1);  // causally after both siblings
+  EXPECT_EQ(a.sibling_count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.sibling_count(), 1u);
+  EXPECT_EQ(b.values()[0], "resolved");
+}
+
+TEST(MvRegister, SequentialWritesKeepOne) {
+  MvRegister<int> r;
+  r.set(1, 0);
+  r.set(2, 0);
+  EXPECT_EQ(r.sibling_count(), 1u);
+  EXPECT_EQ(r.values()[0], 2);
+}
+
+// --- OrSet ---------------------------------------------------------------
+
+TEST(OrSet, AddRemoveContains) {
+  OrSet<std::string> s;
+  s.add("x", 0);
+  EXPECT_TRUE(s.contains("x"));
+  s.remove("x");
+  EXPECT_FALSE(s.contains("x"));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(OrSet, AddWinsOverConcurrentRemove) {
+  OrSet<std::string> a, b;
+  a.add("x", 1);
+  b.merge(a);
+  // b removes x while a concurrently re-adds it.
+  b.remove("x");
+  a.add("x", 1);
+  a.merge(b);
+  b.merge(a);
+  EXPECT_TRUE(a.contains("x"));
+  EXPECT_TRUE(b.contains("x"));
+}
+
+TEST(OrSet, RemoveOnlyAffectsObservedAdds) {
+  OrSet<std::string> a, b;
+  a.add("x", 1);
+  // b never saw the add; removing at b is a no-op.
+  b.remove("x");
+  a.merge(b);
+  EXPECT_TRUE(a.contains("x"));
+}
+
+TEST(OrSet, ElementsSorted) {
+  OrSet<int> s;
+  s.add(3, 0);
+  s.add(1, 0);
+  s.add(2, 0);
+  const auto elements = s.elements();
+  EXPECT_EQ(elements, (std::set<int>{1, 2, 3}));
+}
+
+// --- Lattice laws (property sweep) -------------------------------------------
+
+/// Generate a random GCounter state.
+GCounter random_gcounter(sim::Rng& rng) {
+  GCounter c;
+  for (int i = 0; i < 5; ++i) {
+    c.increment(static_cast<ReplicaId>(rng.below(4)), rng.below(10));
+  }
+  return c;
+}
+
+PNCounter random_pncounter(sim::Rng& rng) {
+  PNCounter c;
+  for (int i = 0; i < 5; ++i) {
+    const auto r = static_cast<ReplicaId>(rng.below(4));
+    if (rng.chance(0.5)) {
+      c.increment(r, rng.below(10));
+    } else {
+      c.decrement(r, rng.below(10));
+    }
+  }
+  return c;
+}
+
+OrSet<int> random_orset(sim::Rng& rng, ReplicaId replica) {
+  OrSet<int> s;
+  for (int i = 0; i < 6; ++i) {
+    const int element = static_cast<int>(rng.below(5));
+    if (rng.chance(0.7)) {
+      s.add(element, replica);
+    } else {
+      s.remove(element);
+    }
+  }
+  return s;
+}
+
+class CrdtLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrdtLaws, GCounterMergeLaws) {
+  sim::Rng rng(GetParam());
+  const GCounter a = random_gcounter(rng);
+  const GCounter b = random_gcounter(rng);
+  const GCounter c = random_gcounter(rng);
+  // Commutativity.
+  GCounter ab = a;
+  ab.merge(b);
+  GCounter ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  // Associativity.
+  GCounter ab_c = ab;
+  ab_c.merge(c);
+  GCounter bc = b;
+  bc.merge(c);
+  GCounter a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);
+  // Idempotence.
+  GCounter aa = a;
+  aa.merge(a);
+  EXPECT_EQ(aa, a);
+}
+
+TEST_P(CrdtLaws, PNCounterMergeLaws) {
+  sim::Rng rng(GetParam() ^ 0x1234);
+  const PNCounter a = random_pncounter(rng);
+  const PNCounter b = random_pncounter(rng);
+  PNCounter ab = a;
+  ab.merge(b);
+  PNCounter ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  PNCounter aa = a;
+  aa.merge(a);
+  EXPECT_EQ(aa, a);
+}
+
+TEST_P(CrdtLaws, OrSetMergeLaws) {
+  sim::Rng rng(GetParam() ^ 0x5678);
+  const OrSet<int> a = random_orset(rng, 1);
+  const OrSet<int> b = random_orset(rng, 2);
+  const OrSet<int> c = random_orset(rng, 3);
+  OrSet<int> ab = a;
+  ab.merge(b);
+  OrSet<int> ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.elements(), ba.elements());
+  OrSet<int> ab_c = ab;
+  ab_c.merge(c);
+  OrSet<int> bc = b;
+  bc.merge(c);
+  OrSet<int> a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c.elements(), a_bc.elements());
+  OrSet<int> aa = a;
+  aa.merge(a);
+  EXPECT_EQ(aa.elements(), a.elements());
+}
+
+TEST_P(CrdtLaws, LwwRegisterMergeLaws) {
+  sim::Rng rng(GetParam() ^ 0x9abc);
+  auto random_lww = [&rng] {
+    LwwRegister<int> r;
+    for (int i = 0; i < 3; ++i) {
+      r.set(static_cast<int>(rng.below(100)), rng.below(20),
+            static_cast<ReplicaId>(rng.below(4)));
+    }
+    return r;
+  };
+  const auto a = random_lww();
+  const auto b = random_lww();
+  LwwRegister<int> ab = a;
+  ab.merge(b);
+  LwwRegister<int> ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.value(), ba.value());
+  LwwRegister<int> aa = a;
+  aa.merge(a);
+  EXPECT_EQ(aa.value(), a.value());
+}
+
+TEST_P(CrdtLaws, MvRegisterConvergesPairwise) {
+  sim::Rng rng(GetParam() ^ 0xdef0);
+  MvRegister<int> a, b;
+  for (int i = 0; i < 4; ++i) {
+    if (rng.chance(0.5)) {
+      a.set(static_cast<int>(rng.below(10)), 1);
+    } else {
+      b.set(static_cast<int>(rng.below(10)), 2);
+    }
+  }
+  MvRegister<int> a2 = a, b2 = b;
+  a2.merge(b);
+  b2.merge(a);
+  auto va = a2.values();
+  auto vb = b2.values();
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  EXPECT_EQ(va, vb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrdtLaws,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace riot::data

@@ -1,0 +1,159 @@
+#include "data/crdt_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net_fixture.hpp"
+
+namespace riot::data {
+namespace {
+
+using riot::testing::NetFixture;
+
+struct CrdtStoreTest : NetFixture {
+  std::vector<std::unique_ptr<CrdtStore>> stores;
+
+  void make_replicas(int n, CrdtStoreConfig cfg = {}) {
+    for (int i = 0; i < n; ++i) {
+      stores.push_back(std::make_unique<CrdtStore>(network, cfg));
+    }
+    for (auto& s : stores) {
+      std::vector<net::NodeId> peers;
+      for (auto& other : stores) {
+        if (other != s) peers.push_back(other->id());
+      }
+      s->set_replicas(std::move(peers));
+    }
+    for (auto& s : stores) s->start();
+  }
+};
+
+TEST_F(CrdtStoreTest, CounterConvergesAcrossReplicas) {
+  make_replicas(4);
+  stores[0]->gcounter("hits").increment(stores[0]->replica_id(), 3);
+  stores[1]->gcounter("hits").increment(stores[1]->replica_id(), 4);
+  sim.run_until(sim::seconds(10));
+  for (auto& s : stores) {
+    EXPECT_EQ(s->gcounter("hits").value(), 7u)
+        << "replica " << s->replica_id();
+  }
+}
+
+TEST_F(CrdtStoreTest, OrSetConvergesWithRemoves) {
+  make_replicas(3);
+  stores[0]->orset("devices").add("a", stores[0]->replica_id());
+  stores[1]->orset("devices").add("b", stores[1]->replica_id());
+  sim.run_until(sim::seconds(10));
+  stores[2]->orset("devices").remove("a");
+  sim.run_until(sim::seconds(20));
+  for (auto& s : stores) {
+    EXPECT_FALSE(s->orset("devices").contains("a"));
+    EXPECT_TRUE(s->orset("devices").contains("b"));
+  }
+}
+
+TEST_F(CrdtStoreTest, WritableDuringPartitionConvergesAfterHeal) {
+  make_replicas(4);
+  sim.run_until(sim::seconds(2));
+  network.partition({{stores[0]->id(), stores[1]->id()},
+                     {stores[2]->id(), stores[3]->id()}});
+  // Both sides keep accepting writes — the availability CRDTs buy.
+  stores[0]->pncounter("level").increment(stores[0]->replica_id(), 10);
+  stores[3]->pncounter("level").decrement(stores[3]->replica_id(), 4);
+  sim.run_until(sim::seconds(10));
+  EXPECT_EQ(stores[1]->pncounter("level").value(), 10);
+  EXPECT_EQ(stores[2]->pncounter("level").value(), -4);
+  network.heal_partition();
+  sim.run_until(sim::seconds(25));
+  for (auto& s : stores) {
+    EXPECT_EQ(s->pncounter("level").value(), 6);
+  }
+}
+
+TEST_F(CrdtStoreTest, NoUpdateLostAcrossPartition) {
+  make_replicas(6);
+  network.partition({{stores[0]->id(), stores[1]->id(), stores[2]->id()},
+                     {stores[3]->id(), stores[4]->id(), stores[5]->id()}});
+  for (int i = 0; i < 6; ++i) {
+    stores[static_cast<size_t>(i)]->orset("all").add(
+        "item" + std::to_string(i),
+        stores[static_cast<size_t>(i)]->replica_id());
+  }
+  sim.run_until(sim::seconds(10));
+  network.heal_partition();
+  sim.run_until(sim::seconds(30));
+  for (auto& s : stores) {
+    EXPECT_EQ(s->orset("all").size(), 6u) << "replica " << s->replica_id();
+  }
+}
+
+TEST_F(CrdtStoreTest, LwwRegisterSyncs) {
+  make_replicas(3);
+  stores[0]->lww("config").set("v1", stores[0]->lww_now(),
+                               stores[0]->replica_id());
+  sim.run_until(sim::seconds(5));
+  stores[2]->lww("config").set("v2", stores[2]->lww_now(),
+                               stores[2]->replica_id());
+  sim.run_until(sim::seconds(15));
+  for (auto& s : stores) {
+    EXPECT_EQ(s->lww("config").value(), "v2");
+  }
+}
+
+TEST_F(CrdtStoreTest, RecoveredReplicaRehydrates) {
+  make_replicas(3);
+  stores[0]->gcounter("c").increment(stores[0]->replica_id(), 5);
+  sim.run_until(sim::seconds(5));
+  stores[2]->crash();
+  stores[0]->gcounter("c").increment(stores[0]->replica_id(), 2);
+  sim.run_until(sim::seconds(8));
+  stores[2]->recover();
+  sim.run_until(sim::seconds(20));
+  EXPECT_EQ(stores[2]->gcounter("c").value(), 7u);
+}
+
+TEST_F(CrdtStoreTest, TypeMismatchThrowsLocally) {
+  make_replicas(1);
+  stores[0]->gcounter("k");
+  EXPECT_THROW(stores[0]->orset("k"), std::logic_error);
+}
+
+TEST_F(CrdtStoreTest, TypeMismatchAcrossReplicasKeepsLocal) {
+  make_replicas(2);
+  stores[0]->gcounter("k").increment(stores[0]->replica_id());
+  stores[1]->orset("k").add("x", stores[1]->replica_id());
+  sim.run_until(sim::seconds(10));
+  // Neither side corrupts its object; both keep their own type.
+  EXPECT_EQ(stores[0]->gcounter("k").value(), 1u);
+  EXPECT_TRUE(stores[1]->orset("k").contains("x"));
+}
+
+TEST_F(CrdtStoreTest, MergedCallbackFires) {
+  make_replicas(2);
+  int merges = 0;
+  stores[1]->on_merged([&](const std::string& key) {
+    if (key == "watched") ++merges;
+  });
+  stores[0]->gcounter("watched").increment(stores[0]->replica_id());
+  sim.run_until(sim::seconds(5));
+  EXPECT_GE(merges, 1);
+}
+
+TEST_F(CrdtStoreTest, MvRegisterExposesConflict) {
+  make_replicas(2);
+  network.partition({{stores[0]->id()}, {stores[1]->id()}});
+  stores[0]->mvreg("mode").set("eco", stores[0]->replica_id());
+  stores[1]->mvreg("mode").set("boost", stores[1]->replica_id());
+  sim.run_until(sim::seconds(5));
+  network.heal_partition();
+  sim.run_until(sim::seconds(15));
+  // Unlike LWW, both concurrent writes survive for the application to
+  // resolve.
+  EXPECT_EQ(stores[0]->mvreg("mode").sibling_count(), 2u);
+  EXPECT_EQ(stores[1]->mvreg("mode").sibling_count(), 2u);
+}
+
+}  // namespace
+}  // namespace riot::data

@@ -1,0 +1,121 @@
+#include "data/lineage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::data {
+namespace {
+
+struct LineageTest : ::testing::Test {
+  device::Registry registry;
+  device::DomainId eu, us;
+  device::DeviceId sensor_a, sensor_b, edge, cloud;
+  LineageGraph graph{registry};
+
+  void SetUp() override {
+    eu = registry.add_domain(device::AdminDomain{
+        .name = "eu", .jurisdiction = device::Jurisdiction::kGdpr});
+    us = registry.add_domain(device::AdminDomain{
+        .name = "us", .jurisdiction = device::Jurisdiction::kCcpa});
+    auto a = device::make_micro_sensor("a", "hr");
+    a.domain = eu;
+    sensor_a = registry.add(std::move(a));
+    auto b = device::make_micro_sensor("b", "temp");
+    b.domain = eu;
+    sensor_b = registry.add(std::move(b));
+    auto e = device::make_edge("edge");
+    e.domain = eu;
+    edge = registry.add(std::move(e));
+    auto c = device::make_cloud("cloud");
+    c.domain = us;
+    cloud = registry.add(std::move(c));
+  }
+};
+
+TEST_F(LineageTest, ProduceIsOrigin) {
+  graph.record_produce(1, sensor_a, DataCategory::kTelemetry,
+                       sim::seconds(1));
+  const auto origins = graph.origins_of(1);
+  EXPECT_EQ(origins, (std::set<std::uint64_t>{1}));
+}
+
+TEST_F(LineageTest, TransformTracksInputs) {
+  graph.record_produce(1, sensor_a, DataCategory::kTelemetry, sim::seconds(1));
+  graph.record_produce(2, sensor_b, DataCategory::kTelemetry, sim::seconds(1));
+  graph.record_transform(3, {1, 2}, edge, DataCategory::kAggregate,
+                         sim::seconds(2));
+  EXPECT_EQ(graph.origins_of(3), (std::set<std::uint64_t>{1, 2}));
+}
+
+TEST_F(LineageTest, DeepAncestryWalk) {
+  graph.record_produce(1, sensor_a, DataCategory::kTelemetry, sim::seconds(1));
+  graph.record_transform(2, {1}, edge, DataCategory::kAggregate,
+                         sim::seconds(2));
+  graph.record_transform(3, {2}, edge, DataCategory::kAggregate,
+                         sim::seconds(3));
+  graph.record_transform(4, {3}, cloud, DataCategory::kAggregate,
+                         sim::seconds(4));
+  EXPECT_EQ(graph.origins_of(4), (std::set<std::uint64_t>{1}));
+}
+
+TEST_F(LineageTest, TaintPropagatesThroughTransforms) {
+  graph.record_produce(1, sensor_a, DataCategory::kSensitive, sim::seconds(1));
+  graph.record_produce(2, sensor_b, DataCategory::kTelemetry, sim::seconds(1));
+  graph.record_transform(3, {1, 2}, edge, DataCategory::kAggregate,
+                         sim::seconds(2));
+  EXPECT_TRUE(graph.tainted_by_personal(3));
+  EXPECT_FALSE(graph.tainted_by_personal(2));
+}
+
+TEST_F(LineageTest, PersonalCountsAsTaint) {
+  graph.record_produce(1, sensor_a, DataCategory::kPersonal, sim::seconds(1));
+  EXPECT_TRUE(graph.tainted_by_personal(1));
+}
+
+TEST_F(LineageTest, DevicesTouchedIncludesTransfers) {
+  graph.record_produce(1, sensor_a, DataCategory::kTelemetry, sim::seconds(1));
+  graph.record_transfer(1, sensor_a, edge, sim::seconds(2));
+  graph.record_transform(2, {1}, edge, DataCategory::kAggregate,
+                         sim::seconds(3));
+  graph.record_transfer(2, edge, cloud, sim::seconds(4));
+  const auto touched = graph.devices_touched(2);
+  EXPECT_TRUE(touched.contains(sensor_a));
+  EXPECT_TRUE(touched.contains(edge));
+  EXPECT_TRUE(touched.contains(cloud));
+}
+
+TEST_F(LineageTest, JurisdictionsTraversed) {
+  graph.record_produce(1, sensor_a, DataCategory::kTelemetry, sim::seconds(1));
+  graph.record_transfer(1, sensor_a, cloud, sim::seconds(2));
+  const auto jurisdictions = graph.jurisdictions_traversed(1);
+  EXPECT_TRUE(jurisdictions.contains(device::Jurisdiction::kGdpr));
+  EXPECT_TRUE(jurisdictions.contains(device::Jurisdiction::kCcpa));
+}
+
+TEST_F(LineageTest, StoreRecordsAppend) {
+  graph.record_produce(1, sensor_a, DataCategory::kTelemetry, sim::seconds(1));
+  graph.record_store(1, edge, sim::seconds(2));
+  EXPECT_EQ(graph.size(), 2u);
+  EXPECT_EQ(graph.records()[1].op, LineageOp::kStore);
+}
+
+TEST_F(LineageTest, UnknownItemHasNoOrigins) {
+  EXPECT_TRUE(graph.origins_of(999).empty());
+  EXPECT_FALSE(graph.tainted_by_personal(999));
+}
+
+TEST_F(LineageTest, CyclicInputsTerminate) {
+  // A malformed transform citing itself must not hang the walker.
+  graph.record_transform(1, {1}, edge, DataCategory::kAggregate,
+                         sim::seconds(1));
+  EXPECT_TRUE(graph.origins_of(1).empty());
+}
+
+TEST_F(LineageTest, OpNamesStable) {
+  EXPECT_EQ(to_string(LineageOp::kProduce), "produce");
+  EXPECT_EQ(to_string(LineageOp::kTransform), "transform");
+  EXPECT_EQ(to_string(LineageOp::kTransfer), "transfer");
+  EXPECT_EQ(to_string(LineageOp::kStore), "store");
+}
+
+}  // namespace
+}  // namespace riot::data

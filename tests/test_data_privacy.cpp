@@ -1,0 +1,203 @@
+#include "data/privacy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::data {
+namespace {
+
+struct PrivacyTest : ::testing::Test {
+  device::Registry registry;
+  device::DomainId eu_domain, us_domain, untrusted_domain;
+  device::DeviceId eu_sensor, eu_edge, us_cloud, rogue;
+  PolicyEngine engine{registry};
+  ScopeId eu_scope;
+
+  void SetUp() override {
+    eu_domain = registry.add_domain(
+        device::AdminDomain{.name = "eu",
+                            .jurisdiction = device::Jurisdiction::kGdpr,
+                            .trust = device::TrustLevel::kOwned});
+    us_domain = registry.add_domain(
+        device::AdminDomain{.name = "us",
+                            .jurisdiction = device::Jurisdiction::kNone,
+                            .trust = device::TrustLevel::kPartner});
+    untrusted_domain = registry.add_domain(
+        device::AdminDomain{.name = "rogue",
+                            .jurisdiction = device::Jurisdiction::kNone,
+                            .trust = device::TrustLevel::kUntrusted});
+    auto s = device::make_micro_sensor("s", "hr");
+    s.domain = eu_domain;
+    eu_sensor = registry.add(std::move(s));
+    auto e = device::make_edge("edge");
+    e.domain = eu_domain;
+    eu_edge = registry.add(std::move(e));
+    auto c = device::make_cloud("cloud");
+    c.domain = us_domain;
+    us_cloud = registry.add(std::move(c));
+    auto r = device::make_gateway("rogue-gw");
+    r.domain = untrusted_domain;
+    rogue = registry.add(std::move(r));
+
+    PrivacyScope scope;
+    scope.name = "eu-home";
+    scope.jurisdiction = device::Jurisdiction::kGdpr;
+    scope.policy = make_gdpr_policy();
+    scope.members = {eu_sensor, eu_edge};
+    eu_scope = engine.add_scope(std::move(scope));
+  }
+
+  DataItem item(DataCategory category) {
+    DataItem i;
+    i.id = 1;
+    i.topic = "vitals";
+    i.category = category;
+    i.origin = eu_sensor;
+    return i;
+  }
+};
+
+TEST_F(PrivacyTest, IntraScopeAlwaysAllowed) {
+  const auto decision =
+      engine.evaluate(item(DataCategory::kSensitive), eu_sensor, eu_edge);
+  EXPECT_TRUE(decision.allowed);
+  EXPECT_EQ(decision.rule, "intra-scope");
+}
+
+TEST_F(PrivacyTest, PersonalCrossJurisdictionDenied) {
+  const auto decision =
+      engine.evaluate(item(DataCategory::kPersonal), eu_sensor, us_cloud);
+  EXPECT_FALSE(decision.allowed);
+  EXPECT_EQ(decision.rule, "gdpr-no-cross-jurisdiction-personal");
+}
+
+TEST_F(PrivacyTest, SensitiveCrossJurisdictionDenied) {
+  EXPECT_FALSE(
+      engine.evaluate(item(DataCategory::kSensitive), eu_sensor, us_cloud)
+          .allowed);
+}
+
+TEST_F(PrivacyTest, AggregateFlowsFreely) {
+  EXPECT_TRUE(
+      engine.evaluate(item(DataCategory::kAggregate), eu_sensor, us_cloud)
+          .allowed);
+  EXPECT_TRUE(
+      engine.evaluate(item(DataCategory::kTelemetry), eu_sensor, us_cloud)
+          .allowed);
+}
+
+TEST_F(PrivacyTest, UntrustedDestinationDenied) {
+  const auto decision =
+      engine.evaluate(item(DataCategory::kPersonal), eu_sensor, rogue);
+  EXPECT_FALSE(decision.allowed);
+}
+
+TEST_F(PrivacyTest, UnscopedDevicesUnconstrained) {
+  DataItem i = item(DataCategory::kSensitive);
+  i.origin = us_cloud;
+  EXPECT_TRUE(engine.evaluate(i, us_cloud, rogue).allowed);
+}
+
+TEST_F(PrivacyTest, IngressRuleBlocksSensitiveFromUntrusted) {
+  DataItem i = item(DataCategory::kSensitive);
+  i.origin = rogue;
+  const auto decision = engine.evaluate(i, rogue, eu_edge);
+  EXPECT_FALSE(decision.allowed);
+  EXPECT_EQ(decision.rule, "gdpr-no-sensitive-ingress-from-untrusted");
+}
+
+TEST_F(PrivacyTest, CheckEnforcedBlocksAndCounts) {
+  EXPECT_FALSE(engine.check(sim::seconds(1), item(DataCategory::kPersonal),
+                            eu_sensor, us_cloud, /*enforce=*/true));
+  EXPECT_EQ(engine.violations(), 1u);
+  EXPECT_EQ(engine.blocked(), 1u);
+  EXPECT_EQ(engine.audit_log().size(), 1u);
+  EXPECT_TRUE(engine.audit_log()[0].enforced);
+}
+
+TEST_F(PrivacyTest, CheckObserveOnlyLetsThrough) {
+  EXPECT_TRUE(engine.check(sim::seconds(1), item(DataCategory::kPersonal),
+                           eu_sensor, us_cloud, /*enforce=*/false));
+  EXPECT_EQ(engine.violations(), 1u);
+  EXPECT_EQ(engine.blocked(), 0u);
+}
+
+TEST_F(PrivacyTest, AllowedFlowsNotAudited) {
+  EXPECT_TRUE(engine.check(sim::seconds(1), item(DataCategory::kAggregate),
+                           eu_sensor, us_cloud));
+  EXPECT_EQ(engine.violations(), 0u);
+  EXPECT_TRUE(engine.audit_log().empty());
+  EXPECT_EQ(engine.evaluations(), 1u);
+}
+
+TEST_F(PrivacyTest, CcpaAllowsPersonalBlocksSensitive) {
+  PrivacyScope ccpa;
+  ccpa.name = "ca-home";
+  ccpa.jurisdiction = device::Jurisdiction::kCcpa;
+  ccpa.policy = make_ccpa_policy();
+  auto s2 = device::make_micro_sensor("s2", "hr");
+  s2.domain = us_domain;
+  const auto ca_sensor = registry.add(std::move(s2));
+  ccpa.members = {ca_sensor};
+  engine.add_scope(std::move(ccpa));
+
+  DataItem personal = item(DataCategory::kPersonal);
+  personal.origin = ca_sensor;
+  EXPECT_TRUE(engine.evaluate(personal, ca_sensor, us_cloud).allowed);
+  DataItem sensitive = item(DataCategory::kSensitive);
+  sensitive.origin = ca_sensor;
+  EXPECT_FALSE(engine.evaluate(sensitive, ca_sensor, rogue).allowed);
+  // Partner-trust destination is also below the CCPA bar.
+  EXPECT_FALSE(engine.evaluate(sensitive, ca_sensor, us_cloud).allowed);
+}
+
+TEST_F(PrivacyTest, TopicPrefixRuleScopesNarrowly) {
+  PrivacyScope scope;
+  scope.name = "topic-scoped";
+  scope.jurisdiction = device::Jurisdiction::kNone;
+  scope.policy.rules.push_back(FlowRule{
+      .name = "deny-camera-feed",
+      .effect = Effect::kDeny,
+      .direction = FlowDirection::kEgress,
+      .topic_prefix = "camera/",
+  });
+  auto gw = device::make_gateway("gw2");
+  gw.domain = us_domain;
+  const auto dev = registry.add(std::move(gw));
+  scope.members = {dev};
+  engine.add_scope(std::move(scope));
+
+  DataItem camera;
+  camera.topic = "camera/front";
+  camera.origin = dev;
+  EXPECT_FALSE(engine.evaluate(camera, dev, rogue).allowed);
+  DataItem other;
+  other.topic = "telemetry/cpu";
+  other.origin = dev;
+  EXPECT_TRUE(engine.evaluate(other, dev, rogue).allowed);
+}
+
+TEST_F(PrivacyTest, ScopeMembershipQueries) {
+  EXPECT_EQ(engine.scope_of(eu_sensor), eu_scope);
+  EXPECT_FALSE(engine.scope_of(us_cloud).has_value());
+  engine.add_member(eu_scope, us_cloud);
+  EXPECT_EQ(engine.scope_of(us_cloud), eu_scope);
+}
+
+TEST_F(PrivacyTest, DefaultEffectDenyWorks) {
+  PrivacyScope lockdown;
+  lockdown.name = "lockdown";
+  lockdown.jurisdiction = device::Jurisdiction::kNone;
+  lockdown.policy.default_effect = Effect::kDeny;
+  auto gw = device::make_gateway("locked");
+  gw.domain = us_domain;
+  const auto dev = registry.add(std::move(gw));
+  lockdown.members = {dev};
+  engine.add_scope(std::move(lockdown));
+  DataItem i;
+  i.origin = dev;
+  i.category = DataCategory::kTelemetry;
+  EXPECT_FALSE(engine.evaluate(i, dev, us_cloud).allowed);
+}
+
+}  // namespace
+}  // namespace riot::data

@@ -1,0 +1,250 @@
+#include "data/pubsub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net_fixture.hpp"
+
+namespace riot::data {
+namespace {
+
+using riot::testing::NetFixture;
+
+struct PubSubTest : NetFixture {
+  device::Registry registry;
+  device::DomainId domain;
+
+  PubSubTest() {
+    domain = registry.add_domain(device::AdminDomain{.name = "d"});
+  }
+
+  device::DeviceId make_device(const std::string& name) {
+    auto d = device::make_gateway(name);
+    d.domain = domain;
+    return registry.add(std::move(d));
+  }
+
+  DataItem make_item(std::uint64_t id, const std::string& topic,
+                     device::DeviceId origin) {
+    DataItem item;
+    item.id = id;
+    item.topic = topic;
+    item.origin = origin;
+    return item;
+  }
+};
+
+TEST_F(PubSubTest, BrokerDeliversToSubscribers) {
+  BrokerNode broker(network, registry);
+  const auto dev_a = make_device("a");
+  const auto dev_b = make_device("b");
+  BrokerClient pub(network, broker.id(), dev_a);
+  BrokerClient sub(network, broker.id(), dev_b);
+  broker.start();
+  pub.start();
+  sub.start();
+  int got = 0;
+  sub.subscribe("t", [&](const DataItem&, sim::SimTime) { ++got; });
+  sim.run_until(sim::millis(100));
+  pub.publish(make_item(1, "t", dev_a));
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(broker.published(), 1u);
+  EXPECT_EQ(broker.forwarded(), 1u);
+}
+
+TEST_F(PubSubTest, BrokerIgnoresOtherTopics) {
+  BrokerNode broker(network, registry);
+  const auto dev = make_device("a");
+  BrokerClient client(network, broker.id(), dev);
+  broker.start();
+  client.start();
+  int got = 0;
+  client.subscribe("t1", [&](const DataItem&, sim::SimTime) { ++got; });
+  sim.run_until(sim::millis(100));
+  client.publish(make_item(1, "t2", dev));
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(PubSubTest, BrokerDownMeansNoDelivery) {
+  BrokerNode broker(network, registry);
+  const auto dev_a = make_device("a");
+  const auto dev_b = make_device("b");
+  BrokerClient pub(network, broker.id(), dev_a);
+  BrokerClient sub(network, broker.id(), dev_b);
+  broker.start();
+  pub.start();
+  sub.start();
+  int got = 0;
+  sub.subscribe("t", [&](const DataItem&, sim::SimTime) { ++got; });
+  sim.run_until(sim::millis(100));
+  broker.crash();
+  pub.publish(make_item(1, "t", dev_a));
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(got, 0);  // the ML2 single point of failure, concretely
+}
+
+TEST_F(PubSubTest, EpidemicFloodReachesAllSubscribers) {
+  std::vector<std::unique_ptr<EpidemicPubSub>> nodes;
+  std::vector<int> got(5, 0);
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(std::make_unique<EpidemicPubSub>(
+        network, registry, make_device("n" + std::to_string(i))));
+  }
+  // Ring topology: flood must traverse hops.
+  for (int i = 0; i < 5; ++i) {
+    nodes[static_cast<size_t>(i)]->add_peer(
+        nodes[static_cast<size_t>((i + 1) % 5)]->id());
+    nodes[static_cast<size_t>(i)]->add_peer(
+        nodes[static_cast<size_t>((i + 4) % 5)]->id());
+  }
+  for (int i = 0; i < 5; ++i) {
+    nodes[static_cast<size_t>(i)]->subscribe(
+        "t", [&got, i](const DataItem&, sim::SimTime) {
+          ++got[static_cast<size_t>(i)];
+        });
+    nodes[static_cast<size_t>(i)]->start();
+  }
+  nodes[0]->publish(make_item(1, "t", device::DeviceId{0}));
+  sim.run_until(sim::seconds(1));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)], 1) << "node " << i;
+  }
+}
+
+TEST_F(PubSubTest, EpidemicDeduplicates) {
+  EpidemicPubSub a(network, registry, make_device("a"));
+  EpidemicPubSub b(network, registry, make_device("b"));
+  a.add_peer(b.id());
+  b.add_peer(a.id());
+  int got = 0;
+  b.subscribe("t", [&](const DataItem&, sim::SimTime) { ++got; });
+  a.start();
+  b.start();
+  const auto item = make_item(7, "t", device::DeviceId{0});
+  a.publish(item);
+  a.publish(item);  // duplicate publish of the same item id
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(PubSubTest, HopLimitBoundsPropagation) {
+  // Chain of 4 with max_hops = 1: the item reaches the publisher's peer
+  // but not beyond.
+  std::vector<std::unique_ptr<EpidemicPubSub>> nodes;
+  std::vector<int> got(4, 0);
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(std::make_unique<EpidemicPubSub>(
+        network, registry, make_device("h" + std::to_string(i)),
+        /*max_hops=*/1));
+  }
+  for (int i = 0; i + 1 < 4; ++i) {
+    nodes[static_cast<size_t>(i)]->add_peer(
+        nodes[static_cast<size_t>(i + 1)]->id());
+  }
+  for (int i = 0; i < 4; ++i) {
+    nodes[static_cast<size_t>(i)]->subscribe(
+        "t", [&got, i](const DataItem&, sim::SimTime) {
+          ++got[static_cast<size_t>(i)];
+        });
+    nodes[static_cast<size_t>(i)]->start();
+  }
+  nodes[0]->publish(make_item(1, "t", device::DeviceId{0}));
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 1);
+  EXPECT_EQ(got[2], 1);  // hop 1 -> 2 allowed (hops_left 1 -> 0)
+  EXPECT_EQ(got[3], 0);  // out of budget
+}
+
+TEST_F(PubSubTest, EpidemicSurvivesRelayCrash) {
+  // Mesh with redundancy: killing one relay doesn't stop delivery.
+  std::vector<std::unique_ptr<EpidemicPubSub>> nodes;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(std::make_unique<EpidemicPubSub>(
+        network, registry, make_device("m" + std::to_string(i))));
+  }
+  for (auto& a : nodes) {
+    for (auto& b : nodes) {
+      if (a != b) a->add_peer(b->id());
+    }
+  }
+  int got = 0;
+  nodes[3]->subscribe("t", [&](const DataItem&, sim::SimTime) { ++got; });
+  for (auto& n : nodes) n->start();
+  nodes[1]->crash();
+  nodes[0]->publish(make_item(1, "t", device::DeviceId{0}));
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(PubSubTest, PolicyBlocksAtBroker) {
+  // GDPR scope around the publisher; subscriber is cross-jurisdiction.
+  auto eu = registry.add_domain(device::AdminDomain{
+      .name = "eu", .jurisdiction = device::Jurisdiction::kGdpr});
+  auto sensor_dev = device::make_micro_sensor("s", "hr");
+  sensor_dev.domain = eu;
+  const auto eu_dev = registry.add(std::move(sensor_dev));
+
+  PolicyEngine policy(registry);
+  PrivacyScope scope;
+  scope.jurisdiction = device::Jurisdiction::kGdpr;
+  scope.policy = make_gdpr_policy();
+  scope.members = {eu_dev};
+  policy.add_scope(std::move(scope));
+
+  BrokerNode broker(network, registry);
+  broker.set_policy(&policy, /*enforce=*/true);
+  const auto other_dev = make_device("other");
+  BrokerClient pub(network, broker.id(), eu_dev);
+  BrokerClient sub(network, broker.id(), other_dev);
+  // The broker resolves subscriber devices through the registry.
+  registry.attach_node(eu_dev, pub.id());
+  registry.attach_node(other_dev, sub.id());
+  broker.start();
+  pub.start();
+  sub.start();
+  int got = 0;
+  sub.subscribe("t", [&](const DataItem&, sim::SimTime) { ++got; });
+  sim.run_until(sim::millis(100));
+  auto item = make_item(1, "t", eu_dev);
+  item.category = DataCategory::kPersonal;
+  pub.publish(item);
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(policy.blocked(), 1u);
+}
+
+TEST_F(PubSubTest, FreshnessTrackerAges) {
+  FreshnessTracker tracker;
+  EXPECT_FALSE(tracker.age("t", sim::seconds(10)).has_value());
+  tracker.observe("t", sim::seconds(1), sim::seconds(2));
+  const auto age = tracker.age("t", sim::seconds(10));
+  ASSERT_TRUE(age.has_value());
+  EXPECT_EQ(*age, sim::seconds(9));
+  EXPECT_TRUE(tracker.fresh_within("t", sim::seconds(10), sim::seconds(9)));
+  EXPECT_FALSE(tracker.fresh_within("t", sim::seconds(10), sim::seconds(8)));
+}
+
+TEST_F(PubSubTest, FreshnessKeepsNewestProduction) {
+  FreshnessTracker tracker;
+  tracker.observe("t", sim::seconds(5), sim::seconds(6));
+  tracker.observe("t", sim::seconds(3), sim::seconds(7));  // older item later
+  const auto age = tracker.age("t", sim::seconds(10));
+  ASSERT_TRUE(age.has_value());
+  EXPECT_EQ(*age, sim::seconds(5));
+}
+
+TEST_F(PubSubTest, FreshnessMeanLatency) {
+  FreshnessTracker tracker;
+  tracker.observe("t", sim::seconds(1), sim::seconds(1) + sim::millis(10));
+  tracker.observe("t", sim::seconds(2), sim::seconds(2) + sim::millis(30));
+  EXPECT_NEAR(tracker.mean_delivery_latency_us("t"), 20'000.0, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_delivery_latency_us("none"), 0.0);
+}
+
+}  // namespace
+}  // namespace riot::data

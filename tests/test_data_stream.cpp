@@ -1,0 +1,136 @@
+#include "data/stream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::data {
+namespace {
+
+TEST(TimeWindow, BasicAggregates) {
+  TimeWindow window(sim::seconds(10));
+  window.push(sim::seconds(1), 2.0);
+  window.push(sim::seconds(2), 4.0);
+  window.push(sim::seconds(3), 6.0);
+  EXPECT_EQ(window.count(), 3u);
+  EXPECT_DOUBLE_EQ(window.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(window.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(window.min(), 2.0);
+  EXPECT_DOUBLE_EQ(window.max(), 6.0);
+  EXPECT_DOUBLE_EQ(window.stddev(), 2.0);
+  EXPECT_EQ(window.newest(), 6.0);
+}
+
+TEST(TimeWindow, EmptyIsZero) {
+  TimeWindow window(sim::seconds(1));
+  EXPECT_TRUE(window.empty());
+  EXPECT_DOUBLE_EQ(window.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(window.min(), 0.0);
+  EXPECT_DOUBLE_EQ(window.max(), 0.0);
+  EXPECT_FALSE(window.newest().has_value());
+}
+
+TEST(TimeWindow, EvictsOldSamplesOnPush) {
+  TimeWindow window(sim::seconds(5));
+  window.push(sim::seconds(0), 100.0);
+  window.push(sim::seconds(3), 10.0);
+  window.push(sim::seconds(6), 20.0);  // evicts the t=0 sample
+  EXPECT_EQ(window.count(), 2u);
+  EXPECT_DOUBLE_EQ(window.max(), 20.0);
+}
+
+TEST(TimeWindow, ExplicitEvict) {
+  TimeWindow window(sim::seconds(5));
+  window.push(sim::seconds(0), 1.0);
+  window.evict(sim::seconds(10));
+  EXPECT_TRUE(window.empty());
+}
+
+TEST(TimeWindow, BoundaryInclusive) {
+  TimeWindow window(sim::seconds(5));
+  window.push(sim::seconds(0), 1.0);
+  window.evict(sim::seconds(5));  // age == span: still in
+  EXPECT_EQ(window.count(), 1u);
+  window.evict(sim::seconds(5) + sim::nanos(1));
+  EXPECT_TRUE(window.empty());
+}
+
+TEST(Ewma, FirstSampleSeeds) {
+  Ewma ewma(sim::seconds(10));
+  EXPECT_FALSE(ewma.value().has_value());
+  ewma.push(sim::seconds(0), 5.0);
+  EXPECT_EQ(ewma.value(), 5.0);
+}
+
+TEST(Ewma, HalfLifeSemantics) {
+  Ewma ewma(sim::seconds(10));
+  ewma.push(sim::seconds(0), 0.0);
+  // One half-life later a new value pulls the estimate halfway.
+  ewma.push(sim::seconds(10), 100.0);
+  EXPECT_NEAR(*ewma.value(), 50.0, 1e-9);
+  // Another half-life, same value: halfway again.
+  ewma.push(sim::seconds(20), 100.0);
+  EXPECT_NEAR(*ewma.value(), 75.0, 1e-9);
+}
+
+TEST(Ewma, LongGapConvergesToNewValue) {
+  Ewma ewma(sim::seconds(1));
+  ewma.push(sim::seconds(0), 0.0);
+  ewma.push(sim::minutes(10), 42.0);  // 600 half-lives
+  EXPECT_NEAR(*ewma.value(), 42.0, 1e-6);
+}
+
+TEST(RateEstimator, CountsWithinWindow) {
+  RateEstimator rate(sim::seconds(10));
+  for (int i = 0; i < 20; ++i) {
+    rate.record(sim::millis(500 * i));  // 2 events/s for 10s
+  }
+  EXPECT_NEAR(rate.per_second(sim::seconds(10)), 2.0, 0.1);
+}
+
+TEST(RateEstimator, DecaysWhenIdle) {
+  RateEstimator rate(sim::seconds(10));
+  for (int i = 0; i < 10; ++i) rate.record(sim::seconds(i));
+  EXPECT_GT(rate.per_second(sim::seconds(10)), 0.5);
+  EXPECT_DOUBLE_EQ(rate.per_second(sim::seconds(30)), 0.0);
+}
+
+TEST(ThresholdDetector, FiresOnceWithHysteresis) {
+  ThresholdDetector detector(/*low=*/50.0, /*high=*/80.0);
+  int enters = 0, exits = 0;
+  detector.on_enter([&](sim::SimTime, double) { ++enters; });
+  detector.on_exit([&](sim::SimTime, double) { ++exits; });
+  detector.push(sim::seconds(1), 70.0);
+  EXPECT_FALSE(detector.active());
+  detector.push(sim::seconds(2), 85.0);
+  EXPECT_TRUE(detector.active());
+  EXPECT_EQ(enters, 1);
+  // Noise within the hysteresis band does not flap.
+  detector.push(sim::seconds(3), 75.0);
+  detector.push(sim::seconds(4), 82.0);
+  detector.push(sim::seconds(5), 60.0);
+  EXPECT_TRUE(detector.active());
+  EXPECT_EQ(enters, 1);
+  EXPECT_EQ(exits, 0);
+  detector.push(sim::seconds(6), 45.0);
+  EXPECT_FALSE(detector.active());
+  EXPECT_EQ(exits, 1);
+  EXPECT_EQ(detector.activations(), 1u);
+}
+
+TEST(ThresholdDetector, ReentersAfterFullCycle) {
+  ThresholdDetector detector(10.0, 20.0);
+  detector.push(sim::seconds(1), 25.0);
+  detector.push(sim::seconds(2), 5.0);
+  detector.push(sim::seconds(3), 25.0);
+  EXPECT_EQ(detector.activations(), 2u);
+}
+
+TEST(ThresholdDetector, ExactThresholdsCount) {
+  ThresholdDetector detector(10.0, 20.0);
+  detector.push(sim::seconds(1), 20.0);  // >= high
+  EXPECT_TRUE(detector.active());
+  detector.push(sim::seconds(2), 10.0);  // <= low
+  EXPECT_FALSE(detector.active());
+}
+
+}  // namespace
+}  // namespace riot::data

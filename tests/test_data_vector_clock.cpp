@@ -1,0 +1,96 @@
+#include "data/vector_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::data {
+namespace {
+
+TEST(VectorClock, StartsEmpty) {
+  VectorClock vc;
+  EXPECT_EQ(vc.at(0), 0u);
+  EXPECT_TRUE(vc.entries().empty());
+}
+
+TEST(VectorClock, TickIncrements) {
+  VectorClock vc;
+  vc.tick(3);
+  vc.tick(3);
+  vc.tick(5);
+  EXPECT_EQ(vc.at(3), 2u);
+  EXPECT_EQ(vc.at(5), 1u);
+}
+
+TEST(VectorClock, MergeTakesPointwiseMax) {
+  VectorClock a, b;
+  a.tick(0);
+  a.tick(0);
+  b.tick(0);
+  b.tick(1);
+  a.merge(b);
+  EXPECT_EQ(a.at(0), 2u);
+  EXPECT_EQ(a.at(1), 1u);
+}
+
+TEST(VectorClock, HappenedBefore) {
+  VectorClock a, b;
+  a.tick(0);
+  b = a;
+  b.tick(1);
+  EXPECT_TRUE(a.before(b));
+  EXPECT_FALSE(b.before(a));
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(a.equals(b));
+}
+
+TEST(VectorClock, Equality) {
+  VectorClock a, b;
+  a.tick(2);
+  b.tick(2);
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.before(b));
+  EXPECT_FALSE(a.concurrent_with(b));
+}
+
+TEST(VectorClock, Concurrency) {
+  VectorClock a, b;
+  a.tick(0);
+  b.tick(1);
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_TRUE(b.concurrent_with(a));
+  EXPECT_FALSE(a.before(b));
+}
+
+TEST(VectorClock, ReadyForNextInSequence) {
+  VectorClock local;       // receiver saw nothing
+  VectorClock msg;
+  msg.tick(7);             // first message from 7
+  EXPECT_TRUE(local.ready_for(msg, 7));
+  VectorClock msg2 = msg;
+  msg2.tick(7);            // second message from 7
+  EXPECT_FALSE(local.ready_for(msg2, 7));
+  local.merge(msg);
+  EXPECT_TRUE(local.ready_for(msg2, 7));
+}
+
+TEST(VectorClock, ReadyForBlocksOnMissingCausalDependency) {
+  // Message from sender 1 that causally depends on a message from 0 the
+  // receiver has not seen.
+  VectorClock local;
+  VectorClock msg;
+  msg.tick(0);  // dependency
+  msg.tick(1);  // the send itself
+  EXPECT_FALSE(local.ready_for(msg, 1));
+  local.tick(0);  // now we've seen 0's message
+  EXPECT_TRUE(local.ready_for(msg, 1));
+}
+
+TEST(VectorClock, ToStringSortedAndStable) {
+  VectorClock vc;
+  vc.tick(9);
+  vc.tick(1);
+  vc.tick(1);
+  EXPECT_EQ(vc.to_string(), "{1:2,9:1}");
+}
+
+}  // namespace
+}  // namespace riot::data

@@ -1,0 +1,187 @@
+#include "device/device.hpp"
+#include "device/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::device {
+namespace {
+
+TEST(Capabilities, SatisfiesNumericDominance) {
+  Capabilities big{.cpu_mips = 100, .memory_mb = 64, .storage_mb = 128};
+  Capabilities need{.cpu_mips = 50, .memory_mb = 64, .storage_mb = 1};
+  EXPECT_TRUE(big.satisfies(need));
+  EXPECT_FALSE(need.satisfies(big));
+}
+
+TEST(Capabilities, SatisfiesFlags) {
+  Capabilities host{.cpu_mips = 1, .memory_mb = 1, .storage_mb = 1,
+                    .can_host_services = true};
+  Capabilities need{.cpu_mips = 0, .memory_mb = 0, .storage_mb = 0,
+                    .can_host_services = true};
+  EXPECT_TRUE(host.satisfies(need));
+  need.can_run_analysis = true;
+  EXPECT_FALSE(host.satisfies(need));
+}
+
+TEST(Capabilities, SatisfiesPeripherals) {
+  Capabilities host{.sensors = {"temperature", "humidity"},
+                    .actuators = {"valve"}};
+  host.cpu_mips = 100;
+  host.memory_mb = 100;
+  host.storage_mb = 100;
+  Capabilities need;
+  need.cpu_mips = need.memory_mb = need.storage_mb = 0;
+  need.sensors = {"temperature"};
+  EXPECT_TRUE(host.satisfies(need));
+  need.sensors = {"camera"};
+  EXPECT_FALSE(host.satisfies(need));
+  need.sensors.clear();
+  need.actuators = {"valve"};
+  EXPECT_TRUE(host.satisfies(need));
+}
+
+TEST(Capabilities, HasSensorActuator) {
+  const Capabilities caps{.sensors = {"a"}, .actuators = {"b"}};
+  EXPECT_TRUE(caps.has_sensor("a"));
+  EXPECT_FALSE(caps.has_sensor("b"));
+  EXPECT_TRUE(caps.has_actuator("b"));
+}
+
+TEST(SoftwareStack, CompatibilityIgnoresVendorVersion) {
+  SoftwareStack a{.os = "linux", .runtime = "container", .vendor = "x",
+                  .version = 1};
+  SoftwareStack b{.os = "linux", .runtime = "container", .vendor = "y",
+                  .version = 9};
+  SoftwareStack c{.os = "rtos", .runtime = "container"};
+  EXPECT_TRUE(a.compatible_with(b));
+  EXPECT_FALSE(a.compatible_with(c));
+}
+
+TEST(Location, Distance) {
+  const Location a{0, 0};
+  const Location b{3, 4};
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance_to(a), 0.0);
+}
+
+TEST(Energy, DepletionAndFraction) {
+  Energy battery{.mains_powered = false, .capacity_j = 100,
+                 .remaining_j = 25};
+  EXPECT_FALSE(battery.depleted());
+  EXPECT_DOUBLE_EQ(battery.fraction_remaining(), 0.25);
+  battery.remaining_j = 0;
+  EXPECT_TRUE(battery.depleted());
+  const Energy mains{.mains_powered = true};
+  EXPECT_FALSE(mains.depleted());
+  EXPECT_DOUBLE_EQ(mains.fraction_remaining(), 1.0);
+}
+
+TEST(DeviceProfiles, ClassesAndCapabilities) {
+  EXPECT_EQ(make_micro_sensor("s", "t").cls, DeviceClass::kMicroSensor);
+  EXPECT_EQ(make_actuator("a", "v").cls, DeviceClass::kActuator);
+  EXPECT_EQ(make_mobile("m").cls, DeviceClass::kMobile);
+  EXPECT_EQ(make_gateway("g").cls, DeviceClass::kGateway);
+  EXPECT_EQ(make_edge("e").cls, DeviceClass::kEdge);
+  EXPECT_EQ(make_cloud("c").cls, DeviceClass::kCloud);
+
+  EXPECT_TRUE(make_edge("e").caps.can_run_analysis);
+  EXPECT_FALSE(make_micro_sensor("s", "t").caps.can_host_services);
+  EXPECT_TRUE(make_micro_sensor("s", "t").caps.has_sensor("t"));
+  EXPECT_FALSE(make_micro_sensor("s", "t").energy.mains_powered);
+  EXPECT_TRUE(make_edge("e").is_edge_capable());
+  EXPECT_FALSE(make_mobile("m").is_edge_capable());
+}
+
+struct RegistryTest : ::testing::Test {
+  Registry registry;
+  DomainId eu, us;
+  DeviceId edge, sensor1, sensor2, cloud;
+
+  void SetUp() override {
+    eu = registry.add_domain(
+        AdminDomain{.name = "eu", .jurisdiction = Jurisdiction::kGdpr});
+    us = registry.add_domain(
+        AdminDomain{.name = "us", .jurisdiction = Jurisdiction::kCcpa});
+    auto e = make_edge("edge");
+    e.location = {0, 0};
+    e.domain = eu;
+    edge = registry.add(std::move(e));
+    auto s1 = make_micro_sensor("s1", "temperature");
+    s1.location = {10, 0};
+    s1.domain = eu;
+    sensor1 = registry.add(std::move(s1));
+    auto s2 = make_micro_sensor("s2", "co2");
+    s2.location = {5000, 0};
+    s2.domain = us;
+    sensor2 = registry.add(std::move(s2));
+    auto c = make_cloud("cloud");
+    c.location = {99999, 0};
+    c.domain = us;
+    cloud = registry.add(std::move(c));
+  }
+};
+
+TEST_F(RegistryTest, IdsAreDense) {
+  EXPECT_EQ(edge.value, 0u);
+  EXPECT_EQ(sensor1.value, 1u);
+  EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST_F(RegistryTest, GetUnknownThrows) {
+  EXPECT_THROW((void)registry.get(DeviceId{99}), std::out_of_range);
+  EXPECT_THROW((void)registry.get(DeviceId{}), std::out_of_range);
+  EXPECT_THROW((void)registry.domain(DomainId{99}), std::out_of_range);
+}
+
+TEST_F(RegistryTest, WithCapabilities) {
+  Capabilities need;
+  need.cpu_mips = need.memory_mb = need.storage_mb = 0;
+  need.sensors = {"temperature"};
+  const auto hits = registry.with_capabilities(need);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], sensor1);
+}
+
+TEST_F(RegistryTest, Within) {
+  const auto near = registry.within(Location{0, 0}, 100.0);
+  EXPECT_EQ(near.size(), 2u);  // edge + sensor1
+}
+
+TEST_F(RegistryTest, InDomain) {
+  EXPECT_EQ(registry.in_domain(eu).size(), 2u);
+  EXPECT_EQ(registry.in_domain(us).size(), 2u);
+}
+
+TEST_F(RegistryTest, Nearest) {
+  const auto nearest = registry.nearest(Location{4000, 0},
+                                        DeviceClass::kMicroSensor);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(*nearest, sensor2);
+  EXPECT_FALSE(
+      registry.nearest(Location{0, 0}, DeviceClass::kMobile).has_value());
+}
+
+TEST_F(RegistryTest, TransferDomain) {
+  registry.transfer_domain(sensor1, us);
+  EXPECT_EQ(registry.get(sensor1).domain, us);
+  EXPECT_EQ(registry.in_domain(eu).size(), 1u);
+}
+
+TEST_F(RegistryTest, AttachNodeAndFindBack) {
+  registry.attach_node(sensor1, net::NodeId{7});
+  EXPECT_EQ(registry.get(sensor1).node, net::NodeId{7});
+  const auto found = registry.find_by_node(net::NodeId{7});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, sensor1);
+  EXPECT_FALSE(registry.find_by_node(net::NodeId{8}).has_value());
+}
+
+TEST(DomainToString, Values) {
+  EXPECT_EQ(to_string(Jurisdiction::kGdpr), "GDPR");
+  EXPECT_EQ(to_string(Jurisdiction::kCcpa), "CCPA");
+  EXPECT_EQ(to_string(TrustLevel::kUntrusted), "untrusted");
+  EXPECT_EQ(to_string(DeviceClass::kEdge), "edge");
+}
+
+}  // namespace
+}  // namespace riot::device

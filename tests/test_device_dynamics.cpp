@@ -1,0 +1,129 @@
+// Mobility and energy dynamics.
+#include <gtest/gtest.h>
+
+#include "device/energy.hpp"
+#include "device/mobility.hpp"
+#include "sim/simulation.hpp"
+
+namespace riot::device {
+namespace {
+
+struct DynamicsTest : ::testing::Test {
+  sim::Simulation simulation{42};
+  Registry registry;
+};
+
+TEST_F(DynamicsTest, MobilityMovesTowardWaypoint) {
+  auto mobile = make_mobile("car");
+  mobile.location = {0, 0};
+  const DeviceId id = registry.add(std::move(mobile));
+  MobilityManager mobility(simulation, registry, sim::seconds(1));
+  mobility.add_route(id, {{100, 0}}, 10.0);  // 10 m/s east
+  mobility.start();
+  simulation.run_until(sim::seconds(5));
+  EXPECT_NEAR(registry.get(id).location.x, 50.0, 1e-9);
+  simulation.run_until(sim::seconds(20));
+  // Arrived and parked at the single waypoint.
+  EXPECT_NEAR(registry.get(id).location.x, 100.0, 1e-9);
+}
+
+TEST_F(DynamicsTest, MobilityCyclesWaypoints) {
+  auto mobile = make_mobile("bus");
+  mobile.location = {0, 0};
+  const DeviceId id = registry.add(std::move(mobile));
+  MobilityManager mobility(simulation, registry, sim::seconds(1));
+  mobility.add_route(id, {{10, 0}, {10, 10}, {0, 0}}, 10.0);
+  mobility.start();
+  simulation.run_until(sim::seconds(1));
+  EXPECT_NEAR(registry.get(id).location.x, 10.0, 1e-9);
+  simulation.run_until(sim::seconds(2));
+  EXPECT_NEAR(registry.get(id).location.y, 10.0, 1e-9);
+}
+
+TEST_F(DynamicsTest, MobilityCallbackFires) {
+  auto mobile = make_mobile("m");
+  const DeviceId id = registry.add(std::move(mobile));
+  MobilityManager mobility(simulation, registry, sim::seconds(1));
+  mobility.add_route(id, {{100, 100}}, 5.0);
+  int moves = 0;
+  mobility.on_moved([&](DeviceId moved, const Location&) {
+    EXPECT_EQ(moved, id);
+    ++moves;
+  });
+  mobility.start();
+  simulation.run_until(sim::seconds(3));
+  EXPECT_EQ(moves, 3);
+  mobility.stop();
+  simulation.run_until(sim::seconds(6));
+  EXPECT_EQ(moves, 3);
+}
+
+TEST_F(DynamicsTest, InvalidRouteIgnored) {
+  const DeviceId id = registry.add(make_mobile("m"));
+  MobilityManager mobility(simulation, registry);
+  mobility.add_route(id, {}, 10.0);
+  mobility.add_route(id, {{1, 1}}, 0.0);
+  EXPECT_EQ(mobility.routes(), 0u);
+}
+
+TEST_F(DynamicsTest, EnergyIdleDrainDepletes) {
+  auto sensor = make_micro_sensor("s", "t");
+  sensor.energy.capacity_j = 10.0;
+  sensor.energy.remaining_j = 10.0;
+  sensor.energy.idle_draw_w = 1.0;  // 10 seconds of life
+  const DeviceId id = registry.add(std::move(sensor));
+  EnergyManager energy(simulation, registry, sim::seconds(1));
+  DeviceId depleted{};
+  energy.on_depleted([&](DeviceId d) { depleted = d; });
+  energy.start();
+  simulation.run_until(sim::seconds(9));
+  EXPECT_FALSE(registry.get(id).energy.depleted());
+  simulation.run_until(sim::seconds(11));
+  EXPECT_TRUE(registry.get(id).energy.depleted());
+  EXPECT_EQ(depleted, id);
+  EXPECT_EQ(energy.depleted_count(), 1u);
+}
+
+TEST_F(DynamicsTest, EnergyTxCharge) {
+  auto sensor = make_micro_sensor("s", "t");
+  sensor.energy.capacity_j = 1.0;
+  sensor.energy.remaining_j = 1.0;
+  sensor.energy.tx_cost_j = 0.4;
+  sensor.energy.idle_draw_w = 0.0;
+  const DeviceId id = registry.add(std::move(sensor));
+  EnergyManager energy(simulation, registry);
+  energy.charge_tx(id);
+  energy.charge_tx(id);
+  EXPECT_FALSE(registry.get(id).energy.depleted());
+  energy.charge_tx(id);
+  EXPECT_TRUE(registry.get(id).energy.depleted());
+}
+
+TEST_F(DynamicsTest, MainsPoweredNeverDepletes) {
+  const DeviceId id = registry.add(make_edge("e"));
+  EnergyManager energy(simulation, registry, sim::seconds(1));
+  int depletions = 0;
+  energy.on_depleted([&](DeviceId) { ++depletions; });
+  energy.start();
+  energy.charge(id, 1e9);
+  simulation.run_until(sim::minutes(10));
+  EXPECT_EQ(depletions, 0);
+}
+
+TEST_F(DynamicsTest, DepletedCallbackFiresOnce) {
+  auto sensor = make_micro_sensor("s", "t");
+  sensor.energy.capacity_j = 1.0;
+  sensor.energy.remaining_j = 1.0;
+  sensor.energy.idle_draw_w = 10.0;
+  const DeviceId id = registry.add(std::move(sensor));
+  (void)id;
+  EnergyManager energy(simulation, registry, sim::seconds(1));
+  int depletions = 0;
+  energy.on_depleted([&](DeviceId) { ++depletions; });
+  energy.start();
+  simulation.run_until(sim::seconds(30));
+  EXPECT_EQ(depletions, 1);
+}
+
+}  // namespace
+}  // namespace riot::device

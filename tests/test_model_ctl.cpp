@@ -1,0 +1,195 @@
+#include "model/ctl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace riot::model::ctl {
+namespace {
+
+/// A 3-state service lifecycle: running -> degraded -> failed -> running.
+struct LifecycleModel : ::testing::Test {
+  Kripke m;
+  PropId running, degraded, failed;
+  StateId s_run, s_deg, s_fail;
+
+  void SetUp() override {
+    running = m.prop("running");
+    degraded = m.prop("degraded");
+    failed = m.prop("failed");
+    s_run = m.add_state({running});
+    s_deg = m.add_state({degraded});
+    s_fail = m.add_state({failed});
+    m.add_transition(s_run, s_run);
+    m.add_transition(s_run, s_deg);
+    m.add_transition(s_deg, s_fail);
+    m.add_transition(s_deg, s_run);
+    m.add_transition(s_fail, s_run);  // recovery
+    m.set_initial(s_run);
+  }
+};
+
+TEST_F(LifecycleModel, PropSatSets) {
+  Checker checker(m);
+  const auto sat = checker.sat(prop("running"));
+  EXPECT_TRUE(sat[s_run]);
+  EXPECT_FALSE(sat[s_deg]);
+}
+
+TEST_F(LifecycleModel, UnknownPropHoldsNowhere) {
+  Checker checker(m);
+  const auto sat = checker.sat(prop("nonexistent"));
+  for (const bool b : sat) EXPECT_FALSE(b);
+}
+
+TEST_F(LifecycleModel, BooleanConnectives) {
+  Checker checker(m);
+  EXPECT_TRUE(checker.holds_at(or_(prop("running"), prop("degraded")), s_deg));
+  EXPECT_FALSE(checker.holds_at(and_(prop("running"), prop("degraded")),
+                                s_run));
+  EXPECT_TRUE(checker.holds_at(not_(prop("failed")), s_run));
+  EXPECT_TRUE(checker.holds_at(implies(prop("failed"), truth()), s_fail));
+  EXPECT_TRUE(checker.holds(truth()));
+}
+
+TEST_F(LifecycleModel, EXFindsSuccessors) {
+  Checker checker(m);
+  // From running we can step to degraded.
+  EXPECT_TRUE(checker.holds_at(ex(prop("degraded")), s_run));
+  // From failed we can only go to running.
+  EXPECT_FALSE(checker.holds_at(ex(prop("degraded")), s_fail));
+}
+
+TEST_F(LifecycleModel, EFReachability) {
+  Checker checker(m);
+  // Failure is reachable from everywhere.
+  for (StateId s : {s_run, s_deg, s_fail}) {
+    EXPECT_TRUE(checker.holds_at(ef(prop("failed")), s));
+  }
+}
+
+TEST_F(LifecycleModel, EGInfinitePath) {
+  Checker checker(m);
+  // There is an infinite path that stays running (the self-loop).
+  EXPECT_TRUE(checker.holds_at(eg(prop("running")), s_run));
+  // No infinite path stays degraded.
+  EXPECT_FALSE(checker.holds_at(eg(prop("degraded")), s_deg));
+}
+
+TEST_F(LifecycleModel, EURun) {
+  Checker checker(m);
+  // E[!failed U failed]: a path reaching failure with no failure before.
+  EXPECT_TRUE(
+      checker.holds_at(eu(not_(prop("failed")), prop("failed")), s_run));
+}
+
+TEST_F(LifecycleModel, AFRecovery) {
+  Checker checker(m);
+  // From failed, ALL paths eventually reach running (single successor).
+  EXPECT_TRUE(checker.holds_at(af(prop("running")), s_fail));
+  // From running, not all paths reach failed (may loop running forever).
+  EXPECT_FALSE(checker.holds_at(af(prop("failed")), s_run));
+}
+
+TEST_F(LifecycleModel, AGInvariant) {
+  Checker checker(m);
+  // Globally, some proposition always holds (states are labeled).
+  const auto any = or_(prop("running"), or_(prop("degraded"), prop("failed")));
+  EXPECT_TRUE(checker.holds(ag(any)));
+  EXPECT_FALSE(checker.holds(ag(prop("running"))));
+}
+
+TEST_F(LifecycleModel, AGImpliesResilienceProperty) {
+  Checker checker(m);
+  // "Whenever failed, recovery is inevitable" — AG(failed -> AF running):
+  // the paper's persistence-of-satisfaction shape as a CTL property.
+  EXPECT_TRUE(checker.holds(ag(implies(prop("failed"), af(prop("running"))))));
+}
+
+TEST_F(LifecycleModel, AXAllSuccessors) {
+  Checker checker(m);
+  // All successors of failed are running.
+  EXPECT_TRUE(checker.holds_at(ax(prop("running")), s_fail));
+  EXPECT_FALSE(checker.holds_at(ax(prop("degraded")), s_run));
+}
+
+TEST_F(LifecycleModel, AURun) {
+  Checker checker(m);
+  // From failed: A[!degraded U running] (the only path goes straight to
+  // running).
+  EXPECT_TRUE(
+      checker.holds_at(au(not_(prop("degraded")), prop("running")), s_fail));
+  // From running: A[running U failed] is false (can loop forever).
+  EXPECT_FALSE(checker.holds_at(au(prop("running"), prop("failed")), s_run));
+}
+
+TEST_F(LifecycleModel, FormulaToString) {
+  const auto f = ag(implies(prop("failed"), af(prop("running"))));
+  EXPECT_EQ(f->to_string(), "AG (failed -> AF running)");
+}
+
+TEST(CtlChecker, DeadlockCompletion) {
+  Kripke m;
+  const PropId p = m.prop("p");
+  const StateId a = m.add_state({p});
+  const StateId b = m.add_state();
+  m.add_transition(a, b);
+  m.set_initial(a);
+  m.complete_with_self_loops();  // b gets a self-loop
+  Checker checker(m);
+  EXPECT_TRUE(checker.holds_at(ex(truth()), b));
+  EXPECT_TRUE(checker.holds_at(eg(not_(prop("p"))), b));
+}
+
+TEST(CtlChecker, NoInitialStatesMeansNotHolds) {
+  Kripke m;
+  m.add_state();
+  Checker checker(m);
+  EXPECT_FALSE(checker.holds(truth()));
+}
+
+// Duality laws on random models: AF f == !EG !f, AG f == !EF !f,
+// AX f == !EX !f.
+class CtlDuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CtlDuality, DualityHoldsOnRandomModels) {
+  sim::Rng rng(GetParam());
+  Kripke m;
+  const PropId p = m.prop("p");
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.4)) {
+      m.add_state({p});
+    } else {
+      m.add_state();
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const int out_degree = 1 + static_cast<int>(rng.below(3));
+    for (int j = 0; j < out_degree; ++j) {
+      m.add_transition(static_cast<StateId>(i),
+                       static_cast<StateId>(rng.below(n)));
+    }
+  }
+  Checker checker(m);
+  const auto f = prop("p");
+  const auto af_sat = checker.sat(af(f));
+  const auto eg_not = checker.sat(not_(eg(not_(f))));
+  EXPECT_EQ(af_sat, eg_not);
+  const auto ag_sat = checker.sat(ag(f));
+  const auto ef_not = checker.sat(not_(ef(not_(f))));
+  EXPECT_EQ(ag_sat, ef_not);
+  const auto ax_sat = checker.sat(ax(f));
+  const auto ex_not = checker.sat(not_(ex(not_(f))));
+  EXPECT_EQ(ax_sat, ex_not);
+  // EF f == E[true U f] == f | EX EF f (expansion law).
+  const auto ef_sat = checker.sat(ef(f));
+  const auto expansion = checker.sat(or_(f, ex(ef(f))));
+  EXPECT_EQ(ef_sat, expansion);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtlDuality,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace riot::model::ctl

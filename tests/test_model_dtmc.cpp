@@ -1,0 +1,172 @@
+#include "model/dtmc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::model {
+namespace {
+
+TEST(Dtmc, ValidateRowSums) {
+  Dtmc chain;
+  const auto a = chain.add_state("a");
+  const auto b = chain.add_state("b");
+  chain.add_transition(a, b, 0.5);
+  EXPECT_FALSE(chain.validate());
+  chain.add_transition(a, a, 0.5);
+  EXPECT_TRUE(chain.validate());  // b is rowless => absorbing
+}
+
+TEST(Dtmc, InvalidProbabilityThrows) {
+  Dtmc chain;
+  const auto a = chain.add_state();
+  EXPECT_THROW(chain.add_transition(a, a, 1.5), std::invalid_argument);
+  EXPECT_THROW(chain.add_transition(a, a, -0.1), std::invalid_argument);
+  EXPECT_THROW(chain.add_transition(a, 9, 0.5), std::out_of_range);
+}
+
+TEST(Dtmc, ReachProbabilityGamblersRuin) {
+  // Symmetric random walk on {0..4} with absorbing ends; from state i the
+  // probability of hitting 4 before 0 is i/4 (classic closed form).
+  Dtmc chain;
+  std::vector<Dtmc::State> states;
+  for (int i = 0; i < 5; ++i) states.push_back(chain.add_state());
+  for (int i = 1; i < 4; ++i) {
+    chain.add_transition(states[static_cast<size_t>(i)],
+                         states[static_cast<size_t>(i - 1)], 0.5);
+    chain.add_transition(states[static_cast<size_t>(i)],
+                         states[static_cast<size_t>(i + 1)], 0.5);
+  }
+  const auto probs = chain.reach_probability({states[4]});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(probs[static_cast<size_t>(i)], i / 4.0, 1e-6) << i;
+  }
+}
+
+TEST(Dtmc, ReachProbabilityTargetIsOne) {
+  Dtmc chain;
+  const auto a = chain.add_state();
+  const auto probs = chain.reach_probability({a});
+  EXPECT_DOUBLE_EQ(probs[a], 1.0);
+}
+
+TEST(Dtmc, UnreachableTargetIsZero) {
+  Dtmc chain;
+  const auto a = chain.add_state();
+  const auto b = chain.add_state();
+  chain.add_transition(a, a, 1.0);
+  const auto probs = chain.reach_probability({b});
+  EXPECT_DOUBLE_EQ(probs[a], 0.0);
+}
+
+TEST(Dtmc, BoundedReachMonotoneInK) {
+  Dtmc chain;
+  const auto a = chain.add_state();
+  const auto b = chain.add_state();
+  chain.add_transition(a, b, 0.3);
+  chain.add_transition(a, a, 0.7);
+  double prev = 0.0;
+  for (std::size_t k = 0; k <= 10; ++k) {
+    const auto probs = chain.bounded_reach_probability({b}, k);
+    EXPECT_GE(probs[a], prev - 1e-12);
+    prev = probs[a];
+  }
+  // F<=1: exactly 0.3; F<=2: 0.3 + 0.7*0.3.
+  EXPECT_NEAR(chain.bounded_reach_probability({b}, 1)[a], 0.3, 1e-12);
+  EXPECT_NEAR(chain.bounded_reach_probability({b}, 2)[a], 0.51, 1e-12);
+}
+
+TEST(Dtmc, BoundedConvergesToUnbounded) {
+  Dtmc chain;
+  const auto a = chain.add_state();
+  const auto b = chain.add_state();
+  chain.add_transition(a, b, 0.3);
+  chain.add_transition(a, a, 0.7);
+  const auto bounded = chain.bounded_reach_probability({b}, 200);
+  const auto unbounded = chain.reach_probability({b});
+  EXPECT_NEAR(bounded[a], unbounded[a], 1e-6);
+  EXPECT_NEAR(unbounded[a], 1.0, 1e-6);
+}
+
+TEST(Dtmc, SteadyStateTwoStateChain) {
+  // P(a->b)=0.1, P(b->a)=0.3 => pi = (0.75, 0.25).
+  Dtmc chain;
+  const auto a = chain.add_state();
+  const auto b = chain.add_state();
+  chain.add_transition(a, b, 0.1);
+  chain.add_transition(a, a, 0.9);
+  chain.add_transition(b, a, 0.3);
+  chain.add_transition(b, b, 0.7);
+  const auto pi = chain.steady_state(a);
+  EXPECT_NEAR(pi[a], 0.75, 1e-6);
+  EXPECT_NEAR(pi[b], 0.25, 1e-6);
+  EXPECT_NEAR(pi[a] + pi[b], 1.0, 1e-9);
+}
+
+TEST(Dtmc, ExpectedStepsGeometric) {
+  // Success probability 0.25 per step => expected 4 steps.
+  Dtmc chain;
+  const auto trying = chain.add_state();
+  const auto done = chain.add_state();
+  chain.add_transition(trying, done, 0.25);
+  chain.add_transition(trying, trying, 0.75);
+  const auto steps = chain.expected_steps_to({done});
+  EXPECT_NEAR(steps[trying], 4.0, 1e-6);
+  EXPECT_DOUBLE_EQ(steps[done], 0.0);
+}
+
+TEST(Dtmc, ExpectedStepsInfiniteMarked) {
+  Dtmc chain;
+  const auto a = chain.add_state();
+  const auto b = chain.add_state();
+  chain.add_transition(a, a, 1.0);
+  const auto steps = chain.expected_steps_to({b});
+  EXPECT_LT(steps[a], 0.0);  // -1 == unreachable
+}
+
+TEST(ComponentChain, ValidatesAndRecovers) {
+  const auto component = make_component_chain(ComponentChainRates{});
+  EXPECT_TRUE(component.chain.validate());
+  // Failure is reachable from ok, and recovery from failure is certain.
+  const auto fail_prob =
+      component.chain.reach_probability({component.failed});
+  EXPECT_GT(fail_prob[component.ok], 0.99);  // eventually fails
+  const auto recover_prob =
+      component.chain.reach_probability({component.ok});
+  EXPECT_NEAR(recover_prob[component.failed], 1.0, 1e-6);
+}
+
+TEST(ComponentChain, SteadyStateAvailability) {
+  const auto component = make_component_chain(ComponentChainRates{});
+  const auto pi = component.chain.steady_state(component.ok);
+  double total = 0.0;
+  for (const double p : pi) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Availability = long-run fraction ok + degraded (service still up).
+  const double availability = pi[component.ok] + pi[component.degraded];
+  EXPECT_GT(availability, 0.5);
+  EXPECT_LT(availability, 1.0);
+}
+
+TEST(ComponentChain, FasterRepairRaisesAvailability) {
+  ComponentChainRates slow;
+  slow.repair = 0.05;
+  ComponentChainRates fast;
+  fast.repair = 0.9;
+  const auto chain_slow = make_component_chain(slow);
+  const auto chain_fast = make_component_chain(fast);
+  const double avail_slow =
+      chain_slow.chain.steady_state(chain_slow.ok)[chain_slow.ok];
+  const double avail_fast =
+      chain_fast.chain.steady_state(chain_fast.ok)[chain_fast.ok];
+  EXPECT_GT(avail_fast, avail_slow);
+}
+
+TEST(Dtmc, StateNamesStored) {
+  Dtmc chain;
+  const auto a = chain.add_state("custom");
+  const auto b = chain.add_state();
+  EXPECT_EQ(chain.name(a), "custom");
+  EXPECT_EQ(chain.name(b), "s1");
+}
+
+}  // namespace
+}  // namespace riot::model

@@ -1,0 +1,104 @@
+#include "model/goals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::model {
+namespace {
+
+struct GoalModelTest : ::testing::Test {
+  GoalModel m;
+  GoalId root, sensing, acting, r_fresh, r_latency, r_actuate;
+
+  void SetUp() override {
+    root = m.add_goal("city-services", Refinement::kAnd);
+    sensing = m.add_goal("sensing-pipeline", Refinement::kAnd);
+    acting = m.add_goal("actuation", Refinement::kOr);  // redundant paths
+    m.add_child(root, sensing);
+    m.add_child(root, acting);
+    r_fresh = m.add_requirement("data-fresh", sensing);
+    r_latency = m.add_requirement("low-latency", sensing);
+    r_actuate = m.add_requirement("edge-actuation", acting);
+    m.add_requirement("cloud-actuation", acting);
+  }
+};
+
+TEST_F(GoalModelTest, LeavesDefaultSatisfied) {
+  EXPECT_DOUBLE_EQ(m.satisfaction(root), 1.0);
+}
+
+TEST_F(GoalModelTest, AndTakesMinimum) {
+  m.set_satisfaction(r_fresh, 0.4);
+  m.set_satisfaction(r_latency, 0.9);
+  EXPECT_DOUBLE_EQ(m.satisfaction(sensing), 0.4);
+  EXPECT_DOUBLE_EQ(m.satisfaction(root), 0.4);
+}
+
+TEST_F(GoalModelTest, OrTakesMaximum) {
+  m.set_satisfaction(r_actuate, 0.0);
+  // The OR sibling (cloud-actuation) still carries the goal.
+  EXPECT_DOUBLE_EQ(m.satisfaction(acting), 1.0);
+  auto cloud = m.find("cloud-actuation");
+  ASSERT_TRUE(cloud.has_value());
+  m.set_satisfaction(*cloud, 0.3);
+  EXPECT_DOUBLE_EQ(m.satisfaction(acting), 0.3);
+}
+
+TEST_F(GoalModelTest, ObstacleDiscountsSatisfaction) {
+  const GoalId outage =
+      m.add_obstacle("cloud-outage", sensing, /*severity=*/0.5);
+  EXPECT_DOUBLE_EQ(m.satisfaction(sensing), 1.0);  // inactive obstacle
+  m.set_satisfaction(outage, 1.0);                 // fully active
+  EXPECT_DOUBLE_EQ(m.satisfaction(sensing), 0.5);
+  m.set_satisfaction(outage, 0.5);                 // partially active
+  EXPECT_DOUBLE_EQ(m.satisfaction(sensing), 0.75);
+}
+
+TEST_F(GoalModelTest, FullSeverityObstacleNullifies) {
+  const GoalId total = m.add_obstacle("blackout", root, 1.0);
+  m.set_satisfaction(total, 1.0);
+  EXPECT_DOUBLE_EQ(m.satisfaction(root), 0.0);
+}
+
+TEST_F(GoalModelTest, SatisfactionClamped) {
+  m.set_satisfaction(r_fresh, 7.0);
+  EXPECT_DOUBLE_EQ(m.satisfaction(r_fresh), 1.0);
+  m.set_satisfaction(r_fresh, -3.0);
+  EXPECT_DOUBLE_EQ(m.satisfaction(r_fresh), 0.0);
+}
+
+TEST_F(GoalModelTest, WeakestRequirementsSorted) {
+  m.set_satisfaction(r_fresh, 0.2);
+  m.set_satisfaction(r_latency, 0.8);
+  const auto weakest = m.weakest_requirements();
+  ASSERT_GE(weakest.size(), 2u);
+  EXPECT_EQ(m.name(weakest[0].first), "data-fresh");
+  EXPECT_DOUBLE_EQ(weakest[0].second, 0.2);
+}
+
+TEST_F(GoalModelTest, FindByName) {
+  EXPECT_EQ(m.find("city-services"), root);
+  EXPECT_FALSE(m.find("nope").has_value());
+}
+
+TEST_F(GoalModelTest, InvalidIdsThrow) {
+  EXPECT_THROW((void)m.satisfaction(GoalId{}), std::out_of_range);
+  EXPECT_THROW(m.set_satisfaction(GoalId{999}, 1.0), std::out_of_range);
+  EXPECT_THROW(m.add_child(root, GoalId{999}), std::out_of_range);
+}
+
+TEST_F(GoalModelTest, DeepHierarchyPropagates) {
+  GoalModel deep;
+  GoalId g = deep.add_goal("top", Refinement::kAnd);
+  for (int i = 0; i < 10; ++i) {
+    const GoalId child =
+        deep.add_goal("level" + std::to_string(i), Refinement::kAnd);
+    deep.add_child(g, child);
+    g = child;
+  }
+  const GoalId leaf = deep.add_requirement("leaf", g);
+  deep.set_satisfaction(leaf, 0.37);
+  EXPECT_DOUBLE_EQ(deep.satisfaction(GoalId{0}), 0.37);
+}
+
+}  // namespace
+}  // namespace riot::model

@@ -1,0 +1,275 @@
+#include "model/ltl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace riot::model::ltl {
+namespace {
+
+using Trace = std::vector<State>;
+
+State s() { return {}; }
+State s(const char* a) { return {a}; }
+State s(const char* a, const char* b) { return {a, b}; }
+
+Verdict run_monitor(FormulaPtr f, const Trace& trace) {
+  Monitor monitor(std::move(f));
+  for (const auto& state : trace) {
+    if (monitor.step(state) != Verdict::kInconclusive) {
+      return monitor.verdict();
+    }
+  }
+  return monitor.conclude();
+}
+
+TEST(LtlMonitor, PropImmediate) {
+  EXPECT_EQ(run_monitor(prop("p"), {s("p")}), Verdict::kSatisfied);
+  EXPECT_EQ(run_monitor(prop("p"), {s("q")}), Verdict::kViolated);
+}
+
+TEST(LtlMonitor, AlwaysViolatedOnFirstBreak) {
+  Monitor m(always(prop("ok")));
+  EXPECT_EQ(m.step(s("ok")), Verdict::kInconclusive);
+  EXPECT_EQ(m.step(s("ok")), Verdict::kInconclusive);
+  EXPECT_EQ(m.step(s()), Verdict::kViolated);
+}
+
+TEST(LtlMonitor, AlwaysSatisfiedAtConcludeIfNeverBroken) {
+  EXPECT_EQ(run_monitor(always(prop("ok")), {s("ok"), s("ok")}),
+            Verdict::kSatisfied);
+}
+
+TEST(LtlMonitor, EventuallySatisfiedOnOccurrence) {
+  Monitor m(eventually(prop("goal")));
+  EXPECT_EQ(m.step(s()), Verdict::kInconclusive);
+  EXPECT_EQ(m.step(s("goal")), Verdict::kSatisfied);
+}
+
+TEST(LtlMonitor, EventuallyViolatedAtTraceEnd) {
+  EXPECT_EQ(run_monitor(eventually(prop("goal")), {s(), s(), s()}),
+            Verdict::kViolated);
+}
+
+TEST(LtlMonitor, NextChecksSecondState) {
+  EXPECT_EQ(run_monitor(next(prop("p")), {s(), s("p")}),
+            Verdict::kSatisfied);
+  EXPECT_EQ(run_monitor(next(prop("p")), {s("p"), s()}),
+            Verdict::kViolated);
+  // Trace too short to discharge X.
+  EXPECT_EQ(run_monitor(next(prop("p")), {s("p")}), Verdict::kViolated);
+}
+
+TEST(LtlMonitor, UntilHoldsThroughRelease) {
+  EXPECT_EQ(run_monitor(until(prop("a"), prop("b")),
+                        {s("a"), s("a"), s("b")}),
+            Verdict::kSatisfied);
+  // a stops holding before b arrives.
+  EXPECT_EQ(run_monitor(until(prop("a"), prop("b")), {s("a"), s(), s("b")}),
+            Verdict::kViolated);
+  // b never arrives.
+  EXPECT_EQ(run_monitor(until(prop("a"), prop("b")), {s("a"), s("a")}),
+            Verdict::kViolated);
+}
+
+TEST(LtlMonitor, ReleaseDual) {
+  // a R b: b must hold up to and including the step where a holds.
+  EXPECT_EQ(run_monitor(release(prop("a"), prop("b")),
+                        {s("b"), s("a", "b"), s()}),
+            Verdict::kSatisfied);
+  EXPECT_EQ(run_monitor(release(prop("a"), prop("b")), {s("b"), s()}),
+            Verdict::kViolated);
+  // a never happens but b holds throughout the finite trace: weak closure
+  // accepts.
+  EXPECT_EQ(run_monitor(release(prop("a"), prop("b")), {s("b"), s("b")}),
+            Verdict::kSatisfied);
+}
+
+TEST(LtlMonitor, ResponsePattern) {
+  // G(request -> F response) — the paper's "counteraction follows
+  // violation" shape.
+  const auto f = always(implies(prop("req"), eventually(prop("resp"))));
+  EXPECT_EQ(run_monitor(f, {s("req"), s(), s("resp"), s()}),
+            Verdict::kSatisfied);
+  EXPECT_EQ(run_monitor(f, {s("req"), s(), s()}), Verdict::kViolated);
+  EXPECT_EQ(run_monitor(f, {s(), s()}), Verdict::kSatisfied);
+}
+
+TEST(LtlMonitor, NegationNormalForm) {
+  // !(F p) == G !p — violated as soon as p occurs.
+  Monitor m(not_(eventually(prop("p"))));
+  EXPECT_EQ(m.step(s()), Verdict::kInconclusive);
+  EXPECT_EQ(m.step(s("p")), Verdict::kViolated);
+}
+
+TEST(LtlMonitor, VerdictSticksAfterDecision) {
+  Monitor m(eventually(prop("p")));
+  m.step(s("p"));
+  EXPECT_EQ(m.verdict(), Verdict::kSatisfied);
+  EXPECT_EQ(m.step(s()), Verdict::kSatisfied);  // further input ignored
+}
+
+TEST(LtlMonitor, ResetRestores) {
+  Monitor m(always(prop("ok")));
+  m.step(s());
+  EXPECT_EQ(m.verdict(), Verdict::kViolated);
+  m.reset();
+  EXPECT_EQ(m.verdict(), Verdict::kInconclusive);
+  EXPECT_EQ(m.step(s("ok")), Verdict::kInconclusive);
+  EXPECT_EQ(m.steps(), 1u);
+}
+
+TEST(LtlMonitor, ResidualStaysBoundedForInvariants) {
+  Monitor m(always(implies(prop("a"), eventually(prop("b")))));
+  std::size_t max_size = 0;
+  for (int i = 0; i < 1000; ++i) {
+    m.step(i % 3 == 0 ? s("a") : s("b"));
+    max_size = std::max(max_size, formula_size(m.residual()));
+  }
+  EXPECT_LT(max_size, 50u);
+}
+
+TEST(LtlFormula, ToStringRoundTrips) {
+  const auto f = until(prop("a"), always(prop("b")));
+  EXPECT_EQ(f->to_string(), "(a U G(b))");
+  EXPECT_EQ(truth()->to_string(), "true");
+  EXPECT_EQ(not_(prop("x"))->to_string(), "!x");
+}
+
+TEST(LtlFormula, SimplificationCollapsesConstants) {
+  EXPECT_EQ(and_(truth(), prop("p"))->to_string(), "p");
+  EXPECT_EQ(and_(falsity(), prop("p"))->to_string(), "false");
+  EXPECT_EQ(or_(truth(), prop("p"))->to_string(), "true");
+  EXPECT_EQ(or_(falsity(), prop("p"))->to_string(), "p");
+  EXPECT_EQ(or_(prop("p"), prop("p"))->to_string(), "p");
+  EXPECT_EQ(not_(not_(prop("p")))->to_string(), "p");
+}
+
+// --- Brute-force cross-validation ---------------------------------------------
+//
+// Reference semantics of LTL over finite traces with *weak closure*, the
+// semantics the progression monitor implements: on the empty suffix,
+// invariant obligations (G, R) hold vacuously and everything else fails.
+// This matters only for X at the final position: X(G f) concluded at trace
+// end is satisfied, because the G obligation applies to an empty suffix.
+
+bool holds(const FormulaPtr& f, const Trace& trace, std::size_t i) {
+  if (i >= trace.size()) {
+    // Empty suffix: weak closure.
+    switch (f->op) {
+      case Op::kTrue:
+      case Op::kAlways:
+      case Op::kRelease:
+        return true;
+      case Op::kAnd:
+        return holds(f->left, trace, i) && holds(f->right, trace, i);
+      case Op::kOr:
+        return holds(f->left, trace, i) || holds(f->right, trace, i);
+      default:
+        return false;
+    }
+  }
+  switch (f->op) {
+    case Op::kTrue:
+      return true;
+    case Op::kFalse:
+      return false;
+    case Op::kProp:
+      return trace[i].contains(f->prop);
+    case Op::kNot:
+      return !trace[i].contains(f->left->prop);
+    case Op::kAnd:
+      return holds(f->left, trace, i) && holds(f->right, trace, i);
+    case Op::kOr:
+      return holds(f->left, trace, i) || holds(f->right, trace, i);
+    case Op::kNext:
+      return holds(f->left, trace, i + 1);
+    case Op::kUntil:
+      for (std::size_t j = i; j < trace.size(); ++j) {
+        if (holds(f->right, trace, j)) return true;
+        if (!holds(f->left, trace, j)) return false;
+      }
+      return false;
+    case Op::kRelease:
+      for (std::size_t j = i; j < trace.size(); ++j) {
+        if (!holds(f->right, trace, j)) return false;
+        if (holds(f->left, trace, j)) return true;
+      }
+      return true;  // b held to the end
+    case Op::kEventually:
+      for (std::size_t j = i; j < trace.size(); ++j) {
+        if (holds(f->left, trace, j)) return true;
+      }
+      return false;
+    case Op::kAlways:
+      for (std::size_t j = i; j < trace.size(); ++j) {
+        if (!holds(f->left, trace, j)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+FormulaPtr random_formula(sim::Rng& rng, int depth) {
+  const char* props[] = {"p", "q", "r"};
+  if (depth == 0 || rng.chance(0.3)) {
+    return prop(props[rng.below(3)]);
+  }
+  switch (rng.below(8)) {
+    case 0:
+      return not_(random_formula(rng, depth - 1));
+    case 1:
+      return and_(random_formula(rng, depth - 1),
+                  random_formula(rng, depth - 1));
+    case 2:
+      return or_(random_formula(rng, depth - 1),
+                 random_formula(rng, depth - 1));
+    case 3:
+      return next(random_formula(rng, depth - 1));
+    case 4:
+      return until(random_formula(rng, depth - 1),
+                   random_formula(rng, depth - 1));
+    case 5:
+      return release(random_formula(rng, depth - 1),
+                     random_formula(rng, depth - 1));
+    case 6:
+      return eventually(random_formula(rng, depth - 1));
+    default:
+      return always(random_formula(rng, depth - 1));
+  }
+}
+
+Trace random_trace(sim::Rng& rng, std::size_t length) {
+  Trace trace;
+  for (std::size_t i = 0; i < length; ++i) {
+    State state;
+    if (rng.chance(0.5)) state.insert("p");
+    if (rng.chance(0.5)) state.insert("q");
+    if (rng.chance(0.3)) state.insert("r");
+    trace.push_back(std::move(state));
+  }
+  return trace;
+}
+
+class LtlVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LtlVsBruteForce, MonitorAgreesWithDirectSemantics) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto f = random_formula(rng, 3);
+    const auto trace = random_trace(rng, 1 + rng.below(8));
+    const Verdict verdict = run_monitor(f, trace);
+    const bool expected = holds(f, trace, 0);
+    EXPECT_EQ(verdict == Verdict::kSatisfied, expected)
+        << "formula: " << f->to_string() << " trace length "
+        << trace.size() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LtlVsBruteForce,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace riot::model::ltl

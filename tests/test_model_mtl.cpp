@@ -1,0 +1,153 @@
+#include "model/mtl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::model::mtl {
+namespace {
+
+State s() { return {}; }
+State s(const char* a) { return {a}; }
+
+TEST(MtlMonitor, BoundedEventuallySatisfiedInTime) {
+  Monitor monitor(eventually_within(sim::seconds(3), prop("resp")));
+  EXPECT_EQ(monitor.step(s(), sim::seconds(0)), Verdict::kInconclusive);
+  EXPECT_EQ(monitor.step(s(), sim::seconds(1)), Verdict::kInconclusive);
+  EXPECT_EQ(monitor.step(s("resp"), sim::seconds(2)), Verdict::kSatisfied);
+}
+
+TEST(MtlMonitor, BoundedEventuallyViolatedAfterDeadline) {
+  Monitor monitor(eventually_within(sim::seconds(3), prop("resp")));
+  monitor.step(s(), sim::seconds(0));  // arms deadline at t=3s
+  monitor.step(s(), sim::seconds(2));
+  EXPECT_EQ(monitor.verdict(), Verdict::kInconclusive);
+  EXPECT_EQ(monitor.step(s("resp"), sim::seconds(4)), Verdict::kViolated);
+}
+
+TEST(MtlMonitor, DeadlineIsInclusive) {
+  Monitor monitor(eventually_within(sim::seconds(3), prop("resp")));
+  monitor.step(s(), sim::seconds(0));
+  // A state at exactly the deadline still counts.
+  EXPECT_EQ(monitor.step(s("resp"), sim::seconds(3)), Verdict::kSatisfied);
+}
+
+TEST(MtlMonitor, AdvanceTimeExpiresWithoutEvents) {
+  Monitor monitor(eventually_within(sim::seconds(3), prop("resp")));
+  monitor.step(s(), sim::seconds(0));
+  EXPECT_EQ(monitor.advance_time(sim::seconds(2)), Verdict::kInconclusive);
+  EXPECT_EQ(monitor.advance_time(sim::seconds(4)), Verdict::kViolated);
+}
+
+TEST(MtlMonitor, BoundedAlwaysHoldsThroughWindow) {
+  Monitor monitor(always_within(sim::seconds(2), prop("calm")));
+  monitor.step(s("calm"), sim::seconds(0));
+  monitor.step(s("calm"), sim::seconds(1));
+  EXPECT_EQ(monitor.verdict(), Verdict::kInconclusive);
+  // Past the window: obligation discharged.
+  EXPECT_EQ(monitor.advance_time(sim::seconds(3)), Verdict::kSatisfied);
+}
+
+TEST(MtlMonitor, BoundedAlwaysViolatedInsideWindow) {
+  Monitor monitor(always_within(sim::seconds(2), prop("calm")));
+  monitor.step(s("calm"), sim::seconds(0));
+  EXPECT_EQ(monitor.step(s(), sim::seconds(1)), Verdict::kViolated);
+}
+
+TEST(MtlMonitor, BoundedUntil) {
+  {
+    Monitor monitor(
+        until_within(sim::seconds(5), prop("hold"), prop("done")));
+    monitor.step(s("hold"), sim::seconds(0));
+    monitor.step(s("hold"), sim::seconds(2));
+    EXPECT_EQ(monitor.step(s("done"), sim::seconds(4)),
+              Verdict::kSatisfied);
+  }
+  {
+    Monitor monitor(
+        until_within(sim::seconds(5), prop("hold"), prop("done")));
+    monitor.step(s("hold"), sim::seconds(0));
+    // hold breaks before done arrives.
+    EXPECT_EQ(monitor.step(s(), sim::seconds(1)), Verdict::kViolated);
+  }
+  {
+    Monitor monitor(
+        until_within(sim::seconds(5), prop("hold"), prop("done")));
+    monitor.step(s("hold"), sim::seconds(0));
+    // done never arrives within the bound.
+    EXPECT_EQ(monitor.step(s("hold"), sim::seconds(6)),
+              Verdict::kViolated);
+  }
+}
+
+TEST(MtlMonitor, ResponsePatternArmsPerRequest) {
+  // G(req -> F[<=3s] resp): every request arms its own deadline.
+  Monitor monitor(always(
+      implies(prop("req"), eventually_within(sim::seconds(3), prop("resp")))));
+  monitor.step(s("req"), sim::seconds(0));   // deadline 3s
+  monitor.step(s(), sim::seconds(1));
+  monitor.step(s("resp"), sim::seconds(2));  // first request served
+  EXPECT_EQ(monitor.verdict(), Verdict::kInconclusive);
+  monitor.step(s("req"), sim::seconds(10));  // deadline 13s
+  monitor.step(s(), sim::seconds(12));
+  EXPECT_EQ(monitor.verdict(), Verdict::kInconclusive);
+  EXPECT_EQ(monitor.step(s(), sim::seconds(14)), Verdict::kViolated);
+}
+
+TEST(MtlMonitor, ConcurrentObligationsTrackedIndependently) {
+  Monitor monitor(always(
+      implies(prop("req"), eventually_within(sim::seconds(5), prop("resp")))));
+  monitor.step(s("req"), sim::seconds(0));  // deadline 5
+  monitor.step(s("req"), sim::seconds(2));  // deadline 7
+  monitor.step(s("resp"), sim::seconds(4)); // discharges both
+  EXPECT_EQ(monitor.verdict(), Verdict::kInconclusive);
+  EXPECT_EQ(monitor.advance_time(sim::seconds(10)), Verdict::kInconclusive);
+}
+
+TEST(MtlMonitor, SatisfiedVerdictSticks) {
+  Monitor monitor(eventually_within(sim::seconds(1), prop("x")));
+  monitor.step(s("x"), sim::seconds(0));
+  EXPECT_EQ(monitor.verdict(), Verdict::kSatisfied);
+  EXPECT_EQ(monitor.step(s(), sim::seconds(5)), Verdict::kSatisfied);
+}
+
+TEST(MtlMonitor, ResetRearms) {
+  Monitor monitor(eventually_within(sim::seconds(1), prop("x")));
+  monitor.step(s(), sim::seconds(0));
+  monitor.advance_time(sim::seconds(2));
+  EXPECT_EQ(monitor.verdict(), Verdict::kViolated);
+  monitor.reset();
+  EXPECT_EQ(monitor.step(s("x"), sim::seconds(10)), Verdict::kSatisfied);
+}
+
+TEST(MtlFormula, NegationNormalForm) {
+  // !F[<=d]p == G[<=d]!p
+  const auto f = not_(eventually_within(sim::seconds(1), prop("p")));
+  EXPECT_EQ(f->op, Op::kAlwaysWithin);
+  EXPECT_EQ(f->left->op, Op::kNot);
+  // Negating until/always is unsupported by design.
+  EXPECT_THROW(not_(until_within(sim::seconds(1), prop("a"), prop("b"))),
+               std::invalid_argument);
+  EXPECT_THROW(not_(always(prop("a"))), std::invalid_argument);
+}
+
+TEST(MtlFormula, ToString) {
+  const auto f = always(implies(
+      prop("req"), eventually_within(sim::millis(1500), prop("resp"))));
+  EXPECT_EQ(f->to_string(), "G((!req | F[<=1500.000ms](resp)))");
+}
+
+TEST(MtlMonitor, FreshnessIdiom) {
+  // The MAPE freshness requirement as MTL: G(stale -> F[<=2s] fresh) —
+  // staleness must be repaired within 2 seconds.
+  Monitor monitor(always(
+      implies(prop("stale"), eventually_within(sim::seconds(2), prop("fresh")))));
+  monitor.step(s("fresh"), sim::millis(500));
+  monitor.step(s("stale"), sim::millis(1000));
+  monitor.step(s("stale"), sim::millis(1500));
+  monitor.step(s("fresh"), sim::millis(2500));  // repaired in 1.5s
+  EXPECT_EQ(monitor.verdict(), Verdict::kInconclusive);
+  monitor.step(s("stale"), sim::seconds(10));
+  EXPECT_EQ(monitor.advance_time(sim::seconds(13)), Verdict::kViolated);
+}
+
+}  // namespace
+}  // namespace riot::model::mtl

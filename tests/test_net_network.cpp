@@ -1,0 +1,203 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net_fixture.hpp"
+
+namespace riot::net {
+namespace {
+
+using riot::testing::NetFixture;
+
+struct Ping {
+  int value = 0;
+};
+
+struct NetworkTest : NetFixture {
+  NodeId make_sink(std::vector<Message>* box) {
+    return network.register_endpoint(
+        [box](const Message& m) { box->push_back(m); });
+  }
+};
+
+TEST_F(NetworkTest, DeliversWithLinkLatency) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.set_link_model([](NodeId, NodeId) {
+    return LinkQuality{sim::millis(7), sim::kSimTimeZero, 0.0};
+  });
+  network.send(a, b, Ping{1});
+  sim.run_until(sim::millis(6));
+  EXPECT_TRUE(inbox.empty());
+  sim.run_until(sim::millis(8));
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].from, a);
+  EXPECT_EQ(std::any_cast<const Ping&>(inbox[0].payload).value, 1);
+}
+
+TEST_F(NetworkTest, JitterStaysWithinBound) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.set_link_model([](NodeId, NodeId) {
+    return LinkQuality{sim::millis(10), sim::millis(5), 0.0};
+  });
+  for (int i = 0; i < 50; ++i) network.send(a, b, Ping{i});
+  sim.run_until(sim::millis(9));
+  EXPECT_TRUE(inbox.empty());
+  sim.run_until(sim::millis(15));
+  EXPECT_EQ(inbox.size(), 50u);
+}
+
+TEST_F(NetworkTest, LossDropsApproximately) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.set_link_model([](NodeId, NodeId) {
+    return LinkQuality{sim::millis(1), sim::kSimTimeZero, 0.3};
+  });
+  for (int i = 0; i < 2000; ++i) network.send(a, b, Ping{i});
+  sim.run_until(sim::seconds(1));
+  EXPECT_NEAR(static_cast<double>(inbox.size()), 1400.0, 100.0);
+  EXPECT_EQ(network.messages_dropped() + network.messages_delivered(),
+            network.messages_sent());
+}
+
+TEST_F(NetworkTest, AmbientLossAddsToLinkLoss) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.set_ambient_loss(1.0);
+  network.send(a, b, Ping{});
+  sim.run_until(sim::seconds(1));
+  EXPECT_TRUE(inbox.empty());
+  network.set_ambient_loss(0.0);
+  network.send(a, b, Ping{});
+  sim.run_until(sim::seconds(2));
+  EXPECT_EQ(inbox.size(), 1u);
+}
+
+TEST_F(NetworkTest, DeadSenderSendsNothing) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.set_node_up(a, false);
+  EXPECT_EQ(network.send(a, b, Ping{}), 0u);
+  sim.run_until(sim::seconds(1));
+  EXPECT_TRUE(inbox.empty());
+}
+
+TEST_F(NetworkTest, DeadTargetDropsAtDelivery) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.send(a, b, Ping{});
+  network.set_node_up(b, false);  // dies while in flight
+  sim.run_until(sim::seconds(1));
+  EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(metrics.counter_value("net.dropped_dead_target"), 1u);
+}
+
+TEST_F(NetworkTest, PartitionBlocksAcrossGroups) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  const NodeId c = make_sink(&inbox);
+  inbox.clear();
+  network.partition({{a}, {b, c}});
+  EXPECT_FALSE(network.reachable(a, b));
+  EXPECT_TRUE(network.reachable(b, c));
+  network.send(a, b, Ping{});
+  network.send(b, c, Ping{});
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(inbox.size(), 1u);
+}
+
+TEST_F(NetworkTest, HealRestoresDelivery) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.partition({{a}, {b}});
+  network.send(a, b, Ping{});
+  network.heal_partition();
+  network.send(a, b, Ping{});
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(inbox.size(), 1u);
+}
+
+TEST_F(NetworkTest, IsolateAndUnisolate) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  const NodeId c = make_sink(&inbox);
+  inbox.clear();
+  network.isolate(b);
+  EXPECT_FALSE(network.reachable(a, b));
+  EXPECT_TRUE(network.reachable(a, c));
+  network.unisolate(b);
+  EXPECT_TRUE(network.reachable(a, b));
+}
+
+TEST_F(NetworkTest, UnlistedNodesKeepTalkingDuringPartition) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  const NodeId isolated = make_sink(&inbox);
+  inbox.clear();
+  network.partition({{isolated}});
+  EXPECT_TRUE(network.reachable(a, b));
+  EXPECT_FALSE(network.reachable(a, isolated));
+}
+
+TEST_F(NetworkTest, LinkOverrideTakesPrecedence) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.set_link_model([](NodeId, NodeId) {
+    return LinkQuality{sim::millis(1), sim::kSimTimeZero, 0.0};
+  });
+  network.set_link(a, b, LinkQuality{sim::millis(50), sim::kSimTimeZero, 0.0});
+  EXPECT_EQ(network.link_quality(a, b).base_latency, sim::millis(50));
+  network.clear_link_override(a, b);
+  EXPECT_EQ(network.link_quality(a, b).base_latency, sim::millis(1));
+}
+
+TEST_F(NetworkTest, UnknownEndpointThrows) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  EXPECT_THROW(network.send(a, NodeId{99}, Ping{}), std::out_of_range);
+}
+
+TEST_F(NetworkTest, BytesAccounted) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.send(a, b, Ping{});
+  EXPECT_GT(network.bytes_sent(), 0u);
+}
+
+TEST_F(NetworkTest, WireSizeHonoredWhenProvided) {
+  struct Sized {
+    std::uint32_t wire_size() const { return 1000; }
+  };
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  const auto before = network.bytes_sent();
+  network.send(a, b, Sized{});
+  EXPECT_GE(network.bytes_sent() - before, 1000u);
+}
+
+}  // namespace
+}  // namespace riot::net

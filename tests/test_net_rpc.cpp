@@ -1,0 +1,155 @@
+#include "net/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net_fixture.hpp"
+
+namespace riot::net {
+namespace {
+
+using riot::testing::NetFixture;
+
+struct EchoReq {
+  int value = 0;
+};
+struct EchoResp {
+  int value = 0;
+};
+struct Other {
+  int x = 0;
+};
+
+struct RpcHost : Node {
+  explicit RpcHost(Network& network) : Node(network), rpc(*this) {}
+  RpcEndpoint rpc;
+};
+
+struct RpcTest : NetFixture {
+  RpcTest() : client(network), server(network) {
+    server.rpc.serve<EchoReq, EchoResp>(
+        [](NodeId, const EchoReq& req) { return EchoResp{req.value * 2}; });
+  }
+  RpcHost client;
+  RpcHost server;
+};
+
+TEST_F(RpcTest, CallRoundTrips) {
+  std::optional<EchoResp> result;
+  client.rpc.call<EchoReq, EchoResp>(
+      server.id(), EchoReq{21}, RpcOptions{},
+      [&](std::optional<EchoResp> r) { result = r; });
+  sim.run_until(sim::seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, 42);
+  EXPECT_EQ(client.rpc.completed(), 1u);
+}
+
+TEST_F(RpcTest, TimeoutWhenServerDead) {
+  server.crash();
+  bool called = false;
+  std::optional<EchoResp> result{EchoResp{}};
+  client.rpc.call<EchoReq, EchoResp>(
+      server.id(), EchoReq{1},
+      RpcOptions{.timeout = sim::millis(100), .max_attempts = 1},
+      [&](std::optional<EchoResp> r) {
+        called = true;
+        result = r;
+      });
+  sim.run_until(sim::seconds(1));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(client.rpc.timeouts(), 1u);
+}
+
+TEST_F(RpcTest, RetrySucceedsAfterRecovery) {
+  server.crash();
+  sim.schedule_at(sim::millis(150), [&] { server.recover(); });
+  std::optional<EchoResp> result;
+  client.rpc.call<EchoReq, EchoResp>(
+      server.id(), EchoReq{5},
+      RpcOptions{.timeout = sim::millis(100), .max_attempts = 3},
+      [&](std::optional<EchoResp> r) { result = r; });
+  sim.run_until(sim::seconds(2));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, 10);
+  EXPECT_GE(client.rpc.timeouts(), 1u);
+}
+
+TEST_F(RpcTest, AllRetriesExhausted) {
+  server.crash();
+  std::optional<EchoResp> result{EchoResp{}};
+  client.rpc.call<EchoReq, EchoResp>(
+      server.id(), EchoReq{5},
+      RpcOptions{.timeout = sim::millis(50), .max_attempts = 3},
+      [&](std::optional<EchoResp> r) { result = r; });
+  sim.run_until(sim::seconds(2));
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(client.rpc.timeouts(), 3u);
+}
+
+TEST_F(RpcTest, UnknownRequestTypeTimesOut) {
+  struct Unknown {
+    int x = 0;
+  };
+  bool got = true;
+  client.rpc.call<Unknown, EchoResp>(
+      server.id(), Unknown{},
+      RpcOptions{.timeout = sim::millis(100), .max_attempts = 1},
+      [&](std::optional<EchoResp> r) { got = r.has_value(); });
+  sim.run_until(sim::seconds(1));
+  EXPECT_FALSE(got);
+}
+
+TEST_F(RpcTest, ConcurrentCallsCorrelate) {
+  std::vector<int> results;
+  for (int i = 0; i < 10; ++i) {
+    client.rpc.call<EchoReq, EchoResp>(
+        server.id(), EchoReq{i}, RpcOptions{},
+        [&results](std::optional<EchoResp> r) {
+          ASSERT_TRUE(r.has_value());
+          results.push_back(r->value);
+        });
+  }
+  sim.run_until(sim::seconds(1));
+  ASSERT_EQ(results.size(), 10u);
+  std::sort(results.begin(), results.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(results[static_cast<size_t>(i)], i * 2);
+}
+
+TEST_F(RpcTest, LateResponseAfterTimeoutIgnored) {
+  // Server responds slower than the client timeout: the client must time
+  // out once and must not double-complete when the response lands.
+  network.set_link_model([](NodeId, NodeId) {
+    return LinkQuality{sim::millis(80), sim::kSimTimeZero, 0.0};
+  });
+  int completions = 0;
+  std::optional<EchoResp> last;
+  client.rpc.call<EchoReq, EchoResp>(
+      server.id(), EchoReq{1},
+      RpcOptions{.timeout = sim::millis(100), .max_attempts = 1},
+      [&](std::optional<EchoResp> r) {
+        ++completions;
+        last = r;
+      });
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(completions, 1);
+  EXPECT_FALSE(last.has_value());
+}
+
+TEST_F(RpcTest, ServerSeesCallerId) {
+  NodeId seen = kInvalidNode;
+  server.rpc.serve<Other, EchoResp>(
+      [&](NodeId from, const Other&) {
+        seen = from;
+        return EchoResp{};
+      });
+  client.rpc.call<Other, EchoResp>(server.id(), Other{}, RpcOptions{},
+                                   [](std::optional<EchoResp>) {});
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(seen, client.id());
+}
+
+}  // namespace
+}  // namespace riot::net

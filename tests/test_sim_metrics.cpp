@@ -1,0 +1,140 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::sim {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.increment(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, QuantilesWithinRelativeError) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(i);
+  EXPECT_NEAR(h.p50(), 5000.0, 5000.0 * 0.07);
+  EXPECT_NEAR(h.p95(), 9500.0, 9500.0 * 0.07);
+  EXPECT_NEAR(h.p99(), 9900.0, 9900.0 * 0.07);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(i * 3.7);
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, SubUnitValuesLandInUnderflowBucket) {
+  Histogram h;
+  h.record(0.2);
+  h.record(0.9);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.p50(), 1.0);
+}
+
+TEST(Histogram, NegativeClampedNanIgnored) {
+  Histogram h;
+  h.record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  h.record(std::nan(""));
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, RecordTimeUsesMicroseconds) {
+  Histogram h;
+  h.record_time(millis(2));
+  EXPECT_NEAR(h.mean(), 2000.0, 2000.0 * 0.05);
+}
+
+TEST(Histogram, HugeValuesSaturate) {
+  Histogram h;
+  h.record(1e300);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+}
+
+TEST(Histogram, Reset) {
+  Histogram h;
+  h.record(5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(TimeSeries, MeanOverWindow) {
+  TimeSeries ts;
+  ts.sample(seconds(1), 1.0);
+  ts.sample(seconds(2), 0.0);
+  ts.sample(seconds(3), 1.0);
+  ts.sample(seconds(10), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(seconds(1), seconds(3)), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(seconds(20), seconds(30)), 0.0);
+}
+
+TEST(TimeSeries, FractionAtLeast) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) {
+    ts.sample(seconds(i), i < 7 ? 1.0 : 0.5);
+  }
+  EXPECT_DOUBLE_EQ(ts.fraction_at_least(seconds(0), seconds(9), 1.0), 0.7);
+  EXPECT_DOUBLE_EQ(ts.fraction_at_least(seconds(0), seconds(9), 0.5), 1.0);
+}
+
+TEST(MetricsRegistry, CreatesOnDemand) {
+  MetricsRegistry registry;
+  registry.counter("a.b").increment(3);
+  registry.histogram("lat").record(10.0);
+  registry.gauge("g").set(1.0);
+  registry.series("s").sample(seconds(1), 0.5);
+  EXPECT_EQ(registry.counter_value("a.b"), 3u);
+  EXPECT_EQ(registry.counter_value("missing"), 0u);
+}
+
+TEST(MetricsRegistry, ReportContainsEntries) {
+  MetricsRegistry registry;
+  registry.counter("net.sent").increment(42);
+  registry.histogram("lat_us").record(100.0);
+  const std::string report = registry.report();
+  EXPECT_NE(report.find("net.sent"), std::string::npos);
+  EXPECT_NE(report.find("42"), std::string::npos);
+  EXPECT_NE(report.find("lat_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace riot::sim

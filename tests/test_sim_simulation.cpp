@@ -1,0 +1,188 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace riot::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), kSimTimeZero);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, ExecutesInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(millis(30), [&] { order.push_back(3); });
+  sim.schedule_at(millis(10), [&] { order.push_back(1); });
+  sim.schedule_at(millis(20), [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), millis(30));
+}
+
+TEST(Simulation, FifoAmongEqualTimestamps) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime fired = kSimTimeZero;
+  sim.schedule_at(millis(10), [&] {
+    sim.schedule_after(millis(5), [&] { fired = sim.now(); });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, millis(15));
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.schedule_at(millis(10), [] {});
+  sim.run_to_completion();
+  EXPECT_THROW(sim.schedule_at(millis(5), [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, EmptyCallbackThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_at(millis(1), std::function<void()>{}),
+               std::invalid_argument);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(millis(10), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_to_completion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, CancelUnknownReturnsFalse) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.cancel(9999));
+}
+
+TEST(Simulation, CancelAfterRunReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(millis(1), [] {});
+  sim.run_to_completion();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, PeriodicFiresRepeatedly) {
+  Simulation sim;
+  int fires = 0;
+  sim.schedule_every(millis(10), [&] { ++fires; });
+  sim.run_until(millis(95));
+  EXPECT_EQ(fires, 9);
+  EXPECT_EQ(sim.now(), millis(95));
+}
+
+TEST(Simulation, PeriodicWithInitialDelay) {
+  Simulation sim;
+  std::vector<SimTime> at;
+  sim.schedule_every(millis(5), millis(10), [&] { at.push_back(sim.now()); });
+  sim.run_until(millis(30));
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], millis(5));
+  EXPECT_EQ(at[1], millis(15));
+  EXPECT_EQ(at[2], millis(25));
+}
+
+TEST(Simulation, PeriodicCancelStops) {
+  Simulation sim;
+  int fires = 0;
+  const EventId id = sim.schedule_every(millis(10), [&] { ++fires; });
+  sim.schedule_at(millis(35), [&] { sim.cancel(id); });
+  sim.run_until(millis(100));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Simulation, PeriodicCanCancelItself) {
+  Simulation sim;
+  int fires = 0;
+  EventId id = kInvalidEventId;
+  id = sim.schedule_every(millis(10), [&] {
+    if (++fires == 2) sim.cancel(id);
+  });
+  sim.run_until(millis(100));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Simulation, ZeroPeriodThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_every(kSimTimeZero, [] {}),
+               std::invalid_argument);
+}
+
+TEST(Simulation, RunUntilAdvancesClockToDeadline) {
+  Simulation sim;
+  sim.run_until(seconds(5));
+  EXPECT_EQ(sim.now(), seconds(5));
+}
+
+TEST(Simulation, RunUntilLeavesFutureEvents) {
+  Simulation sim;
+  bool ran = false;
+  sim.schedule_at(seconds(10), [&] { ran = true; });
+  sim.run_until(seconds(5));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(seconds(10));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulation, RequestStopHaltsRun) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_every(millis(1), [&] {
+    if (++count == 5) sim.request_stop();
+  });
+  sim.run_until(seconds(1));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(millis(1), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, EventsScheduledDuringExecutionRun) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(millis(10), [&] {
+    order.push_back(1);
+    sim.schedule_at(millis(10), [&] { order.push_back(2); });  // same time
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulation, ExecutedEventsCounter) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(millis(i + 1), [] {});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulation, SeedIsStored) {
+  Simulation sim(777);
+  EXPECT_EQ(sim.seed(), 777u);
+}
+
+}  // namespace
+}  // namespace riot::sim

@@ -1,0 +1,48 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace riot::sim {
+namespace {
+
+TEST(SimTime, ConstructorsProduceExpectedNanos) {
+  EXPECT_EQ(nanos(5).count(), 5);
+  EXPECT_EQ(micros(3).count(), 3'000);
+  EXPECT_EQ(millis(2).count(), 2'000'000);
+  EXPECT_EQ(seconds(1).count(), 1'000'000'000);
+  EXPECT_EQ(minutes(1).count(), 60'000'000'000LL);
+}
+
+TEST(SimTime, FractionalSeconds) {
+  EXPECT_EQ(seconds_f(0.5).count(), 500'000'000);
+  EXPECT_EQ(seconds_f(1.0 / 4.0), millis(250));
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(millis(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(micros(2500)), 2.5);
+  EXPECT_DOUBLE_EQ(to_micros(nanos(1500)), 1.5);
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  EXPECT_EQ(millis(1) + micros(500), micros(1500));
+  EXPECT_LT(millis(1), millis(2));
+  EXPECT_EQ(kSimTimeZero.count(), 0);
+}
+
+TEST(SimTime, FormatPicksUnits) {
+  EXPECT_EQ(format_time(nanos(500)), "500ns");
+  EXPECT_EQ(format_time(micros(150)), "150.000us");
+  EXPECT_EQ(format_time(millis(42)), "42.000ms");
+  EXPECT_EQ(format_time(seconds(90)), "90.000s");
+}
+
+TEST(SimTime, FormatBoundaries) {
+  // Just below/above the unit thresholds.
+  EXPECT_EQ(format_time(micros(9)), "9000ns");
+  EXPECT_EQ(format_time(micros(10)), "10.000us");
+  EXPECT_EQ(format_time(millis(10)), "10.000ms");
+}
+
+}  // namespace
+}  // namespace riot::sim

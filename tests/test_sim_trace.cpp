@@ -1,0 +1,97 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace riot::sim {
+namespace {
+
+TEST(TraceLog, RecordsAndFinds) {
+  TraceLog log;
+  log.log(millis(1), TraceLevel::kInfo, "swim", 3, "suspect", "n5");
+  log.log(millis(2), TraceLevel::kInfo, "swim", 3, "dead", "n5");
+  log.log(millis(3), TraceLevel::kInfo, "raft", 1, "leader");
+  EXPECT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.find("swim", "dead").size(), 1u);
+  EXPECT_EQ(log.count("swim", "suspect"), 1u);
+  EXPECT_EQ(log.count("raft", "leader"), 1u);
+  EXPECT_EQ(log.count("raft", "nothing"), 0u);
+}
+
+TEST(TraceLog, MinLevelFilters) {
+  TraceLog log;
+  log.set_min_level(TraceLevel::kWarn);
+  log.log(millis(1), TraceLevel::kInfo, "x", 0, "dropped");
+  log.log(millis(2), TraceLevel::kWarn, "x", 0, "kept");
+  log.log(millis(3), TraceLevel::kError, "x", 0, "kept2");
+  EXPECT_EQ(log.events().size(), 2u);
+}
+
+TEST(TraceLog, CausalOrderPreserved) {
+  TraceLog log;
+  log.log(millis(1), TraceLevel::kInfo, "swim", 0, "suspect");
+  log.log(millis(5), TraceLevel::kInfo, "swim", 0, "dead");
+  const auto suspect = log.find("swim", "suspect");
+  const auto dead = log.find("swim", "dead");
+  ASSERT_EQ(suspect.size(), 1u);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_LT(suspect[0].at, dead[0].at);
+}
+
+TEST(TraceLog, FirstAfter) {
+  TraceLog log;
+  log.log(millis(1), TraceLevel::kInfo, "mape", 0, "execute", "a");
+  log.log(millis(9), TraceLevel::kInfo, "mape", 0, "execute", "b");
+  const TraceEvent* ev = log.first_after("mape", "execute", millis(5));
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(ev->detail, "b");
+  EXPECT_EQ(log.first_after("mape", "execute", millis(10)), nullptr);
+}
+
+TEST(TraceLog, CapacitySaturates) {
+  TraceLog log;
+  log.set_capacity(3);
+  for (int i = 0; i < 10; ++i) {
+    log.log(millis(i), TraceLevel::kInfo, "x", 0, "k");
+  }
+  EXPECT_EQ(log.events().size(), 3u);
+}
+
+TEST(TraceLog, MatchingPredicate) {
+  TraceLog log;
+  log.log(millis(1), TraceLevel::kInfo, "a", 1, "k");
+  log.log(millis(2), TraceLevel::kInfo, "a", 2, "k");
+  const auto hits = log.matching(
+      [](const TraceEvent& ev) { return ev.node == 2; });
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(TraceLog, DumpFormatsLines) {
+  TraceLog log;
+  log.log(millis(1), TraceLevel::kWarn, "fault", TraceEvent::kNoNode,
+          "inject", "cloud-outage");
+  std::ostringstream os;
+  log.dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("fault"), std::string::npos);
+  EXPECT_NE(out.find("cloud-outage"), std::string::npos);
+}
+
+TEST(TraceLog, ClearEmpties) {
+  TraceLog log;
+  log.log(millis(1), TraceLevel::kInfo, "x", 0, "k");
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(TraceLevelToString, AllLevels) {
+  EXPECT_EQ(to_string(TraceLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(TraceLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(TraceLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(TraceLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace riot::sim
