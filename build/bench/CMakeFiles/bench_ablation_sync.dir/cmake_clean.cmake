@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sync.dir/bench_ablation_sync.cpp.o"
+  "CMakeFiles/bench_ablation_sync.dir/bench_ablation_sync.cpp.o.d"
+  "bench_ablation_sync"
+  "bench_ablation_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

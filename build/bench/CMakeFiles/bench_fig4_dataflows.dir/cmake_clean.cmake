@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_dataflows.dir/bench_fig4_dataflows.cpp.o"
+  "CMakeFiles/bench_fig4_dataflows.dir/bench_fig4_dataflows.cpp.o.d"
+  "bench_fig4_dataflows"
+  "bench_fig4_dataflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dataflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_mape.dir/bench_fig5_mape.cpp.o"
+  "CMakeFiles/bench_fig5_mape.dir/bench_fig5_mape.cpp.o.d"
+  "bench_fig5_mape"
+  "bench_fig5_mape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/riot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/riot_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/riot_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/riot_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/riot_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/riot_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/riot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/riot_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riot_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

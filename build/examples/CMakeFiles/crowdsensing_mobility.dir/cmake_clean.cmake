@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsensing_mobility.dir/crowdsensing_mobility.cpp.o"
+  "CMakeFiles/crowdsensing_mobility.dir/crowdsensing_mobility.cpp.o.d"
+  "crowdsensing_mobility"
+  "crowdsensing_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsensing_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

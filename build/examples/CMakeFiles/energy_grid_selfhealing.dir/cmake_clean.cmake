@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_grid_selfhealing.dir/energy_grid_selfhealing.cpp.o"
+  "CMakeFiles/energy_grid_selfhealing.dir/energy_grid_selfhealing.cpp.o.d"
+  "energy_grid_selfhealing"
+  "energy_grid_selfhealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_grid_selfhealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_privacy.dir/healthcare_privacy.cpp.o"
+  "CMakeFiles/healthcare_privacy.dir/healthcare_privacy.cpp.o.d"
+  "healthcare_privacy"
+  "healthcare_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/actions.cpp" "src/adapt/CMakeFiles/riot_adapt.dir/actions.cpp.o" "gcc" "src/adapt/CMakeFiles/riot_adapt.dir/actions.cpp.o.d"
+  "/root/repo/src/adapt/mape.cpp" "src/adapt/CMakeFiles/riot_adapt.dir/mape.cpp.o" "gcc" "src/adapt/CMakeFiles/riot_adapt.dir/mape.cpp.o.d"
+  "/root/repo/src/adapt/patterns.cpp" "src/adapt/CMakeFiles/riot_adapt.dir/patterns.cpp.o" "gcc" "src/adapt/CMakeFiles/riot_adapt.dir/patterns.cpp.o.d"
+  "/root/repo/src/adapt/planner.cpp" "src/adapt/CMakeFiles/riot_adapt.dir/planner.cpp.o" "gcc" "src/adapt/CMakeFiles/riot_adapt.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/riot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/riot_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riot_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

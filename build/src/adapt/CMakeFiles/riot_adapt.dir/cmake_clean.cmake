@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riot_adapt.dir/actions.cpp.o"
+  "CMakeFiles/riot_adapt.dir/actions.cpp.o.d"
+  "CMakeFiles/riot_adapt.dir/mape.cpp.o"
+  "CMakeFiles/riot_adapt.dir/mape.cpp.o.d"
+  "CMakeFiles/riot_adapt.dir/patterns.cpp.o"
+  "CMakeFiles/riot_adapt.dir/patterns.cpp.o.d"
+  "CMakeFiles/riot_adapt.dir/planner.cpp.o"
+  "CMakeFiles/riot_adapt.dir/planner.cpp.o.d"
+  "libriot_adapt.a"
+  "libriot_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riot_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

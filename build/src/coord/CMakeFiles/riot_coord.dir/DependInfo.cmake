@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coord/election.cpp" "src/coord/CMakeFiles/riot_coord.dir/election.cpp.o" "gcc" "src/coord/CMakeFiles/riot_coord.dir/election.cpp.o.d"
+  "/root/repo/src/coord/gossip.cpp" "src/coord/CMakeFiles/riot_coord.dir/gossip.cpp.o" "gcc" "src/coord/CMakeFiles/riot_coord.dir/gossip.cpp.o.d"
+  "/root/repo/src/coord/raft.cpp" "src/coord/CMakeFiles/riot_coord.dir/raft.cpp.o" "gcc" "src/coord/CMakeFiles/riot_coord.dir/raft.cpp.o.d"
+  "/root/repo/src/coord/scheduler.cpp" "src/coord/CMakeFiles/riot_coord.dir/scheduler.cpp.o" "gcc" "src/coord/CMakeFiles/riot_coord.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/riot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/riot_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riot_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riot_coord.dir/election.cpp.o"
+  "CMakeFiles/riot_coord.dir/election.cpp.o.d"
+  "CMakeFiles/riot_coord.dir/gossip.cpp.o"
+  "CMakeFiles/riot_coord.dir/gossip.cpp.o.d"
+  "CMakeFiles/riot_coord.dir/raft.cpp.o"
+  "CMakeFiles/riot_coord.dir/raft.cpp.o.d"
+  "CMakeFiles/riot_coord.dir/scheduler.cpp.o"
+  "CMakeFiles/riot_coord.dir/scheduler.cpp.o.d"
+  "libriot_coord.a"
+  "libriot_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riot_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app.cpp" "src/core/CMakeFiles/riot_core.dir/app.cpp.o" "gcc" "src/core/CMakeFiles/riot_core.dir/app.cpp.o.d"
+  "/root/repo/src/core/maturity.cpp" "src/core/CMakeFiles/riot_core.dir/maturity.cpp.o" "gcc" "src/core/CMakeFiles/riot_core.dir/maturity.cpp.o.d"
+  "/root/repo/src/core/orchestrator.cpp" "src/core/CMakeFiles/riot_core.dir/orchestrator.cpp.o" "gcc" "src/core/CMakeFiles/riot_core.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/core/resilience.cpp" "src/core/CMakeFiles/riot_core.dir/resilience.cpp.o" "gcc" "src/core/CMakeFiles/riot_core.dir/resilience.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/riot_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/riot_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/riot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/riot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/riot_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/riot_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/riot_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/riot_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/riot_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/riot_adapt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riot_core.dir/app.cpp.o"
+  "CMakeFiles/riot_core.dir/app.cpp.o.d"
+  "CMakeFiles/riot_core.dir/maturity.cpp.o"
+  "CMakeFiles/riot_core.dir/maturity.cpp.o.d"
+  "CMakeFiles/riot_core.dir/orchestrator.cpp.o"
+  "CMakeFiles/riot_core.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/riot_core.dir/resilience.cpp.o"
+  "CMakeFiles/riot_core.dir/resilience.cpp.o.d"
+  "CMakeFiles/riot_core.dir/system.cpp.o"
+  "CMakeFiles/riot_core.dir/system.cpp.o.d"
+  "libriot_core.a"
+  "libriot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

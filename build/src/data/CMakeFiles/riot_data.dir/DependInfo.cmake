@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/causal.cpp" "src/data/CMakeFiles/riot_data.dir/causal.cpp.o" "gcc" "src/data/CMakeFiles/riot_data.dir/causal.cpp.o.d"
+  "/root/repo/src/data/crdt_store.cpp" "src/data/CMakeFiles/riot_data.dir/crdt_store.cpp.o" "gcc" "src/data/CMakeFiles/riot_data.dir/crdt_store.cpp.o.d"
+  "/root/repo/src/data/lineage.cpp" "src/data/CMakeFiles/riot_data.dir/lineage.cpp.o" "gcc" "src/data/CMakeFiles/riot_data.dir/lineage.cpp.o.d"
+  "/root/repo/src/data/privacy.cpp" "src/data/CMakeFiles/riot_data.dir/privacy.cpp.o" "gcc" "src/data/CMakeFiles/riot_data.dir/privacy.cpp.o.d"
+  "/root/repo/src/data/pubsub.cpp" "src/data/CMakeFiles/riot_data.dir/pubsub.cpp.o" "gcc" "src/data/CMakeFiles/riot_data.dir/pubsub.cpp.o.d"
+  "/root/repo/src/data/vector_clock.cpp" "src/data/CMakeFiles/riot_data.dir/vector_clock.cpp.o" "gcc" "src/data/CMakeFiles/riot_data.dir/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/riot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/riot_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riot_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

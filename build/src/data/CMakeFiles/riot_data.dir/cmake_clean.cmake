@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riot_data.dir/causal.cpp.o"
+  "CMakeFiles/riot_data.dir/causal.cpp.o.d"
+  "CMakeFiles/riot_data.dir/crdt_store.cpp.o"
+  "CMakeFiles/riot_data.dir/crdt_store.cpp.o.d"
+  "CMakeFiles/riot_data.dir/lineage.cpp.o"
+  "CMakeFiles/riot_data.dir/lineage.cpp.o.d"
+  "CMakeFiles/riot_data.dir/privacy.cpp.o"
+  "CMakeFiles/riot_data.dir/privacy.cpp.o.d"
+  "CMakeFiles/riot_data.dir/pubsub.cpp.o"
+  "CMakeFiles/riot_data.dir/pubsub.cpp.o.d"
+  "CMakeFiles/riot_data.dir/vector_clock.cpp.o"
+  "CMakeFiles/riot_data.dir/vector_clock.cpp.o.d"
+  "libriot_data.a"
+  "libriot_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riot_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riot_device.dir/device.cpp.o"
+  "CMakeFiles/riot_device.dir/device.cpp.o.d"
+  "CMakeFiles/riot_device.dir/energy.cpp.o"
+  "CMakeFiles/riot_device.dir/energy.cpp.o.d"
+  "CMakeFiles/riot_device.dir/mobility.cpp.o"
+  "CMakeFiles/riot_device.dir/mobility.cpp.o.d"
+  "CMakeFiles/riot_device.dir/registry.cpp.o"
+  "CMakeFiles/riot_device.dir/registry.cpp.o.d"
+  "libriot_device.a"
+  "libriot_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riot_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/membership/heartbeat.cpp" "src/membership/CMakeFiles/riot_membership.dir/heartbeat.cpp.o" "gcc" "src/membership/CMakeFiles/riot_membership.dir/heartbeat.cpp.o.d"
+  "/root/repo/src/membership/swim.cpp" "src/membership/CMakeFiles/riot_membership.dir/swim.cpp.o" "gcc" "src/membership/CMakeFiles/riot_membership.dir/swim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/riot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riot_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riot_membership.dir/heartbeat.cpp.o"
+  "CMakeFiles/riot_membership.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/riot_membership.dir/swim.cpp.o"
+  "CMakeFiles/riot_membership.dir/swim.cpp.o.d"
+  "libriot_membership.a"
+  "libriot_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riot_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/ctl.cpp" "src/model/CMakeFiles/riot_model.dir/ctl.cpp.o" "gcc" "src/model/CMakeFiles/riot_model.dir/ctl.cpp.o.d"
+  "/root/repo/src/model/dtmc.cpp" "src/model/CMakeFiles/riot_model.dir/dtmc.cpp.o" "gcc" "src/model/CMakeFiles/riot_model.dir/dtmc.cpp.o.d"
+  "/root/repo/src/model/goals.cpp" "src/model/CMakeFiles/riot_model.dir/goals.cpp.o" "gcc" "src/model/CMakeFiles/riot_model.dir/goals.cpp.o.d"
+  "/root/repo/src/model/kripke.cpp" "src/model/CMakeFiles/riot_model.dir/kripke.cpp.o" "gcc" "src/model/CMakeFiles/riot_model.dir/kripke.cpp.o.d"
+  "/root/repo/src/model/ltl.cpp" "src/model/CMakeFiles/riot_model.dir/ltl.cpp.o" "gcc" "src/model/CMakeFiles/riot_model.dir/ltl.cpp.o.d"
+  "/root/repo/src/model/mtl.cpp" "src/model/CMakeFiles/riot_model.dir/mtl.cpp.o" "gcc" "src/model/CMakeFiles/riot_model.dir/mtl.cpp.o.d"
+  "/root/repo/src/model/uncertainty.cpp" "src/model/CMakeFiles/riot_model.dir/uncertainty.cpp.o" "gcc" "src/model/CMakeFiles/riot_model.dir/uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/riot_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riot_model.dir/ctl.cpp.o"
+  "CMakeFiles/riot_model.dir/ctl.cpp.o.d"
+  "CMakeFiles/riot_model.dir/dtmc.cpp.o"
+  "CMakeFiles/riot_model.dir/dtmc.cpp.o.d"
+  "CMakeFiles/riot_model.dir/goals.cpp.o"
+  "CMakeFiles/riot_model.dir/goals.cpp.o.d"
+  "CMakeFiles/riot_model.dir/kripke.cpp.o"
+  "CMakeFiles/riot_model.dir/kripke.cpp.o.d"
+  "CMakeFiles/riot_model.dir/ltl.cpp.o"
+  "CMakeFiles/riot_model.dir/ltl.cpp.o.d"
+  "CMakeFiles/riot_model.dir/mtl.cpp.o"
+  "CMakeFiles/riot_model.dir/mtl.cpp.o.d"
+  "CMakeFiles/riot_model.dir/uncertainty.cpp.o"
+  "CMakeFiles/riot_model.dir/uncertainty.cpp.o.d"
+  "libriot_model.a"
+  "libriot_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riot_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

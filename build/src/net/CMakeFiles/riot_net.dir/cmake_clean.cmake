@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riot_net.dir/network.cpp.o"
+  "CMakeFiles/riot_net.dir/network.cpp.o.d"
+  "libriot_net.a"
+  "libriot_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riot_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

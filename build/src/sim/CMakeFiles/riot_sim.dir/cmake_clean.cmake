@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riot_sim.dir/fault.cpp.o"
+  "CMakeFiles/riot_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/riot_sim.dir/metrics.cpp.o"
+  "CMakeFiles/riot_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/riot_sim.dir/rng.cpp.o"
+  "CMakeFiles/riot_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/riot_sim.dir/simulation.cpp.o"
+  "CMakeFiles/riot_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/riot_sim.dir/time.cpp.o"
+  "CMakeFiles/riot_sim.dir/time.cpp.o.d"
+  "CMakeFiles/riot_sim.dir/trace.cpp.o"
+  "CMakeFiles/riot_sim.dir/trace.cpp.o.d"
+  "libriot_sim.a"
+  "libriot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

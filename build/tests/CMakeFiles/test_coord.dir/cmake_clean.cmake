@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coord.dir/test_coord_election.cpp.o"
+  "CMakeFiles/test_coord.dir/test_coord_election.cpp.o.d"
+  "CMakeFiles/test_coord.dir/test_coord_gossip.cpp.o"
+  "CMakeFiles/test_coord.dir/test_coord_gossip.cpp.o.d"
+  "CMakeFiles/test_coord.dir/test_coord_raft.cpp.o"
+  "CMakeFiles/test_coord.dir/test_coord_raft.cpp.o.d"
+  "CMakeFiles/test_coord.dir/test_coord_raft_snapshot.cpp.o"
+  "CMakeFiles/test_coord.dir/test_coord_raft_snapshot.cpp.o.d"
+  "CMakeFiles/test_coord.dir/test_coord_scheduler.cpp.o"
+  "CMakeFiles/test_coord.dir/test_coord_scheduler.cpp.o.d"
+  "test_coord"
+  "test_coord.pdb"
+  "test_coord[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

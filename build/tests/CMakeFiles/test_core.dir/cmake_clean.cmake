@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_core_app.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_app.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_maturity.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_maturity.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_orchestrator.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_orchestrator.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_resilience.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_resilience.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_system.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_system.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/test_data_causal.cpp.o"
+  "CMakeFiles/test_data.dir/test_data_causal.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_data_crdt.cpp.o"
+  "CMakeFiles/test_data.dir/test_data_crdt.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_data_crdt_store.cpp.o"
+  "CMakeFiles/test_data.dir/test_data_crdt_store.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_data_lineage.cpp.o"
+  "CMakeFiles/test_data.dir/test_data_lineage.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_data_privacy.cpp.o"
+  "CMakeFiles/test_data.dir/test_data_privacy.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_data_pubsub.cpp.o"
+  "CMakeFiles/test_data.dir/test_data_pubsub.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_data_stream.cpp.o"
+  "CMakeFiles/test_data.dir/test_data_stream.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_data_vector_clock.cpp.o"
+  "CMakeFiles/test_data.dir/test_data_vector_clock.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

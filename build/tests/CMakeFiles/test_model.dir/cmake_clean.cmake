@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/test_model_ctl.cpp.o"
+  "CMakeFiles/test_model.dir/test_model_ctl.cpp.o.d"
+  "CMakeFiles/test_model.dir/test_model_dtmc.cpp.o"
+  "CMakeFiles/test_model.dir/test_model_dtmc.cpp.o.d"
+  "CMakeFiles/test_model.dir/test_model_goals.cpp.o"
+  "CMakeFiles/test_model.dir/test_model_goals.cpp.o.d"
+  "CMakeFiles/test_model.dir/test_model_ltl.cpp.o"
+  "CMakeFiles/test_model.dir/test_model_ltl.cpp.o.d"
+  "CMakeFiles/test_model.dir/test_model_mtl.cpp.o"
+  "CMakeFiles/test_model.dir/test_model_mtl.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
