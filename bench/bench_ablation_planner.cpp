@@ -49,8 +49,10 @@ int main() {
       "Quality = goal satisfaction restored by the chosen action.\n"
       "1000 random worlds per strategy, seed-fixed.");
 
+  bench::BenchReport report("bench_ablation_planner");
   bench::Table table({"planner", "mean_quality", "optimal_rate",
                       "cand_evals", "us_per_plan"});
+  table.tee_to(report);
   table.print_header();
 
   constexpr int kTrials = 1000;
@@ -140,5 +142,5 @@ int main() {
       "optimal ~25%%); goal-guided search restores the best host (~0.84\n"
       "mean quality for max of 4 uniforms, optimal 100%%) at the price of\n"
       "4 candidate evaluations per plan.\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -19,10 +19,11 @@ using namespace riot;
 
 namespace {
 
-void swim_sweep() {
+void swim_sweep(bench::BenchReport& report) {
   std::printf("SWIM: detection latency vs protocol cost (8 members):\n");
   bench::Table table({"period_ms", "suspect_ms", "detect_s_mean",
                       "msgs/member/s", "false_pos"});
+  table.tee_to(report);
   table.print_header();
   struct Setting {
     sim::SimTime period, suspect;
@@ -77,10 +78,11 @@ void swim_sweep() {
   }
 }
 
-void raft_sweep() {
+void raft_sweep(bench::BenchReport& report) {
   std::printf("\nRaft: cluster size vs commit latency and fault tolerance:\n");
   bench::Table table({"peers", "commit_ms_mean", "reelect_ms",
                       "tolerates"});
+  table.tee_to(report);
   table.print_header();
   for (const int n : {1, 3, 5, 7, 9}) {
     bench::Harness h(3);
@@ -138,9 +140,10 @@ void raft_sweep() {
   }
 }
 
-void gossip_sweep() {
+void gossip_sweep(bench::BenchReport& report) {
   std::printf("\nGossip: fanout vs dissemination time (24 nodes):\n");
   bench::Table table({"fanout", "converge_s", "msgs_total"});
+  table.tee_to(report);
   table.print_header();
   for (const int fanout : {1, 2, 3, 4, 6}) {
     bench::Harness h(9);
@@ -181,8 +184,9 @@ void gossip_sweep() {
 int main() {
   bench::banner("Ablation A1: decentralization-protocol parameters",
                 "Trade-off curves for the ML4 building blocks.");
-  swim_sweep();
-  raft_sweep();
-  gossip_sweep();
-  return 0;
+  bench::BenchReport report("bench_ablation_protocols");
+  swim_sweep(report);
+  raft_sweep(report);
+  gossip_sweep(report);
+  return report.write() ? 0 : 1;
 }

@@ -109,8 +109,10 @@ int main() {
   bench::banner(
       "Ablation A2: synchronization strategy under loss + partition",
       "4 replicas, 2 writes/s, 5% loss, 20s partition. What survives?");
+  bench::BenchReport report("bench_ablation_sync");
   bench::Table table({"strategy", "writes", "surviving", "conflicts",
                       "converged", "messages"});
+  table.tee_to(report);
   table.print_header();
   for (const std::string strategy : {"lww", "orset", "mvreg"}) {
     const auto outcome = run(strategy, 5);
@@ -125,5 +127,5 @@ int main() {
       "partition (surviving == writes); LWW converges but collapses the\n"
       "history to one value; MV-register surfaces the partition-era\n"
       "conflict as siblings for the application to resolve.\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

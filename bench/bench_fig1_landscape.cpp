@@ -83,8 +83,10 @@ int main() {
       "requirement satisfaction as the WAN to the cloud degrades.\n"
       "cloud = ML2 funnel architecture, edge = ML4 decentralized.");
 
+  bench::BenchReport report("bench_fig1_landscape");
   bench::Table table({"wan_state", "coordination", "freshness", "actuation",
                       "msgs"});
+  table.tee_to(report);
   table.print_header();
   struct WanState {
     const char* name;
@@ -115,6 +117,7 @@ int main() {
       "\nScale sweep (healthy WAN): worst-site satisfaction by fleet size\n");
   bench::Table scale({"sites", "devices", "coordination", "freshness",
                       "actuation"});
+  scale.tee_to(report);
   scale.print_header();
   for (const int sites : {2, 4, 8, 16}) {
     for (const auto level :
@@ -127,5 +130,5 @@ int main() {
                        bench::fmt(outcome.actuation_sat)});
     }
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

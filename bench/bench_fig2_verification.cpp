@@ -67,9 +67,11 @@ int main() {
       "LTL: G(req -> F resp) progression over synthetic traces.\n"
       "PCTL: P[F failed], P[F<=k ok] on the component DTMC.");
 
+  bench::BenchReport report("bench_fig2_verification");
   std::printf("CTL model checking (time vs model size):\n");
   bench::Table ctl_table(
       {"states", "transitions", "check_ms", "us_per_state", "holds"});
+  ctl_table.tee_to(report);
   ctl_table.print_header();
   sim::Rng rng(17);
   for (const std::size_t states :
@@ -92,6 +94,7 @@ int main() {
   std::printf("\nLTL runtime monitoring (progression cost per event):\n");
   bench::Table ltl_table({"formula", "events", "total_ms", "ns_per_event",
                           "verdict"});
+  ltl_table.tee_to(report);
   ltl_table.print_header();
   struct Case {
     const char* name;
@@ -134,6 +137,7 @@ int main() {
 
   std::printf("\nPCTL quantitative checking on the component chain:\n");
   bench::Table pctl_table({"query", "value", "time_ms"});
+  pctl_table.tee_to(report);
   pctl_table.print_header();
   const auto component = model::make_component_chain({});
   {
@@ -167,5 +171,5 @@ int main() {
                           bench::fmt(steps[component.failed], 2),
                           bench::fmt(ms_since(start), 3)});
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -88,8 +88,10 @@ int main() {
       "WAN latency; then a 30s cloud outage. Sensing->actuation loop\n"
       "latency and survival.");
 
+  bench::BenchReport report("bench_fig3_edge_control");
   bench::Table table({"wan_1way_ms", "control", "p50_ms", "p99_ms",
                       "deadline_ok", "outage_act/s"});
+  table.tee_to(report);
   table.print_header();
   for (const auto wan : {sim::millis(25), sim::millis(50), sim::millis(100),
                          sim::millis(200)}) {
@@ -107,5 +109,5 @@ int main() {
       "\nReading: edge control latency is flat (~1ms) across every WAN\n"
       "setting and continues at full rate (10 act/s) through the outage;\n"
       "cloud control latency ~= 2x WAN one-way and stops at 0 act/s.\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

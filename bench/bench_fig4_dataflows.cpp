@@ -269,9 +269,11 @@ int main() {
       "(B) personal data producer with intra-scope and cross-scope\n"
       "consumers, policy enforced at different points.");
 
+  bench::BenchReport report("bench_fig4_dataflows");
   std::printf("(A) synchronization strategy under partition:\n");
   bench::Table sync({"strategy", "write_avail", "lost_updates",
                      "heal_conv_s"});
+  sync.tee_to(report);
   sync.print_header();
   {
     const auto central = run_central();
@@ -286,6 +288,7 @@ int main() {
   std::printf("\n(B) privacy enforcement point (personal data, GDPR scope):\n");
   bench::Table privacy({"enforcement", "leaks", "blocked", "cross_deliv",
                         "intra_lat_ms"});
+  privacy.tee_to(report);
   privacy.print_header();
   const char* names[] = {"none(funnel)", "cloud-broker", "edge-relay"};
   for (int mode = 0; mode < 3; ++mode) {
@@ -301,5 +304,5 @@ int main() {
       "every partition-era write. Edge enforcement keeps leaks at zero\n"
       "AND intra-scope latency LAN-fast — the cloud broker can also block,\n"
       "but then even the intra-scope panel pays a WAN round trip.\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -4,7 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "coord/raft.hpp"
 #include "data/crdt.hpp"
 #include "model/ctl.hpp"
@@ -187,6 +189,35 @@ void BM_RaftCommitThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_RaftCommitThroughput);
 
+/// ConsoleReporter that also tees each run into the BENCH_*.json artifact.
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TeeReporter(bench::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_.row({run.benchmark_name(),
+                   bench::fmt(run.GetAdjustedRealTime(), 1),
+                   bench::fmt(run.GetAdjustedCPUTime(), 1),
+                   bench::fmt_u(static_cast<std::uint64_t>(run.iterations))});
+    }
+  }
+
+ private:
+  bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchReport report("bench_micro");
+  report.columns({"name", "real_time_ns", "cpu_time_ns", "iterations"});
+  TeeReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.write() ? 0 : 1;
+}

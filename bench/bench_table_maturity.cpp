@@ -29,9 +29,12 @@ int main() {
       "host crash at 150s, WAN partition 210-240s, sensor churn throughout.\n"
       "Evaluation window 10s-300s, seed 42.");
 
+  bench::BenchReport bench_report("bench_table_maturity");
+  bench_report.config("seed", 42.0);
   bench::Table table({"level", "resilience", "avail", "MTTR_s", "episodes",
                       "auto_acts", "manual", "leaks", "blocked", "archived",
                       "monitored"});
+  table.tee_to(bench_report);
   table.print_header();
 
   for (const auto level :
@@ -76,5 +79,5 @@ int main() {
       std::printf("    %-28s %.3f\n", name.c_str(), sat);
     }
   }
-  return 0;
+  return bench_report.write() ? 0 : 1;
 }

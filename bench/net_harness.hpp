@@ -2,7 +2,8 @@
 #pragma once
 
 #include "net/network.hpp"
-#include "sim/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
 
@@ -10,10 +11,11 @@ namespace riot::bench {
 
 struct Harness {
   explicit Harness(std::uint64_t seed)
-      : sim(seed), network(sim, metrics, trace) {}
+      : sim(seed), tracer(sim), network(sim, metrics, tracer, trace) {}
 
   sim::Simulation sim;
-  sim::MetricsRegistry metrics;
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
   sim::TraceLog trace;
   net::Network network;
 };

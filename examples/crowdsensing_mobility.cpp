@@ -128,7 +128,10 @@ int main() {
   system.energy().start();
 
   // Handover + domain transfer on every move.
-  sim::MetricsRegistry& metrics = system.metrics();
+  sim::Counter& handover_total =
+      system.metrics().counter("riot_crowd_handover_total");
+  sim::Counter& domain_transfer_total =
+      system.metrics().counter("riot_crowd_domain_transfer_total");
   system.mobility().on_moved([&](device::DeviceId dev,
                                  const device::Location& where) {
     for (auto& phone : phones) {
@@ -142,7 +145,7 @@ int main() {
         if (relay != phone.relay) {
           phone.relay = relay;
           ++phone.handovers;
-          metrics.counter("crowd.handover").increment();
+          handover_total.increment();
         }
       }
       // Administrative-domain transfer at the boundary.
@@ -152,7 +155,7 @@ int main() {
         const auto scope = where.x < 1000 ? scope_a : scope_b;
         policy.add_member(scope, dev);
         ++phone.domain_moves;
-        metrics.counter("crowd.domain_transfer").increment();
+        domain_transfer_total.increment();
       }
     }
   });

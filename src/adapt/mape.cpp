@@ -6,7 +6,9 @@ namespace riot::adapt {
 
 TelemetrySource::TelemetrySource(net::Network& network,
                                  net::NodeId loop_host, sim::SimTime period)
-    : net::Node(network), loop_host_(loop_host), period_(period) {}
+    : net::Node(network), loop_host_(loop_host), period_(period) {
+  set_component("mape");
+}
 
 void TelemetrySource::add_probe(std::string key, ProbeFn fn) {
   probes_.emplace_back(std::move(key), std::move(fn));
@@ -33,9 +35,17 @@ void TelemetrySource::sample_and_send() {
 // --- Effector ---------------------------------------------------------------
 
 Effector::Effector(net::Network& network, Handler handler)
-    : net::Node(network), handler_(std::move(handler)) {
+    : net::Node(network),
+      handler_(std::move(handler)),
+      executed_total_(network.metrics()
+                          .counter_family("riot_mape_executed_total",
+                                          "action commands applied by "
+                                          "effectors")
+                          .with({})) {
+  set_component("mape");
   on<ActionCommand>([this](net::NodeId /*from*/, const ActionCommand& cmd) {
     ++executed_;
+    executed_total_.increment();
     if (handler_) handler_(cmd.action);
   });
 }
@@ -43,7 +53,21 @@ Effector::Effector(net::Network& network, Handler handler)
 // --- MapeLoop ---------------------------------------------------------------
 
 MapeLoop::MapeLoop(net::Network& network, sim::SimTime period)
-    : net::Node(network), period_(period) {
+    : net::Node(network),
+      period_(period),
+      iterations_total_(network.metrics()
+                            .counter_family("riot_mape_iterations_total",
+                                            "loop iterations run")
+                            .with({})),
+      violations_total_(network.metrics()
+                            .counter_family("riot_mape_violations_total",
+                                            "violations raised by analyzers")
+                            .with({})),
+      actions_total_(network.metrics()
+                         .counter_family("riot_mape_actions_total",
+                                         "actions issued by planners")
+                         .with({})) {
+  set_component("mape");
   on<TelemetryReport>(
       [this](net::NodeId from, const TelemetryReport& report) {
         for (const auto& [key, value] : report.entries) {
@@ -99,6 +123,7 @@ void MapeLoop::on_recover() {
 
 void MapeLoop::iterate() {
   ++iterations_;
+  iterations_total_.increment();
   // Analyze.
   std::vector<Violation> violations;
   for (const auto& [name, fn] : analyzers_) {
@@ -129,26 +154,70 @@ void MapeLoop::iterate() {
   }
   last_violations_ = violations;
   violations_raised_ += violations.size();
+  violations_total_.increment(violations.size());
   if (analysis_cb_) analysis_cb_(violations);
 
-  // Plan.
   if (violations.empty() || planner_ == nullptr) return;
+
+  // An iteration that found something becomes a trace: analyze, plan and
+  // every execute are children, and the execute sends (and their device-
+  // side deliveries) nest below. Quiet iterations create no spans.
+  const obs::SpanContext iter_span =
+      tracer().start_auto("mape", "iteration", id().value);
+  obs::Tracer::Scope iter_scope(tracer(), iter_span);
+
+  const obs::SpanContext analyze_span =
+      tracer().start_span(iter_span, "mape", "analyze", id().value);
+  tracer().annotate(analyze_span, "violations",
+                    std::to_string(violations.size()));
+  for (const Violation& v : violations) {
+    tracer().annotate(analyze_span, "requirement", v.requirement);
+  }
+  tracer().end(analyze_span);
+  network()
+      .trace()
+      .event("mape", "analyze")
+      .node(id().value)
+      .kv("violations", violations.size())
+      .span(analyze_span);
+
+  // Plan.
+  const obs::SpanContext plan_span =
+      tracer().start_span(iter_span, "mape", "plan", id().value);
   const std::vector<Action> actions = planner_->plan(violations, knowledge_);
+  tracer().annotate(plan_span, "planner", planner_->name());
+  tracer().annotate(plan_span, "actions", std::to_string(actions.size()));
+  tracer().end(plan_span);
 
   // Execute.
   for (const Action& action : actions) execute(action);
+  tracer().end(iter_span);
 }
 
 void MapeLoop::execute(const Action& action) {
   ++actions_issued_;
-  network().trace().log(now(), sim::TraceLevel::kInfo, "mape", id().value,
-                        "execute", action.describe());
-  auto it = action_routes_.find(action.component);
-  if (it != action_routes_.end()) {
-    send(it->second, ActionCommand{action, next_plan_id_++});
-  } else if (local_handler_) {
-    local_handler_(action);
+  actions_total_.increment();
+  const obs::SpanContext span =
+      tracer().start_auto("mape", "execute", id().value);
+  tracer().annotate(span, "action", action.describe());
+  network()
+      .trace()
+      .event("mape", "execute")
+      .node(id().value)
+      .detail(action.describe())
+      .span(span);
+  {
+    // The ActionCommand send (and the effector's delivery) nests under the
+    // execute span.
+    obs::Tracer::Scope scope(tracer(), span);
+    auto it = action_routes_.find(action.component);
+    if (it != action_routes_.end()) {
+      send(it->second, ActionCommand{action, next_plan_id_++});
+    } else if (local_handler_) {
+      local_handler_(action);
+    }
   }
+  tracer().end(span);
 }
 
 }  // namespace riot::adapt

@@ -90,6 +90,7 @@ class Effector : public net::Node {
  private:
   Handler handler_;
   std::uint64_t executed_ = 0;
+  sim::Counter& executed_total_;
 };
 
 /// Planner interface: violations + knowledge -> actions.
@@ -196,6 +197,9 @@ class MapeLoop : public net::Node {
   std::uint64_t violations_raised_ = 0;
   std::uint64_t actions_issued_ = 0;
   std::uint64_t next_plan_id_ = 1;
+  sim::Counter& iterations_total_;
+  sim::Counter& violations_total_;
+  sim::Counter& actions_total_;
 };
 
 }  // namespace riot::adapt

@@ -4,6 +4,7 @@ namespace riot::coord {
 
 BullyElector::BullyElector(net::Network& network, ElectionConfig config)
     : net::Node(network), cfg_(config) {
+  set_component("election");
   on<ElectionMsg>([this](net::NodeId from, const ElectionMsg&) {
     // A lower-id node is electing: answer and take over the election.
     if (from < id()) {
@@ -64,8 +65,7 @@ void BullyElector::declare_victory() {
   for (const net::NodeId peer : peers_) {
     if (peer != id()) send(peer, CoordinatorMsg{});
   }
-  network().trace().log(now(), sim::TraceLevel::kInfo, "election", id().value,
-                        "leader");
+  network().trace().event("election", "leader").node(id().value);
   if (elected_cb_) elected_cb_(id());
 }
 

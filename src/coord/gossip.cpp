@@ -9,6 +9,7 @@ GossipNode::GossipNode(net::Network& network, GossipConfig config)
     : net::Node(network),
       cfg_(config),
       rng_(network.simulation().rng().split("gossip" + to_string(id()))) {
+  set_component("gossip");
   on<Digest>([this](net::NodeId from, const Digest& digest) {
     // Push-pull reconciliation: push entries where we are ahead (or the
     // sender is silent), pull keys where the sender is ahead. Ordering is

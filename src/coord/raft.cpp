@@ -21,7 +21,16 @@ RaftPeer::RaftPeer(net::Network& network, RaftStorage& storage,
     : net::Node(network),
       storage_(storage),
       cfg_(config),
-      rng_(network.simulation().rng().split("raft" + to_string(id()))) {
+      rng_(network.simulation().rng().split("raft" + to_string(id()))),
+      elections_total_(network.metrics()
+                           .counter_family("riot_raft_elections_total",
+                                           "elections started")
+                           .with({})),
+      leader_changes_total_(network.metrics()
+                                .counter_family("riot_raft_leader_changes_total",
+                                                "leadership acquisitions")
+                                .with({})) {
+  set_component("raft");
   on<RequestVote>([this](net::NodeId from, const RequestVote& rv) {
     handle_request_vote(from, rv);
   });
@@ -73,6 +82,7 @@ void RaftPeer::restore_from_snapshot() {
 
 void RaftPeer::on_crash() {
   role_ = RaftRole::kFollower;
+  election_span_ = {};
   known_leader_ = net::kInvalidNode;
   commit_index_ = 0;
   last_applied_ = 0;
@@ -117,6 +127,11 @@ void RaftPeer::reset_election_timer() {
 }
 
 void RaftPeer::become_follower(std::uint64_t term) {
+  if (election_span_.valid()) {
+    tracer().annotate(election_span_, "outcome", "lost");
+    tracer().end(election_span_);
+    election_span_ = {};
+  }
   if (term > storage_.current_term) {
     storage_.current_term = term;
     storage_.voted_for = net::kInvalidNode;
@@ -134,14 +149,31 @@ void RaftPeer::become_candidate() {
   ++storage_.current_term;
   storage_.voted_for = id();
   votes_received_ = 1;  // own vote
-  network().trace().log(now(), sim::TraceLevel::kDebug, "raft", id().value,
-                        "candidate", "term " +
-                        std::to_string(storage_.current_term));
+  if (!election_span_.valid()) {
+    // Parent on the lost leader's incident: the election is an effect of
+    // that failure, not ambient behaviour.
+    election_span_ = tracer().start_caused_by(known_leader_.value, "raft",
+                                              "election", id().value);
+    elections_total_.increment();
+  }
+  tracer().annotate(election_span_, "term",
+                    std::to_string(storage_.current_term));
+  network()
+      .trace()
+      .event("raft", "candidate")
+      .debug()
+      .node(id().value)
+      .kv("term", storage_.current_term)
+      .span(election_span_);
   reset_election_timer();
   const RequestVote rv{storage_.current_term, storage_.last_index(),
                        storage_.last_term()};
-  for (const net::NodeId peer : peers_) {
-    if (peer != id()) send(peer, rv);
+  {
+    // Vote requests (and their replies) join the election's trace.
+    obs::Tracer::Scope scope(tracer(), election_span_);
+    for (const net::NodeId peer : peers_) {
+      if (peer != id()) send(peer, rv);
+    }
   }
   if (peers_.size() == 1) become_leader();
 }
@@ -149,9 +181,18 @@ void RaftPeer::become_candidate() {
 void RaftPeer::become_leader() {
   role_ = RaftRole::kLeader;
   note_leader(id());
-  network().trace().log(now(), sim::TraceLevel::kInfo, "raft", id().value,
-                        "leader",
-                        "term " + std::to_string(storage_.current_term));
+  leader_changes_total_.increment();
+  const obs::SpanContext won =
+      election_span_.valid()
+          ? tracer().start_span(election_span_, "raft", "leader", id().value)
+          : tracer().start_auto("raft", "leader", id().value);
+  tracer().annotate(won, "term", std::to_string(storage_.current_term));
+  network()
+      .trace()
+      .event("raft", "leader")
+      .node(id().value)
+      .kv("term", storage_.current_term)
+      .span(won);
   next_index_.clear();
   match_index_.clear();
   for (const net::NodeId peer : peers_) {
@@ -159,7 +200,15 @@ void RaftPeer::become_leader() {
     match_index_[peer] = 0;
   }
   match_index_[id()] = storage_.last_index();
-  broadcast_heartbeats();
+  {
+    obs::Tracer::Scope scope(tracer(), won);
+    broadcast_heartbeats();
+  }
+  tracer().end(won);
+  if (election_span_.valid()) {
+    tracer().end(election_span_);
+    election_span_ = {};
+  }
   heartbeat_timer_ =
       every(cfg_.heartbeat_interval, [this] { broadcast_heartbeats(); });
 }
@@ -339,9 +388,11 @@ bool RaftPeer::compact(std::uint64_t up_to_index,
   storage_.snapshot_index = up_to_index;
   storage_.snapshot_state = std::move(state_machine_image);
   storage_.log = std::move(retained);
-  network().trace().log(now(), sim::TraceLevel::kInfo, "raft", id().value,
-                        "compact",
-                        "through " + std::to_string(up_to_index));
+  network()
+      .trace()
+      .event("raft", "compact")
+      .node(id().value)
+      .kv("through", up_to_index);
   return true;
 }
 

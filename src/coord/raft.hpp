@@ -189,7 +189,12 @@ class RaftPeer : public net::Node {
   RaftStorage& storage_;
   RaftConfig cfg_;
   sim::Rng rng_;
+  sim::Counter& elections_total_;
+  sim::Counter& leader_changes_total_;
   std::vector<net::NodeId> peers_;  // includes self
+  // Open span for an in-progress election; parented on the failed leader's
+  // incident, closed when this peer wins or steps back to follower.
+  obs::SpanContext election_span_;
 
   // Volatile state (lost on crash).
   RaftRole role_ = RaftRole::kFollower;

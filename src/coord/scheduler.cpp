@@ -114,10 +114,16 @@ CentralScheduler::CentralScheduler(net::Network& network,
     : net::Node(network),
       registry_(registry),
       sync_interval_(sync_interval),
-      rpc_(*this) {
+      rpc_(*this),
+      served_total_(network.metrics()
+                        .counter_family("riot_scheduler_served_total",
+                                        "placements served, by scheduler")
+                        .with({{"scheduler", "central"}})) {
+  set_component("scheduler");
   rpc_.serve<PlaceRequest, PlaceReply>(
       [this](net::NodeId, const PlaceRequest& req) {
         ++served_;
+        served_total_.increment();
         const auto host = engine_.place(req.task);
         return PlaceReply{host.has_value(),
                           host.value_or(device::DeviceId{})};
@@ -151,13 +157,27 @@ void CentralScheduler::refresh_snapshot() {
 
 EdgeScheduler::EdgeScheduler(net::Network& network,
                              device::Registry& registry)
-    : net::Node(network), registry_(registry), rpc_(*this) {
+    : net::Node(network),
+      registry_(registry),
+      rpc_(*this),
+      served_total_(network.metrics()
+                        .counter_family("riot_scheduler_served_total")
+                        .with({{"scheduler", "edge"}})),
+      forwarded_total_(network.metrics()
+                           .counter_family("riot_scheduler_forwarded_total",
+                                           "placements forwarded to peer "
+                                           "edges")
+                           .with({{"scheduler", "edge"}})) {
+  set_component("scheduler");
   rpc_.serve<PlaceRequest, PlaceReply>(
       [this](net::NodeId, const PlaceRequest& req) {
         // Peer-forwarded placement: local attempt only (no re-forwarding,
         // which bounds the negotiation at one hop).
         const auto host = place_local(req.task);
-        if (host) ++served_;
+        if (host) {
+          ++served_;
+          served_total_.increment();
+        }
         return PlaceReply{host.has_value(),
                           host.value_or(device::DeviceId{})};
       });
@@ -201,6 +221,7 @@ void EdgeScheduler::place(
     std::function<void(std::optional<device::DeviceId>)> done) {
   if (auto host = place_local(task)) {
     ++served_;
+    served_total_.increment();
     done(host);
     return;
   }
@@ -215,6 +236,7 @@ void EdgeScheduler::try_peers(
     return;
   }
   ++forwarded_;
+  forwarded_total_.increment();
   rpc_.call<PlaceRequest, PlaceReply>(
       peers_[peer_index], PlaceRequest{task},
       net::RpcOptions{.timeout = sim::millis(200), .max_attempts = 1},

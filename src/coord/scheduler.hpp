@@ -133,6 +133,7 @@ class CentralScheduler : public net::Node {
   PlacementEngine engine_;
   net::RpcEndpoint rpc_;
   std::uint64_t served_ = 0;
+  sim::Counter& served_total_;
 };
 
 /// ML3/ML4 edge scheduler: live view of its own scope, peer forwarding for
@@ -173,6 +174,8 @@ class EdgeScheduler : public net::Node {
   net::RpcEndpoint rpc_;
   std::uint64_t served_ = 0;
   std::uint64_t forwarded_ = 0;
+  sim::Counter& served_total_;
+  sim::Counter& forwarded_total_;
 };
 
 }  // namespace riot::coord

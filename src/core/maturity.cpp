@@ -525,9 +525,10 @@ void MaturityScenario::do_failover(Site& site) {
   site.primary->set_active(false);  // sticky: stays passive after recovery
   site.standby->set_active(true);
   site.active = site.standby;
-  system_.trace().log(system_.simulation().now(), sim::TraceLevel::kInfo,
-                      "scenario", site.standby->id().value, "failover",
-                      site.topic);
+  system_.trace()
+      .event("scenario", "failover")
+      .node(site.standby->id().value)
+      .detail(site.topic);
 }
 
 // --- Probes ---------------------------------------------------------------------

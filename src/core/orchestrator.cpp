@@ -11,8 +11,8 @@ void ServiceOrchestrator::add_service(ServiceSpec spec) {
 void ServiceOrchestrator::start() {
   if (timer_ != sim::kInvalidEventId) return;
   reconcile();
-  timer_ = system_.simulation().schedule_every(period_,
-                                               [this] { reconcile(); });
+  timer_ = system_.simulation().schedule_every(
+      period_, [this] { reconcile(); }, component_);
 }
 
 void ServiceOrchestrator::stop() {
@@ -41,32 +41,58 @@ void ServiceOrchestrator::refresh_engine() {
 }
 
 void ServiceOrchestrator::reconcile() {
+  reconciles_total_.increment();
   refresh_engine();
   for (Managed& managed : services_) {
-    // Dead host: evict and re-place.
+    // Dead host: evict and re-place. The repair span parents on the dead
+    // host's incident, so the re-placement appears in the failure's trace.
     if (managed.host && !host_healthy(*managed.host)) {
       engine_.release(managed.spec.task.id);
       if (undeploy_) undeploy_(managed.spec.name, *managed.host);
-      system_.trace().log(system_.simulation().now(),
-                          sim::TraceLevel::kWarn, "orchestrator",
-                          sim::TraceEvent::kNoNode, "host-lost",
-                          managed.spec.name);
+      const net::NodeId dead_node =
+          system_.registry().get(*managed.host).node;
+      if (!managed.repair_span.valid()) {
+        managed.repair_span = system_.tracer().start_caused_by(
+            dead_node.value, "orchestrator", "repair");
+        system_.tracer().annotate(managed.repair_span, "service",
+                                  managed.spec.name);
+      }
+      system_.trace()
+          .event("orchestrator", "host-lost")
+          .warn()
+          .detail(managed.spec.name)
+          .span(managed.repair_span);
       managed.host.reset();
     }
     if (!managed.host) {
       const auto placed = engine_.place(managed.spec.task);
       if (!placed) {
         ++placement_failures_;
+        placement_failures_total_.increment();
         continue;
       }
       managed.host = placed;
-      if (managed.ever_placed) ++migrations_;
+      if (managed.ever_placed) {
+        ++migrations_;
+        migrations_total_.increment();
+      }
       managed.ever_placed = true;
       if (deploy_) deploy_(managed.spec.name, *placed);
-      system_.trace().log(system_.simulation().now(), sim::TraceLevel::kInfo,
-                          "orchestrator", sim::TraceEvent::kNoNode, "place",
-                          managed.spec.name + " -> " +
-                              system_.registry().get(*placed).name);
+      obs::SpanContext place_span;
+      if (managed.repair_span.valid()) {
+        place_span = system_.tracer().start_span(
+            managed.repair_span, "orchestrator", "place");
+        system_.tracer().annotate(place_span, "host",
+                                  system_.registry().get(*placed).name);
+        system_.tracer().end(place_span);
+        system_.tracer().end(managed.repair_span);
+        managed.repair_span = {};
+      }
+      system_.trace()
+          .event("orchestrator", "place")
+          .detail(managed.spec.name + " -> " +
+                  system_.registry().get(*placed).name)
+          .span(place_span);
       continue;
     }
     if (managed.spec.allow_rebalance) {
@@ -92,11 +118,11 @@ void ServiceOrchestrator::reconcile() {
           if (moved) {
             managed.host = moved;
             ++migrations_;
+            migrations_total_.increment();
             if (deploy_) deploy_(managed.spec.name, *moved);
-            system_.trace().log(system_.simulation().now(),
-                                sim::TraceLevel::kInfo, "orchestrator",
-                                sim::TraceEvent::kNoNode, "rebalance",
-                                managed.spec.name);
+            system_.trace()
+                .event("orchestrator", "rebalance")
+                .detail(managed.spec.name);
           } else {
             managed.host.reset();  // re-placed next round
           }

@@ -44,7 +44,23 @@ class ServiceOrchestrator {
 
   ServiceOrchestrator(IoTSystem& system,
                       sim::SimTime reconcile_period = sim::seconds(1))
-      : system_(system), period_(reconcile_period) {}
+      : system_(system),
+        period_(reconcile_period),
+        component_(system.simulation().component_id("orchestrator")),
+        reconciles_total_(system.metrics()
+                              .counter_family("riot_orch_reconcile_total",
+                                              "reconciliation passes")
+                              .with({})),
+        migrations_total_(system.metrics()
+                              .counter_family("riot_orch_migrations_total",
+                                              "service re-placements")
+                              .with({})),
+        placement_failures_total_(
+            system.metrics()
+                .counter_family("riot_orch_placement_failures_total",
+                                "reconcile passes leaving a service "
+                                "unplaced")
+                .with({})) {}
 
   void set_deployer(DeployFn deploy, UndeployFn undeploy) {
     deploy_ = std::move(deploy);
@@ -80,6 +96,9 @@ class ServiceOrchestrator {
     ServiceSpec spec;
     std::optional<device::DeviceId> host;
     bool ever_placed = false;  // a later re-placement counts as migration
+    // Open repair span: host-lost opens it (parented on the host's
+    // incident), the successful re-placement closes it.
+    obs::SpanContext repair_span;
   };
 
   void reconcile();
@@ -88,6 +107,10 @@ class ServiceOrchestrator {
 
   IoTSystem& system_;
   sim::SimTime period_;
+  sim::ComponentId component_;
+  sim::Counter& reconciles_total_;
+  sim::Counter& migrations_total_;
+  sim::Counter& placement_failures_total_;
   sim::EventId timer_ = sim::kInvalidEventId;
   coord::PlacementEngine engine_;
   std::vector<device::DeviceId> fleet_;

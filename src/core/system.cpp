@@ -5,15 +5,31 @@ namespace riot::core {
 IoTSystem::IoTSystem(SystemConfig config)
     : cfg_(config),
       sim_(config.seed),
-      network_(sim_, metrics_, trace_),
+      tracer_(sim_),
+      network_(sim_, metrics_, tracer_, trace_),
       faults_(sim_, trace_),
       energy_(sim_, registry_),
       mobility_(sim_, registry_),
       resilience_(sim_, config.resilience_sample_period) {
   install_link_model();
+  // Every fault injection runs under a fresh root span, so its full effect
+  // tree (node_down incidents, SWIM suspicion, elections, re-placements)
+  // hangs off one trace.
+  faults_.set_inject_wrapper(
+      [this](const std::string& name, const std::function<void()>& body) {
+        const obs::SpanContext root = tracer_.start_trace("fault", "inject");
+        tracer_.annotate(root, "name", name);
+        {
+          obs::Tracer::Scope scope(tracer_, root);
+          body();
+        }
+        tracer_.end(root);
+      });
   energy_.on_depleted([this](device::DeviceId id) {
-    trace_.log(sim_.now(), sim::TraceLevel::kWarn, "energy", id.value,
-               "depleted", registry_.get(id).name);
+    trace_.event("energy", "depleted")
+        .warn()
+        .node(id.value)
+        .detail(registry_.get(id).name);
     crash_device(id);
   });
 }
@@ -58,15 +74,35 @@ void IoTSystem::adopt(device::DeviceId host,
 }
 
 void IoTSystem::crash_device(device::DeviceId id) {
-  for (net::Node* node : device_nodes_[id.value]) node->crash();
-  trace_.log(sim_.now(), sim::TraceLevel::kWarn, "system", id.value, "crash",
-             registry_.get(id).name);
+  // Root (or child, under an injection scope) span covering the crash of
+  // all of the device's components; each component's node_down incident
+  // becomes a child.
+  const obs::SpanContext span = tracer_.start_auto("system", "crash", id.value);
+  tracer_.annotate(span, "device", registry_.get(id).name);
+  {
+    obs::Tracer::Scope scope(tracer_, span);
+    for (net::Node* node : device_nodes_[id.value]) node->crash();
+  }
+  tracer_.end(span);
+  trace_.event("system", "crash")
+      .warn()
+      .node(id.value)
+      .detail(registry_.get(id).name)
+      .span(span);
 }
 
 void IoTSystem::recover_device(device::DeviceId id) {
-  for (net::Node* node : device_nodes_[id.value]) node->recover();
-  trace_.log(sim_.now(), sim::TraceLevel::kInfo, "system", id.value,
-             "recover", registry_.get(id).name);
+  const obs::SpanContext span =
+      tracer_.start_auto("system", "recover", id.value);
+  {
+    obs::Tracer::Scope scope(tracer_, span);
+    for (net::Node* node : device_nodes_[id.value]) node->recover();
+  }
+  tracer_.end(span);
+  trace_.event("system", "recover")
+      .node(id.value)
+      .detail(registry_.get(id).name)
+      .span(span);
 }
 
 bool IoTSystem::device_alive(device::DeviceId id) const {

@@ -19,8 +19,9 @@
 #include "net/network.hpp"
 #include "net/node.hpp"
 #include "core/resilience.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/fault.hpp"
-#include "sim/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
 
@@ -41,7 +42,8 @@ class IoTSystem {
   IoTSystem& operator=(const IoTSystem&) = delete;
 
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-  [[nodiscard]] sim::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
   [[nodiscard]] sim::TraceLog& trace() { return trace_; }
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] device::Registry& registry() { return registry_; }
@@ -87,7 +89,8 @@ class IoTSystem {
 
   SystemConfig cfg_;
   sim::Simulation sim_;
-  sim::MetricsRegistry metrics_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   sim::TraceLog trace_;
   net::Network network_;
   device::Registry registry_;

@@ -7,13 +7,17 @@ namespace riot::membership {
 HeartbeatMonitor::HeartbeatMonitor(net::Network& network,
                                    HeartbeatConfig config)
     : net::Node(network), cfg_(config) {
+  set_component("heartbeat");
   on<Heartbeat>([this](net::NodeId from, const Heartbeat&) {
     auto [it, inserted] = watched_.try_emplace(from, Watched{});
     it->second.last_heartbeat = now();
     if (!it->second.alive) {
       it->second.alive = true;
-      this->network().trace().log(now(), sim::TraceLevel::kInfo, "heartbeat",
-                            id().value, "alive", to_string(from));
+      this->network()
+          .trace()
+          .event("heartbeat", "alive")
+          .node(id().value)
+          .detail(to_string(from));
       if (alive_cb_) alive_cb_(from);
     }
   });
@@ -55,9 +59,19 @@ void HeartbeatMonitor::sweep() {
   for (auto& [member, w] : watched_) {
     if (w.alive && now() - w.last_heartbeat >= cfg_.timeout) {
       w.alive = false;
-      this->network().trace().log(now(), sim::TraceLevel::kInfo, "heartbeat",
-                            id().value, "dead", to_string(member));
-      if (dead_cb_) dead_cb_(member);
+      const obs::SpanContext span = tracer().start_caused_by(
+          member.value, "heartbeat", "dead", id().value);
+      this->network()
+          .trace()
+          .event("heartbeat", "dead")
+          .node(id().value)
+          .detail(to_string(member))
+          .span(span);
+      if (dead_cb_) {
+        obs::Tracer::Scope scope(tracer(), span);
+        dead_cb_(member);
+      }
+      tracer().end(span);
     }
   }
 }

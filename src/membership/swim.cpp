@@ -40,7 +40,20 @@ bool overrides(const MemberUpdate& incoming, MemberState cur_state,
 SwimMember::SwimMember(net::Network& network, SwimConfig config)
     : net::Node(network),
       cfg_(config),
-      rng_(network.simulation().rng().split("swim" + to_string(id()))) {
+      rng_(network.simulation().rng().split("swim" + to_string(id()))),
+      suspect_total_(network.metrics()
+                         .counter_family("riot_swim_suspect_total",
+                                         "suspicion transitions observed")
+                         .with({})),
+      dead_total_(network.metrics()
+                      .counter_family("riot_swim_dead_total",
+                                      "dead transitions observed")
+                      .with({})),
+      refute_total_(network.metrics()
+                        .counter_family("riot_swim_refute_total",
+                                        "incarnation-bump refutations")
+                        .with({})) {
+  set_component("swim");
   on<Ping>([this](net::NodeId from, const Ping& p) { on_ping(from, p); });
   on<Ack>([this](net::NodeId from, const Ack& a) { on_ack(from, a); });
   on<PingReq>(
@@ -120,8 +133,6 @@ void SwimMember::probe(net::NodeId target) {
       }
       mark(target, MemberState::kSuspect, it->second.incarnation);
       enqueue_update({target, MemberState::kSuspect, it->second.incarnation});
-      network().trace().log(now(), sim::TraceLevel::kInfo, "swim", id().value,
-                            "suspect", to_string(target));
     });
     awaiting_[target] = final_timeout;
   });
@@ -189,8 +200,12 @@ void SwimMember::apply(const MemberUpdate& update) {
         update.incarnation >= incarnation_) {
       incarnation_ = update.incarnation + 1;
       enqueue_update({id(), MemberState::kAlive, incarnation_});
-      network().trace().log(now(), sim::TraceLevel::kInfo, "swim", id().value,
-                            "refute");
+      refute_total_.increment();
+      network()
+          .trace()
+          .event("swim", "refute")
+          .node(id().value)
+          .kv("incarnation", incarnation_);
     }
     return;
   }
@@ -216,13 +231,51 @@ void SwimMember::mark(net::NodeId peer, MemberState state,
   info.incarnation = incarnation;
   if (state == MemberState::kSuspect && old != MemberState::kSuspect) {
     info.suspected_at = now();
+    // Parent on the peer's open incident (if its endpoint actually went
+    // down) so detection shows up in the failure's effect tree.
+    info.suspect_span =
+        tracer().start_caused_by(peer.value, "swim", "suspect", id().value);
+    tracer().annotate(info.suspect_span, "peer", to_string(peer));
+    suspect_total_.increment();
+    network()
+        .trace()
+        .event("swim", "suspect")
+        .node(id().value)
+        .detail(to_string(peer))
+        .kv("incarnation", incarnation)
+        .span(info.suspect_span);
   }
   if (state == MemberState::kDead && old != MemberState::kDead) {
-    network().trace().log(now(), sim::TraceLevel::kInfo, "swim", id().value,
-                          "dead", to_string(peer));
-    if (dead_cb_) dead_cb_(peer);
+    obs::SpanContext span;
+    if (info.suspect_span.valid()) {
+      span = tracer().start_span(info.suspect_span, "swim", "dead",
+                                 id().value);
+      tracer().end(info.suspect_span);
+      info.suspect_span = {};
+    } else {
+      span = tracer().start_caused_by(peer.value, "swim", "dead", id().value);
+    }
+    tracer().annotate(span, "peer", to_string(peer));
+    dead_total_.increment();
+    network()
+        .trace()
+        .event("swim", "dead")
+        .node(id().value)
+        .detail(to_string(peer))
+        .span(span);
+    if (dead_cb_) {
+      // Reactions (orchestrator eviction, leader checks) join the trace.
+      obs::Tracer::Scope scope(tracer(), span);
+      dead_cb_(peer);
+    }
+    tracer().end(span);
   }
   if (state == MemberState::kAlive && old != MemberState::kAlive) {
+    if (info.suspect_span.valid()) {
+      tracer().annotate(info.suspect_span, "outcome", "refuted");
+      tracer().end(info.suspect_span);
+      info.suspect_span = {};
+    }
     if (alive_cb_) alive_cb_(peer);
   }
 }

@@ -103,6 +103,9 @@ class SwimMember : public net::Node {
     MemberState state = MemberState::kAlive;
     std::uint32_t incarnation = 0;
     sim::SimTime suspected_at = sim::kSimTimeZero;
+    // Open suspicion span; dead/alive transitions close it (the dead span
+    // becomes its child, so incident -> suspect -> dead reads as a chain).
+    obs::SpanContext suspect_span;
   };
 
   struct OutstandingUpdate {
@@ -130,6 +133,9 @@ class SwimMember : public net::Node {
 
   SwimConfig cfg_;
   sim::Rng rng_;
+  sim::Counter& suspect_total_;
+  sim::Counter& dead_total_;
+  sim::Counter& refute_total_;
   std::uint32_t incarnation_ = 0;
   std::uint64_t next_seq_ = 1;
   std::unordered_map<net::NodeId, MemberInfo> members_;

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "net/node_id.hpp"
+#include "obs/span.hpp"
 
 namespace riot::net {
 
@@ -24,6 +25,9 @@ struct Message {
   std::type_index type = typeid(void);
   std::uint32_t wire_size = 64;  // bytes; headers + payload estimate
   std::uint64_t id = 0;          // assigned by the Network, unique per send
+  // Causal context (the wire analogue of trace headers). Stamped by the
+  // Network at send time when a causal parent exists; invalid otherwise.
+  obs::SpanContext span;
 };
 
 /// Payload types may advertise their approximate wire size by providing

@@ -4,13 +4,42 @@
 
 namespace riot::net {
 
-Network::Network(sim::Simulation& simulation, sim::MetricsRegistry& metrics,
-                 sim::TraceLog& trace)
+Network::Network(sim::Simulation& simulation, obs::MetricsRegistry& metrics,
+                 obs::Tracer& tracer, sim::TraceLog& trace)
     : sim_(simulation),
       metrics_(metrics),
+      tracer_(tracer),
       trace_(trace),
       rng_(simulation.rng().split("network")),
-      link_model_([](NodeId, NodeId) { return LinkQuality{}; }) {}
+      component_(simulation.component_id("net")),
+      link_model_([](NodeId, NodeId) { return LinkQuality{}; }),
+      sent_total_(metrics
+                      .counter_family("riot_net_sent_total",
+                                      "messages submitted to the fabric")
+                      .with({})),
+      delivered_total_(metrics
+                           .counter_family("riot_net_delivered_total",
+                                           "messages delivered to a live "
+                                           "endpoint")
+                           .with({})),
+      bytes_total_(metrics
+                       .counter_family("riot_net_bytes_total",
+                                       "estimated wire bytes submitted")
+                       .with({})),
+      dropped_partition_(metrics
+                             .counter_family("riot_net_dropped_total",
+                                             "messages dropped, by reason")
+                             .with({{"reason", "partition"}})),
+      dropped_loss_(metrics.counter_family("riot_net_dropped_total")
+                        .with({{"reason", "loss"}})),
+      dropped_dead_target_(metrics.counter_family("riot_net_dropped_total")
+                               .with({{"reason", "dead_target"}})),
+      latency_us_(metrics
+                      .histogram_family("riot_net_latency_us",
+                                        "simulated one-way message latency")
+                      .with({})) {
+  trace_.bind_clock(simulation);
+}
 
 NodeId Network::register_endpoint(DeliveryHandler handler) {
   if (!handler) {
@@ -38,7 +67,23 @@ LinkQuality Network::link_quality(NodeId from, NodeId to) const {
 }
 
 void Network::set_node_up(NodeId id, bool up) {
-  endpoints_.at(id.value).up = up;
+  auto& ep = endpoints_.at(id.value);
+  if (ep.up == up) return;
+  ep.up = up;
+  if (!up) {
+    // Open an incident: the span every downstream reaction (SWIM suspicion,
+    // Raft election, orchestrator eviction) parents on. Child of the active
+    // scope, so a fault-injection root owns the whole effect tree.
+    const obs::SpanContext incident =
+        tracer_.start_auto("net", "node_down", id.value);
+    tracer_.open_incident(id.value, incident);
+    trace_.event("net", "node_down").warn().node(id.value).span(incident);
+  } else {
+    const obs::SpanContext incident = tracer_.incident_of(id.value);
+    tracer_.end(incident);
+    tracer_.close_incident(id.value);
+    trace_.event("net", "node_up").node(id.value).span(incident);
+  }
 }
 
 bool Network::node_up(NodeId id) const {
@@ -55,9 +100,9 @@ void Network::partition(const std::vector<std::vector<NodeId>>& groups) {
     ++g;
   }
   partitioned_ = true;
-  trace_.log(sim_.now(), sim::TraceLevel::kWarn, "net",
-             sim::TraceEvent::kNoNode, "partition",
-             std::to_string(groups.size()) + " explicit groups");
+  trace_.event("net", "partition")
+      .warn()
+      .detail(std::to_string(groups.size()) + " explicit groups");
 }
 
 void Network::isolate(NodeId id) {
@@ -66,7 +111,7 @@ void Network::isolate(NodeId id) {
   // Unique group far above explicit partition groups.
   ep.group = 0x8000'0000u | id.value;
   partitioned_ = true;
-  trace_.log(sim_.now(), sim::TraceLevel::kWarn, "net", id.value, "isolate");
+  trace_.event("net", "isolate").warn().node(id.value);
 }
 
 void Network::unisolate(NodeId id) {
@@ -80,15 +125,14 @@ void Network::unisolate(NodeId id) {
     for (const auto& ep : endpoints_) any = any || ep.group != 0;
     partitioned_ = any;
   }
-  trace_.log(sim_.now(), sim::TraceLevel::kInfo, "net", id.value, "unisolate");
+  trace_.event("net", "unisolate").node(id.value);
 }
 
 void Network::heal_partition() {
   for (auto& ep : endpoints_) ep.group = 0;
   isolated_.clear();
   partitioned_ = false;
-  trace_.log(sim_.now(), sim::TraceLevel::kInfo, "net",
-             sim::TraceEvent::kNoNode, "heal");
+  trace_.event("net", "heal");
 }
 
 bool Network::reachable(NodeId from, NodeId to) const {
@@ -108,21 +152,41 @@ std::uint64_t Network::submit(Message message) {
   message.id = next_message_id_++;
   ++sent_;
   bytes_sent_ += message.wire_size;
-  metrics_.counter("net.sent").increment();
+  sent_total_.increment();
+  bytes_total_.increment(message.wire_size);
+
+  // Causal-context rule: a send span exists only when a parent does —
+  // either the caller pre-stamped the message or a tracer Scope is active.
+  // Ambient protocol traffic (heartbeats, gossip fanout) carries none and
+  // creates no spans.
+  obs::SpanContext parent =
+      message.span.valid() ? message.span : tracer_.current();
+  if (parent.valid()) {
+    message.span = tracer_.start_span(parent, "net", "send",
+                                      message.from.value);
+  }
 
   // Partition and loss are evaluated at send time; liveness of the target
   // at delivery time. (A message in flight when a partition starts still
   // arrives — the window is one latency, negligible at our scales.)
   if (!reachable(message.from, message.to)) {
     ++dropped_;
-    metrics_.counter("net.dropped_partition").increment();
+    dropped_partition_.increment();
+    if (message.span.valid()) {
+      tracer_.annotate(message.span, "drop", "partition");
+      tracer_.end(message.span);
+    }
     return message.id;
   }
   const LinkQuality q = link_quality(message.from, message.to);
   const double loss = q.loss + ambient_loss_;
   if (loss > 0.0 && rng_.chance(loss)) {
     ++dropped_;
-    metrics_.counter("net.dropped_loss").increment();
+    dropped_loss_.increment();
+    if (message.span.valid()) {
+      tracer_.annotate(message.span, "drop", "loss");
+      tracer_.end(message.span);
+    }
     return message.id;
   }
   sim::SimTime latency = q.base_latency;
@@ -130,10 +194,14 @@ std::uint64_t Network::submit(Message message) {
     latency += sim::nanos(static_cast<std::int64_t>(
         rng_.uniform01() * static_cast<double>(q.jitter.count())));
   }
+  latency_us_.record_time(latency);
   const std::uint64_t id = message.id;
-  sim_.schedule_after(latency, [this, message = std::move(message)]() mutable {
-    deliver(std::move(message));
-  });
+  sim_.schedule_after(
+      latency,
+      [this, message = std::move(message)]() mutable {
+        deliver(std::move(message));
+      },
+      component_);
   return id;
 }
 
@@ -141,12 +209,30 @@ void Network::deliver(Message message) {
   auto& ep = endpoints_[message.to.value];
   if (!ep.up) {
     ++dropped_;
-    metrics_.counter("net.dropped_dead_target").increment();
+    dropped_dead_target_.increment();
+    if (message.span.valid()) {
+      tracer_.annotate(message.span, "drop", "dead_target");
+      tracer_.end(message.span);
+    }
     return;
   }
   ++delivered_;
-  metrics_.counter("net.delivered").increment();
-  ep.handler(message);
+  delivered_total_.increment();
+  if (message.span.valid()) {
+    // The deliver span wraps the handler as the active scope, so anything
+    // the receiver does in response — replies, state changes, timers armed
+    // via Node::after — joins the sender's trace.
+    const obs::SpanContext deliver_span =
+        tracer_.start_span(message.span, "net", "deliver", message.to.value);
+    {
+      obs::Tracer::Scope scope(tracer_, deliver_span);
+      ep.handler(message);
+    }
+    tracer_.end(deliver_span);
+    tracer_.end(message.span);
+  } else {
+    ep.handler(message);
+  }
 }
 
 }  // namespace riot::net

@@ -11,6 +11,14 @@
 //   - kWan:   anything traversing the internet to cloud (~50–150 ms)
 // The mapping from node pairs to classes is pluggable; src/core wires it
 // from device locations and classes.
+//
+// Observability: metrics are handle-based (`riot_net_*` references resolved
+// once in the constructor — the send/deliver hot path never pays a name
+// lookup). Spans follow the causal-context rule: a send/deliver span pair
+// is created only when a causal parent exists (the message already carries
+// a SpanContext, or a tracer Scope is active) so ambient protocol chatter
+// stays out of traces. A node going down opens an incident span that
+// downstream detectors parent their reactions on.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +29,8 @@
 
 #include "net/message.hpp"
 #include "net/node_id.hpp"
-#include "sim/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
@@ -47,8 +56,8 @@ class Network {
   using DeliveryHandler = std::function<void(const Message&)>;
   using LinkModel = std::function<LinkQuality(NodeId from, NodeId to)>;
 
-  Network(sim::Simulation& simulation, sim::MetricsRegistry& metrics,
-          sim::TraceLog& trace);
+  Network(sim::Simulation& simulation, obs::MetricsRegistry& metrics,
+          obs::Tracer& tracer, sim::TraceLog& trace);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -76,6 +85,9 @@ class Network {
   std::uint64_t submit(Message message);
 
   // --- Liveness -----------------------------------------------------------
+  // Idempotent. Going down opens a "net/node_down" incident span (parented
+  // on the active scope — e.g. a fault-injection root); coming back up
+  // closes it.
   void set_node_up(NodeId id, bool up);
   [[nodiscard]] bool node_up(NodeId id) const;
 
@@ -99,7 +111,8 @@ class Network {
 
   [[nodiscard]] std::size_t size() const { return endpoints_.size(); }
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-  [[nodiscard]] sim::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
   [[nodiscard]] sim::TraceLog& trace() { return trace_; }
 
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
@@ -117,9 +130,11 @@ class Network {
   void deliver(Message message);
 
   sim::Simulation& sim_;
-  sim::MetricsRegistry& metrics_;
+  obs::MetricsRegistry& metrics_;
+  obs::Tracer& tracer_;
   sim::TraceLog& trace_;
   sim::Rng rng_;
+  sim::ComponentId component_;
   std::vector<Endpoint> endpoints_;
   LinkModel link_model_;
   std::unordered_map<std::uint64_t, LinkQuality> link_overrides_;
@@ -131,6 +146,15 @@ class Network {
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
+
+  // Metric handles, resolved once at construction (see obs/metrics.hpp).
+  sim::Counter& sent_total_;
+  sim::Counter& delivered_total_;
+  sim::Counter& bytes_total_;
+  sim::Counter& dropped_partition_;
+  sim::Counter& dropped_loss_;
+  sim::Counter& dropped_dead_target_;
+  sim::Histogram& latency_us_;
 
   static std::uint64_t pair_key(NodeId from, NodeId to) {
     return (static_cast<std::uint64_t>(from.value) << 32) | to.value;

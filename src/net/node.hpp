@@ -23,6 +23,7 @@
 #include "net/message.hpp"
 #include "net/network.hpp"
 #include "net/node_id.hpp"
+#include "obs/span.hpp"
 #include "sim/simulation.hpp"
 
 namespace riot::net {
@@ -87,28 +88,45 @@ class Node {
     return net_.send(id_, to, std::move(payload));
   }
 
-  /// One-shot timer that dies with the node's current epoch.
+  /// One-shot timer that dies with the node's current epoch. The timer
+  /// captures the causal context active when it was armed (e.g. the
+  /// delivery that started it) and re-activates it when it fires, so
+  /// timeout-driven reactions stay in the originating trace.
   sim::EventId after(sim::SimTime delay, std::function<void()> fn) {
     const std::uint64_t epoch = epoch_;
-    return sim_.schedule_after(delay,
-                               [this, epoch, fn = std::move(fn)] {
-                                 if (alive_ && epoch_ == epoch) fn();
-                               });
+    const obs::SpanContext ctx = net_.tracer().current();
+    return sim_.schedule_after(
+        delay,
+        [this, epoch, ctx, fn = std::move(fn)] {
+          if (!alive_ || epoch_ != epoch) return;
+          if (ctx.valid()) {
+            obs::Tracer::Scope scope(net_.tracer(), ctx);
+            fn();
+          } else {
+            fn();
+          }
+        },
+        component_);
   }
 
   /// Periodic timer that dies with the node's current epoch. Returns the
   /// id for cancellation; a crashed node's periodic timers self-cancel.
+  /// Deliberately does NOT capture causal context — periodic behaviour is
+  /// ambient, not an effect of whatever happened to be in scope at arm
+  /// time.
   sim::EventId every(sim::SimTime period, std::function<void()> fn) {
     const std::uint64_t epoch = epoch_;
     auto holder = std::make_shared<sim::EventId>(sim::kInvalidEventId);
     const sim::EventId id = sim_.schedule_every(
-        period, [this, epoch, holder, fn = std::move(fn)] {
+        period,
+        [this, epoch, holder, fn = std::move(fn)] {
           if (!alive_ || epoch_ != epoch) {
             sim_.cancel(*holder);
             return;
           }
           fn();
-        });
+        },
+        component_);
     *holder = id;
     return id;
   }
@@ -119,6 +137,14 @@ class Node {
   virtual void on_start() {}
   virtual void on_crash() {}
   virtual void on_recover() {}
+
+  /// Tag this node's timers with a component for the sim profiler
+  /// (riot_sim_events_total{component=...}). Call once from the subclass
+  /// constructor.
+  void set_component(std::string_view name) {
+    component_ = sim_.component_id(name);
+  }
+  [[nodiscard]] obs::Tracer& tracer() { return net_.tracer(); }
 
   /// Called for payload types with no registered handler; default ignores.
   virtual void on_unhandled(const Message&) {}
@@ -136,6 +162,7 @@ class Node {
   Network& net_;
   sim::Simulation& sim_;
   NodeId id_;
+  sim::ComponentId component_ = sim::kAnonymousComponent;
   bool alive_ = true;
   std::uint64_t epoch_ = 0;
   std::unordered_map<std::type_index, std::function<void(const Message&)>>

@@ -1,0 +1,118 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace riot::obs {
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (first_.empty()) return;
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    os_ << ',';
+  }
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\r':
+        os_ << "\\r";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  first_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  first_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  separate();
+  write_escaped(k);
+  os_ << ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  separate();
+  write_escaped(v);
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  separate();
+  os_ << "null";
+}
+
+}  // namespace riot::obs

@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer.
+//
+// Shared by the metrics exporters and the bench report artifacts; emits
+// compact, valid JSON (escaping, comma placement, NaN/Inf mapped to null)
+// without pulling in a JSON library dependency.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace riot::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Emit a pre-serialized JSON value verbatim (e.g. a registry snapshot
+  /// produced by another writer). The caller guarantees validity.
+  void raw(std::string_view json) {
+    separate();
+    os_ << json;
+  }
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void separate();
+  void write_escaped(std::string_view s);
+
+  std::ostream& os_;
+  // One frame per open container: true while awaiting the first element.
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+}  // namespace riot::obs

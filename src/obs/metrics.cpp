@@ -1,0 +1,276 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "sim/time.hpp"
+
+namespace riot::obs {
+
+namespace {
+
+/// Render {a="x",b="y"} for the Prometheus exposition format; empty label
+/// sets render as nothing.
+std::string prometheus_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string label_suffix(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    out += out.empty() ? "{" : ",";
+    out += key + "=" + value;
+  }
+  if (!out.empty()) out += '}';
+  return out;
+}
+
+void json_labels(JsonWriter& json, const Labels& labels) {
+  json.key("labels");
+  json.begin_object();
+  for (const auto& [key, value] : labels) json.kv(key, value);
+  json.end_object();
+}
+
+}  // namespace
+
+void MetricsRegistry::check_name(const std::string& name) {
+  if (name.empty()) {
+    throw std::invalid_argument("MetricsRegistry: empty metric name");
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      throw std::invalid_argument("MetricsRegistry: invalid metric name '" +
+                                  name + "' (want [a-zA-Z0-9_:]+)");
+    }
+  }
+}
+
+MetricFamily<sim::Counter>& MetricsRegistry::counter_family(
+    const std::string& name, std::string_view help) {
+  check_name(name);
+  auto& family = counters_[name];
+  if (!help.empty() && family.help().empty()) {
+    family.set_help(std::string(help));
+  }
+  return family;
+}
+
+MetricFamily<sim::Gauge>& MetricsRegistry::gauge_family(
+    const std::string& name, std::string_view help) {
+  check_name(name);
+  auto& family = gauges_[name];
+  if (!help.empty() && family.help().empty()) {
+    family.set_help(std::string(help));
+  }
+  return family;
+}
+
+MetricFamily<sim::Histogram>& MetricsRegistry::histogram_family(
+    const std::string& name, std::string_view help) {
+  check_name(name);
+  auto& family = histograms_[name];
+  if (!help.empty() && family.help().empty()) {
+    family.set_help(std::string(help));
+  }
+  return family;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  return counter_value(name, {});
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             Labels labels) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  const sim::Counter* counter = it->second.find(std::move(labels));
+  return counter == nullptr ? 0 : counter->value();
+}
+
+const sim::Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                      Labels labels) const {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) return nullptr;
+  return it->second.find(std::move(labels));
+}
+
+std::string MetricsRegistry::report() const {
+  std::string out;
+  char line[320];
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [key, child] : family.children()) {
+      const std::string label = name + label_suffix(child.labels);
+      std::snprintf(line, sizeof line, "%-48s %12llu\n", label.c_str(),
+                    static_cast<unsigned long long>(child.metric.value()));
+      out += line;
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    for (const auto& [key, child] : family.children()) {
+      const std::string label = name + label_suffix(child.labels);
+      std::snprintf(line, sizeof line, "%-48s %12.3f\n", label.c_str(),
+                    child.metric.value());
+      out += line;
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [key, child] : family.children()) {
+      const std::string label = name + label_suffix(child.labels);
+      const auto& h = child.metric;
+      std::snprintf(line, sizeof line,
+                    "%-48s n=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f "
+                    "max=%.2f\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(h.count()), h.mean(),
+                    h.p50(), h.p95(), h.p99(), h.max());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  char line[320];
+  const auto header = [&](const std::string& name, const std::string& help,
+                          const char* type) {
+    if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " ";
+    out += type;
+    out += '\n';
+  };
+  for (const auto& [name, family] : counters_) {
+    header(name, family.help(), "counter");
+    for (const auto& [key, child] : family.children()) {
+      std::snprintf(line, sizeof line, "%s%s %llu\n", name.c_str(),
+                    prometheus_labels(child.labels).c_str(),
+                    static_cast<unsigned long long>(child.metric.value()));
+      out += line;
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    header(name, family.help(), "gauge");
+    for (const auto& [key, child] : family.children()) {
+      std::snprintf(line, sizeof line, "%s%s %.9g\n", name.c_str(),
+                    prometheus_labels(child.labels).c_str(),
+                    child.metric.value());
+      out += line;
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    header(name, family.help(), "summary");
+    for (const auto& [key, child] : family.children()) {
+      const auto& h = child.metric;
+      for (const auto& [q, v] :
+           {std::pair<const char*, double>{"0.5", h.p50()},
+            {"0.95", h.p95()},
+            {"0.99", h.p99()}}) {
+        Labels with_quantile = child.labels;
+        with_quantile.emplace_back("quantile", q);
+        std::snprintf(line, sizeof line, "%s%s %.9g\n", name.c_str(),
+                      prometheus_labels(with_quantile).c_str(), v);
+        out += line;
+      }
+      std::snprintf(line, sizeof line, "%s_sum%s %.9g\n", name.c_str(),
+                    prometheus_labels(child.labels).c_str(), h.sum());
+      out += line;
+      std::snprintf(line, sizeof line, "%s_count%s %llu\n", name.c_str(),
+                    prometheus_labels(child.labels).c_str(),
+                    static_cast<unsigned long long>(h.count()));
+      out += line;
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("counters");
+  json.begin_array();
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [key, child] : family.children()) {
+      json.begin_object();
+      json.kv("name", name);
+      json_labels(json, child.labels);
+      json.kv("value", child.metric.value());
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.key("gauges");
+  json.begin_array();
+  for (const auto& [name, family] : gauges_) {
+    for (const auto& [key, child] : family.children()) {
+      json.begin_object();
+      json.kv("name", name);
+      json_labels(json, child.labels);
+      json.kv("value", child.metric.value());
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.key("histograms");
+  json.begin_array();
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [key, child] : family.children()) {
+      const auto& h = child.metric;
+      json.begin_object();
+      json.kv("name", name);
+      json_labels(json, child.labels);
+      json.kv("count", h.count());
+      json.kv("sum", h.sum());
+      json.kv("mean", h.mean());
+      json.kv("min", h.min());
+      json.kv("max", h.max());
+      json.kv("p50", h.p50());
+      json.kv("p95", h.p95());
+      json.kv("p99", h.p99());
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.key("series");
+  json.begin_array();
+  for (const auto& [name, series] : series_) {
+    json.begin_object();
+    json.kv("name", name);
+    json.key("points");
+    json.begin_array();
+    for (const auto& point : series.points()) {
+      json.begin_array();
+      json.value(sim::to_micros(point.at));
+      json.value(point.value);
+      json.end_array();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace riot::obs

@@ -1,0 +1,34 @@
+#include "obs/profiler.hpp"
+
+namespace riot::obs {
+
+SimProfiler::Handles& SimProfiler::handles_for(sim::ComponentId component) {
+  if (component >= by_component_.size()) {
+    by_component_.resize(sim_.component_count());
+  }
+  Handles& handles = by_component_[component];
+  if (handles.events == nullptr) {
+    Labels labels;
+    labels.emplace_back("component", std::string(sim_.component_name(component)));
+    handles.events =
+        &registry_
+             .counter_family("riot_sim_events_total",
+                             "simulation events dispatched per component")
+             .with(labels);
+    handles.wall =
+        &registry_
+             .histogram_family("riot_sim_handler_wall_us",
+                               "host wall-clock handler cost per component")
+             .with(labels);
+  }
+  return handles;
+}
+
+void SimProfiler::on_event(sim::ComponentId component, sim::SimTime /*at*/,
+                           double wall_micros) {
+  Handles& handles = handles_for(component);
+  handles.events->increment();
+  handles.wall->record(wall_micros);
+}
+
+}  // namespace riot::obs

@@ -1,0 +1,157 @@
+#include "obs/span.hpp"
+
+#include "sim/simulation.hpp"
+
+namespace riot::obs {
+
+SpanContext Tracer::create(SpanContext parent_ctx, bool new_trace,
+                           std::string_view component, std::string_view name,
+                           std::uint32_t node) {
+  if (spans_.size() >= capacity_) {
+    ++dropped_;  // saturate: callers get an invalid context, all ops no-op
+    return {};
+  }
+  Span span;
+  span.context.trace =
+      new_trace ? TraceId{next_trace_++} : parent_ctx.trace;
+  span.context.span = SpanId{static_cast<std::uint64_t>(spans_.size()) + 1};
+  span.parent = new_trace ? SpanId{} : parent_ctx.span;
+  span.component = component;
+  span.name = name;
+  span.node = node;
+  span.start = span.end = sim_.now();
+  spans_.push_back(std::move(span));
+  return spans_.back().context;
+}
+
+SpanContext Tracer::start_trace(std::string_view component,
+                                std::string_view name, std::uint32_t node) {
+  return create({}, /*new_trace=*/true, component, name, node);
+}
+
+SpanContext Tracer::start_span(SpanContext parent, std::string_view component,
+                               std::string_view name, std::uint32_t node) {
+  if (!parent.valid()) return start_trace(component, name, node);
+  return create(parent, /*new_trace=*/false, component, name, node);
+}
+
+SpanContext Tracer::start_auto(std::string_view component,
+                               std::string_view name, std::uint32_t node) {
+  return start_span(current(), component, name, node);
+}
+
+SpanContext Tracer::start_caused_by(std::uint32_t cause_node,
+                                    std::string_view component,
+                                    std::string_view name,
+                                    std::uint32_t node) {
+  const SpanContext incident = incident_of(cause_node);
+  if (incident.valid()) return start_span(incident, component, name, node);
+  return start_auto(component, name, node);
+}
+
+void Tracer::annotate(SpanContext ctx, std::string_view key,
+                      std::string_view value) {
+  if (Span* span = mutable_find(ctx.span)) {
+    span->attributes.emplace_back(key, value);
+  }
+}
+
+void Tracer::end(SpanContext ctx) {
+  if (Span* span = mutable_find(ctx.span); span != nullptr && !span->finished) {
+    span->end = sim_.now();
+    span->finished = true;
+  }
+}
+
+Span* Tracer::mutable_find(SpanId id) {
+  if (!id.valid() || id.value > spans_.size()) return nullptr;
+  return &spans_[id.value - 1];
+}
+
+const Span* Tracer::find(SpanId id) const {
+  if (!id.valid() || id.value > spans_.size()) return nullptr;
+  return &spans_[id.value - 1];
+}
+
+std::vector<const Span*> Tracer::spans_of(TraceId trace) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans_) {
+    if (span.context.trace == trace) out.push_back(&span);
+  }
+  return out;
+}
+
+std::vector<const Span*> Tracer::children_of(SpanId parent) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans_) {
+    if (span.parent == parent && span.parent.valid()) out.push_back(&span);
+  }
+  return out;
+}
+
+const Span* Tracer::root_of(TraceId trace) const {
+  for (const Span& span : spans_) {
+    if (span.context.trace == trace && span.root()) return &span;
+  }
+  return nullptr;
+}
+
+bool Tracer::is_ancestor(SpanId ancestor, SpanId descendant) const {
+  if (!ancestor.valid() || !descendant.valid()) return false;
+  SpanId cursor = descendant;
+  while (cursor.valid()) {
+    if (cursor == ancestor) return true;
+    const Span* span = find(cursor);
+    if (span == nullptr) return false;
+    cursor = span->parent;
+  }
+  return false;
+}
+
+const Span* Tracer::find_in_trace(TraceId trace, std::string_view component,
+                                  std::string_view name) const {
+  for (const Span& span : spans_) {
+    if (span.context.trace == trace && span.component == component &&
+        span.name == name) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+void Tracer::render(const Span& span, int depth, std::string& out) const {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += span.component;
+  out += '/';
+  out += span.name;
+  if (span.node != Span::kNoNode) {
+    out += '@';
+    out += std::to_string(span.node);
+  }
+  for (const auto& [key, value] : span.attributes) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += '\n';
+  for (const Span* child : children_of(span.context.span)) {
+    render(*child, depth + 1, out);
+  }
+}
+
+std::string Tracer::tree(TraceId trace) const {
+  std::string out;
+  const Span* root = root_of(trace);
+  if (root != nullptr) render(*root, 0, out);
+  return out;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  incidents_.clear();
+  dropped_ = 0;
+  // Scope stack intentionally untouched: open Scopes hold live frames.
+}
+
+}  // namespace riot::obs

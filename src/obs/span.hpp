@@ -1,0 +1,187 @@
+// Causal span tracing.
+//
+// The paper's MAPE loop and verification view both presuppose a system
+// that can observe itself: monitoring is the input to every resilience
+// check. A flat event log cannot answer *why* — which fault produced this
+// election, which analysis produced this actuation. Spans can: every span
+// belongs to a trace (rooted at a cause: a fault injection, a MAPE
+// iteration, a test-initiated send) and records its parent span, so the
+// full effect tree of one root cause is queryable.
+//
+// Causality propagates through three mechanisms:
+//   1. Scope (call-stack): a Scope makes a span "current"; spans and
+//      network sends started underneath it become its children. The
+//      network activates a delivery span around each handler, so
+//      request/response chains link up without protocol changes.
+//   2. Message metadata: net::Message carries the SpanContext across
+//      simulated links (the wire format analogue of trace headers).
+//   3. Incidents: failures manifest as *absence* of messages (a crashed
+//      node stops acking), which no header can carry. The tracer keeps a
+//      node -> span table of open incidents; detectors (SWIM suspicion,
+//      Raft elections, orchestrator evictions) parent their reaction spans
+//      on the incident of the node they reacted to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace riot::sim {
+class Simulation;
+}
+
+namespace riot::obs {
+
+struct TraceId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(TraceId a, TraceId b) { return a.value == b.value; }
+  friend bool operator!=(TraceId a, TraceId b) { return a.value != b.value; }
+};
+
+struct SpanId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(SpanId a, SpanId b) { return a.value == b.value; }
+  friend bool operator!=(SpanId a, SpanId b) { return a.value != b.value; }
+};
+
+/// The portable reference to a span: what travels in message metadata and
+/// what TraceLog events correlate on.
+struct SpanContext {
+  TraceId trace;
+  SpanId span;
+  [[nodiscard]] bool valid() const { return trace.valid() && span.valid(); }
+};
+
+struct Span {
+  static constexpr std::uint32_t kNoNode = 0xffffffff;
+
+  SpanContext context;
+  SpanId parent;  // invalid => root span of its trace
+  std::string component;  // "net", "swim", "raft", "mape", ...
+  std::string name;       // "deliver", "suspect", "election", ...
+  std::uint32_t node = kNoNode;
+  sim::SimTime start = sim::kSimTimeZero;
+  sim::SimTime end = sim::kSimTimeZero;
+  bool finished = false;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  [[nodiscard]] bool root() const { return !parent.valid(); }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(sim::Simulation& simulation) : sim_(simulation) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // --- Span creation -------------------------------------------------------
+
+  /// Start a new trace: a root span with a fresh TraceId.
+  SpanContext start_trace(std::string_view component, std::string_view name,
+                          std::uint32_t node = Span::kNoNode);
+
+  /// Start a child of an explicit parent (same trace).
+  SpanContext start_span(SpanContext parent, std::string_view component,
+                         std::string_view name,
+                         std::uint32_t node = Span::kNoNode);
+
+  /// Child of the innermost active scope, or a fresh root when no scope is
+  /// active.
+  SpanContext start_auto(std::string_view component, std::string_view name,
+                         std::uint32_t node = Span::kNoNode);
+
+  /// Reaction to a failure of `cause_node`: child of that node's open
+  /// incident if one exists, else of the active scope, else a fresh root.
+  SpanContext start_caused_by(std::uint32_t cause_node,
+                              std::string_view component,
+                              std::string_view name,
+                              std::uint32_t node = Span::kNoNode);
+
+  void annotate(SpanContext ctx, std::string_view key, std::string_view value);
+  /// Stamp the end time. Idempotent; invalid contexts are ignored.
+  void end(SpanContext ctx);
+
+  // --- Scope (active span) -------------------------------------------------
+
+  class Scope {
+   public:
+    Scope(Tracer& tracer, SpanContext ctx) : tracer_(&tracer) {
+      tracer_->scope_stack_.push_back(ctx);
+    }
+    ~Scope() { tracer_->scope_stack_.pop_back(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* tracer_;
+  };
+
+  /// Innermost active span context; invalid when no scope is open.
+  [[nodiscard]] SpanContext current() const {
+    for (auto it = scope_stack_.rbegin(); it != scope_stack_.rend(); ++it) {
+      if (it->valid()) return *it;
+    }
+    return {};
+  }
+  [[nodiscard]] bool in_scope() const { return current().valid(); }
+
+  // --- Incidents -----------------------------------------------------------
+
+  void open_incident(std::uint32_t node, SpanContext ctx) {
+    incidents_[node] = ctx;
+  }
+  void close_incident(std::uint32_t node) { incidents_.erase(node); }
+  [[nodiscard]] SpanContext incident_of(std::uint32_t node) const {
+    auto it = incidents_.find(node);
+    return it == incidents_.end() ? SpanContext{} : it->second;
+  }
+
+  // --- Queries -------------------------------------------------------------
+
+  [[nodiscard]] const Span* find(SpanId id) const;
+  [[nodiscard]] const Span* find(SpanContext ctx) const {
+    return find(ctx.span);
+  }
+  /// All spans of a trace, in start order.
+  [[nodiscard]] std::vector<const Span*> spans_of(TraceId trace) const;
+  [[nodiscard]] std::vector<const Span*> children_of(SpanId parent) const;
+  [[nodiscard]] const Span* root_of(TraceId trace) const;
+  /// True when `ancestor` is on `descendant`'s parent chain (or equal).
+  [[nodiscard]] bool is_ancestor(SpanId ancestor, SpanId descendant) const;
+  /// First span of the trace matching (component, name); nullptr if none.
+  [[nodiscard]] const Span* find_in_trace(TraceId trace,
+                                          std::string_view component,
+                                          std::string_view name) const;
+  /// Indented depth-first rendering of a trace's span tree (tests, debug).
+  [[nodiscard]] std::string tree(TraceId trace) const;
+
+  [[nodiscard]] std::size_t size() const { return spans_.size(); }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  void set_capacity(std::size_t max_spans) { capacity_ = max_spans; }
+  void clear();
+
+ private:
+  Span* mutable_find(SpanId id);
+  SpanContext create(SpanContext parent_ctx, bool new_trace,
+                     std::string_view component, std::string_view name,
+                     std::uint32_t node);
+  void render(const Span& span, int depth, std::string& out) const;
+
+  sim::Simulation& sim_;
+  std::vector<Span> spans_;  // span id == index + 1
+  std::vector<SpanContext> scope_stack_;
+  std::unordered_map<std::uint32_t, SpanContext> incidents_;
+  std::uint64_t next_trace_ = 1;
+  std::size_t capacity_ = 1u << 20;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace riot::obs

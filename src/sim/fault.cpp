@@ -54,18 +54,24 @@ void FaultInjector::arm() {
 
 void FaultInjector::fire(const PlannedFault& fault) {
   ++injected_;
-  trace_.log(sim_.now(), TraceLevel::kWarn, "fault", TraceEvent::kNoNode,
-             "inject", fault.disruption.name);
-  fault.disruption.apply();
+  trace_.event("fault", "inject").warn().detail(fault.disruption.name);
+  if (wrapper_) {
+    wrapper_(fault.disruption.name, fault.disruption.apply);
+  } else {
+    fault.disruption.apply();
+  }
   if (fault.duration > kSimTimeZero && fault.disruption.revert) {
     // Copy what we need; the plan entry may move if the vector grows.
     auto revert = fault.disruption.revert;
     auto name = fault.disruption.name;
     sim_.schedule_after(fault.duration, [this, revert = std::move(revert),
                                          name = std::move(name)] {
-      trace_.log(sim_.now(), TraceLevel::kInfo, "fault", TraceEvent::kNoNode,
-                 "revert", name);
-      revert();
+      trace_.event("fault", "revert").detail(name);
+      if (wrapper_) {
+        wrapper_(name, revert);
+      } else {
+        revert();
+      }
     });
   }
 }

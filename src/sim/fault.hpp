@@ -43,7 +43,9 @@ struct PlannedFault {
 class FaultInjector {
  public:
   FaultInjector(Simulation& simulation, TraceLog& trace)
-      : sim_(simulation), trace_(trace), rng_(simulation.rng().split("fault")) {}
+      : sim_(simulation), trace_(trace), rng_(simulation.rng().split("fault")) {
+    trace_.bind_clock(simulation);
+  }
 
   /// Schedule a one-shot or windowed disruption.
   void plan(PlannedFault fault);
@@ -67,6 +69,18 @@ class FaultInjector {
   /// running. Idempotent per plan entry.
   void arm();
 
+  /// Decorates every disruption's apply() call. The observability layer
+  /// installs a wrapper that opens a causal root span and keeps it active
+  /// while the disruption runs, so every downstream effect (node_down
+  /// incidents, protocol reactions) links back to the injection. The
+  /// wrapper MUST invoke `body` exactly once.
+  using InjectWrapper =
+      std::function<void(const std::string& name,
+                         const std::function<void()>& body)>;
+  void set_inject_wrapper(InjectWrapper wrapper) {
+    wrapper_ = std::move(wrapper);
+  }
+
   [[nodiscard]] std::size_t injected_count() const { return injected_; }
   [[nodiscard]] const std::vector<PlannedFault>& plan_entries() const {
     return plan_;
@@ -78,6 +92,7 @@ class FaultInjector {
   Simulation& sim_;
   TraceLog& trace_;
   Rng rng_;
+  InjectWrapper wrapper_;
   std::vector<PlannedFault> plan_;
   std::size_t armed_ = 0;  // how many plan entries are already installed
   std::size_t injected_ = 0;

@@ -1,7 +1,6 @@
 #include "sim/metrics.hpp"
 
 #include <bit>
-#include <cstdio>
 
 namespace riot::sim {
 
@@ -83,30 +82,6 @@ double TimeSeries::fraction_at_least(SimTime from, SimTime to,
     }
   }
   return n == 0 ? 0.0 : static_cast<double>(hit) / static_cast<double>(n);
-}
-
-std::string MetricsRegistry::report() const {
-  std::string out;
-  char line[256];
-  for (const auto& [name, c] : counters_) {
-    std::snprintf(line, sizeof line, "%-40s %12llu\n", name.c_str(),
-                  static_cast<unsigned long long>(c.value()));
-    out += line;
-  }
-  for (const auto& [name, g] : gauges_) {
-    std::snprintf(line, sizeof line, "%-40s %12.3f\n", name.c_str(),
-                  g.value());
-    out += line;
-  }
-  for (const auto& [name, h] : histograms_) {
-    std::snprintf(line, sizeof line,
-                  "%-40s n=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f "
-                  "max=%.2f\n",
-                  name.c_str(), static_cast<unsigned long long>(h.count()),
-                  h.mean(), h.p50(), h.p95(), h.p99(), h.max());
-    out += line;
-  }
-  return out;
 }
 
 }  // namespace riot::sim

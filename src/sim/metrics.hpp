@@ -1,7 +1,9 @@
-// Metrics: counters, gauges and log-bucketed histograms.
+// Metric instruments: counters, gauges and log-bucketed histograms.
 //
-// Every experiment in riot reports through a MetricsRegistry so that bench
-// harnesses can print uniform tables. Histograms use logarithmic buckets
+// These are the raw value types; the registry that names, labels and
+// exports them lives in obs::MetricsRegistry (src/obs/metrics.hpp), which
+// hands out stable `Counter&`/`Gauge&`/`Histogram&` handles at wiring time
+// so hot paths never pay a name lookup. Histograms use logarithmic buckets
 // (HDR-style, ~4.6% relative error) which is plenty for latency shapes.
 #pragma once
 
@@ -9,8 +11,6 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
-#include <map>
-#include <string>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -95,37 +95,6 @@ class TimeSeries {
 
  private:
   std::vector<Point> points_;
-};
-
-/// Named metric registry. Access creates on demand; names are dotted paths
-/// ("net.delivered", "mape.recovery_us").
-class MetricsRegistry {
- public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
-  TimeSeries& series(const std::string& name) { return series_[name]; }
-
-  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
-    return counters_;
-  }
-  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
-    return histograms_;
-  }
-
-  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second.value();
-  }
-
-  /// Multi-line human-readable dump (bench harness output).
-  [[nodiscard]] std::string report() const;
-
- private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
-  std::map<std::string, TimeSeries> series_;
 };
 
 }  // namespace riot::sim

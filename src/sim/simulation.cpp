@@ -1,10 +1,28 @@
 #include "sim/simulation.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace riot::sim {
 
-EventId Simulation::schedule_at(SimTime at, std::function<void()> fn) {
+ComponentId Simulation::component_id(std::string_view name) {
+  for (std::size_t i = 0; i < component_names_.size(); ++i) {
+    if (component_names_[i] == name) return static_cast<ComponentId>(i);
+  }
+  if (component_names_.size() >= 0xffff) {
+    throw std::length_error("Simulation::component_id: too many components");
+  }
+  component_names_.emplace_back(name);
+  return static_cast<ComponentId>(component_names_.size() - 1);
+}
+
+std::string_view Simulation::component_name(ComponentId id) const {
+  return id < component_names_.size() ? component_names_[id]
+                                      : std::string_view("?");
+}
+
+EventId Simulation::schedule_at(SimTime at, std::function<void()> fn,
+                                ComponentId component) {
   if (at < now_) {
     throw std::invalid_argument("Simulation::schedule_at: time in the past");
   }
@@ -12,29 +30,35 @@ EventId Simulation::schedule_at(SimTime at, std::function<void()> fn) {
     throw std::invalid_argument("Simulation::schedule_at: empty callback");
   }
   const EventId id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  queue_.push(Event{at, next_seq_++, id, component, std::move(fn)});
   pending_ids_.insert(id);
   return id;
 }
 
-EventId Simulation::schedule_every(SimTime period, std::function<void()> fn) {
-  return schedule_every(period, period, std::move(fn));
+EventId Simulation::schedule_every(SimTime period, std::function<void()> fn,
+                                   ComponentId component) {
+  return schedule_every(period, period, std::move(fn), component);
 }
 
 EventId Simulation::schedule_every(SimTime initial_delay, SimTime period,
-                                   std::function<void()> fn) {
+                                   std::function<void()> fn,
+                                   ComponentId component) {
   if (period <= kSimTimeZero) {
     throw std::invalid_argument("Simulation::schedule_every: period <= 0");
   }
   const EventId id = next_id_++;
-  periodics_.emplace(id, Periodic{period, std::move(fn)});
+  periodics_.emplace(id, Periodic{period, component, std::move(fn)});
   arm_periodic(id, initial_delay);
   return id;
 }
 
 void Simulation::arm_periodic(EventId id, SimTime first_delay) {
   pending_ids_.insert(id);
-  queue_.push(Event{now_ + first_delay, next_seq_++, id, [this, id] {
+  auto it = periodics_.find(id);
+  const ComponentId component =
+      it == periodics_.end() ? kAnonymousComponent : it->second.component;
+  queue_.push(Event{now_ + first_delay, next_seq_++, id, component,
+                    [this, id] {
                       auto it = periodics_.find(id);
                       if (it == periodics_.end()) return;  // cancelled
                       // Re-arm before invoking so the callback can cancel.
@@ -56,6 +80,22 @@ bool Simulation::cancel(EventId id) {
   return true;
 }
 
+void Simulation::run_event(Event& ev) {
+  now_ = ev.at;
+  ++executed_;
+  if (profiler_ == nullptr) {
+    ev.fn();
+    return;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  ev.fn();
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_micros =
+      std::chrono::duration<double, std::micro>(wall_end - wall_start)
+          .count();
+  profiler_->on_event(ev.component, ev.at, wall_micros);
+}
+
 bool Simulation::step() {
   while (!queue_.empty()) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
@@ -65,9 +105,7 @@ bool Simulation::step() {
       continue;
     }
     pending_ids_.erase(ev.id);
-    now_ = ev.at;
-    ++executed_;
-    ev.fn();
+    run_event(ev);
     return true;
   }
   return false;

@@ -5,12 +5,18 @@
 // fault injections, workload arrivals — is an event on this queue, executed
 // strictly in timestamp order (FIFO among equal timestamps), which makes
 // runs fully deterministic for a given seed and configuration.
+//
+// Events may carry a component tag (an interned ComponentId resolved once
+// at wiring time); an installed Profiler then receives per-event component
+// attribution and handler wall latency, powering obs::SimProfiler's
+// per-component breakdowns without any cost when no profiler is set.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -26,10 +32,17 @@ namespace riot::sim {
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
+/// Interned component tag for event attribution. 0 is the anonymous
+/// component ("sim").
+using ComponentId = std::uint16_t;
+constexpr ComponentId kAnonymousComponent = 0;
+
 class Simulation {
  public:
   explicit Simulation(std::uint64_t seed = 1)
-      : rng_(seed), seed_(seed) {}
+      : rng_(seed), seed_(seed) {
+    component_names_.emplace_back("sim");
+  }
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -40,21 +53,46 @@ class Simulation {
   /// Root generator; modules should take splits, not share this directly.
   Rng& rng() { return rng_; }
 
+  /// Intern a component name, returning a stable id for event tagging.
+  /// Resolve once at wiring time, not per event.
+  ComponentId component_id(std::string_view name);
+  [[nodiscard]] std::string_view component_name(ComponentId id) const;
+  [[nodiscard]] std::size_t component_count() const {
+    return component_names_.size();
+  }
+
+  /// Receives one callback per executed event: the event's component, the
+  /// sim time it ran at, and the handler's wall-clock cost. Implemented by
+  /// obs::SimProfiler; install via set_profiler.
+  class Profiler {
+   public:
+    virtual ~Profiler() = default;
+    virtual void on_event(ComponentId component, SimTime at,
+                          double wall_micros) = 0;
+  };
+  /// Install (or with nullptr remove) the event-loop profiler.
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] Profiler* profiler() const { return profiler_; }
+
   /// Schedule `fn` at absolute time `at` (>= now). Returns a cancellable id.
-  EventId schedule_at(SimTime at, std::function<void()> fn);
+  EventId schedule_at(SimTime at, std::function<void()> fn,
+                      ComponentId component = kAnonymousComponent);
 
   /// Schedule `fn` after a delay from now.
-  EventId schedule_after(SimTime delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  EventId schedule_after(SimTime delay, std::function<void()> fn,
+                         ComponentId component = kAnonymousComponent) {
+    return schedule_at(now_ + delay, std::move(fn), component);
   }
 
   /// Schedule `fn` every `period`, first firing after `period` (or after
   /// `initial_delay` when given). The callback may cancel itself via the
   /// returned id. Periodic events keep firing until cancelled or the run
   /// ends.
-  EventId schedule_every(SimTime period, std::function<void()> fn);
+  EventId schedule_every(SimTime period, std::function<void()> fn,
+                         ComponentId component = kAnonymousComponent);
   EventId schedule_every(SimTime initial_delay, SimTime period,
-                         std::function<void()> fn);
+                         std::function<void()> fn,
+                         ComponentId component = kAnonymousComponent);
 
   /// Cancel a pending (or periodic) event. Returns false if it already ran
   /// or was never scheduled.
@@ -88,6 +126,7 @@ class Simulation {
     SimTime at;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
     EventId id;
+    ComponentId component;
     std::function<void()> fn;
   };
   struct Later {
@@ -98,10 +137,12 @@ class Simulation {
 
   struct Periodic {
     SimTime period;
+    ComponentId component;
     std::function<void()> fn;
   };
 
   void arm_periodic(EventId id, SimTime first_delay);
+  void run_event(Event& ev);
 
   SimTime now_ = kSimTimeZero;
   Rng rng_;
@@ -110,6 +151,8 @@ class Simulation {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
+  Profiler* profiler_ = nullptr;
+  std::vector<std::string> component_names_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> pending_ids_;  // scheduled, not yet run
   std::unordered_set<EventId> cancelled_;

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "sim/simulation.hpp"
+
 namespace riot::sim {
 
 std::string_view to_string(TraceLevel level) {
@@ -18,6 +20,17 @@ std::string_view to_string(TraceLevel level) {
   return "?";
 }
 
+TraceLog::EventBuilder TraceLog::event(std::string component,
+                                       std::string kind) {
+  TraceEvent ev;
+  ev.at = clock_ != nullptr ? clock_->now() : kSimTimeZero;
+  ev.level = TraceLevel::kInfo;
+  ev.component = std::move(component);
+  ev.node = TraceEvent::kNoNode;
+  ev.kind = std::move(kind);
+  return EventBuilder(this, std::move(ev));
+}
+
 std::vector<TraceEvent> TraceLog::matching(
     const std::function<bool(const TraceEvent&)>& pred) const {
   std::vector<TraceEvent> out;
@@ -32,6 +45,11 @@ std::vector<TraceEvent> TraceLog::find(std::string_view component,
   return matching([&](const TraceEvent& ev) {
     return ev.component == component && ev.kind == kind;
   });
+}
+
+std::vector<TraceEvent> TraceLog::in_trace(std::uint64_t trace_id) const {
+  return matching(
+      [&](const TraceEvent& ev) { return ev.trace_id == trace_id; });
 }
 
 const TraceEvent* TraceLog::first_after(std::string_view component,
@@ -61,6 +79,9 @@ void TraceLog::dump(std::ostream& os) const {
     if (ev.node != TraceEvent::kNoNode) os << "@" << ev.node;
     os << " " << ev.kind;
     if (!ev.detail.empty()) os << ": " << ev.detail;
+    if (ev.trace_id != 0) {
+      os << " #" << ev.trace_id << ":" << ev.span_id;
+    }
     os << "\n";
   }
 }

@@ -5,7 +5,8 @@
 
 #include "net/network.hpp"
 #include "net/node.hpp"
-#include "sim/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
 
@@ -13,10 +14,11 @@ namespace riot::testing {
 
 struct NetFixture : ::testing::Test {
   explicit NetFixture(std::uint64_t seed = 42)
-      : sim(seed), network(sim, metrics, trace) {}
+      : sim(seed), tracer(sim), network(sim, metrics, tracer, trace) {}
 
   sim::Simulation sim;
-  sim::MetricsRegistry metrics;
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
   sim::TraceLog trace;
   net::Network network;
 };

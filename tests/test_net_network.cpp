@@ -102,7 +102,9 @@ TEST_F(NetworkTest, DeadTargetDropsAtDelivery) {
   network.set_node_up(b, false);  // dies while in flight
   sim.run_until(sim::seconds(1));
   EXPECT_TRUE(inbox.empty());
-  EXPECT_EQ(metrics.counter_value("net.dropped_dead_target"), 1u);
+  EXPECT_EQ(metrics.counter_value("riot_net_dropped_total",
+                                  {{"reason", "dead_target"}}),
+            1u);
 }
 
 TEST_F(NetworkTest, PartitionBlocksAcrossGroups) {

@@ -1,0 +1,257 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net_fixture.hpp"
+
+namespace riot::obs {
+namespace {
+
+using testing::NetFixture;
+
+struct TracerTest : NetFixture {};
+
+TEST_F(TracerTest, StartTraceCreatesRootSpan) {
+  const auto ctx = tracer.start_trace("fault", "inject", 7);
+  ASSERT_TRUE(ctx.valid());
+  const Span* span = tracer.find(ctx);
+  ASSERT_NE(span, nullptr);
+  EXPECT_TRUE(span->root());
+  EXPECT_EQ(span->component, "fault");
+  EXPECT_EQ(span->name, "inject");
+  EXPECT_EQ(span->node, 7u);
+  EXPECT_FALSE(span->finished);
+  EXPECT_EQ(tracer.root_of(ctx.trace), span);
+}
+
+TEST_F(TracerTest, ChildSpansShareTraceAndLinkParents) {
+  const auto root = tracer.start_trace("fault", "inject");
+  const auto child = tracer.start_span(root, "swim", "suspect", 2);
+  const auto grandchild = tracer.start_span(child, "swim", "dead", 2);
+  EXPECT_EQ(child.trace, root.trace);
+  EXPECT_EQ(grandchild.trace, root.trace);
+  EXPECT_EQ(tracer.find(child)->parent, root.span);
+  EXPECT_EQ(tracer.find(grandchild)->parent, child.span);
+  EXPECT_TRUE(tracer.is_ancestor(root.span, grandchild.span));
+  EXPECT_TRUE(tracer.is_ancestor(child.span, grandchild.span));
+  EXPECT_FALSE(tracer.is_ancestor(grandchild.span, root.span));
+  EXPECT_EQ(tracer.spans_of(root.trace).size(), 3u);
+  EXPECT_EQ(tracer.children_of(root.span).size(), 1u);
+}
+
+TEST_F(TracerTest, AnnotateAndEndAreIdempotentAndSafe) {
+  const auto ctx = tracer.start_trace("net", "node_down", 1);
+  tracer.annotate(ctx, "reason", "crash");
+  sim.run_for(sim::millis(5));
+  tracer.end(ctx);
+  const Span* span = tracer.find(ctx);
+  ASSERT_NE(span, nullptr);
+  EXPECT_TRUE(span->finished);
+  const auto ended_at = span->end;
+  tracer.end(ctx);  // idempotent
+  EXPECT_EQ(tracer.find(ctx)->end, ended_at);
+  ASSERT_EQ(span->attributes.size(), 1u);
+  EXPECT_EQ(span->attributes[0].first, "reason");
+  EXPECT_EQ(span->attributes[0].second, "crash");
+  tracer.end(SpanContext{});                    // invalid: no-op
+  tracer.annotate(SpanContext{}, "k", "v");     // invalid: no-op
+}
+
+TEST_F(TracerTest, StartAutoUsesActiveScope) {
+  const auto orphan = tracer.start_auto("mape", "iteration");
+  EXPECT_TRUE(tracer.find(orphan)->root());
+
+  const auto root = tracer.start_trace("fault", "inject");
+  {
+    Tracer::Scope scope(tracer, root);
+    EXPECT_TRUE(tracer.in_scope());
+    const auto nested = tracer.start_auto("mape", "iteration");
+    EXPECT_EQ(nested.trace, root.trace);
+    EXPECT_EQ(tracer.find(nested)->parent, root.span);
+  }
+  EXPECT_FALSE(tracer.in_scope());
+}
+
+TEST_F(TracerTest, StartCausedByPrefersIncidentThenScopeThenRoot) {
+  // No incident, no scope: fresh root.
+  const auto lone = tracer.start_caused_by(5, "swim", "suspect");
+  EXPECT_TRUE(tracer.find(lone)->root());
+
+  // Open incident for node 5: reactions parent on it.
+  const auto incident = tracer.start_trace("net", "node_down", 5);
+  tracer.open_incident(5, incident);
+  const auto reaction = tracer.start_caused_by(5, "swim", "suspect", 2);
+  EXPECT_EQ(reaction.trace, incident.trace);
+  EXPECT_EQ(tracer.find(reaction)->parent, incident.span);
+  EXPECT_EQ(tracer.incident_of(5).span, incident.span);
+
+  // Scope beats nothing but loses to the incident table.
+  const auto other = tracer.start_trace("fault", "inject");
+  {
+    Tracer::Scope scope(tracer, other);
+    const auto still_incident = tracer.start_caused_by(5, "raft", "election");
+    EXPECT_EQ(still_incident.trace, incident.trace);
+    const auto scoped = tracer.start_caused_by(6, "raft", "election");
+    EXPECT_EQ(scoped.trace, other.trace);
+  }
+
+  tracer.close_incident(5);
+  EXPECT_FALSE(tracer.incident_of(5).valid());
+}
+
+TEST_F(TracerTest, FindInTraceAndTreeRendering) {
+  const auto root = tracer.start_trace("fault", "inject", 9);
+  const auto child = tracer.start_span(root, "swim", "dead", 2);
+  tracer.end(child);
+  tracer.end(root);
+  EXPECT_EQ(tracer.find_in_trace(root.trace, "swim", "dead"),
+            tracer.find(child));
+  EXPECT_EQ(tracer.find_in_trace(root.trace, "swim", "missing"), nullptr);
+  const std::string rendered = tracer.tree(root.trace);
+  EXPECT_NE(rendered.find("fault/inject"), std::string::npos);
+  EXPECT_NE(rendered.find("swim/dead"), std::string::npos);
+}
+
+TEST_F(TracerTest, CapacitySaturatesAndCountsDrops) {
+  tracer.set_capacity(2);
+  const auto a = tracer.start_trace("x", "a");
+  const auto b = tracer.start_span(a, "x", "b");
+  const auto c = tracer.start_span(b, "x", "c");  // dropped
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+// --- Propagation through the network fabric --------------------------------
+
+struct Ping {
+  int payload = 0;
+};
+struct Pong {
+  int payload = 0;
+};
+
+/// Replies to Ping with Pong; the reply send happens inside the delivery
+/// handler, i.e. under the delivery span's scope.
+class Responder : public net::Node {
+ public:
+  explicit Responder(net::Network& network) : net::Node(network) {
+    on<Ping>([this](net::NodeId from, const Ping& ping) {
+      send(from, Pong{ping.payload + 1});
+    });
+  }
+};
+
+struct SpanPropagationTest : NetFixture {};
+
+TEST_F(SpanPropagationTest, AmbientSendsCreateNoSpans) {
+  testing::Sink<Pong> sink(network);
+  Responder responder(network);
+  sink.send(responder.id(), Ping{1});
+  sim.run_for(sim::seconds(1));
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(tracer.size(), 0u);  // no cause, no spans
+}
+
+TEST_F(SpanPropagationTest, ScopedSendBuildsSendDeliverChain) {
+  testing::Sink<Pong> sink(network);
+  Responder responder(network);
+
+  const auto root = tracer.start_trace("test", "request");
+  {
+    Tracer::Scope scope(tracer, root);
+    sink.send(responder.id(), Ping{1});
+  }
+  sim.run_for(sim::seconds(1));
+  tracer.end(root);
+  ASSERT_EQ(sink.received.size(), 1u);
+
+  // test/request -> net/send -> net/deliver -> net/send (reply) -> ...
+  const auto spans = tracer.spans_of(root.trace);
+  ASSERT_GE(spans.size(), 5u);
+  const Span* send = tracer.find_in_trace(root.trace, "net", "send");
+  ASSERT_NE(send, nullptr);
+  EXPECT_EQ(send->parent, root.span);
+  const Span* deliver = tracer.find_in_trace(root.trace, "net", "deliver");
+  ASSERT_NE(deliver, nullptr);
+  EXPECT_EQ(deliver->parent, send->context.span);
+  // The reply the responder sent from inside its handler stays in-trace,
+  // parented under the delivery that triggered it.
+  bool reply_linked = false;
+  for (const Span* span : spans) {
+    if (span->component == "net" && span->name == "send" &&
+        span->context.span != send->context.span) {
+      reply_linked = tracer.is_ancestor(deliver->context.span,
+                                        span->context.span);
+    }
+  }
+  EXPECT_TRUE(reply_linked);
+  // Everything in one trace, all finished after delivery.
+  for (const Span* span : spans) {
+    EXPECT_EQ(span->context.trace, root.trace);
+    EXPECT_TRUE(span->finished) << span->component << "/" << span->name;
+  }
+}
+
+/// Arms a timer from inside a traced handler; the timer callback must
+/// still be attributed to the originating trace (after() captures the
+/// active span at arm time).
+class DeferredWorker : public net::Node {
+ public:
+  explicit DeferredWorker(net::Network& network) : net::Node(network) {
+    on<Ping>([this](net::NodeId, const Ping&) {
+      after(sim::millis(100), [this] {
+        timer_ctx = tracer().start_auto("worker", "deferred", id().value);
+        this->tracer().end(timer_ctx);
+      });
+    });
+  }
+  obs::SpanContext timer_ctx;
+};
+
+TEST_F(SpanPropagationTest, AfterCapturesActiveSpanAtArmTime) {
+  DeferredWorker worker(network);
+  testing::Sink<Pong> sink(network);
+  const auto root = tracer.start_trace("test", "request");
+  {
+    Tracer::Scope scope(tracer, root);
+    sink.send(worker.id(), Ping{1});
+  }
+  sim.run_for(sim::seconds(1));
+  ASSERT_TRUE(worker.timer_ctx.valid());
+  EXPECT_EQ(worker.timer_ctx.trace, root.trace);
+  EXPECT_TRUE(tracer.is_ancestor(root.span, worker.timer_ctx.span));
+}
+
+TEST_F(SpanPropagationTest, NodeDownOpensIncidentNodeUpCloses) {
+  Responder responder(network);
+  network.set_node_up(responder.id(), false);
+  const auto incident = tracer.incident_of(responder.id().value);
+  ASSERT_TRUE(incident.valid());
+  const Span* span = tracer.find(incident);
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->component, "net");
+  EXPECT_EQ(span->name, "node_down");
+  EXPECT_FALSE(span->finished);
+
+  network.set_node_up(responder.id(), true);
+  EXPECT_FALSE(tracer.incident_of(responder.id().value).valid());
+  EXPECT_TRUE(tracer.find(incident)->finished);
+}
+
+TEST_F(SpanPropagationTest, TraceLogEventsCorrelateWithSpans) {
+  const auto root = tracer.start_trace("test", "request", 3);
+  trace.event("test", "request").node(3).kv("attempt", 1).span(root);
+  const auto correlated = trace.in_trace(root.trace.value);
+  ASSERT_EQ(correlated.size(), 1u);
+  EXPECT_EQ(correlated[0].span_id, root.span.value);
+  EXPECT_EQ(correlated[0].kind, "request");
+  EXPECT_EQ(correlated[0].detail, "attempt=1");
+}
+
+}  // namespace
+}  // namespace riot::obs

@@ -116,25 +116,8 @@ TEST(TimeSeries, FractionAtLeast) {
   EXPECT_DOUBLE_EQ(ts.fraction_at_least(seconds(0), seconds(9), 0.5), 1.0);
 }
 
-TEST(MetricsRegistry, CreatesOnDemand) {
-  MetricsRegistry registry;
-  registry.counter("a.b").increment(3);
-  registry.histogram("lat").record(10.0);
-  registry.gauge("g").set(1.0);
-  registry.series("s").sample(seconds(1), 0.5);
-  EXPECT_EQ(registry.counter_value("a.b"), 3u);
-  EXPECT_EQ(registry.counter_value("missing"), 0u);
-}
-
-TEST(MetricsRegistry, ReportContainsEntries) {
-  MetricsRegistry registry;
-  registry.counter("net.sent").increment(42);
-  registry.histogram("lat_us").record(100.0);
-  const std::string report = registry.report();
-  EXPECT_NE(report.find("net.sent"), std::string::npos);
-  EXPECT_NE(report.find("42"), std::string::npos);
-  EXPECT_NE(report.find("lat_us"), std::string::npos);
-}
+// The registry itself (families, labels, exporters) moved to obs/ and is
+// covered by tests/test_obs_metrics.cpp; only the raw instruments live here.
 
 }  // namespace
 }  // namespace riot::sim
