@@ -124,6 +124,7 @@ void MapeLoop::on_recover() {
 void MapeLoop::iterate() {
   ++iterations_;
   iterations_total_.increment();
+  last_analysis_at_ = now();
   // Analyze.
   std::vector<Violation> violations;
   for (const auto& [name, fn] : analyzers_) {

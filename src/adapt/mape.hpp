@@ -154,6 +154,11 @@ class MapeLoop : public net::Node {
   [[nodiscard]] const std::vector<Violation>& last_violations() const {
     return last_violations_;
   }
+  /// Local-clock stamp of the most recent analysis pass (observation hook:
+  /// chaos liveness checkers assert the loop kept running).
+  [[nodiscard]] sim::SimTime last_analysis_at() const {
+    return last_analysis_at_;
+  }
 
   /// Callback fired with the violations of each analysis pass (metrics).
   void on_analysis(
@@ -193,6 +198,7 @@ class MapeLoop : public net::Node {
   Effector::Handler local_handler_;
   std::function<void(const std::vector<Violation>&)> analysis_cb_;
   std::vector<Violation> last_violations_;
+  sim::SimTime last_analysis_at_ = sim::kSimTimeZero;
   std::uint64_t iterations_ = 0;
   std::uint64_t violations_raised_ = 0;
   std::uint64_t actions_issued_ = 0;

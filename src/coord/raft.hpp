@@ -120,6 +120,9 @@ class RaftPeer : public net::Node {
     return storage_.current_term;
   }
   [[nodiscard]] std::uint64_t commit_index() const { return commit_index_; }
+  /// Highest index handed to the apply callback this incarnation
+  /// (observation hook for invariant checkers; resets on crash).
+  [[nodiscard]] std::uint64_t last_applied() const { return last_applied_; }
   [[nodiscard]] net::NodeId known_leader() const { return known_leader_; }
 
  protected:

@@ -1,5 +1,6 @@
 #include "data/crdt_store.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace riot::data {
@@ -12,6 +13,37 @@ bool merge_objects(CrdtObject& local, const CrdtObject& incoming) {
         mine.merge(std::get<T>(incoming));
       },
       local);
+  return true;
+}
+
+bool objects_equivalent(const CrdtObject& a, const CrdtObject& b) {
+  if (a.index() != b.index()) return false;
+  return std::visit(
+      [&](const auto& mine) {
+        using T = std::decay_t<decltype(mine)>;
+        const T& theirs = std::get<T>(b);
+        if constexpr (std::is_same_v<T, MvRegister<std::string>>) {
+          // Sibling order depends on merge order; compare value sets.
+          auto lhs = mine.values();
+          auto rhs = theirs.values();
+          std::sort(lhs.begin(), lhs.end());
+          std::sort(rhs.begin(), rhs.end());
+          return lhs == rhs;
+        } else {
+          return mine == theirs;
+        }
+      },
+      a);
+}
+
+bool stores_converged(const CrdtStore& a, const CrdtStore& b) {
+  if (a.objects().size() != b.objects().size()) return false;
+  for (const auto& [key, object] : a.objects()) {
+    const auto it = b.objects().find(key);
+    if (it == b.objects().end() || !objects_equivalent(object, it->second)) {
+      return false;
+    }
+  }
   return true;
 }
 

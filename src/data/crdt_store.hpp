@@ -30,6 +30,18 @@ using CrdtObject = std::variant<GCounter, PNCounter, LwwRegister<std::string>,
 /// Returns false (and leaves local untouched) on type mismatch.
 bool merge_objects(CrdtObject& local, const CrdtObject& incoming);
 
+/// Observable equivalence of two objects of the same type (for
+/// MV-registers: the same sibling *value sets*, since internal entry order
+/// depends on merge order). False on type mismatch.
+bool objects_equivalent(const CrdtObject& a, const CrdtObject& b);
+
+class CrdtStore;
+
+/// True when both replicas hold the same keys and every pairwise object is
+/// observably equivalent — the convergence oracle chaos invariants check
+/// after a partition heals.
+bool stores_converged(const CrdtStore& a, const CrdtStore& b);
+
 struct CrdtStoreConfig {
   sim::SimTime sync_interval = sim::millis(500);
   int fanout = 1;  // replicas contacted per sync round
@@ -55,6 +67,13 @@ class CrdtStore : public net::Node {
     return objects_.contains(key);
   }
   [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+
+  /// Read-only view of every object (observation hook for convergence
+  /// checkers; no behaviour change).
+  [[nodiscard]] const std::unordered_map<std::string, CrdtObject>& objects()
+      const {
+    return objects_;
+  }
 
   /// Force one sync round now (tests).
   void sync_now();

@@ -85,6 +85,9 @@ std::vector<net::NodeId> SwimMember::alive_peers() const {
 
 void SwimMember::on_start() {
   every(cfg_.period, [this] { protocol_period(); });
+  if (cfg_.dead_probe_interval > sim::kSimTimeZero) {
+    every(cfg_.dead_probe_interval, [this] { probe_dead(); });
+  }
 }
 
 void SwimMember::on_crash() {
@@ -101,6 +104,9 @@ void SwimMember::on_recover() {
   }
   enqueue_update({id(), MemberState::kAlive, incarnation_});
   every(cfg_.period, [this] { protocol_period(); });
+  if (cfg_.dead_probe_interval > sim::kSimTimeZero) {
+    every(cfg_.dead_probe_interval, [this] { probe_dead(); });
+  }
 }
 
 void SwimMember::protocol_period() {
@@ -108,6 +114,28 @@ void SwimMember::protocol_period() {
   auto targets = shuffled_alive(1);
   if (targets.empty()) return;
   probe(targets.front());
+}
+
+void SwimMember::probe_dead() {
+  std::vector<net::NodeId> dead;
+  for (const auto& [peer, info] : members_) {
+    if (info.state == MemberState::kDead) dead.push_back(peer);
+  }
+  if (dead.empty()) return;
+  std::sort(dead.begin(), dead.end());  // determinism
+  rng_.shuffle(dead);
+  const net::NodeId target = dead.front();
+  // Carry the verdict explicitly: the outbox has usually drained the dead
+  // update by now, and refutation needs the assertion to reach its subject.
+  auto updates = take_piggyback();
+  updates.push_back(
+      {target, MemberState::kDead, members_[target].incarnation});
+  network()
+      .trace()
+      .event("swim", "dead_probe")
+      .node(id().value)
+      .detail(to_string(target));
+  send(target, Ping{next_seq_++, std::move(updates)});
 }
 
 void SwimMember::probe(net::NodeId target) {
@@ -195,17 +223,22 @@ void SwimMember::apply_updates(const std::vector<MemberUpdate>& updates) {
 
 void SwimMember::apply(const MemberUpdate& update) {
   if (update.member == id()) {
-    // Someone thinks we are suspect/dead: refute with a higher incarnation.
-    if (update.state != MemberState::kAlive &&
-        update.incarnation >= incarnation_) {
-      incarnation_ = update.incarnation + 1;
+    if (update.state != MemberState::kAlive) {
+      // Someone thinks we are suspect/dead: refute with a higher
+      // incarnation.
+      if (update.incarnation >= incarnation_) {
+        incarnation_ = update.incarnation + 1;
+        refute_total_.increment();
+        network()
+            .trace()
+            .event("swim", "refute")
+            .node(id().value)
+            .kv("incarnation", incarnation_);
+      }
+      // Counter even a stale rumor: the sender may still hold a dead
+      // record for us (our earlier refutation can be lost to a partition),
+      // and only a fresh alive assertion lets it clear that record.
       enqueue_update({id(), MemberState::kAlive, incarnation_});
-      refute_total_.increment();
-      network()
-          .trace()
-          .event("swim", "refute")
-          .node(id().value)
-          .kv("incarnation", incarnation_);
     }
     return;
   }

@@ -48,6 +48,11 @@ struct SwimConfig {
   sim::SimTime suspect_timeout = sim::seconds(3); // suspicion -> dead
   int max_piggyback = 6;                          // updates per message
   int retransmit_factor = 3;  // each update rides ~factor*log2(n) times
+  // How often to re-probe one member we believe dead. Without this a
+  // symmetric partition that outlives the suspect timeout is permanent:
+  // both sides stop pinging each other, so the dead verdict never reaches
+  // its subject and can never be refuted. Zero disables re-probing.
+  sim::SimTime dead_probe_interval = sim::seconds(3);
 };
 
 /// Per-node SWIM agent. Construct one per participating node, seed all of
@@ -115,6 +120,7 @@ class SwimMember : public net::Node {
 
   void protocol_period();
   void probe(net::NodeId target);
+  void probe_dead();
   void on_ping(net::NodeId from, const Ping& ping);
   void on_ack(net::NodeId from, const Ack& ack);
   void on_ping_req(net::NodeId from, const PingReq& req);

@@ -34,6 +34,11 @@ Network::Network(sim::Simulation& simulation, obs::MetricsRegistry& metrics,
                         .with({{"reason", "loss"}})),
       dropped_dead_target_(metrics.counter_family("riot_net_dropped_total")
                                .with({{"reason", "dead_target"}})),
+      duplicated_total_(metrics
+                            .counter_family("riot_net_duplicated_total",
+                                            "extra message copies injected "
+                                            "by the duplication hook")
+                            .with({})),
       latency_us_(metrics
                       .histogram_family("riot_net_latency_us",
                                         "simulated one-way message latency")
@@ -194,8 +199,33 @@ std::uint64_t Network::submit(Message message) {
     latency += sim::nanos(static_cast<std::int64_t>(
         rng_.uniform01() * static_cast<double>(q.jitter.count())));
   }
+  if (latency_factor_ != 1.0) {
+    latency = sim::nanos(static_cast<std::int64_t>(
+        static_cast<double>(latency.count()) * latency_factor_));
+  }
   latency_us_.record_time(latency);
   const std::uint64_t id = message.id;
+  // Duplication hook: an extra copy with its own latency draw. Guarded by
+  // > 0 so the nominal path consumes no extra randomness (seed stability).
+  if (duplicate_probability_ > 0.0 && rng_.chance(duplicate_probability_)) {
+    sim::SimTime dup_latency = q.base_latency;
+    if (q.jitter > sim::kSimTimeZero) {
+      dup_latency += sim::nanos(static_cast<std::int64_t>(
+          rng_.uniform01() * static_cast<double>(q.jitter.count())));
+    }
+    if (latency_factor_ != 1.0) {
+      dup_latency = sim::nanos(static_cast<std::int64_t>(
+          static_cast<double>(dup_latency.count()) * latency_factor_));
+    }
+    ++duplicated_;
+    duplicated_total_.increment();
+    Message copy = message;
+    copy.span = {};  // the copy is ambient; never double-closes the send span
+    sim_.schedule_after(
+        dup_latency,
+        [this, copy = std::move(copy)]() mutable { deliver(std::move(copy)); },
+        component_);
+  }
   sim_.schedule_after(
       latency,
       [this, message = std::move(message)]() mutable {
@@ -203,6 +233,21 @@ std::uint64_t Network::submit(Message message) {
       },
       component_);
   return id;
+}
+
+void Network::set_clock_skew(NodeId id, sim::SimTime skew) {
+  auto& ep = endpoints_.at(id.value);
+  if (ep.clock_skew == skew) return;
+  ep.clock_skew = skew;
+  trace_.event("net", "clock_skew")
+      .warn()
+      .node(id.value)
+      .kv("skew_ns", skew.count());
+}
+
+sim::SimTime Network::clock_skew(NodeId id) const {
+  return id.value < endpoints_.size() ? endpoints_[id.value].clock_skew
+                                      : sim::kSimTimeZero;
 }
 
 void Network::deliver(Message message) {

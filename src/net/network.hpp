@@ -106,6 +106,27 @@ class Network {
   void set_ambient_loss(double loss) { ambient_loss_ = loss; }
   [[nodiscard]] double ambient_loss() const { return ambient_loss_; }
 
+  // --- Disturbance hooks (chaos harness) ----------------------------------
+  /// Multiply every link latency (base + jitter) by `factor` (congestion /
+  /// degraded-backhaul injection; 1 = nominal).
+  void set_latency_factor(double factor) { latency_factor_ = factor; }
+  [[nodiscard]] double latency_factor() const { return latency_factor_; }
+
+  /// With probability `p`, deliver an extra copy of each non-dropped
+  /// message after an independently drawn latency (at-least-once links;
+  /// protocols must tolerate duplicates). 0 disables and — important for
+  /// reproducibility — consumes no randomness.
+  void set_duplicate_probability(double p) { duplicate_probability_ = p; }
+  [[nodiscard]] double duplicate_probability() const {
+    return duplicate_probability_;
+  }
+
+  /// Fixed clock offset for a node: Node::now() (and thus every timestamp
+  /// the node stamps — LWW writes, telemetry sampled_at) reads sim time +
+  /// skew. Rates are unaffected (offset-only skew model).
+  void set_clock_skew(NodeId id, sim::SimTime skew);
+  [[nodiscard]] sim::SimTime clock_skew(NodeId id) const;
+
   /// Effective quality of the directed link (override, else model).
   [[nodiscard]] LinkQuality link_quality(NodeId from, NodeId to) const;
 
@@ -118,6 +139,9 @@ class Network {
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t messages_duplicated() const {
+    return duplicated_;
+  }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
@@ -125,6 +149,7 @@ class Network {
     DeliveryHandler handler;
     bool up = true;
     std::uint32_t group = 0;
+    sim::SimTime clock_skew = sim::kSimTimeZero;
   };
 
   void deliver(Message message);
@@ -141,10 +166,13 @@ class Network {
   std::unordered_map<std::uint32_t, std::uint32_t> isolated_;  // id -> saved group
   bool partitioned_ = false;
   double ambient_loss_ = 0.0;
+  double latency_factor_ = 1.0;
+  double duplicate_probability_ = 0.0;
   std::uint64_t next_message_id_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
   std::uint64_t bytes_sent_ = 0;
 
   // Metric handles, resolved once at construction (see obs/metrics.hpp).
@@ -154,6 +182,7 @@ class Network {
   sim::Counter& dropped_partition_;
   sim::Counter& dropped_loss_;
   sim::Counter& dropped_dead_target_;
+  sim::Counter& duplicated_total_;
   sim::Histogram& latency_us_;
 
   static std::uint64_t pair_key(NodeId from, NodeId to) {

@@ -45,7 +45,12 @@ class Node {
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] bool alive() const { return alive_; }
-  [[nodiscard]] sim::SimTime now() const { return sim_.now(); }
+  /// The node's *local* clock: sim time plus any injected skew (see
+  /// Network::set_clock_skew). Timestamps this node stamps (LWW writes,
+  /// telemetry) wear the skew; timer rates are unaffected.
+  [[nodiscard]] sim::SimTime now() const {
+    return sim_.now() + net_.clock_skew(id_);
+  }
   [[nodiscard]] Network& network() { return net_; }
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
 

@@ -1,0 +1,67 @@
+#include "obs/chaos_export.hpp"
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace riot::obs {
+
+void tag_chaos_run(MetricsRegistry& metrics,
+                   const sim::chaos::ChaosSchedule& schedule) {
+  metrics
+      .gauge_family("riot_chaos_seed", "seed of the active chaos schedule")
+      .with({})
+      .set(static_cast<double>(schedule.seed));
+  auto& actions = metrics.counter_family(
+      "riot_chaos_actions_total", "scheduled chaos actions, by kind");
+  for (const sim::chaos::ChaosAction& action : schedule.actions) {
+    actions.with({{"kind", std::string(to_string(action.kind))}}).increment();
+  }
+}
+
+void write_chaos_repro(
+    std::ostream& os, const sim::chaos::ChaosSchedule& schedule,
+    const std::vector<sim::chaos::InvariantViolation>& violations,
+    const sim::TraceLog* trace, std::size_t trace_tail) {
+  // Open with the schedule's own serialization so a repro file *is* a
+  // valid riot-chaos-v1 schedule, then splice in the diagnosis fields.
+  std::string base = sim::chaos::schedule_to_json(schedule);
+  base.pop_back();  // drop the closing '}'
+  os << base;
+
+  JsonWriter extra(os);
+  os << ",\"violations\":";
+  extra.begin_array();
+  for (const sim::chaos::InvariantViolation& v : violations) {
+    extra.begin_object();
+    extra.kv("invariant", std::string_view(v.invariant));
+    extra.kv("message", std::string_view(v.message));
+    extra.kv("at_ns", static_cast<std::int64_t>(v.at.count()));
+    extra.end_object();
+  }
+  extra.end_array();
+
+  if (trace != nullptr) {
+    const auto& events = trace->events();
+    const std::size_t start =
+        events.size() > trace_tail ? events.size() - trace_tail : 0;
+    os << ",\"trace_tail\":";
+    JsonWriter tail(os);
+    tail.begin_array();
+    for (std::size_t i = start; i < events.size(); ++i) {
+      const sim::TraceEvent& ev = events[i];
+      tail.begin_object();
+      tail.kv("at_ns", static_cast<std::int64_t>(ev.at.count()));
+      tail.kv("level", to_string(ev.level));
+      tail.kv("component", std::string_view(ev.component));
+      tail.kv("node", static_cast<std::uint64_t>(ev.node));
+      tail.kv("kind", std::string_view(ev.kind));
+      tail.kv("detail", std::string_view(ev.detail));
+      tail.end_object();
+    }
+    tail.end_array();
+  }
+  os << '}';
+}
+
+}  // namespace riot::obs

@@ -1,0 +1,34 @@
+// Observability bindings for the chaos harness (src/sim/chaos.hpp).
+//
+// Tags a chaos run into the metrics registry (riot_chaos_* families) so
+// exported snapshots identify which schedule produced them, and writes the
+// self-contained JSON repro artifact for a failing run: the riot-chaos-v1
+// schedule (loadable by sim::chaos::schedule_from_json — unknown keys are
+// skipped) enriched with the violated invariants and the tail of the trace
+// log, which is usually enough to diagnose without re-running.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "sim/chaos.hpp"
+#include "sim/trace.hpp"
+
+namespace riot::obs {
+
+/// Record schedule identity and composition as metrics:
+///   riot_chaos_seed (gauge), riot_chaos_actions_total{kind=...} (counter).
+void tag_chaos_run(MetricsRegistry& metrics,
+                   const sim::chaos::ChaosSchedule& schedule);
+
+/// Write a repro artifact: schedule fields + "violations" + "trace_tail"
+/// (the last `trace_tail` events). Parseable by schedule_from_json.
+void write_chaos_repro(std::ostream& os,
+                       const sim::chaos::ChaosSchedule& schedule,
+                       const std::vector<sim::chaos::InvariantViolation>&
+                           violations,
+                       const sim::TraceLog* trace = nullptr,
+                       std::size_t trace_tail = 50);
+
+}  // namespace riot::obs

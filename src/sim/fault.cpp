@@ -1,5 +1,6 @@
 #include "sim/fault.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -21,10 +22,11 @@ void FaultInjector::plan_at(SimTime at, std::string name,
 void FaultInjector::plan_window(SimTime start, SimTime duration,
                                 std::string name,
                                 std::function<void()> apply,
-                                std::function<void()> revert) {
+                                std::function<void()> revert,
+                                std::function<bool()> revert_guard) {
   plan(PlannedFault{start, duration,
                     Disruption{std::move(name), std::move(apply),
-                               std::move(revert)}});
+                               std::move(revert), std::move(revert_guard)}});
 }
 
 void FaultInjector::plan_poisson(SimTime first_after, SimTime until,
@@ -61,11 +63,25 @@ void FaultInjector::fire(const PlannedFault& fault) {
     fault.disruption.apply();
   }
   if (fault.duration > kSimTimeZero && fault.disruption.revert) {
-    // Copy what we need; the plan entry may move if the vector grows.
+    // Copy what we need; the plan entry may move if the vector grows. The
+    // shared flag makes the revert at-most-once and the guard lets it
+    // abstain when the disrupted subject was independently re-disrupted
+    // (e.g. the node this window crashed got crashed again — reverting
+    // would resurrect a node another fault believes is down).
     auto revert = fault.disruption.revert;
+    auto guard = fault.disruption.revert_guard;
     auto name = fault.disruption.name;
+    auto reverted = std::make_shared<bool>(false);
     sim_.schedule_after(fault.duration, [this, revert = std::move(revert),
-                                         name = std::move(name)] {
+                                         guard = std::move(guard),
+                                         name = std::move(name), reverted] {
+      if (*reverted) return;
+      *reverted = true;
+      if (guard && !guard()) {
+        ++reverts_skipped_;
+        trace_.event("fault", "revert_skipped").warn().detail(name);
+        return;
+      }
       trace_.event("fault", "revert").detail(name);
       if (wrapper_) {
         wrapper_(name, revert);

@@ -25,11 +25,17 @@
 namespace riot::sim {
 
 /// A named, reversible disruption. `apply` starts it, `revert` (optional)
-/// ends it.
+/// ends it. `revert_guard` (optional) is consulted immediately before the
+/// revert fires: when it returns false — the disrupted subject no longer
+/// exists or was independently re-disrupted (e.g. the node this window
+/// crashed was crashed again by another fault) — the revert is skipped and
+/// a "fault/revert_skipped" trace event is emitted instead of blindly
+/// undoing state the window no longer owns.
 struct Disruption {
   std::string name;
   std::function<void()> apply;
   std::function<void()> revert;  // empty => not reversible (e.g. crash-only)
+  std::function<bool()> revert_guard;  // empty => always revert
 };
 
 /// One entry of a fault plan: disruption active during [start, start+duration).
@@ -53,10 +59,12 @@ class FaultInjector {
   /// Convenience: one-shot event at `at`.
   void plan_at(SimTime at, std::string name, std::function<void()> apply);
 
-  /// Convenience: windowed disruption over [start, start+duration).
+  /// Convenience: windowed disruption over [start, start+duration). The
+  /// optional guard protects the revert (see Disruption::revert_guard).
   void plan_window(SimTime start, SimTime duration, std::string name,
                    std::function<void()> apply,
-                   std::function<void()> revert);
+                   std::function<void()> revert,
+                   std::function<bool()> revert_guard = {});
 
   /// Poisson-process faults: on average every `mean_interarrival`, draw a
   /// target via `make` (which returns the disruption to apply; it may be
@@ -82,6 +90,9 @@ class FaultInjector {
   }
 
   [[nodiscard]] std::size_t injected_count() const { return injected_; }
+  [[nodiscard]] std::size_t reverts_skipped() const {
+    return reverts_skipped_;
+  }
   [[nodiscard]] const std::vector<PlannedFault>& plan_entries() const {
     return plan_;
   }
@@ -96,6 +107,7 @@ class FaultInjector {
   std::vector<PlannedFault> plan_;
   std::size_t armed_ = 0;  // how many plan entries are already installed
   std::size_t injected_ = 0;
+  std::size_t reverts_skipped_ = 0;
 };
 
 }  // namespace riot::sim

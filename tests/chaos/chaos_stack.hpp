@@ -1,0 +1,436 @@
+// Full-stack chaos scenario: the harness's ChaosHooks and invariant
+// registry bound to the real protocol stack.
+//
+// Each logical node co-locates one RaftPeer, one SwimMember, one CrdtStore
+// and one TelemetrySource (four network endpoints); a MapeLoop host rides
+// alongside as an extra, un-crashable endpoint so the adaptation layer's
+// liveness is part of every run. Chaos actions fan out to every endpoint
+// of the targeted logical node — a "crash" takes the whole co-located
+// stack down, a clock-skew skews every timestamp that node stamps.
+//
+// Workloads (Raft client proposals, CRDT mutations) run until the
+// schedule horizon and then stop, so the disruption-free cooldown is also
+// write-quiescent and the eventual invariants (log agreement, CRDT
+// convergence) compare settled states.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adapt/mape.hpp"
+#include "coord/raft.hpp"
+#include "data/crdt_store.hpp"
+#include "membership/swim.hpp"
+#include "net/network.hpp"
+#include "obs/chaos_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/chaos.hpp"
+#include "sim/fault.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+
+namespace riot::chaos_test {
+
+class ChaosStack {
+ public:
+  ChaosStack(const sim::chaos::ChaosSchedule& schedule,
+             const sim::chaos::ChaosProfile& profile)
+      : schedule_(schedule),
+        profile_(profile),
+        n_(schedule.node_count != 0 ? schedule.node_count
+                                    : profile.node_count),
+        sim_(schedule.seed ^ 0x5eed5eed5eed5eedULL),
+        tracer_(sim_),
+        network_(sim_, metrics_, tracer_, trace_),
+        injector_(sim_, trace_) {
+    trace_.bind_clock(sim_);
+    build_nodes();
+    wire_hooks();
+    register_invariants();
+  }
+
+  /// Install the schedule, drive the workloads, run to horizon + cooldown,
+  /// then evaluate every invariant. Deterministic for a given schedule.
+  sim::chaos::ChaosRunReport run() {
+    obs::tag_chaos_run(metrics_, schedule_);
+    sim::chaos::install_schedule(schedule_, injector_, hooks_);
+    injector_.arm();
+    start_workloads();
+
+    // Safety invariants are polled while the schedule executes; a hit ends
+    // the run early (the violation is already recorded).
+    sim_.schedule_every(sim::millis(500), [this] {
+      if (registry_.check_now(sim_.now(), report_.violations) > 0) {
+        sim_.request_stop();
+      }
+    });
+
+    const sim::SimTime end = schedule_horizon() + profile_.cooldown;
+    sim_.run_until(end);
+    registry_.check_final(sim_.now(), report_.violations);
+    report_.trace_hash = sim::chaos::trace_hash(trace_);
+    return report_;
+  }
+
+  [[nodiscard]] sim::TraceLog& trace() { return trace_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// ScheduleRunFn that builds a fresh stack per schedule — the form
+  /// ChaosExplorer consumes.
+  static sim::chaos::ScheduleRunFn runner(sim::chaos::ChaosProfile profile) {
+    return [profile](const sim::chaos::ChaosSchedule& schedule) {
+      return ChaosStack(schedule, profile).run();
+    };
+  }
+
+ private:
+  // Endpoint ids are assigned in registration order: logical node i owns
+  // endpoints 4i..4i+3 (raft, swim, crdt, telemetry); the loop host is 4n.
+  void build_nodes() {
+    for (std::size_t i = 0; i < n_; ++i) {
+      storages_.push_back(std::make_unique<coord::RaftStorage>());
+      rafts_.push_back(
+          std::make_unique<coord::RaftPeer>(network_, *storages_.back()));
+      swims_.push_back(std::make_unique<membership::SwimMember>(network_));
+      crdts_.push_back(std::make_unique<data::CrdtStore>(network_));
+      telemetry_.push_back(std::make_unique<adapt::TelemetrySource>(
+          network_, net::kInvalidNode));
+    }
+    loop_ = std::make_unique<adapt::MapeLoop>(network_);
+
+    std::vector<net::NodeId> raft_ids;
+    for (auto& r : rafts_) raft_ids.push_back(r->id());
+    for (std::size_t i = 0; i < n_; ++i) {
+      rafts_[i]->set_peers(raft_ids);
+      rafts_[i]->on_apply([this, i](std::uint64_t index,
+                                    const coord::Command& cmd) {
+        record_apply(i, index, cmd);
+      });
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (j != i) swims_[i]->add_peer(swims_[j]->id());
+      }
+      std::vector<net::NodeId> replicas;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (j != i) replicas.push_back(crdts_[j]->id());
+      }
+      crdts_[i]->set_replicas(std::move(replicas));
+      telemetry_[i]->set_loop_host(loop_->id());
+      telemetry_[i]->add_probe("commit_index_" + std::to_string(i),
+                               [this, i] {
+                                 return static_cast<double>(
+                                     rafts_[i]->commit_index());
+                               });
+    }
+    loop_->add_analyzer("telemetry_fresh", [this](
+                                               const adapt::KnowledgeBase& kb)
+                                               -> std::optional<
+                                                   adapt::Violation> {
+      for (std::size_t i = 0; i < n_; ++i) {
+        const auto age =
+            kb.age("commit_index_" + std::to_string(i), loop_now());
+        // 8s tolerates the worst combination the profile allows: a 5s
+        // crash window plus 2s of source-side clock skew.
+        if (age && *age > sim::seconds(8)) {
+          return adapt::Violation{"telemetry_fresh", 1.0,
+                                  "stale telemetry from node " +
+                                      std::to_string(i)};
+        }
+      }
+      return std::nullopt;
+    });
+  }
+
+  void wire_hooks() {
+    hooks_.crash_node = [this](std::uint32_t i) {
+      for (net::Node* node : logical_node(i)) node->crash();
+    };
+    hooks_.restart_node = [this](std::uint32_t i) {
+      for (net::Node* node : logical_node(i)) node->recover();
+    };
+    hooks_.partition = [this](const std::vector<std::uint32_t>& group_a) {
+      std::vector<net::NodeId> side;
+      for (std::uint32_t i : group_a) {
+        for (net::Node* node : logical_node(i)) side.push_back(node->id());
+      }
+      network_.partition({side});
+    };
+    hooks_.heal = [this] { network_.heal_partition(); };
+    hooks_.isolate = [this](std::uint32_t i) {
+      for (net::Node* node : logical_node(i)) network_.isolate(node->id());
+    };
+    hooks_.unisolate = [this](std::uint32_t i) {
+      for (net::Node* node : logical_node(i)) network_.unisolate(node->id());
+    };
+    hooks_.ambient_loss = [this](double p) { network_.set_ambient_loss(p); };
+    hooks_.latency_factor = [this](double f) {
+      network_.set_latency_factor(f);
+    };
+    hooks_.duplicate = [this](double p) {
+      network_.set_duplicate_probability(p);
+    };
+    hooks_.clock_skew = [this](std::uint32_t i, sim::SimTime skew) {
+      for (net::Node* node : logical_node(i)) {
+        network_.set_clock_skew(node->id(), skew);
+      }
+    };
+  }
+
+  void register_invariants() {
+    // -- Safety (checked while the schedule runs) --------------------------
+    registry_.add_always("raft_election_safety", [this] {
+      return election_safety();
+    });
+    registry_.add_always("raft_sm_safety",
+                         [this] { return sm_safety_violation_; });
+
+    // -- Convergence (meaningful only after the quiescent cooldown) --------
+    registry_.add_eventually("raft_leader_agreement", [this] {
+      return leader_agreement();
+    });
+    registry_.add_eventually("raft_log_agreement",
+                             [this] { return log_agreement(); });
+    registry_.add_eventually("raft_no_lost_acked_writes", [this] {
+      return no_lost_acked();
+    });
+    registry_.add_eventually("swim_all_alive", [this] {
+      return swim_converged();
+    });
+    registry_.add_eventually("crdt_convergence", [this] {
+      return crdt_converged();
+    });
+    registry_.add_eventually("mape_loop_live",
+                             [this]() -> std::optional<std::string> {
+      if (loop_->last_analysis_at() + sim::seconds(2) < sim_.now()) {
+        return "MAPE loop stopped analyzing";
+      }
+      return std::nullopt;
+    });
+    registry_.add_eventually("mape_quiescent",
+                             [this]() -> std::optional<std::string> {
+      if (!loop_->last_violations().empty()) {
+        return "MAPE still raising '" +
+               loop_->last_violations().front().requirement +
+               "' after cooldown";
+      }
+      return std::nullopt;
+    });
+  }
+
+  void start_workloads() {
+    for (std::size_t i = 0; i < n_; ++i) {
+      rafts_[i]->start();
+      swims_[i]->start();
+      crdts_[i]->start();
+      telemetry_[i]->start();
+    }
+    loop_->start();
+
+    // Raft client: one proposal per tick to whichever peer claims
+    // leadership; proposals that land on a deposed leader may be lost —
+    // only majority-applied ("acked") commands must survive.
+    sim_.schedule_every(sim::millis(250), [this] {
+      if (sim_.now() >= schedule_horizon()) return;
+      for (auto& peer : rafts_) {
+        if (peer->alive() && peer->is_leader()) {
+          peer->propose("w" + std::to_string(next_write_++));
+          return;
+        }
+      }
+    });
+
+    // CRDT clients: every alive replica keeps mutating shared objects.
+    sim_.schedule_every(sim::millis(400), [this] {
+      if (sim_.now() >= schedule_horizon()) return;
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (!crdts_[i]->alive()) continue;
+        data::CrdtStore& store = *crdts_[i];
+        store.gcounter("events").increment(store.replica_id());
+        store.orset("tags").add("t" + std::to_string(crdt_tick_ % 7),
+                                store.replica_id());
+        store.lww("mode").set("m" + std::to_string(crdt_tick_),
+                              store.lww_now(), store.replica_id());
+      }
+      ++crdt_tick_;
+    });
+  }
+
+  // --- invariant bodies -----------------------------------------------------
+
+  void record_apply(std::size_t node, std::uint64_t index,
+                    const coord::Command& cmd) {
+    // State-machine safety: whoever applies an index first defines it.
+    // (Recovered peers re-apply from index 1, which must reproduce the
+    // same commands — idempotent here, a violation if they differ.)
+    auto [it, inserted] = applied_.try_emplace(index, cmd);
+    if (!inserted && it->second != cmd) {
+      sm_safety_violation_ =
+          "index " + std::to_string(index) + " applied as '" + it->second +
+          "' and '" + cmd + "' (node " + std::to_string(node) + ")";
+    }
+    appliers_[index].insert(node);
+    if (appliers_[index].size() >= n_ / 2 + 1) acked_.insert(index);
+  }
+
+  std::optional<std::string> election_safety() {
+    // At most one distinct leader announcement per term, over the whole
+    // trace so far.
+    std::map<std::uint64_t, std::set<std::uint32_t>> leaders_by_term;
+    for (const sim::TraceEvent& ev : trace_.find("raft", "leader")) {
+      if (auto term = sim::chaos::parse_detail_u64(ev.detail, "term")) {
+        leaders_by_term[*term].insert(ev.node);
+      }
+    }
+    for (const auto& [term, leaders] : leaders_by_term) {
+      if (leaders.size() > 1) {
+        return "term " + std::to_string(term) + " elected " +
+               std::to_string(leaders.size()) + " leaders";
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> leader_agreement() {
+    std::uint64_t max_term = 0;
+    for (auto& p : rafts_) max_term = std::max(max_term, p->current_term());
+    int leaders = 0;
+    for (auto& p : rafts_) {
+      if (p->alive() && p->is_leader() && p->current_term() == max_term) {
+        ++leaders;
+      }
+    }
+    if (leaders != 1) {
+      return std::to_string(leaders) + " leaders in max term " +
+             std::to_string(max_term) + " after cooldown";
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> log_agreement() {
+    // Log matching: same index + same term => same command, across every
+    // pair of persistent logs.
+    for (std::size_t a = 0; a < n_; ++a) {
+      for (std::size_t b = a + 1; b < n_; ++b) {
+        const coord::RaftStorage& sa = *storages_[a];
+        const coord::RaftStorage& sb = *storages_[b];
+        const std::uint64_t lo =
+            std::max(sa.snapshot_index, sb.snapshot_index) + 1;
+        const std::uint64_t hi = std::min(sa.last_index(), sb.last_index());
+        for (std::uint64_t i = lo; i <= hi; ++i) {
+          if (sa.term_at(i) == sb.term_at(i) &&
+              sa.entry(i).command != sb.entry(i).command) {
+            return "logs " + std::to_string(a) + "/" + std::to_string(b) +
+                   " disagree at index " + std::to_string(i) + " term " +
+                   std::to_string(sa.term_at(i));
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> no_lost_acked() {
+    // Every command applied by a majority must be in every persistent log.
+    for (std::uint64_t index : acked_) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        const coord::RaftStorage& s = *storages_[i];
+        if (index <= s.snapshot_index) continue;  // compacted == retained
+        if (s.last_index() < index ||
+            s.entry(index).command != applied_[index]) {
+          return "acked write at index " + std::to_string(index) +
+                 " missing from node " + std::to_string(i) + "'s log";
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> swim_converged() {
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (i == j) continue;
+        const auto state = swims_[i]->state_of(swims_[j]->id());
+        if (state != membership::MemberState::kAlive) {
+          return "node " + std::to_string(i) + " still sees node " +
+                 std::to_string(j) + " as " +
+                 std::string(membership::to_string(state));
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> crdt_converged() {
+    for (std::size_t i = 1; i < n_; ++i) {
+      if (!data::stores_converged(*crdts_[0], *crdts_[i])) {
+        return "replicas 0 and " + std::to_string(i) +
+               " diverge after cooldown";
+      }
+    }
+    return std::nullopt;
+  }
+
+  // --- plumbing -------------------------------------------------------------
+
+  [[nodiscard]] sim::SimTime schedule_horizon() const {
+    return schedule_.horizon != sim::kSimTimeZero ? schedule_.horizon
+                                                  : profile_.horizon;
+  }
+  [[nodiscard]] sim::SimTime loop_now() const {
+    return sim_.now() + network_.clock_skew(loop_->id());
+  }
+  [[nodiscard]] std::array<net::Node*, 4> logical_node(std::uint32_t i) {
+    return {rafts_[i].get(), swims_[i].get(), crdts_[i].get(),
+            telemetry_[i].get()};
+  }
+
+  sim::chaos::ChaosSchedule schedule_;
+  sim::chaos::ChaosProfile profile_;
+  std::size_t n_;
+
+  sim::Simulation sim_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  sim::TraceLog trace_;
+  net::Network network_;
+  sim::FaultInjector injector_;
+  sim::chaos::ChaosHooks hooks_;
+  sim::chaos::InvariantRegistry registry_;
+  sim::chaos::ChaosRunReport report_;
+
+  std::vector<std::unique_ptr<coord::RaftStorage>> storages_;
+  std::vector<std::unique_ptr<coord::RaftPeer>> rafts_;
+  std::vector<std::unique_ptr<membership::SwimMember>> swims_;
+  std::vector<std::unique_ptr<data::CrdtStore>> crdts_;
+  std::vector<std::unique_ptr<adapt::TelemetrySource>> telemetry_;
+  std::unique_ptr<adapt::MapeLoop> loop_;
+
+  std::uint64_t next_write_ = 0;
+  std::uint64_t crdt_tick_ = 0;
+  std::map<std::uint64_t, coord::Command> applied_;  // index -> command
+  std::map<std::uint64_t, std::set<std::size_t>> appliers_;
+  std::set<std::uint64_t> acked_;  // indices applied by a majority
+  std::optional<std::string> sm_safety_violation_;
+};
+
+/// Reduced-violence profile for CI smoke runs (< 30 s wall including
+/// shrinking): shorter horizon, fewer and shorter windows.
+inline sim::chaos::ChaosProfile smoke_profile() {
+  sim::chaos::ChaosProfile p;
+  p.node_count = 5;
+  p.warmup = sim::seconds(3);
+  p.horizon = sim::seconds(12);
+  p.cooldown = sim::seconds(10);
+  p.min_actions = 2;
+  p.max_actions = 5;
+  p.max_duration = sim::seconds(3);
+  return p;
+}
+
+}  // namespace riot::chaos_test

@@ -1,0 +1,74 @@
+// Regression pins: every schedule checked into tests/chaos/repros/ is a
+// riot-chaos-v1 artifact that once exposed a weakness (found by
+// exploration during development) or encodes a scenario worth guarding
+// (leader isolation, partition flaps, skew+duplication storms). The full
+// stack must hold all invariants on each of them, forever.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos_stack.hpp"
+#include "sim/chaos.hpp"
+
+#ifndef CHAOS_REPRO_DIR
+#error "CHAOS_REPRO_DIR must point at tests/chaos/repros"
+#endif
+
+namespace riot::chaos_test {
+namespace {
+
+std::vector<std::filesystem::path> repro_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(CHAOS_REPRO_DIR)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ChaosRepros, DirectoryIsPopulated) {
+  ASSERT_TRUE(std::filesystem::exists(CHAOS_REPRO_DIR));
+  EXPECT_FALSE(repro_files().empty());
+}
+
+TEST(ChaosRepros, PinnedSchedulesParse) {
+  for (const auto& path : repro_files()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const auto schedule =
+        sim::chaos::schedule_from_json(buffer.str(), &error);
+    ASSERT_TRUE(schedule.has_value()) << error;
+    EXPECT_GT(schedule->node_count, 0u);
+    EXPECT_FALSE(schedule->actions.empty());
+  }
+}
+
+TEST(ChaosRepros, PinnedSchedulesHoldInvariants) {
+  const sim::chaos::ChaosProfile profile = smoke_profile();
+  for (const auto& path : repro_files()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto schedule = sim::chaos::schedule_from_json(buffer.str());
+    ASSERT_TRUE(schedule.has_value());
+    const sim::chaos::ChaosRunReport report =
+        ChaosStack(*schedule, profile).run();
+    EXPECT_FALSE(report.failed())
+        << report.violations[0].invariant << ": "
+        << report.violations[0].message;
+  }
+}
+
+}  // namespace
+}  // namespace riot::chaos_test

@@ -1,0 +1,522 @@
+#include "sim/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace riot::sim::chaos {
+namespace {
+
+ChaosProfile test_profile() {
+  ChaosProfile p;
+  p.node_count = 5;
+  p.warmup = seconds(2);
+  p.horizon = seconds(20);
+  p.cooldown = seconds(5);
+  p.min_actions = 3;
+  p.max_actions = 8;
+  return p;
+}
+
+// --- Generator --------------------------------------------------------------
+
+TEST(ChaosGenerate, SameSeedSameSchedule) {
+  const ChaosProfile profile = test_profile();
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    const ChaosSchedule a = generate_schedule(seed, profile);
+    const ChaosSchedule b = generate_schedule(seed, profile);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_EQ(schedule_to_json(a), schedule_to_json(b));
+  }
+}
+
+TEST(ChaosGenerate, DifferentSeedsDiverge) {
+  const ChaosProfile profile = test_profile();
+  const ChaosSchedule a = generate_schedule(7, profile);
+  const ChaosSchedule b = generate_schedule(8, profile);
+  EXPECT_NE(a, b);
+}
+
+TEST(ChaosGenerate, RespectsEnvelope) {
+  const ChaosProfile profile = test_profile();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ChaosSchedule s = generate_schedule(seed, profile);
+    EXPECT_EQ(s.seed, seed);
+    EXPECT_EQ(s.node_count, profile.node_count);
+    EXPECT_LE(s.actions.size(), profile.max_actions);
+    SimTime prev = kSimTimeZero;
+    for (const ChaosAction& a : s.actions) {
+      EXPECT_GE(a.at, profile.warmup);
+      EXPECT_LT(a.at, profile.horizon);
+      EXPECT_GT(a.duration, kSimTimeZero);
+      EXPECT_LE(a.at + a.duration, profile.horizon)
+          << "window must revert by the horizon";
+      EXPECT_GE(a.at, prev) << "actions sorted by start time";
+      prev = a.at;
+      for (const std::uint32_t t : a.targets) {
+        EXPECT_LT(t, profile.node_count);
+      }
+      switch (a.kind) {
+        case ActionKind::kLoss:
+          EXPECT_GT(a.magnitude, 0.0);
+          EXPECT_LE(a.magnitude, profile.max_loss);
+          break;
+        case ActionKind::kDelay:
+          EXPECT_GE(a.magnitude, profile.min_delay_factor);
+          EXPECT_LE(a.magnitude, profile.max_delay_factor);
+          break;
+        case ActionKind::kDuplicate:
+          EXPECT_GT(a.magnitude, 0.0);
+          EXPECT_LE(a.magnitude, profile.max_duplicate);
+          break;
+        case ActionKind::kClockSkew:
+          EXPECT_GT(a.magnitude, 0.0);
+          EXPECT_LE(a.magnitude, profile.max_skew_seconds);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+TEST(ChaosGenerate, SameFamilyWindowsNeverOverlap) {
+  const ChaosProfile profile = test_profile();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ChaosSchedule s = generate_schedule(seed, profile);
+    // Per-node crash/isolate windows must be disjoint.
+    std::map<std::uint32_t, std::vector<std::pair<SimTime, SimTime>>> down;
+    std::vector<std::pair<SimTime, SimTime>> topology;
+    for (const ChaosAction& a : s.actions) {
+      const auto window = std::make_pair(a.at, a.at + a.duration);
+      if (a.kind == ActionKind::kCrash || a.kind == ActionKind::kIsolate) {
+        down[a.targets[0]].push_back(window);
+      }
+      if (a.kind == ActionKind::kPartition ||
+          a.kind == ActionKind::kIsolate) {
+        topology.push_back(window);
+      }
+    }
+    auto disjoint = [](std::vector<std::pair<SimTime, SimTime>> windows) {
+      std::sort(windows.begin(), windows.end());
+      for (std::size_t i = 1; i < windows.size(); ++i) {
+        if (windows[i].first < windows[i - 1].second) return false;
+      }
+      return true;
+    };
+    for (const auto& [node, windows] : down) {
+      EXPECT_TRUE(disjoint(windows)) << "seed " << seed << " node " << node;
+    }
+    EXPECT_TRUE(disjoint(topology)) << "seed " << seed;
+  }
+}
+
+TEST(ChaosGenerate, HonorsConcurrentDownCap) {
+  ChaosProfile profile = test_profile();
+  profile.max_actions = 16;
+  profile.max_concurrent_down = 2;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const ChaosSchedule s = generate_schedule(seed, profile);
+    // Sweep every window boundary and count down nodes.
+    for (const ChaosAction& probe : s.actions) {
+      std::vector<std::uint32_t> down_nodes;
+      for (const ChaosAction& a : s.actions) {
+        if (a.kind != ActionKind::kCrash && a.kind != ActionKind::kIsolate) {
+          continue;
+        }
+        if (a.at <= probe.at && probe.at < a.at + a.duration &&
+            std::find(down_nodes.begin(), down_nodes.end(), a.targets[0]) ==
+                down_nodes.end()) {
+          down_nodes.push_back(a.targets[0]);
+        }
+      }
+      EXPECT_LE(down_nodes.size(), profile.max_concurrent_down)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosGenerate, DisabledKindsNeverAppear) {
+  ChaosProfile profile = test_profile();
+  profile.crash_weight = 0.0;
+  profile.partition_weight = 0.0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (const ChaosAction& a : generate_schedule(seed, profile).actions) {
+      EXPECT_NE(a.kind, ActionKind::kCrash);
+      EXPECT_NE(a.kind, ActionKind::kPartition);
+    }
+  }
+}
+
+TEST(ChaosGenerate, EmptyEnvelopeYieldsEmptySchedule) {
+  ChaosProfile profile = test_profile();
+  profile.horizon = profile.warmup;  // no room for any window
+  EXPECT_TRUE(generate_schedule(3, profile).actions.empty());
+}
+
+// --- Serialization ----------------------------------------------------------
+
+TEST(ChaosJson, RoundTripsExactly) {
+  const ChaosProfile profile = test_profile();
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const ChaosSchedule s = generate_schedule(seed, profile);
+    const std::string json = schedule_to_json(s);
+    std::string error;
+    const auto parsed = schedule_from_json(json, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(*parsed, s) << json;
+    EXPECT_EQ(schedule_to_json(*parsed), json) << "re-emit must be stable";
+  }
+}
+
+TEST(ChaosJson, SkipsUnknownKeys) {
+  const std::string json =
+      R"({"format":"riot-chaos-v1","seed":9,"node_count":3,"horizon_ns":5000000000,)"
+      R"("violations":[{"invariant":"x","message":"boom"}],)"
+      R"("actions":[{"kind":"crash","at_ns":1000000000,"duration_ns":2000000000,)"
+      R"("targets":[1],"magnitude":0,"note":"extra"}],"trace_tail":[]})";
+  const auto parsed = schedule_from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seed, 9u);
+  EXPECT_EQ(parsed->node_count, 3u);
+  ASSERT_EQ(parsed->actions.size(), 1u);
+  EXPECT_EQ(parsed->actions[0].kind, ActionKind::kCrash);
+  EXPECT_EQ(parsed->actions[0].at, seconds(1));
+  EXPECT_EQ(parsed->actions[0].targets, std::vector<std::uint32_t>{1});
+}
+
+TEST(ChaosJson, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(schedule_from_json("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(schedule_from_json("{\"seed\":1}", &error).has_value())
+      << "a schedule without actions is not a schedule";
+  EXPECT_FALSE(schedule_from_json(
+                   R"({"actions":[{"kind":"meteor","at_ns":1}]})", &error)
+                   .has_value());
+  EXPECT_FALSE(schedule_from_json("{\"actions\":[", &error).has_value());
+}
+
+TEST(ChaosJson, ActionKindNamesRoundTrip) {
+  for (const ActionKind kind : kAllActionKinds) {
+    const auto back = action_kind_from(to_string(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(action_kind_from("meteor").has_value());
+}
+
+// --- install_schedule -------------------------------------------------------
+
+struct InstallFixture : ::testing::Test {
+  Simulation sim{7};
+  TraceLog trace;
+  FaultInjector injector{sim, trace};
+
+  // Recorded hook calls, in order.
+  std::vector<std::string> calls;
+  ChaosHooks recording_hooks() {
+    ChaosHooks hooks;
+    hooks.crash_node = [this](std::uint32_t n) {
+      calls.push_back("crash " + std::to_string(n));
+    };
+    hooks.restart_node = [this](std::uint32_t n) {
+      calls.push_back("restart " + std::to_string(n));
+    };
+    hooks.partition = [this](const std::vector<std::uint32_t>& g) {
+      calls.push_back("partition " + std::to_string(g.size()));
+    };
+    hooks.heal = [this] { calls.push_back("heal"); };
+    hooks.ambient_loss = [this](double p) {
+      calls.push_back(p == 0.0 ? "loss off" : "loss on");
+    };
+    return hooks;
+  }
+};
+
+TEST_F(InstallFixture, AppliesAndRevertsWindows) {
+  ChaosSchedule s;
+  s.node_count = 3;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kCrash, seconds(1), seconds(2), {1}, 0.0},
+      ChaosAction{ActionKind::kLoss, seconds(2), seconds(2), {}, 0.3},
+  };
+  EXPECT_EQ(install_schedule(s, injector, recording_hooks()), 2u);
+  injector.arm();
+  sim.run_until(seconds(10));
+  EXPECT_EQ(calls, (std::vector<std::string>{"crash 1", "loss on",
+                                             "restart 1", "loss off"}));
+}
+
+TEST_F(InstallFixture, OverlappingCrashWindowsRefcount) {
+  // Two windows crash the same node; it must crash once and restart once,
+  // when the *last* window ends — the first window's revert abstains.
+  ChaosSchedule s;
+  s.node_count = 2;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kCrash, seconds(1), seconds(3), {0}, 0.0},
+      ChaosAction{ActionKind::kCrash, seconds(2), seconds(4), {0}, 0.0},
+  };
+  install_schedule(s, injector, recording_hooks());
+  injector.arm();
+  sim.run_until(seconds(5));
+  EXPECT_EQ(calls, std::vector<std::string>{"crash 0"})
+      << "no restart while a window still holds the node down";
+  sim.run_until(seconds(10));
+  EXPECT_EQ(calls, (std::vector<std::string>{"crash 0", "restart 0"}));
+}
+
+TEST_F(InstallFixture, OverlappingGlobalKnobsRevertOnce) {
+  ChaosSchedule s;
+  s.node_count = 2;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kLoss, seconds(1), seconds(4), {}, 0.5},
+      ChaosAction{ActionKind::kLoss, seconds(2), seconds(1), {}, 0.2},
+  };
+  install_schedule(s, injector, recording_hooks());
+  injector.arm();
+  sim.run_until(seconds(4));
+  EXPECT_EQ(calls, (std::vector<std::string>{"loss on", "loss on"}))
+      << "inner window's revert must not zero the knob at t=3";
+  sim.run_until(seconds(10));
+  EXPECT_EQ(calls.back(), "loss off");
+  EXPECT_EQ(std::count(calls.begin(), calls.end(), std::string("loss off")),
+            1);
+}
+
+TEST_F(InstallFixture, UnboundKindsAreSkipped) {
+  ChaosSchedule s;
+  s.node_count = 2;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kCrash, seconds(1), seconds(1), {0}, 0.0},
+      ChaosAction{ActionKind::kDelay, seconds(2), seconds(1), {}, 3.0},
+      ChaosAction{ActionKind::kClockSkew, seconds(3), seconds(1), {1}, 0.5},
+  };
+  // Only crash hooks bound: delay and skew actions don't install.
+  EXPECT_EQ(install_schedule(s, injector, recording_hooks()), 1u);
+}
+
+TEST_F(InstallFixture, OneShotActionsNeverRevert) {
+  ChaosSchedule s;
+  s.node_count = 2;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kCrash, seconds(1), kSimTimeZero, {0}, 0.0},
+  };
+  install_schedule(s, injector, recording_hooks());
+  injector.arm();
+  sim.run_until(seconds(10));
+  EXPECT_EQ(calls, std::vector<std::string>{"crash 0"});
+}
+
+// --- InvariantRegistry ------------------------------------------------------
+
+TEST(ChaosInvariants, AlwaysVsEventually) {
+  InvariantRegistry registry;
+  registry.add_always("safety", [] {
+    return std::optional<std::string>("broken");
+  });
+  registry.add_eventually("convergence", [] {
+    return std::optional<std::string>("diverged");
+  });
+
+  std::vector<InvariantViolation> out;
+  EXPECT_EQ(registry.check_now(seconds(1), out), 1u)
+      << "eventual checks don't run mid-schedule";
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].invariant, "safety");
+  EXPECT_EQ(out[0].at, seconds(1));
+
+  EXPECT_EQ(registry.check_final(seconds(2), out), 1u)
+      << "safety already recorded; only convergence is new";
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].invariant, "convergence");
+}
+
+TEST(ChaosInvariants, RepeatedChecksDedupeByName) {
+  InvariantRegistry registry;
+  int evaluations = 0;
+  registry.add_always("flaky", [&evaluations] {
+    ++evaluations;
+    return std::optional<std::string>("bad");
+  });
+  std::vector<InvariantViolation> out;
+  registry.check_now(seconds(1), out);
+  registry.check_now(seconds(2), out);
+  registry.check_now(seconds(3), out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(evaluations, 1) << "a recorded invariant is not re-evaluated";
+}
+
+TEST(ChaosInvariants, HoldingChecksAddNothing) {
+  InvariantRegistry registry;
+  registry.add_always("fine", [] { return std::optional<std::string>{}; });
+  std::vector<InvariantViolation> out;
+  EXPECT_EQ(registry.check_final(seconds(1), out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+// --- Explorer / shrinking (synthetic run functions; no scenario needed) -----
+
+TEST(ChaosExplore, IterationSeedsAreStableAndDistinct) {
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::uint64_t s = ChaosExplorer::iteration_seed(99, i);
+    EXPECT_EQ(s, ChaosExplorer::iteration_seed(99, i));
+    seeds.push_back(s);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+/// Synthetic oracle: the "system" fails iff the schedule contains a crash
+/// of node 0. Everything else is noise the shrinker must strip away.
+ChaosRunReport crash0_oracle(const ChaosSchedule& schedule) {
+  ChaosRunReport report;
+  for (const ChaosAction& a : schedule.actions) {
+    if (a.kind == ActionKind::kCrash && !a.targets.empty() &&
+        a.targets[0] == 0) {
+      report.violations.push_back(
+          InvariantViolation{"crash0", "node 0 crashed", a.at});
+    }
+  }
+  return report;
+}
+
+TEST(ChaosExplore, FindsAndShrinksToMinimalSchedule) {
+  ChaosProfile profile = test_profile();
+  profile.max_actions = 8;
+  ChaosExplorer explorer(profile, crash0_oracle);
+  const ExploreResult result = explorer.explore(/*base_seed=*/5,
+                                                /*iterations=*/64);
+  ASSERT_TRUE(result.failure.has_value())
+      << "crash weight 3.0 over 5 nodes: node 0 crashes within 64 seeds";
+  const ChaosFailure& failure = *result.failure;
+  EXPECT_FALSE(failure.violations.empty());
+  ASSERT_EQ(failure.shrunk.schedule.actions.size(), 1u)
+      << "exactly the one guilty action survives ddmin";
+  EXPECT_EQ(failure.shrunk.schedule.actions[0].kind, ActionKind::kCrash);
+  EXPECT_EQ(failure.shrunk.schedule.actions[0].targets[0], 0u);
+  // The one-command replay seed regenerates the original failing schedule.
+  EXPECT_EQ(generate_schedule(failure.seed, profile), failure.schedule);
+  // Summary carries the replay seed and the minimal repro.
+  const std::string summary = failure.summary();
+  EXPECT_NE(summary.find(std::to_string(failure.seed)), std::string::npos);
+  EXPECT_NE(summary.find("riot-chaos-v1"), std::string::npos);
+}
+
+TEST(ChaosExplore, ReplayMatchesExploredIteration) {
+  ChaosExplorer explorer(test_profile(), crash0_oracle);
+  const ExploreResult result = explorer.explore(5, 64);
+  ASSERT_TRUE(result.failure.has_value());
+  const ChaosRunReport replayed = explorer.replay(result.failure->seed);
+  ASSERT_EQ(replayed.violations.size(), result.failure->violations.size());
+  EXPECT_EQ(replayed.violations[0].invariant,
+            result.failure->violations[0].invariant);
+}
+
+TEST(ChaosExplore, CleanSystemReportsNoFailure) {
+  ChaosExplorer explorer(test_profile(), [](const ChaosSchedule&) {
+    return ChaosRunReport{};
+  });
+  const ExploreResult result = explorer.explore(1, 10);
+  EXPECT_EQ(result.iterations, 10u);
+  EXPECT_FALSE(result.failure.has_value());
+}
+
+TEST(ChaosShrink, RespectsRunBudget) {
+  std::size_t runs = 0;
+  ChaosExplorer explorer(test_profile(),
+                         [&runs](const ChaosSchedule& s) {
+                           ++runs;
+                           return crash0_oracle(s);
+                         });
+  ChaosSchedule failing;
+  failing.node_count = 5;
+  failing.horizon = seconds(20);
+  for (int i = 0; i < 8; ++i) {
+    failing.actions.push_back(ChaosAction{
+        ActionKind::kCrash, seconds(1 + i), seconds(1),
+        {static_cast<std::uint32_t>(i % 2)}, 0.0});
+  }
+  const ShrinkResult result = explorer.shrink(failing, /*max_runs=*/5);
+  EXPECT_LE(result.runs, 5u);
+  EXPECT_EQ(result.runs, runs);
+  EXPECT_FALSE(result.violations.empty());
+}
+
+TEST(ChaosShrink, NonReproducingFailureReturnsUntouched) {
+  ChaosExplorer explorer(test_profile(), [](const ChaosSchedule&) {
+    return ChaosRunReport{};  // never fails
+  });
+  ChaosSchedule s;
+  s.node_count = 2;
+  s.horizon = seconds(10);
+  s.actions = {ChaosAction{ActionKind::kCrash, seconds(1), seconds(1), {0},
+                           0.0}};
+  const ShrinkResult result = explorer.shrink(s);
+  EXPECT_EQ(result.schedule, s);
+  EXPECT_EQ(result.runs, 1u);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(ChaosShrink, SimplifiesMagnitudesAndDurations) {
+  // Fails whenever *any* loss window is present, however soft: the
+  // simplifier should then drive magnitude and duration to their floors.
+  ChaosExplorer explorer(test_profile(), [](const ChaosSchedule& s) {
+    ChaosRunReport report;
+    for (const ChaosAction& a : s.actions) {
+      if (a.kind == ActionKind::kLoss) {
+        report.violations.push_back(
+            InvariantViolation{"loss", "lossy", a.at});
+      }
+    }
+    return report;
+  });
+  ChaosSchedule s;
+  s.node_count = 3;
+  s.horizon = seconds(20);
+  s.actions = {
+      ChaosAction{ActionKind::kLoss, seconds(2), seconds(8), {}, 0.8}};
+  const ShrinkResult result = explorer.shrink(s, 64);
+  ASSERT_EQ(result.schedule.actions.size(), 1u);
+  EXPECT_LE(result.schedule.actions[0].magnitude, 0.02)
+      << "magnitude halved until the floor";
+  EXPECT_LE(result.schedule.actions[0].duration, millis(200))
+      << "duration halved until the floor";
+}
+
+// --- Utilities --------------------------------------------------------------
+
+TEST(ChaosUtil, TraceHashDiscriminates) {
+  TraceLog a;
+  a.log(seconds(1), TraceLevel::kInfo, "raft", 1, "leader", "term=3");
+  TraceLog b;
+  b.log(seconds(1), TraceLevel::kInfo, "raft", 1, "leader", "term=3");
+  EXPECT_EQ(trace_hash(a), trace_hash(b));
+  b.log(seconds(2), TraceLevel::kInfo, "raft", 2, "leader", "term=4");
+  EXPECT_NE(trace_hash(a), trace_hash(b));
+  TraceLog c;
+  c.log(seconds(1), TraceLevel::kInfo, "raft", 1, "leader", "term=4");
+  EXPECT_NE(trace_hash(a), trace_hash(c)) << "detail participates";
+}
+
+TEST(ChaosUtil, ParseDetailU64) {
+  EXPECT_EQ(parse_detail_u64("term=3", "term"), 3u);
+  EXPECT_EQ(parse_detail_u64("commit=9 term=12 leader=2", "term"), 12u);
+  EXPECT_EQ(parse_detail_u64("myterm=5 term=6", "term"), 6u)
+      << "key must match at a token boundary";
+  EXPECT_FALSE(parse_detail_u64("term=abc", "term").has_value());
+  EXPECT_FALSE(parse_detail_u64("nothing here", "term").has_value());
+  EXPECT_FALSE(parse_detail_u64("term= 5", "term").has_value());
+}
+
+}  // namespace
+}  // namespace riot::sim::chaos

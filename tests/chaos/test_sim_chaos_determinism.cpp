@@ -1,0 +1,72 @@
+// Satellite: a chaos run is a pure function of its seed. Two generations
+// of the same seed are byte-identical; two executions of the same schedule
+// against the full stack produce the same trace, event for event.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos_stack.hpp"
+#include "sim/chaos.hpp"
+
+namespace riot::chaos_test {
+namespace {
+
+using sim::chaos::ChaosProfile;
+using sim::chaos::ChaosRunReport;
+using sim::chaos::ChaosSchedule;
+using sim::chaos::generate_schedule;
+using sim::chaos::schedule_to_json;
+
+TEST(ChaosDeterminism, SchedulesAreByteIdenticalAcrossGenerations) {
+  const ChaosProfile profile = smoke_profile();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::string first = schedule_to_json(generate_schedule(seed, profile));
+    const std::string second =
+        schedule_to_json(generate_schedule(seed, profile));
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+}
+
+TEST(ChaosDeterminism, FullStackRunsAreTraceIdentical) {
+  const ChaosProfile profile = smoke_profile();
+  const ChaosSchedule schedule = generate_schedule(11, profile);
+  ASSERT_FALSE(schedule.actions.empty());
+
+  const ChaosRunReport first = ChaosStack(schedule, profile).run();
+  const ChaosRunReport second = ChaosStack(schedule, profile).run();
+
+  EXPECT_EQ(first.trace_hash, second.trace_hash)
+      << "same schedule, same stack => identical trace";
+  ASSERT_EQ(first.violations.size(), second.violations.size());
+  for (std::size_t i = 0; i < first.violations.size(); ++i) {
+    EXPECT_EQ(first.violations[i].invariant, second.violations[i].invariant);
+    EXPECT_EQ(first.violations[i].message, second.violations[i].message);
+    EXPECT_EQ(first.violations[i].at, second.violations[i].at);
+  }
+}
+
+TEST(ChaosDeterminism, DistinctSeedsProduceDistinctTraces) {
+  const ChaosProfile profile = smoke_profile();
+  const ChaosRunReport a =
+      ChaosStack(generate_schedule(11, profile), profile).run();
+  const ChaosRunReport b =
+      ChaosStack(generate_schedule(12, profile), profile).run();
+  EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+TEST(ChaosDeterminism, SerializedScheduleReplaysIdentically) {
+  // The JSON repro path: emit -> parse -> run must equal the direct run.
+  const ChaosProfile profile = smoke_profile();
+  const ChaosSchedule schedule = generate_schedule(17, profile);
+  const auto parsed =
+      sim::chaos::schedule_from_json(schedule_to_json(schedule));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(*parsed, schedule);
+  const ChaosRunReport direct = ChaosStack(schedule, profile).run();
+  const ChaosRunReport via_json = ChaosStack(*parsed, profile).run();
+  EXPECT_EQ(direct.trace_hash, via_json.trace_hash);
+}
+
+}  // namespace
+}  // namespace riot::chaos_test

@@ -239,6 +239,45 @@ TEST_F(RaftTest, LeaderChangeCallbackFires) {
   EXPECT_GE(changes, 3);  // every peer learns the leader at least once
 }
 
+TEST_F(RaftTest, IsolatedLeaderRejoinsWithStaleTerm) {
+  make_cluster(5);
+  // At-least-once links: Raft's RPCs must shrug off duplicated messages
+  // while the leadership change plays out.
+  enable_duplication(0.2);
+  sim.run_until(sim::seconds(5));
+  RaftPeer* old_leader = leader();
+  ASSERT_NE(old_leader, nullptr);
+  ASSERT_TRUE(old_leader->propose("committed-before").has_value());
+  sim.run_until(sim::seconds(6));
+  const std::uint64_t stale_term = old_leader->current_term();
+
+  isolate_node(old_leader->id());
+  sim.run_until(sim::seconds(12));
+  // The isolated leader keeps believing in its stale term; the majority
+  // moved past it.
+  EXPECT_TRUE(old_leader->is_leader());
+  EXPECT_EQ(old_leader->current_term(), stale_term);
+  RaftPeer* new_leader = nullptr;
+  for (auto& p : peers) {
+    if (p.get() != old_leader && p->is_leader()) new_leader = p.get();
+  }
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_GT(new_leader->current_term(), stale_term);
+  ASSERT_TRUE(new_leader->propose("while-isolated").has_value());
+  sim.run_until(sim::seconds(14));
+
+  rejoin_node(old_leader->id());
+  sim.run_until(sim::seconds(20));
+  // Back in the majority's world the stale leader steps down, adopts the
+  // higher term, and catches up on everything it missed.
+  EXPECT_FALSE(old_leader->is_leader());
+  EXPECT_GE(old_leader->current_term(), new_leader->current_term());
+  const auto& log = applied[old_leader->id().value];
+  ASSERT_FALSE(log.empty());
+  EXPECT_NE(std::find(log.begin(), log.end(), "while-isolated"), log.end());
+  EXPECT_EQ(leader_count(), 1);
+}
+
 class RaftSizeSweep : public RaftTest,
                       public ::testing::WithParamInterface<int> {};
 

@@ -127,6 +127,28 @@ TEST_F(SwimTest, IncarnationIncreasesOnRefute) {
   EXPECT_GT(members[0]->incarnation(), initial);
 }
 
+TEST_F(SwimTest, SymmetricPartitionHealsAfterMutualDeath) {
+  // A partition that outlives the suspect timeout makes both sides declare
+  // each other dead. Classic SWIM is then stuck: dead members are never
+  // pinged, so the verdict never reaches its subject and cannot be
+  // refuted. The periodic dead-probe must re-establish contact after the
+  // partition heals.
+  make_group(5);
+  sim.run_until(sim::seconds(5));
+  partition_away({members[3]->id(), members[4]->id()});
+  sim.run_until(sim::seconds(15));  // > suspect_timeout: verdicts mature
+  ASSERT_GT(count_believing_dead(members[4]->id()), 0);
+  heal();
+  sim.run_until(sim::seconds(45));
+  for (auto& m : members) {
+    for (auto& peer : members) {
+      if (m == peer) continue;
+      EXPECT_EQ(m->state_of(peer->id()), MemberState::kAlive)
+          << "member " << m->id().value << " view of " << peer->id().value;
+    }
+  }
+}
+
 TEST_F(SwimTest, PairOfMembersWorks) {
   make_group(2);
   sim.run_until(sim::seconds(10));

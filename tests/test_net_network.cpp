@@ -201,5 +201,77 @@ TEST_F(NetworkTest, WireSizeHonoredWhenProvided) {
   EXPECT_GE(network.bytes_sent() - before, 1000u);
 }
 
+// --- disturbance hooks (chaos harness) --------------------------------------
+
+TEST_F(NetworkTest, DuplicationDeliversExtraCopies) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.set_link_model([](NodeId, NodeId) {
+    return LinkQuality{sim::millis(1), sim::kSimTimeZero, 0.0};
+  });
+  network.set_duplicate_probability(1.0);
+  for (int i = 0; i < 10; ++i) network.send(a, b, Ping{i});
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(inbox.size(), 20u) << "p=1: every message arrives twice";
+  EXPECT_EQ(network.messages_duplicated(), 10u);
+  EXPECT_EQ(metrics.counter_value("riot_net_duplicated_total"), 10u);
+  // Copies are real deliveries of the same message id.
+  EXPECT_EQ(network.messages_delivered(), 20u);
+}
+
+TEST_F(NetworkTest, DuplicationOffByDefault) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  for (int i = 0; i < 10; ++i) network.send(a, b, Ping{i});
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(inbox.size(), 10u);
+  EXPECT_EQ(network.messages_duplicated(), 0u);
+}
+
+TEST_F(NetworkTest, LatencyFactorStretchesDelivery) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.set_link_model([](NodeId, NodeId) {
+    return LinkQuality{sim::millis(7), sim::kSimTimeZero, 0.0};
+  });
+  network.set_latency_factor(3.0);
+  network.send(a, b, Ping{1});
+  sim.run_until(sim::millis(20));
+  EXPECT_TRUE(inbox.empty()) << "7 ms link under 3x congestion takes 21 ms";
+  sim.run_until(sim::millis(22));
+  EXPECT_EQ(inbox.size(), 1u);
+  network.set_latency_factor(1.0);
+  network.send(a, b, Ping{2});
+  sim.run_until(sim::millis(30));
+  EXPECT_EQ(inbox.size(), 2u) << "nominal latency restored";
+}
+
+TEST_F(NetworkTest, ClockSkewShiftsOneNodesClockOnly) {
+  struct Probe : Node {
+    using Node::Node;
+  };
+  Probe skewed(network);
+  Probe nominal(network);
+  network.set_clock_skew(skewed.id(), sim::seconds(2));
+  sim.run_until(sim::millis(100));
+  EXPECT_EQ(skewed.now(), sim.now() + sim::seconds(2));
+  EXPECT_EQ(nominal.now(), sim.now());
+  EXPECT_EQ(network.clock_skew(skewed.id()), sim::seconds(2));
+  EXPECT_EQ(network.clock_skew(NodeId{999}), sim::kSimTimeZero)
+      << "unknown endpoints read as unskewed";
+  EXPECT_EQ(trace.count("net", "clock_skew"), 1u);
+  network.set_clock_skew(skewed.id(), sim::seconds(2));  // idempotent
+  EXPECT_EQ(trace.count("net", "clock_skew"), 1u);
+  network.set_clock_skew(skewed.id(), sim::kSimTimeZero);
+  EXPECT_EQ(skewed.now(), sim.now());
+  EXPECT_EQ(trace.count("net", "clock_skew"), 2u);
+}
+
 }  // namespace
 }  // namespace riot::net
