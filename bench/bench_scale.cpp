@@ -1,0 +1,313 @@
+// Scale bench: event-kernel and full-stack throughput at 1k/5k/10k
+// endpoints — the bench that seeds the BENCH_* trajectory with events/sec
+// and bytes/event so every future kernel or fabric change is measured.
+//
+// Two phases per population size:
+//
+//   kernel — pure event-loop churn: one periodic timer per endpoint, each
+//            tick cancelling the one-shot it armed last tick and arming a
+//            new one. Isolates the simulation core (schedule + cancel +
+//            dispatch) from protocol logic; this is the number the
+//            scale-check CI floor guards.
+//
+//   stack  — the paper's Fig. 3 city-scale shape: edge clusters of 50
+//            endpoints (1 heartbeat monitor, 16 SWIM members, 16 gossip
+//            nodes, 17 heartbeat emitters) under continuous churn
+//            (crash/recover, isolate flaps, one mid-run partition that
+//            splits the metro in half). Measures end-to-end events/sec and
+//            bytes/event through the network fabric.
+//
+// Usage:
+//   bench_scale                      # full run: 1k/5k/10k, 60 simulated s
+//   bench_scale --trim               # CI variant: 1k only, 5 simulated s
+//   bench_scale --populations=1000   # comma-separated endpoint counts
+//   bench_scale --sim-seconds=30
+//   bench_scale --min-kernel-eps=N   # exit 1 if kernel events/sec < N
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "coord/gossip.hpp"
+#include "membership/heartbeat.hpp"
+#include "membership/swim.hpp"
+#include "net_harness.hpp"
+
+namespace riot::bench {
+namespace {
+
+constexpr std::size_t kClusterSize = 50;
+constexpr std::size_t kSwimPerCluster = 16;
+constexpr std::size_t kGossipPerCluster = 16;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double max_rss_mb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KB
+}
+
+struct PhaseResult {
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] double events_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  [[nodiscard]] double bytes_per_event() const {
+    return events > 0 ? static_cast<double>(bytes) /
+                            static_cast<double>(events)
+                      : 0.0;
+  }
+};
+
+// --- kernel phase -----------------------------------------------------------
+
+PhaseResult run_kernel(std::size_t population, double sim_seconds) {
+  sim::Simulation sim(42);
+  std::vector<sim::EventId> armed(population, sim::kInvalidEventId);
+  std::uint64_t fired = 0;
+  for (std::size_t i = 0; i < population; ++i) {
+    // Staggered periods (50..149 ms) so ticks spread over the timeline.
+    const sim::SimTime period =
+        sim::millis(50 + static_cast<std::int64_t>(i % 100));
+    sim.schedule_every(period, [&sim, &armed, &fired, i, period] {
+      ++fired;
+      // The one-shot armed last tick sits two periods out — cancelling it
+      // here keeps a steady stream of tombstones flowing through the queue.
+      sim.cancel(armed[i]);
+      armed[i] = sim.schedule_after(period * 2, [&fired] { ++fired; });
+    });
+  }
+  PhaseResult r;
+  const double t0 = now_s();
+  sim.run_until(sim::millis(static_cast<std::int64_t>(sim_seconds * 1e3)));
+  r.wall_s = now_s() - t0;
+  r.events = sim.executed_events();
+  return r;
+}
+
+// --- stack phase ------------------------------------------------------------
+
+struct Cluster {
+  net::NodeId monitor_id;
+  std::vector<std::unique_ptr<net::Node>> nodes;
+  std::vector<net::NodeId> members;  // everyone, for churn targeting
+};
+
+PhaseResult run_stack(std::size_t population, double sim_seconds,
+                      std::uint64_t seed) {
+  Harness h(seed);
+  h.trace.set_min_level(sim::TraceLevel::kWarn);
+
+  const std::size_t clusters = population / kClusterSize;
+  // All protocol traffic is intra-cluster (SWIM/gossip peers and the
+  // heartbeat monitor live in the same cluster), so a single LAN-grade
+  // class pair resolved through the cached class matrix covers it — the
+  // per-message path pays two array loads, no hash and no model call.
+  h.network.set_class_link(
+      0, 0, net::LinkQuality{sim::micros(500), sim::micros(200), 0.001});
+
+  membership::SwimConfig swim_cfg;
+  coord::GossipConfig gossip_cfg;
+  membership::HeartbeatConfig hb_cfg;
+
+  std::vector<Cluster> fleet;
+  fleet.reserve(clusters);
+  std::vector<net::NodeId> swim_ids;       // churn targets
+  std::vector<net::Node*> swim_nodes;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    Cluster cluster;
+    auto monitor = std::make_unique<membership::HeartbeatMonitor>(h.network,
+                                                                  hb_cfg);
+    cluster.monitor_id = monitor->id();
+    cluster.members.push_back(monitor->id());
+
+    std::vector<membership::SwimMember*> swims;
+    for (std::size_t i = 0; i < kSwimPerCluster; ++i) {
+      auto m = std::make_unique<membership::SwimMember>(h.network, swim_cfg);
+      swims.push_back(m.get());
+      swim_ids.push_back(m->id());
+      swim_nodes.push_back(m.get());
+      cluster.members.push_back(m->id());
+      cluster.nodes.push_back(std::move(m));
+    }
+    std::vector<coord::GossipNode*> gossips;
+    for (std::size_t i = 0; i < kGossipPerCluster; ++i) {
+      auto g = std::make_unique<coord::GossipNode>(h.network, gossip_cfg);
+      gossips.push_back(g.get());
+      cluster.members.push_back(g->id());
+      cluster.nodes.push_back(std::move(g));
+    }
+    const std::size_t emitters =
+        kClusterSize - 1 - kSwimPerCluster - kGossipPerCluster;
+    for (std::size_t i = 0; i < emitters; ++i) {
+      auto e = std::make_unique<membership::HeartbeatEmitter>(
+          h.network, monitor->id(), hb_cfg);
+      monitor->watch(e->id());
+      cluster.members.push_back(e->id());
+      cluster.nodes.push_back(std::move(e));
+    }
+
+    for (auto* m : swims) {
+      for (auto* peer : swims) {
+        if (peer != m) m->add_peer(peer->id());
+      }
+    }
+    for (auto* g : gossips) {
+      for (auto* peer : gossips) {
+        if (peer != g) g->add_peer(peer->id());
+      }
+    }
+    // Each gossip node refreshes one key every 2 s: steady dissemination
+    // load on top of the anti-entropy rounds.
+    for (auto* g : gossips) {
+      g->every(sim::seconds(2), [g] {
+        g->put("k" + std::to_string(g->id().value),
+               std::to_string(g->network().simulation().now().count()));
+      });
+    }
+    cluster.nodes.push_back(std::move(monitor));
+    fleet.push_back(std::move(cluster));
+  }
+  for (auto& cluster : fleet) {
+    for (auto& node : cluster.nodes) node->start();
+  }
+
+  // Churn driver: crash/recover SWIM members, isolate flaps, and one
+  // partition that splits the metro in half mid-run.
+  sim::Rng churn = h.sim.rng().split("scale-churn");
+  h.sim.schedule_every(sim::millis(250), [&h, &churn, &swim_nodes] {
+    net::Node* victim = swim_nodes[churn.below(swim_nodes.size())];
+    if (!victim->alive()) return;
+    victim->crash();
+    h.sim.schedule_after(
+        sim::millis(churn.between(1000, 3000)),
+        [victim] {
+          if (!victim->alive()) victim->recover();
+        });
+  });
+  h.sim.schedule_every(sim::millis(500), [&h, &churn, &swim_ids] {
+    const net::NodeId target = swim_ids[churn.below(swim_ids.size())];
+    h.network.isolate(target);
+    h.sim.schedule_after(sim::millis(churn.between(500, 2000)),
+                         [&h, target] { h.network.unisolate(target); });
+  });
+  if (sim_seconds >= 10.0) {
+    const auto at_frac = [sim_seconds](double f) {
+      return sim::millis(static_cast<std::int64_t>(sim_seconds * f * 1e3));
+    };
+    h.sim.schedule_at(at_frac(0.4), [&h, &fleet] {
+      std::vector<net::NodeId> west;
+      std::vector<net::NodeId> east;
+      for (std::size_t c = 0; c < fleet.size(); ++c) {
+        auto& side = c < fleet.size() / 2 ? west : east;
+        side.insert(side.end(), fleet[c].members.begin(),
+                    fleet[c].members.end());
+      }
+      h.network.partition({west, east});
+    });
+    h.sim.schedule_at(at_frac(0.6), [&h] { h.network.heal_partition(); });
+  }
+
+  PhaseResult r;
+  const double t0 = now_s();
+  h.sim.run_until(sim::millis(static_cast<std::int64_t>(sim_seconds * 1e3)));
+  r.wall_s = now_s() - t0;
+  r.events = h.sim.executed_events();
+  r.messages = h.network.messages_sent();
+  r.bytes = h.network.bytes_sent();
+  return r;
+}
+
+}  // namespace
+}  // namespace riot::bench
+
+int main(int argc, char** argv) {
+  using namespace riot;
+  using namespace riot::bench;
+
+  std::vector<std::size_t> populations = {1000, 5000, 10000};
+  double sim_seconds = 60.0;
+  double min_kernel_eps = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trim") {
+      populations = {1000};
+      sim_seconds = 5.0;
+    } else if (arg.rfind("--sim-seconds=", 0) == 0) {
+      sim_seconds = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--populations=", 0) == 0) {
+      populations.clear();
+      const char* p = arg.c_str() + 14;
+      while (*p != '\0') {
+        populations.push_back(static_cast<std::size_t>(std::atol(p)));
+        p = std::strchr(p, ',');
+        if (p == nullptr) break;
+        ++p;
+      }
+    } else if (arg.rfind("--min-kernel-eps=", 0) == 0) {
+      min_kernel_eps = std::atof(arg.c_str() + 17);
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  banner("scale: kernel + fabric throughput",
+         "events/sec and bytes/event at 1k/5k/10k endpoints — the floor "
+         "every kernel PR is measured against");
+
+  BenchReport report("scale");
+  report.config("sim_seconds", sim_seconds);
+  report.config("cluster_size", static_cast<double>(kClusterSize));
+  report.set_sim_time_s(sim_seconds * static_cast<double>(populations.size()));
+
+  Table table({"population", "phase", "events", "wall_s", "events_per_s",
+               "messages", "bytes_per_ev", "rss_mb"});
+  table.tee_to(report);
+  table.print_header();
+
+  bool floor_ok = true;
+  for (const std::size_t population : populations) {
+    const PhaseResult kernel = run_kernel(population, sim_seconds);
+    table.print_row({fmt_u(population), "kernel", fmt_u(kernel.events),
+                     fmt(kernel.wall_s), fmt(kernel.events_per_s(), 0), "0",
+                     "0", fmt(max_rss_mb(), 1)});
+    const PhaseResult stack = run_stack(population, sim_seconds, 42);
+    table.print_row({fmt_u(population), "stack", fmt_u(stack.events),
+                     fmt(stack.wall_s), fmt(stack.events_per_s(), 0),
+                     fmt_u(stack.messages), fmt(stack.bytes_per_event(), 1),
+                     fmt(max_rss_mb(), 1)});
+    report.metric("kernel_events_per_s_" + std::to_string(population),
+                  kernel.events_per_s());
+    report.metric("stack_events_per_s_" + std::to_string(population),
+                  stack.events_per_s());
+    report.metric("stack_bytes_per_event_" + std::to_string(population),
+                  stack.bytes_per_event());
+    if (min_kernel_eps > 0.0 && kernel.events_per_s() < min_kernel_eps) {
+      std::fprintf(stderr,
+                   "scale-check FAILED: kernel %.0f events/s at %zu "
+                   "endpoints is below the floor %.0f\n",
+                   kernel.events_per_s(), population, min_kernel_eps);
+      floor_ok = false;
+    }
+  }
+  report.metric("rss_mb_peak", max_rss_mb());
+  report.write();
+  return floor_ok ? 0 : 1;
+}

@@ -63,10 +63,40 @@ void Network::clear_link_override(NodeId from, NodeId to) {
   link_overrides_.erase(pair_key(from, to));
 }
 
+void Network::set_endpoint_class(NodeId id, LinkClass cls) {
+  if (cls >= kMaxLinkClasses) {
+    throw std::invalid_argument("Network::set_endpoint_class: class too big");
+  }
+  endpoints_.at(id.value).link_class = cls;
+}
+
+void Network::set_class_link(LinkClass from, LinkClass to,
+                             LinkQuality quality) {
+  if (from >= kMaxLinkClasses || to >= kMaxLinkClasses) {
+    throw std::invalid_argument("Network::set_class_link: class too big");
+  }
+  const std::size_t cell = from * kMaxLinkClasses + to;
+  class_matrix_[cell] = quality;
+  class_matrix_set_[cell] = true;
+  class_fast_path_ = true;
+}
+
 LinkQuality Network::link_quality(NodeId from, NodeId to) const {
-  if (auto it = link_overrides_.find(pair_key(from, to));
-      it != link_overrides_.end()) {
-    return it->second;
+  // Resolution order: per-pair override, class-matrix cell, model function.
+  // The common steady-state path (no overrides, classes wired) costs two
+  // array loads — no hashing, no type-erased call.
+  if (!link_overrides_.empty()) {
+    if (auto it = link_overrides_.find(pair_key(from, to));
+        it != link_overrides_.end()) {
+      return it->second;
+    }
+  }
+  if (class_fast_path_ && from.value < endpoints_.size() &&
+      to.value < endpoints_.size()) {
+    const std::size_t cell =
+        endpoints_[from.value].link_class * kMaxLinkClasses +
+        endpoints_[to.value].link_class;
+    if (class_matrix_set_[cell]) return class_matrix_[cell];
   }
   return link_model_(from, to);
 }
@@ -104,6 +134,13 @@ void Network::partition(const std::vector<std::vector<NodeId>>& groups) {
     for (const NodeId id : group) endpoints_.at(id.value).group = g;
     ++g;
   }
+  // Isolation survives a repartition: remember the node's home group under
+  // the *new* layout (so unisolate rejoins the current partition, not a
+  // stale pre-partition group), then re-apply the private group.
+  for (auto& [id, saved_group] : isolated_) {
+    saved_group = endpoints_[id].group;
+    endpoints_[id].group = kIsolatedGroupBit | id;
+  }
   partitioned_ = true;
   trace_.event("net", "partition")
       .warn()
@@ -112,9 +149,10 @@ void Network::partition(const std::vector<std::vector<NodeId>>& groups) {
 
 void Network::isolate(NodeId id) {
   auto& ep = endpoints_.at(id.value);
+  // emplace: a double isolate keeps the original saved group, so
+  // isolate(x); isolate(x); unisolate(x) restores the true home group.
   isolated_.emplace(id.value, ep.group);
-  // Unique group far above explicit partition groups.
-  ep.group = 0x8000'0000u | id.value;
+  ep.group = kIsolatedGroupBit | id.value;
   partitioned_ = true;
   trace_.event("net", "isolate").warn().node(id.value);
 }

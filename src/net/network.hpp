@@ -21,6 +21,7 @@
 // downstream detectors parent their reactions on.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -51,6 +52,13 @@ struct LatencyClasses {
   LinkQuality wan{sim::millis(50), sim::millis(20), 0.005};
 };
 
+/// Coarse per-endpoint tier for the cached class-pair fast path (device,
+/// edge, cloud, ... — the meaning is the caller's). At 10k+ endpoints the
+/// per-message link resolution must not run a std::function or hash a pair
+/// key; a (from_class, to_class) matrix cell is two array loads.
+using LinkClass = std::uint8_t;
+constexpr std::size_t kMaxLinkClasses = 16;
+
 class Network {
  public:
   using DeliveryHandler = std::function<void(const Message&)>;
@@ -74,6 +82,14 @@ class Network {
   void set_link(NodeId from, NodeId to, LinkQuality quality);
   void clear_link_override(NodeId from, NodeId to);
 
+  /// Assign an endpoint's link class (default 0). Together with
+  /// set_class_link this enables the cached resolution path: per-pair
+  /// overrides still win, but the class matrix is consulted before the
+  /// link-model function, so steady-state traffic pays no hash lookup and
+  /// no type-erased call. Cells not populated fall through to the model.
+  void set_endpoint_class(NodeId id, LinkClass cls);
+  void set_class_link(LinkClass from, LinkClass to, LinkQuality quality);
+
   /// Send a typed payload. Returns the message id (0 if dropped at source
   /// because the sender is down).
   template <typename T>
@@ -94,6 +110,10 @@ class Network {
   // --- Partitions ---------------------------------------------------------
   // A partition assigns nodes to groups; messages cross groups only if the
   // partition allows none (healed). Nodes not mentioned keep group 0.
+  // Isolation composes with partitions: an isolated node stays isolated
+  // across a repartition, and unisolate rejoins it to its group under the
+  // *current* partition layout. heal_partition() lifts everything,
+  // isolation included.
   void partition(const std::vector<std::vector<NodeId>>& groups);
   /// Isolate a single node from everyone else (degenerate partition).
   void isolate(NodeId id);
@@ -148,9 +168,14 @@ class Network {
   struct Endpoint {
     DeliveryHandler handler;
     bool up = true;
+    LinkClass link_class = 0;
     std::uint32_t group = 0;
     sim::SimTime clock_skew = sim::kSimTimeZero;
   };
+
+  // Isolation marks a node with a private group far above explicit
+  // partition group numbers.
+  static constexpr std::uint32_t kIsolatedGroupBit = 0x8000'0000u;
 
   void deliver(Message message);
 
@@ -163,6 +188,11 @@ class Network {
   std::vector<Endpoint> endpoints_;
   LinkModel link_model_;
   std::unordered_map<std::uint64_t, LinkQuality> link_overrides_;
+  // Class-pair quality cache (row-major from_class x to_class); consulted
+  // only when at least one cell was populated via set_class_link.
+  std::array<LinkQuality, kMaxLinkClasses * kMaxLinkClasses> class_matrix_{};
+  std::array<bool, kMaxLinkClasses * kMaxLinkClasses> class_matrix_set_{};
+  bool class_fast_path_ = false;
   std::unordered_map<std::uint32_t, std::uint32_t> isolated_;  // id -> saved group
   bool partitioned_ = false;
   double ambient_loss_ = 0.0;

@@ -6,19 +6,47 @@
 namespace riot::sim {
 
 ComponentId Simulation::component_id(std::string_view name) {
-  for (std::size_t i = 0; i < component_names_.size(); ++i) {
-    if (component_names_[i] == name) return static_cast<ComponentId>(i);
+  if (auto it = component_index_.find(name); it != component_index_.end()) {
+    return it->second;
   }
   if (component_names_.size() >= 0xffff) {
     throw std::length_error("Simulation::component_id: too many components");
   }
+  const auto id = static_cast<ComponentId>(component_names_.size());
   component_names_.emplace_back(name);
-  return static_cast<ComponentId>(component_names_.size() - 1);
+  component_index_.emplace(component_names_.back(), id);
+  return id;
 }
 
 std::string_view Simulation::component_name(ComponentId id) const {
   return id < component_names_.size() ? component_names_[id]
                                       : std::string_view("?");
+}
+
+std::uint32_t Simulation::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  if (slots_.size() >= 0xffffffffu) {
+    throw std::length_error("Simulation: event slab exhausted");
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulation::retire_slot(std::uint32_t slot) {
+  EventSlot& s = slots_[slot];
+  s.fn = nullptr;  // release the closure now, not when the tombstone pops
+  s.state = SlotState::kFree;
+  if (++s.generation == 0) s.generation = 1;  // keep ids != kInvalidEventId
+  free_slots_.push_back(slot);
+}
+
+void Simulation::reserve_events(std::size_t expected_pending) {
+  slots_.reserve(expected_pending);
+  free_slots_.reserve(expected_pending);
 }
 
 EventId Simulation::schedule_at(SimTime at, std::function<void()> fn,
@@ -29,10 +57,15 @@ EventId Simulation::schedule_at(SimTime at, std::function<void()> fn,
   if (!fn) {
     throw std::invalid_argument("Simulation::schedule_at: empty callback");
   }
-  const EventId id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, component, std::move(fn)});
-  pending_ids_.insert(id);
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  EventSlot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.period = kSimTimeZero;
+  s.component = component;
+  s.state = SlotState::kOneShot;
+  queue_.push(QueuedEvent{at, next_seq_++, slot, s.generation});
+  ++live_;
+  return make_id(slot, s.generation);
 }
 
 EventId Simulation::schedule_every(SimTime period, std::function<void()> fn,
@@ -46,66 +79,78 @@ EventId Simulation::schedule_every(SimTime initial_delay, SimTime period,
   if (period <= kSimTimeZero) {
     throw std::invalid_argument("Simulation::schedule_every: period <= 0");
   }
-  const EventId id = next_id_++;
-  periodics_.emplace(id, Periodic{period, component, std::move(fn)});
-  arm_periodic(id, initial_delay);
-  return id;
-}
-
-void Simulation::arm_periodic(EventId id, SimTime first_delay) {
-  pending_ids_.insert(id);
-  auto it = periodics_.find(id);
-  const ComponentId component =
-      it == periodics_.end() ? kAnonymousComponent : it->second.component;
-  queue_.push(Event{now_ + first_delay, next_seq_++, id, component,
-                    [this, id] {
-                      auto it = periodics_.find(id);
-                      if (it == periodics_.end()) return;  // cancelled
-                      // Re-arm before invoking so the callback can cancel.
-                      arm_periodic(id, it->second.period);
-                      it->second.fn();
-                    }});
+  if (initial_delay < kSimTimeZero) {
+    throw std::invalid_argument(
+        "Simulation::schedule_every: negative initial delay");
+  }
+  if (!fn) {
+    throw std::invalid_argument("Simulation::schedule_every: empty callback");
+  }
+  const std::uint32_t slot = acquire_slot();
+  EventSlot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.period = period;
+  s.component = component;
+  s.state = SlotState::kPeriodic;
+  queue_.push(QueuedEvent{now_ + initial_delay, next_seq_++, slot,
+                          s.generation});
+  ++live_;
+  return make_id(slot, s.generation);
 }
 
 bool Simulation::cancel(EventId id) {
-  if (id == kInvalidEventId) return false;
-  if (periodics_.erase(id) > 0) {
-    // The in-queue re-arm event becomes a no-op.
-    cancelled_.insert(id);
-    pending_ids_.erase(id);
-    return true;
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  EventSlot& s = slots_[slot];
+  if (s.generation != gen || s.state == SlotState::kFree) {
+    return false;  // already ran, already cancelled, or never scheduled
   }
-  if (pending_ids_.erase(id) == 0) return false;  // already ran or unknown
-  cancelled_.insert(id);
+  retire_slot(slot);
+  --live_;
   return true;
 }
 
-void Simulation::run_event(Event& ev) {
-  now_ = ev.at;
+void Simulation::invoke(std::function<void()>& fn, ComponentId component,
+                        SimTime at) {
   ++executed_;
   if (profiler_ == nullptr) {
-    ev.fn();
+    fn();
     return;
   }
   const auto wall_start = std::chrono::steady_clock::now();
-  ev.fn();
+  fn();
   const auto wall_end = std::chrono::steady_clock::now();
   const double wall_micros =
       std::chrono::duration<double, std::micro>(wall_end - wall_start)
           .count();
-  profiler_->on_event(ev.component, ev.at, wall_micros);
+  profiler_->on_event(component, at, wall_micros);
 }
 
 bool Simulation::step() {
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    const QueuedEvent qe = queue_.top();
     queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+    EventSlot& s = slots_[qe.slot];
+    if (s.generation != qe.gen) continue;  // cancelled tombstone
+    now_ = qe.at;
+    const ComponentId component = s.component;
+    if (s.state == SlotState::kPeriodic) {
+      // Re-arm before invoking so the callback can cancel its own id. The
+      // closure is moved out for the call: anything it schedules may grow
+      // the slab and relocate the slot it lives in.
+      queue_.push(QueuedEvent{qe.at + s.period, next_seq_++, qe.slot,
+                              qe.gen});
+      std::function<void()> fn = std::move(s.fn);
+      invoke(fn, component, qe.at);
+      EventSlot& after = slots_[qe.slot];  // slab may have reallocated
+      if (after.generation == qe.gen) after.fn = std::move(fn);
+    } else {
+      std::function<void()> fn = std::move(s.fn);
+      retire_slot(qe.slot);  // cancel(id) inside the callback returns false
+      --live_;
+      invoke(fn, component, qe.at);
     }
-    pending_ids_.erase(ev.id);
-    run_event(ev);
     return true;
   }
   return false;
@@ -113,10 +158,19 @@ bool Simulation::step() {
 
 void Simulation::run_until(SimTime deadline) {
   stop_requested_ = false;
-  while (!stop_requested_ && !queue_.empty() && queue_.top().at <= deadline) {
+  while (!stop_requested_) {
+    // Drain cancelled tombstones first: the deadline check must see the
+    // next *live* event, or a stale head would let execution overshoot.
+    while (!queue_.empty() &&
+           slots_[queue_.top().slot].generation != queue_.top().gen) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().at > deadline) break;
     step();
   }
-  if (now_ < deadline) now_ = deadline;
+  // On a stop the clock stays at the last executed event; callers read
+  // now() to learn when the run actually halted.
+  if (!stop_requested_ && now_ < deadline) now_ = deadline;
 }
 
 void Simulation::run_to_completion() {

@@ -6,6 +6,13 @@
 // strictly in timestamp order (FIFO among equal timestamps), which makes
 // runs fully deterministic for a given seed and configuration.
 //
+// Storage is a slab of generation-tagged event slots (see DESIGN.md §9):
+// the priority queue holds 24-byte POD entries referencing slots, callbacks
+// live in the slab, and cancellation is an O(1) generation bump — no
+// per-event hash-set bookkeeping anywhere on the hot path. EventIds encode
+// (generation << 32 | slot), so ids are never reused within a Simulation
+// even though slots are.
+//
 // Events may carry a component tag (an interned ComponentId resolved once
 // at wiring time); an installed Profiler then receives per-event component
 // attribution and handler wall latency, powering obs::SimProfiler's
@@ -18,7 +25,6 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -28,7 +34,8 @@
 namespace riot::sim {
 
 /// Identifies a scheduled event so it can be cancelled. Ids are never
-/// reused within a Simulation.
+/// reused within a Simulation (slots are; the generation tag in the high
+/// 32 bits disambiguates).
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
@@ -42,6 +49,7 @@ class Simulation {
   explicit Simulation(std::uint64_t seed = 1)
       : rng_(seed), seed_(seed) {
     component_names_.emplace_back("sim");
+    component_index_.emplace("sim", kAnonymousComponent);
   }
 
   Simulation(const Simulation&) = delete;
@@ -54,7 +62,7 @@ class Simulation {
   Rng& rng() { return rng_; }
 
   /// Intern a component name, returning a stable id for event tagging.
-  /// Resolve once at wiring time, not per event.
+  /// O(1) amortized; resolve once at wiring time, not per event.
   ComponentId component_id(std::string_view name);
   [[nodiscard]] std::string_view component_name(ComponentId id) const;
   [[nodiscard]] std::size_t component_count() const {
@@ -95,14 +103,20 @@ class Simulation {
                          ComponentId component = kAnonymousComponent);
 
   /// Cancel a pending (or periodic) event. Returns false if it already ran
-  /// or was never scheduled.
+  /// or was never scheduled. O(1): retires the slot, leaving any queued
+  /// entry as a stale tombstone that the run loop discards on pop.
   bool cancel(EventId id);
 
   /// Execute the next event. Returns false when the queue is exhausted.
   bool step();
 
-  /// Run until the queue drains or the clock passes `deadline`. The clock
-  /// is left at min(deadline, last event time).
+  /// Run until the queue drains or the clock passes `deadline`. Events
+  /// stamped exactly at `deadline` run. On normal completion the clock is
+  /// left at `deadline`; if request_stop() fired mid-run the clock stays
+  /// at the last executed event so callers observe when the run actually
+  /// stopped. No event past `deadline` ever executes — cancelled
+  /// tombstones at the head of the queue are drained before the deadline
+  /// check, never skipped over it.
   void run_until(SimTime deadline);
 
   /// Run for a duration from the current clock.
@@ -116,49 +130,72 @@ class Simulation {
   /// event finishes.
   void request_stop() { stop_requested_ = true; }
 
-  [[nodiscard]] std::size_t pending_events() const {
-    return pending_ids_.size();
-  }
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Pre-size the slab and queue for an expected number of concurrently
+  /// pending events (optional; the slab grows on demand).
+  void reserve_events(std::size_t expected_pending);
+
  private:
-  struct Event {
+  // What the priority queue holds: a POD ticket referencing a slab slot.
+  // Heap sift operations move 24 bytes, never a closure.
+  struct QueuedEvent {
     SimTime at;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
-    ComponentId component;
-    std::function<void()> fn;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
       return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
   };
 
-  struct Periodic {
-    SimTime period;
-    ComponentId component;
+  enum class SlotState : std::uint8_t { kFree, kOneShot, kPeriodic };
+
+  // One slab cell. `generation` starts at 1 and is bumped every time the
+  // slot is retired (fired one-shot or cancelled), invalidating both the
+  // outstanding EventId and any queue entry still carrying the old tag.
+  struct EventSlot {
     std::function<void()> fn;
+    SimTime period = kSimTimeZero;  // periodic re-arm interval
+    std::uint32_t generation = 1;
+    ComponentId component = kAnonymousComponent;
+    SlotState state = SlotState::kFree;
   };
 
-  void arm_periodic(EventId id, SimTime first_delay);
-  void run_event(Event& ev);
+  static constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  std::uint32_t acquire_slot();
+  void retire_slot(std::uint32_t slot);
+  void invoke(std::function<void()>& fn, ComponentId component, SimTime at);
+
+  // Transparent lookup so component_id(string_view) never allocates on the
+  // hit path.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
 
   SimTime now_ = kSimTimeZero;
   Rng rng_;
   std::uint64_t seed_;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;  // scheduled and not yet fired/cancelled
   bool stop_requested_ = false;
   Profiler* profiler_ = nullptr;
   std::vector<std::string> component_names_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> pending_ids_;  // scheduled, not yet run
-  std::unordered_set<EventId> cancelled_;
-  // Periodic registrations, keyed by their stable EventId (the id returned
-  // to the caller stays valid across re-arms).
-  std::unordered_map<EventId, Periodic> periodics_;
+  std::unordered_map<std::string, ComponentId, StringHash, std::equal_to<>>
+      component_index_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  std::vector<EventSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace riot::sim

@@ -148,6 +148,67 @@ TEST_F(NetworkTest, IsolateAndUnisolate) {
   EXPECT_TRUE(network.reachable(a, b));
 }
 
+TEST_F(NetworkTest, PartitionAfterIsolateKeepsNodeIsolated) {
+  // Regression: partition() used to rewrite every endpoint's group while
+  // leaving isolated_ populated — the isolated node silently rejoined a
+  // partition group, and a later unisolate restored a stale pre-partition
+  // group. Chaos schedules interleave isolate and partition freely, so
+  // the two must compose.
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  const NodeId c = make_sink(&inbox);
+  inbox.clear();
+  network.isolate(b);
+  network.partition({{a}, {b, c}});
+  EXPECT_FALSE(network.reachable(b, c)) << "isolation survives repartition";
+  EXPECT_FALSE(network.reachable(a, b));
+  EXPECT_FALSE(network.reachable(a, c)) << "explicit groups still apply";
+  network.unisolate(b);
+  EXPECT_TRUE(network.reachable(b, c))
+      << "unisolate rejoins the CURRENT partition group, not a stale one";
+  EXPECT_FALSE(network.reachable(a, b))
+      << "rejoining b stays inside its partition group";
+}
+
+TEST_F(NetworkTest, RepartitionMovesIsolatedNodesSavedGroup) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  const NodeId c = make_sink(&inbox);
+  inbox.clear();
+  network.partition({{a, b}, {c}});
+  network.isolate(b);  // saved group: 1 (with a)
+  network.partition({{a}, {b, c}});  // b's home moves to group 2 (with c)
+  network.unisolate(b);
+  EXPECT_TRUE(network.reachable(b, c));
+  EXPECT_FALSE(network.reachable(a, b));
+}
+
+TEST_F(NetworkTest, HealPartitionLiftsIsolationToo) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.isolate(b);
+  network.partition({{a}, {b}});
+  network.heal_partition();
+  EXPECT_TRUE(network.reachable(a, b));
+  network.unisolate(b);  // no-op: heal cleared the isolation record
+  EXPECT_TRUE(network.reachable(a, b));
+}
+
+TEST_F(NetworkTest, DoubleIsolateRestoresTrueHomeGroup) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.isolate(b);
+  network.isolate(b);  // idempotent: keeps the original saved group
+  network.unisolate(b);
+  EXPECT_TRUE(network.reachable(a, b));
+}
+
 TEST_F(NetworkTest, UnlistedNodesKeepTalkingDuringPartition) {
   std::vector<Message> inbox;
   const NodeId a = make_sink(&inbox);
@@ -171,6 +232,43 @@ TEST_F(NetworkTest, LinkOverrideTakesPrecedence) {
   EXPECT_EQ(network.link_quality(a, b).base_latency, sim::millis(50));
   network.clear_link_override(a, b);
   EXPECT_EQ(network.link_quality(a, b).base_latency, sim::millis(1));
+}
+
+TEST_F(NetworkTest, ClassMatrixResolvesWithoutModelCall) {
+  std::vector<Message> inbox;
+  const NodeId device = make_sink(&inbox);
+  const NodeId edge = make_sink(&inbox);
+  inbox.clear();
+  // A model that must never be consulted once the class path is wired.
+  bool model_called = false;
+  network.set_link_model([&model_called](NodeId, NodeId) {
+    model_called = true;
+    return LinkQuality{};
+  });
+  network.set_endpoint_class(device, 0);
+  network.set_endpoint_class(edge, 1);
+  network.set_class_link(0, 1, LinkQuality{sim::millis(3), sim::kSimTimeZero, 0.0});
+  network.set_class_link(1, 0, LinkQuality{sim::millis(9), sim::kSimTimeZero, 0.0});
+  EXPECT_EQ(network.link_quality(device, edge).base_latency, sim::millis(3));
+  EXPECT_EQ(network.link_quality(edge, device).base_latency, sim::millis(9));
+  EXPECT_FALSE(model_called);
+  // Unpopulated cells fall through to the model.
+  network.set_endpoint_class(edge, 2);
+  network.link_quality(device, edge);
+  EXPECT_TRUE(model_called);
+}
+
+TEST_F(NetworkTest, PairOverrideBeatsClassMatrix) {
+  std::vector<Message> inbox;
+  const NodeId a = make_sink(&inbox);
+  const NodeId b = make_sink(&inbox);
+  inbox.clear();
+  network.set_class_link(0, 0, LinkQuality{sim::millis(2), sim::kSimTimeZero, 0.0});
+  network.set_link(a, b, LinkQuality{sim::millis(40), sim::kSimTimeZero, 0.0});
+  EXPECT_EQ(network.link_quality(a, b).base_latency, sim::millis(40));
+  EXPECT_EQ(network.link_quality(b, a).base_latency, sim::millis(2));
+  network.clear_link_override(a, b);
+  EXPECT_EQ(network.link_quality(a, b).base_latency, sim::millis(2));
 }
 
 TEST_F(NetworkTest, UnknownEndpointThrows) {

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <unordered_set>
 #include <vector>
+
+#include "sim/trace.hpp"
 
 namespace riot::sim {
 namespace {
@@ -182,6 +185,203 @@ TEST(Simulation, ExecutedEventsCounter) {
 TEST(Simulation, SeedIsStored) {
   Simulation sim(777);
   EXPECT_EQ(sim.seed(), 777u);
+}
+
+// --- run_until deadline contract --------------------------------------------
+
+TEST(Simulation, RunUntilWithCancelledHeadNeverOvershootsDeadline) {
+  // Regression: a cancelled tombstone at the head of the queue used to
+  // satisfy the `top().at <= deadline` peek, after which step() skipped it
+  // and executed the *next* event — even one past the deadline.
+  Simulation sim;
+  bool late_ran = false;
+  const EventId head = sim.schedule_at(millis(10), [] {});
+  sim.schedule_at(millis(40), [&] { late_ran = true; });
+  ASSERT_TRUE(sim.cancel(head));
+  sim.run_until(millis(20));
+  EXPECT_FALSE(late_ran) << "event at 40 ms ran despite a 20 ms deadline";
+  EXPECT_EQ(sim.now(), millis(20)) << "clock lands exactly on the deadline";
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(millis(40));
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Simulation, RunUntilDrainsManyCancelledHeads) {
+  Simulation sim;
+  int ran = 0;
+  std::vector<EventId> doomed;
+  for (int i = 1; i <= 50; ++i) {
+    doomed.push_back(sim.schedule_at(millis(i), [&] { ++ran; }));
+  }
+  sim.schedule_at(millis(100), [&] { ++ran; });
+  for (const EventId id : doomed) ASSERT_TRUE(sim.cancel(id));
+  sim.run_until(millis(60));
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(sim.now(), millis(60));
+}
+
+TEST(Simulation, RunUntilStopLeavesClockAtLastEvent) {
+  // Contract: on request_stop() the clock stays at the last executed event
+  // so callers observe when the run actually halted — it must NOT jump to
+  // the deadline and skew downstream (MAPE, chaos) timing.
+  Simulation sim;
+  int count = 0;
+  sim.schedule_every(millis(1), [&] {
+    if (++count == 5) sim.request_stop();
+  });
+  sim.run_until(seconds(1));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), millis(5)) << "clock stays at the stopping event";
+  sim.run_until(seconds(1));  // resumable: picks up where it stopped
+  EXPECT_GT(count, 5);
+  EXPECT_EQ(sim.now(), seconds(1));
+}
+
+// --- cancel-semantics matrix for the slab event pool ------------------------
+
+TEST(Simulation, CancelSecondTimeReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(millis(10), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, CancelInsideOwnCallbackReturnsFalse) {
+  Simulation sim;
+  EventId id = kInvalidEventId;
+  bool cancel_result = true;
+  id = sim.schedule_at(millis(10), [&] { cancel_result = sim.cancel(id); });
+  sim.run_to_completion();
+  EXPECT_FALSE(cancel_result) << "an event cannot cancel itself mid-fire";
+}
+
+TEST(Simulation, SlotReuseNeverResurrectsOldId) {
+  // Slots recycle, ids must not: cancelling a stale id after its slot was
+  // reused by a newer event must not touch the newer event.
+  Simulation sim;
+  bool second_ran = false;
+  const EventId first = sim.schedule_at(millis(10), [] {});
+  ASSERT_TRUE(sim.cancel(first));
+  const EventId second = sim.schedule_at(millis(10), [&] { second_ran = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(sim.cancel(first)) << "stale id must stay dead";
+  sim.run_to_completion();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Simulation, IdsNeverReusedAcrossAMillionEvents) {
+  Simulation sim;
+  std::unordered_set<EventId> seen;
+  seen.reserve(2'200'000);
+  // Alternate cancel-before-fire and fire paths so slots recycle through
+  // both retirement branches; every id handed out must be globally fresh.
+  for (int i = 0; i < 500'000; ++i) {
+    const EventId doomed = sim.schedule_after(millis(2), [] {});
+    const EventId kept = sim.schedule_after(millis(1), [] {});
+    EXPECT_TRUE(seen.insert(doomed).second) << "id reused at iter " << i;
+    EXPECT_TRUE(seen.insert(kept).second) << "id reused at iter " << i;
+    sim.cancel(doomed);
+    sim.step();  // fires `kept`, recycling its slot
+  }
+  EXPECT_EQ(seen.size(), 1'000'000u);
+}
+
+TEST(Simulation, PendingEventsTracksScheduleCancelAndFire) {
+  Simulation sim;
+  const EventId a = sim.schedule_at(millis(1), [] {});
+  const EventId periodic = sim.schedule_every(millis(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(millis(10));
+  EXPECT_EQ(sim.pending_events(), 1u) << "armed periodic stays pending";
+  sim.cancel(periodic);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, PeriodicCancelledFromAnotherEventSameTimestamp) {
+  // FIFO tie-break: the canceller was scheduled first, so at the shared
+  // t=10ms timestamp it runs before the periodic's first fire — and the
+  // fire must then be a stale tombstone, not an execution.
+  Simulation sim;
+  int fires = 0;
+  EventId id = kInvalidEventId;
+  sim.schedule_at(millis(10), [&] { sim.cancel(id); });
+  id = sim.schedule_every(millis(10), [&] { ++fires; });
+  sim.run_until(millis(50));
+  EXPECT_EQ(fires, 0);
+}
+
+// --- component interning ----------------------------------------------------
+
+TEST(Simulation, ComponentInterningIsStableAndDeduplicated) {
+  Simulation sim;
+  EXPECT_EQ(sim.component_id("sim"), kAnonymousComponent);
+  const ComponentId swim = sim.component_id("swim");
+  const ComponentId raft = sim.component_id("raft");
+  EXPECT_NE(swim, raft);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sim.component_id("swim"), swim);
+  }
+  EXPECT_EQ(sim.component_count(), 3u);
+  EXPECT_EQ(sim.component_name(swim), "swim");
+}
+
+// --- determinism across the slab rewrite ------------------------------------
+
+namespace {
+
+// A seed-driven workload touching every kernel path: periodics, one-shots,
+// cancellations, same-timestamp FIFO ties, and rng draws; every firing
+// logs to the TraceLog so two runs can be compared event for event.
+void run_traced_workload(Simulation& sim, TraceLog& trace) {
+  trace.bind_clock(sim);
+  auto& rng = sim.rng();
+  std::vector<EventId> cancellable;
+  for (int i = 0; i < 20; ++i) {
+    const auto period = millis(static_cast<std::int64_t>(5 + rng.below(20)));
+    sim.schedule_every(period, [&sim, &trace, &rng, &cancellable, i] {
+      trace.event("wl", "tick").node(static_cast<std::uint32_t>(i))
+          .kv("draw", rng.below(1000));
+      if (rng.chance(0.3)) {
+        cancellable.push_back(sim.schedule_after(
+            millis(static_cast<std::int64_t>(1 + rng.below(10))),
+            [&trace, i] {
+              trace.event("wl", "oneshot").node(static_cast<std::uint32_t>(i));
+            }));
+      }
+      if (!cancellable.empty() && rng.chance(0.5)) {
+        sim.cancel(cancellable.back());
+        cancellable.pop_back();
+      }
+    });
+  }
+  sim.run_until(seconds(2));
+}
+
+}  // namespace
+
+TEST(Simulation, TraceIsByteIdenticalForSameSeed) {
+  Simulation first(1234);
+  TraceLog first_trace;
+  run_traced_workload(first, first_trace);
+
+  Simulation second(1234);
+  TraceLog second_trace;
+  run_traced_workload(second, second_trace);
+
+  ASSERT_FALSE(first_trace.events().empty());
+  ASSERT_EQ(first_trace.events().size(), second_trace.events().size());
+  for (std::size_t i = 0; i < first_trace.events().size(); ++i) {
+    const TraceEvent& a = first_trace.events()[i];
+    const TraceEvent& b = second_trace.events()[i];
+    EXPECT_EQ(a.at, b.at) << "event " << i;
+    EXPECT_EQ(a.component, b.component) << "event " << i;
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    EXPECT_EQ(a.node, b.node) << "event " << i;
+    EXPECT_EQ(a.detail, b.detail) << "event " << i;
+  }
+  EXPECT_EQ(first.executed_events(), second.executed_events());
 }
 
 }  // namespace
