@@ -59,6 +59,12 @@ std::optional<device::DeviceId> PlacementEngine::place(
   return best->id;
 }
 
+void PlacementEngine::place_on(const ServiceTask& task,
+                               device::DeviceId host) {
+  if (DeviceView* v = find(host)) v->cpu_allocated += task.cpu_load;
+  placements_[task.id] = Placement{task, host};
+}
+
 void PlacementEngine::release(std::uint64_t task_id) {
   auto it = placements_.find(task_id);
   if (it == placements_.end()) return;
@@ -237,16 +243,18 @@ void EdgeScheduler::try_peers(
   }
   ++forwarded_;
   forwarded_total_.increment();
-  rpc_.call<PlaceRequest, PlaceReply>(
-      peers_[peer_index], PlaceRequest{task},
-      net::RpcOptions{.timeout = sim::millis(200), .max_attempts = 1},
+  rpc_.call_result<PlaceRequest, PlaceReply>(
+      peers_[peer_index], PlaceRequest{task}, peer_options_,
       [this, task, peer_index, done = std::move(done)](
-          std::optional<PlaceReply> reply) mutable {
-        if (reply && reply->ok) {
-          done(reply->host);
-        } else {
-          try_peers(task, peer_index + 1, std::move(done));
+          net::RpcResult<PlaceReply> reply) mutable {
+        if (reply.ok() && reply.value->ok) {
+          done(reply.value->host);
+          return;
         }
+        // Degrade gracefully: an open breaker (or any failure) moves on to
+        // the next peer instead of blocking the placement.
+        if (reply.error == net::RpcError::kCircuitOpen) ++breaker_skips_;
+        try_peers(task, peer_index + 1, std::move(done));
       });
 }
 

@@ -71,6 +71,11 @@ class PlacementEngine {
   /// capacity breaking ties — locality is the paper's first-order concern.
   [[nodiscard]] std::optional<device::DeviceId> place(const ServiceTask& task);
 
+  /// Record a placement decided elsewhere (e.g. by a remote scheduler):
+  /// allocates capacity on `host` without re-running feasibility, so the
+  /// local view stays consistent with the remote decision.
+  void place_on(const ServiceTask& task, device::DeviceId host);
+
   /// Release a previous placement (task completed or migrated away).
   void release(std::uint64_t task_id);
 
@@ -146,6 +151,14 @@ class EdgeScheduler : public net::Node {
   void set_scope(std::vector<device::DeviceId> scope);
   void add_peer(net::NodeId peer_edge);
 
+  /// Resilience policy for peer-forwarding calls. The default retries once
+  /// with jittered backoff under a deadline budget, so a slow peer costs at
+  /// most `deadline` before the next peer is tried; an open breaker skips
+  /// the peer outright.
+  void set_peer_rpc_options(net::RpcOptions options) {
+    peer_options_ = options;
+  }
+
   /// Refresh the live view from the registry (cheap; local).
   void refresh();
 
@@ -153,6 +166,8 @@ class EdgeScheduler : public net::Node {
   [[nodiscard]] net::RpcEndpoint& rpc() { return rpc_; }
   [[nodiscard]] std::uint64_t placements_served() const { return served_; }
   [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  /// Peers skipped without waiting because their breaker was open.
+  [[nodiscard]] std::uint64_t breaker_skips() const { return breaker_skips_; }
 
   /// Place locally or forward to peers; `done` fires with the final
   /// verdict (after at most one forwarding hop per peer).
@@ -172,8 +187,14 @@ class EdgeScheduler : public net::Node {
   std::vector<net::NodeId> peers_;
   PlacementEngine engine_;
   net::RpcEndpoint rpc_;
+  net::RpcOptions peer_options_{.timeout = sim::millis(200),
+                                .max_attempts = 2,
+                                .deadline = sim::millis(600),
+                                .backoff_base = sim::millis(20),
+                                .backoff_cap = sim::millis(200)};
   std::uint64_t served_ = 0;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t breaker_skips_ = 0;
   sim::Counter& served_total_;
   sim::Counter& forwarded_total_;
 };

@@ -2,6 +2,75 @@
 
 namespace riot::core {
 
+/// Internal protocol node that carries the orchestrator's placement RPCs
+/// to the central scheduler. A separate node (rather than reusing an
+/// application node) keeps the orchestrator addressable and lets its
+/// breaker state be observed independently.
+class ServiceOrchestrator::PlacementClient : public net::Node {
+ public:
+  explicit PlacementClient(net::Network& network)
+      : net::Node(network), rpc_(*this) {
+    set_component("orchestrator");
+  }
+
+  [[nodiscard]] net::RpcEndpoint& rpc() { return rpc_; }
+
+ private:
+  net::RpcEndpoint rpc_;
+};
+
+ServiceOrchestrator::ServiceOrchestrator(IoTSystem& system,
+                                         sim::SimTime reconcile_period)
+    : system_(system),
+      period_(reconcile_period),
+      component_(system.simulation().component_id("orchestrator")),
+      reconciles_total_(system.metrics()
+                            .counter_family("riot_orch_reconcile_total",
+                                            "reconciliation passes")
+                            .with({})),
+      migrations_total_(system.metrics()
+                            .counter_family("riot_orch_migrations_total",
+                                            "service re-placements")
+                            .with({})),
+      placement_failures_total_(
+          system.metrics()
+              .counter_family("riot_orch_placement_failures_total",
+                              "reconcile passes leaving a service "
+                              "unplaced")
+              .with({})) {}
+
+ServiceOrchestrator::~ServiceOrchestrator() = default;
+
+void ServiceOrchestrator::use_central(net::NodeId central,
+                                      net::RpcOptions options) {
+  central_ = central;
+  central_options_ = options;
+  rng_ = system_.simulation().rng().split("orchestrator");
+  if (client_ == nullptr) {
+    client_ = std::make_unique<PlacementClient>(system_.network());
+    client_->start();
+  }
+  remote_total_ = &system_.metrics()
+                       .counter_family("riot_orch_remote_placements_total",
+                                       "placements decided by the central "
+                                       "scheduler")
+                       .with({});
+  fallback_total_ = &system_.metrics()
+                         .counter_family("riot_orch_local_fallbacks_total",
+                                         "placements decided locally "
+                                         "because the central path failed")
+                         .with({});
+}
+
+net::BreakerState ServiceOrchestrator::central_breaker() const {
+  return client_ == nullptr ? net::BreakerState::kClosed
+                            : client_->rpc().breaker_state(central_);
+}
+
+net::RpcEndpoint* ServiceOrchestrator::central_rpc() {
+  return client_ == nullptr ? nullptr : &client_->rpc();
+}
+
 void ServiceOrchestrator::add_service(ServiceSpec spec) {
   spec.task.id = next_task_id_++;
   if (spec.task.name.empty()) spec.task.name = spec.name;
@@ -65,34 +134,21 @@ void ServiceOrchestrator::reconcile() {
       managed.host.reset();
     }
     if (!managed.host) {
+      if (client_ != nullptr) {
+        // Central placement path: fire the RPC and move on; the callback
+        // commits the placement or falls back to a local decision. The
+        // endpoint fails fast when the breaker is open, so an unreachable
+        // central costs one deferred event, not a timeout.
+        if (!managed.remote_in_flight) request_remote(managed);
+        continue;
+      }
       const auto placed = engine_.place(managed.spec.task);
       if (!placed) {
         ++placement_failures_;
         placement_failures_total_.increment();
         continue;
       }
-      managed.host = placed;
-      if (managed.ever_placed) {
-        ++migrations_;
-        migrations_total_.increment();
-      }
-      managed.ever_placed = true;
-      if (deploy_) deploy_(managed.spec.name, *placed);
-      obs::SpanContext place_span;
-      if (managed.repair_span.valid()) {
-        place_span = system_.tracer().start_span(
-            managed.repair_span, "orchestrator", "place");
-        system_.tracer().annotate(place_span, "host",
-                                  system_.registry().get(*placed).name);
-        system_.tracer().end(place_span);
-        system_.tracer().end(managed.repair_span);
-        managed.repair_span = {};
-      }
-      system_.trace()
-          .event("orchestrator", "place")
-          .detail(managed.spec.name + " -> " +
-                  system_.registry().get(*placed).name)
-          .span(place_span);
+      commit_placement(managed, *placed, /*remote=*/false);
       continue;
     }
     if (managed.spec.allow_rebalance) {
@@ -130,6 +186,101 @@ void ServiceOrchestrator::reconcile() {
       }
     }
   }
+}
+
+ServiceOrchestrator::Managed* ServiceOrchestrator::find_managed(
+    std::uint64_t task_id) {
+  for (Managed& managed : services_) {
+    if (managed.spec.task.id == task_id) return &managed;
+  }
+  return nullptr;
+}
+
+void ServiceOrchestrator::commit_placement(Managed& managed,
+                                           device::DeviceId host,
+                                           bool remote) {
+  managed.host = host;
+  if (managed.ever_placed) {
+    ++migrations_;
+    migrations_total_.increment();
+  }
+  managed.ever_placed = true;
+  if (deploy_) deploy_(managed.spec.name, host);
+  obs::SpanContext place_span;
+  if (managed.repair_span.valid()) {
+    place_span = system_.tracer().start_span(managed.repair_span,
+                                             "orchestrator", "place");
+    system_.tracer().annotate(place_span, "host",
+                              system_.registry().get(host).name);
+    system_.tracer().end(place_span);
+    system_.tracer().end(managed.repair_span);
+    managed.repair_span = {};
+  }
+  auto event = system_.trace().event("orchestrator", "place");
+  event
+      .detail(managed.spec.name + " -> " + system_.registry().get(host).name)
+      .span(place_span);
+  if (remote) event.kv("path", "central");
+}
+
+void ServiceOrchestrator::request_remote(Managed& managed) {
+  managed.remote_in_flight = true;
+  const std::uint64_t task_id = managed.spec.task.id;
+  // Capture the task id, never the Managed reference: services_ may grow
+  // (and reallocate) while the call is in flight.
+  client_->rpc().call_result<coord::PlaceRequest, coord::PlaceReply>(
+      central_, coord::PlaceRequest{managed.spec.task}, central_options_,
+      [this, task_id](net::RpcResult<coord::PlaceReply> r) {
+        Managed* managed = find_managed(task_id);
+        if (managed == nullptr) return;
+        managed->remote_in_flight = false;
+        if (managed->host) return;  // placed by another path meanwhile
+        if (r.ok() && r.value->ok && host_healthy(r.value->host)) {
+          // Apply the remote decision to the local engine so eviction and
+          // release keep working against the local view.
+          engine_.place_on(managed->spec.task, r.value->host);
+          ++remote_placements_;
+          remote_total_->increment();
+          defer_backoff_us_ = 0.0;
+          commit_placement(*managed, r.value->host, /*remote=*/true);
+          return;
+        }
+        // Graceful degradation: the central path failed (timeout, shed,
+        // no feasible host, or breaker open) — decide locally now and pull
+        // the next reconcile earlier with decorrelated jitter so retries
+        // against the central do not synchronize.
+        ++local_fallbacks_;
+        fallback_total_->increment();
+        system_.trace()
+            .event("orchestrator", "central-fallback")
+            .warn()
+            .detail(managed->spec.name)
+            .kv("error", net::to_string(r.error));
+        refresh_engine();
+        if (const auto placed = engine_.place(managed->spec.task)) {
+          commit_placement(*managed, *placed, /*remote=*/false);
+        } else {
+          ++placement_failures_;
+          placement_failures_total_.increment();
+        }
+        defer_reconcile();
+      });
+}
+
+void ServiceOrchestrator::defer_reconcile() {
+  if (defer_pending_ || timer_ == sim::kInvalidEventId) return;
+  defer_pending_ = true;
+  const double base = sim::to_micros(sim::millis(50));
+  const double cap = sim::to_micros(period_);
+  defer_backoff_us_ = rng_.decorrelated(
+      base, defer_backoff_us_ > 0.0 ? defer_backoff_us_ : base, cap);
+  system_.simulation().schedule_after(
+      sim::SimTime{static_cast<std::int64_t>(defer_backoff_us_ * 1e3)},
+      [this] {
+        defer_pending_ = false;
+        if (timer_ != sim::kInvalidEventId) reconcile();
+      },
+      component_);
 }
 
 std::optional<device::DeviceId> ServiceOrchestrator::host_of(

@@ -10,7 +10,12 @@
 //     stack compatibility, locality, domain constraints);
 //   - on host death: automatic re-placement onto the best surviving
 //     feasible device (self-healing migration);
-//   - on recovery of a strictly better host: optional rebalancing.
+//   - on recovery of a strictly better host: optional rebalancing;
+//   - optionally, placement decisions delegated to a CentralScheduler over
+//     resilient RPC (use_central): when the central path fails or its
+//     circuit breaker is open, the orchestrator degrades gracefully to
+//     local placement and retries the central on a jittered early
+//     reconcile (deferred reconciliation).
 //
 // The actual lifecycle of the business logic is delegated to a Deployer
 // callback pair — in the simulator that activates/deactivates component
@@ -24,8 +29,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "coord/scheduler.hpp"
 #include "core/system.hpp"
+#include "net/rpc.hpp"
+#include "sim/rng.hpp"
 
 namespace riot::core {
 
@@ -42,25 +51,20 @@ class ServiceOrchestrator {
   using UndeployFn =
       std::function<void(const std::string& service, device::DeviceId host)>;
 
-  ServiceOrchestrator(IoTSystem& system,
-                      sim::SimTime reconcile_period = sim::seconds(1))
-      : system_(system),
-        period_(reconcile_period),
-        component_(system.simulation().component_id("orchestrator")),
-        reconciles_total_(system.metrics()
-                              .counter_family("riot_orch_reconcile_total",
-                                              "reconciliation passes")
-                              .with({})),
-        migrations_total_(system.metrics()
-                              .counter_family("riot_orch_migrations_total",
-                                              "service re-placements")
-                              .with({})),
-        placement_failures_total_(
-            system.metrics()
-                .counter_family("riot_orch_placement_failures_total",
-                                "reconcile passes leaving a service "
-                                "unplaced")
-                .with({})) {}
+  explicit ServiceOrchestrator(IoTSystem& system,
+                               sim::SimTime reconcile_period = sim::seconds(1));
+
+  ~ServiceOrchestrator();
+
+  /// Delegate placement decisions to a CentralScheduler at `central` over
+  /// resilient RPC. Placements still apply to the local engine (so
+  /// eviction/release stay local); only the *decision* is remote. When the
+  /// call fails — timeout, shed, or breaker open — the orchestrator falls
+  /// back to local placement and schedules a jittered early reconcile.
+  void use_central(net::NodeId central,
+                   net::RpcOptions options = {.timeout = sim::millis(250),
+                                              .max_attempts = 2,
+                                              .deadline = sim::seconds(1)});
 
   void set_deployer(DeployFn deploy, UndeployFn undeploy) {
     deploy_ = std::move(deploy);
@@ -90,20 +94,39 @@ class ServiceOrchestrator {
     return placement_failures_;
   }
   [[nodiscard]] std::size_t unplaced_count() const;
+  [[nodiscard]] std::uint64_t remote_placements() const {
+    return remote_placements_;
+  }
+  [[nodiscard]] std::uint64_t local_fallbacks() const {
+    return local_fallbacks_;
+  }
+  /// Breaker state of the central placement path (kClosed when no central
+  /// is configured).
+  [[nodiscard]] net::BreakerState central_breaker() const;
+  /// RPC endpoint carrying central placement calls (nullptr before
+  /// use_central); exposed so callers can tune breaker policy.
+  [[nodiscard]] net::RpcEndpoint* central_rpc();
 
  private:
   struct Managed {
     ServiceSpec spec;
     std::optional<device::DeviceId> host;
     bool ever_placed = false;  // a later re-placement counts as migration
+    bool remote_in_flight = false;  // a central placement RPC is pending
     // Open repair span: host-lost opens it (parented on the host's
     // incident), the successful re-placement closes it.
     obs::SpanContext repair_span;
   };
 
+  class PlacementClient;  // internal Node owning the RPC endpoint
+
   void reconcile();
   void refresh_engine();
   [[nodiscard]] bool host_healthy(device::DeviceId id) const;
+  [[nodiscard]] Managed* find_managed(std::uint64_t task_id);
+  void commit_placement(Managed& managed, device::DeviceId host, bool remote);
+  void request_remote(Managed& managed);
+  void defer_reconcile();
 
   IoTSystem& system_;
   sim::SimTime period_;
@@ -120,6 +143,18 @@ class ServiceOrchestrator {
   std::uint64_t next_task_id_ = 1;
   std::uint64_t migrations_ = 0;
   std::uint64_t placement_failures_ = 0;
+
+  // Central-placement path (engaged by use_central).
+  std::unique_ptr<PlacementClient> client_;
+  net::NodeId central_;
+  net::RpcOptions central_options_;
+  sim::Rng rng_;  // reseeded by use_central (split from the sim root)
+  double defer_backoff_us_ = 0.0;
+  bool defer_pending_ = false;
+  std::uint64_t remote_placements_ = 0;
+  std::uint64_t local_fallbacks_ = 0;
+  sim::Counter* remote_total_ = nullptr;
+  sim::Counter* fallback_total_ = nullptr;
 };
 
 }  // namespace riot::core

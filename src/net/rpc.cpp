@@ -1,0 +1,388 @@
+#include "net/rpc.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+
+namespace riot::net {
+
+std::string_view to_string(RpcError error) {
+  switch (error) {
+    case RpcError::kNone: return "ok";
+    case RpcError::kTimeout: return "timeout";
+    case RpcError::kNoHandler: return "no_handler";
+    case RpcError::kExpired: return "expired";
+    case RpcError::kCircuitOpen: return "circuit_open";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+RpcEndpoint::RpcEndpoint(Node& node)
+    : node_(node),
+      // Each endpoint gets an independent, deterministic jitter stream:
+      // split() consumes one draw from the simulation's root generator at
+      // construction time (setup, never mid-run).
+      rng_(node.simulation().rng().split("rpc")),
+      calls_total_(node.network()
+                       .metrics()
+                       .counter_family("riot_rpc_calls_total",
+                                       "logical RPC calls issued")
+                       .with({})),
+      attempts_total_(node.network()
+                          .metrics()
+                          .counter_family("riot_rpc_attempts_total",
+                                          "request attempts sent "
+                                          "(first sends + retries)")
+                          .with({})),
+      retries_total_(node.network()
+                         .metrics()
+                         .counter_family("riot_rpc_retries_total",
+                                         "retry attempts after a timeout")
+                         .with({})),
+      timeouts_total_(node.network()
+                          .metrics()
+                          .counter_family("riot_rpc_timeouts_total",
+                                          "per-attempt timeouts")
+                          .with({})),
+      dedup_hits_total_(node.network()
+                            .metrics()
+                            .counter_family(
+                                "riot_rpc_dedup_hits_total",
+                                "duplicate requests answered from the "
+                                "response cache (handler not re-run)")
+                            .with({})),
+      shed_total_(node.network()
+                      .metrics()
+                      .counter_family("riot_rpc_shed_total",
+                                      "requests shed server-side because "
+                                      "the caller's deadline had passed")
+                      .with({})),
+      stale_total_(node.network()
+                       .metrics()
+                       .counter_family("riot_rpc_stale_responses_total",
+                                       "responses ignored because the call "
+                                       "completed or moved to a newer "
+                                       "attempt")
+                       .with({})),
+      no_handler_total_(node.network()
+                            .metrics()
+                            .counter_family("riot_rpc_no_handler_total",
+                                            "requests for an unregistered "
+                                            "type, answered with an error "
+                                            "envelope")
+                            .with({})),
+      breaker_rejected_total_(node.network()
+                                  .metrics()
+                                  .counter_family(
+                                      "riot_rpc_breaker_rejected_total",
+                                      "calls failed fast because the "
+                                      "destination breaker was open")
+                                  .with({})),
+      call_latency_us_(node.network()
+                           .metrics()
+                           .histogram_family("riot_rpc_call_latency_us",
+                                             "successful call latency, "
+                                             "first send to response")
+                           .with({})) {
+  auto& completed = node.network().metrics().counter_family(
+      "riot_rpc_completed_total", "calls completed, by terminal result");
+  completed_by_result_ = {
+      &completed.with({{"result", "ok"}}),
+      &completed.with({{"result", "timeout"}}),
+      &completed.with({{"result", "no_handler"}}),
+      &completed.with({{"result", "expired"}}),
+      &completed.with({{"result", "circuit_open"}}),
+  };
+  auto& transitions = node.network().metrics().counter_family(
+      "riot_rpc_breaker_transitions_total",
+      "circuit-breaker state transitions, by target state");
+  breaker_transitions_ = {
+      &transitions.with({{"to", "closed"}}),
+      &transitions.with({{"to", "open"}}),
+      &transitions.with({{"to", "half_open"}}),
+  };
+  node_.on<detail::RpcRequestEnvelope>(
+      [this](NodeId from, const detail::RpcRequestEnvelope& env) {
+        handle_request(from, env);
+      });
+  node_.on<detail::RpcResponseEnvelope>(
+      [this](NodeId from, const detail::RpcResponseEnvelope& env) {
+        handle_response(from, env);
+      });
+}
+
+void RpcEndpoint::set_dedup_capacity(std::size_t capacity) {
+  dedup_capacity_ = std::max<std::size_t>(capacity, 1);
+  while (dedup_order_.size() > dedup_capacity_) {
+    dedup_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+}
+
+BreakerState RpcEndpoint::breaker_state(NodeId to) const {
+  const auto it = breakers_.find(to.value);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+// --- Client path ------------------------------------------------------------
+
+void RpcEndpoint::begin_attempt(const CallPtr& call) {
+  if (call->options.use_breaker && !admit(call->to)) {
+    breaker_rejected_total_.increment();
+    ++failed_fast_;
+    fail_fast(call, RpcError::kCircuitOpen);
+    return;
+  }
+  sim::SimTime timeout = call->options.timeout;
+  if (call->deadline_at > sim::kSimTimeZero) {
+    const sim::SimTime remaining = call->deadline_at - node_.now();
+    if (remaining <= sim::kSimTimeZero) {
+      fail_fast(call, RpcError::kExpired);
+      return;
+    }
+    timeout = std::min(timeout, remaining);
+  }
+  ++call->attempt;
+  attempts_total_.increment();
+  if (call->attempt > 1) {
+    ++retries_;
+    retries_total_.increment();
+  }
+  pending_[call->call_id] = call;
+  call->timeout_event =
+      node_.after(timeout, [this, call] { on_attempt_timeout(call); });
+  call->send();
+}
+
+void RpcEndpoint::on_attempt_timeout(const CallPtr& call) {
+  const auto it = pending_.find(call->call_id);
+  if (it == pending_.end() || it->second != call) return;  // completed
+  pending_.erase(it);
+  ++timeouts_;
+  timeouts_total_.increment();
+  if (call->options.use_breaker) record_outcome(call->to, /*failure=*/true);
+  if (call->attempt < static_cast<std::uint32_t>(
+                          std::max(call->options.max_attempts, 1))) {
+    const sim::SimTime backoff = next_backoff(*call);
+    // Only retry when the attempt can still start inside the budget.
+    if (call->deadline_at == sim::kSimTimeZero ||
+        node_.now() + backoff < call->deadline_at) {
+      node_.after(backoff, [this, call] { begin_attempt(call); });
+      return;
+    }
+  }
+  finish(call, RpcError::kTimeout, nullptr);
+}
+
+void RpcEndpoint::fail_fast(const CallPtr& call, RpcError error) {
+  // Deferred one event so completions are always asynchronous — callers
+  // never observe `done` running inside call_result().
+  node_.after(sim::kSimTimeZero,
+              [this, call, error] { finish(call, error, nullptr); });
+}
+
+void RpcEndpoint::finish(const CallPtr& call, RpcError error,
+                         std::any* body) {
+  completed_by_result_[static_cast<std::size_t>(error)]->increment();
+  if (error == RpcError::kNone) {
+    ++completed_;
+    call_latency_us_.record_time(node_.now() - call->started_at);
+  }
+  call->complete(error, body, static_cast<int>(call->attempt));
+}
+
+sim::SimTime RpcEndpoint::next_backoff(CallState& call) {
+  const double base = sim::to_micros(call.options.backoff_base);
+  const double cap = sim::to_micros(call.options.backoff_cap);
+  const double prev = call.last_backoff > sim::kSimTimeZero
+                          ? sim::to_micros(call.last_backoff)
+                          : base;
+  const sim::SimTime backoff{static_cast<std::int64_t>(
+      rng_.decorrelated(base, prev, cap) * 1e3)};  // us -> ns
+  call.last_backoff = backoff;
+  return backoff;
+}
+
+// --- Circuit breaker --------------------------------------------------------
+
+bool RpcEndpoint::admit(NodeId to) {
+  Breaker& b = breakers_[to.value];
+  switch (b.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (node_.now() < b.open_until) return false;
+      transition(b, to, BreakerState::kHalfOpen);
+      b.probe_in_flight = false;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (b.probe_in_flight) return false;
+      b.probe_in_flight = true;
+      return true;
+  }
+  return true;
+}
+
+void RpcEndpoint::record_outcome(NodeId to, bool failure) {
+  Breaker& b = breakers_[to.value];
+  switch (b.state) {
+    case BreakerState::kHalfOpen:
+      b.probe_in_flight = false;
+      if (failure) {
+        b.open_until = node_.now() + breaker_config_.open_timeout;
+        transition(b, to, BreakerState::kOpen);
+      } else {
+        b.window.clear();
+        b.failures = 0;
+        transition(b, to, BreakerState::kClosed);
+      }
+      break;
+    case BreakerState::kClosed: {
+      b.window.push_back(failure);
+      if (failure) ++b.failures;
+      if (b.window.size() > breaker_config_.window) {
+        if (b.window.front()) --b.failures;
+        b.window.pop_front();
+      }
+      const double rate = b.window.empty()
+                              ? 0.0
+                              : static_cast<double>(b.failures) /
+                                    static_cast<double>(b.window.size());
+      if (b.window.size() >= breaker_config_.min_samples &&
+          rate >= breaker_config_.failure_threshold) {
+        b.window.clear();
+        b.failures = 0;
+        b.open_until = node_.now() + breaker_config_.open_timeout;
+        transition(b, to, BreakerState::kOpen);
+      }
+      break;
+    }
+    case BreakerState::kOpen:
+      // Straggler outcomes of attempts admitted before the trip; the open
+      // window already accounts for the peer being unhealthy.
+      break;
+  }
+}
+
+void RpcEndpoint::transition(Breaker& breaker, NodeId to,
+                             BreakerState next) {
+  breaker.state = next;
+  breaker_transitions_[static_cast<std::size_t>(next)]->increment();
+  node_.network()
+      .trace()
+      .event("rpc", "breaker")
+      .node(node_.id().value)
+      .kv("peer", to.value)
+      .kv("state", to_string(next));
+}
+
+// --- Server path ------------------------------------------------------------
+
+void RpcEndpoint::handle_request(NodeId from,
+                                 const detail::RpcRequestEnvelope& env) {
+  // Shed requests whose caller has already given up — the paper's "do not
+  // do dead work under overload" degradation rule. Uses this node's local
+  // clock, so clock skew honestly widens or narrows the shedding window.
+  if (env.deadline > sim::kSimTimeZero && node_.now() > env.deadline) {
+    ++shed_;
+    shed_total_.increment();
+    node_.network()
+        .trace()
+        .event("rpc", "shed")
+        .debug()
+        .node(node_.id().value)
+        .kv("caller", from.value)
+        .kv("call", env.call_id);
+    respond(from, env.call_id, env.attempt, detail::RpcWireStatus::kExpired,
+            {}, 0);
+    return;
+  }
+  const DedupKey key{from.value, env.call_id};
+  if (const auto it = dedup_.find(key); it != dedup_.end()) {
+    ++dedup_hits_;
+    dedup_hits_total_.increment();
+    respond(from, env.call_id, env.attempt, detail::RpcWireStatus::kOk,
+            it->second.body, it->second.size);
+    return;
+  }
+  const auto server = servers_.find(env.body_type);
+  if (server == servers_.end()) {
+    // Answer with an error envelope so the caller fails fast with a
+    // distinct no_handler outcome instead of burning its whole deadline.
+    no_handler_total_.increment();
+    respond(from, env.call_id, env.attempt,
+            detail::RpcWireStatus::kNoHandler, {}, 0);
+    return;
+  }
+  ++handler_executions_;
+  if (on_execute_) on_execute_(from, env.call_id);
+  auto [body, size] = server->second(from, env.body);
+  remember(key, body, size);
+  respond(from, env.call_id, env.attempt, detail::RpcWireStatus::kOk,
+          std::move(body), size);
+}
+
+void RpcEndpoint::handle_response(NodeId /*from*/,
+                                  const detail::RpcResponseEnvelope& env) {
+  const auto it = pending_.find(env.call_id);
+  if (it == pending_.end() || it->second->attempt != env.attempt) {
+    // Late reply after the call completed, or a reply to a superseded
+    // attempt racing the retry — never match it to the newer attempt.
+    ++stale_responses_;
+    stale_total_.increment();
+    return;
+  }
+  const CallPtr call = it->second;
+  pending_.erase(it);
+  node_.cancel(call->timeout_event);
+  switch (env.status) {
+    case detail::RpcWireStatus::kOk: {
+      if (call->options.use_breaker) record_outcome(call->to, false);
+      std::any body = env.body;
+      finish(call, RpcError::kNone, &body);
+      break;
+    }
+    case detail::RpcWireStatus::kNoHandler:
+      // The peer is alive and responsive — a healthy channel as far as the
+      // breaker is concerned; the caller is simply talking to the wrong
+      // endpoint. Fail without retrying.
+      if (call->options.use_breaker) record_outcome(call->to, false);
+      finish(call, RpcError::kNoHandler, nullptr);
+      break;
+    case detail::RpcWireStatus::kExpired:
+      // Too slow end-to-end: evidence of an unhealthy path, and no point
+      // retrying a spent budget.
+      if (call->options.use_breaker) record_outcome(call->to, true);
+      finish(call, RpcError::kExpired, nullptr);
+      break;
+  }
+}
+
+void RpcEndpoint::respond(NodeId to, std::uint64_t call_id,
+                          std::uint32_t attempt,
+                          detail::RpcWireStatus status, std::any body,
+                          std::uint32_t size) {
+  node_.send(to, detail::RpcResponseEnvelope{call_id, attempt, status,
+                                             std::move(body), size});
+}
+
+void RpcEndpoint::remember(const DedupKey& key, const std::any& body,
+                           std::uint32_t size) {
+  if (dedup_.size() >= dedup_capacity_ && !dedup_order_.empty()) {
+    dedup_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+  dedup_.emplace(key, DedupEntry{body, size});
+  dedup_order_.push_back(key);
+}
+
+}  // namespace riot::net

@@ -1,26 +1,98 @@
-// Request/response RPC over the message substrate.
+// Resilient request/response RPC over the message substrate.
 //
-// RpcEndpoint decorates a Node with correlated request/response semantics:
-// timeouts, bounded retries, and typed server handlers. Used by protocols
-// that are naturally call-shaped (scheduler placement calls, cloud API
-// calls) — gossip/consensus traffic stays on raw typed messages.
+// RpcEndpoint decorates a Node with correlated request/response semantics
+// plus the resilience policy layer the paper's ML4 end state demands
+// ("degrades gracefully and recovers autonomously"):
+//
+//   - deadline budgets: one end-to-end budget caps the *whole* call — every
+//     attempt's timeout is clipped to the remaining budget, and the budget
+//     travels in the request envelope so servers shed requests whose caller
+//     has already given up instead of doing dead work;
+//   - retries with exponential backoff and decorrelated jitter, drawn from
+//     the simulation RNG so retry storms stay reproducible seed-for-seed;
+//   - a per-destination circuit breaker (closed / open / half-open over a
+//     failure-rate window) that fails calls fast while a peer is flapping,
+//     emitting `rpc/breaker` trace events and riot_rpc_* metrics on every
+//     state transition;
+//   - server-side idempotency: responses are cached by (caller, call_id) in
+//     a bounded FIFO cache and replayed on duplicate delivery or retry, so
+//     at-least-once transport becomes effectively-once handler execution.
+//
+// Used by protocols that are naturally call-shaped (scheduler placement
+// calls, orchestrator -> cloud placement); gossip/consensus traffic stays
+// on raw typed messages.
 #pragma once
 
+#include <any>
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string_view>
 #include <typeindex>
 #include <unordered_map>
 #include <utility>
 
 #include "net/node.hpp"
+#include "sim/rng.hpp"
 
 namespace riot::net {
 
+/// Terminal outcome of a call, beyond "response or not".
+enum class RpcError : std::uint8_t {
+  kNone = 0,     // success; RpcResult::value is engaged
+  kTimeout,      // every permitted attempt timed out / budget exhausted
+  kNoHandler,    // peer answered: no handler registered for this type
+  kExpired,      // deadline passed (shed server-side, or budget spent)
+  kCircuitOpen,  // failed fast: breaker open for this destination
+};
+
+std::string_view to_string(RpcError error);
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+std::string_view to_string(BreakerState state);
+
+/// Per-destination circuit-breaker tuning (endpoint-wide; see
+/// RpcEndpoint::set_breaker).
+struct BreakerConfig {
+  std::size_t window = 10;          // outcomes remembered per destination
+  std::size_t min_samples = 5;      // never trip on fewer outcomes
+  double failure_threshold = 0.5;   // open at >= this failure rate
+  sim::SimTime open_timeout = sim::seconds(1);  // open -> half-open cooldown
+};
+
+struct RpcOptions {
+  sim::SimTime timeout = sim::millis(500);  // per attempt (clipped to budget)
+  int max_attempts = 1;                     // 1 = no retry
+  /// End-to-end budget across all attempts and backoff waits; zero = only
+  /// max_attempts bounds the call. Propagated in the request envelope.
+  sim::SimTime deadline = sim::kSimTimeZero;
+  /// Decorrelated-jitter backoff between attempts: sleep_n is uniform in
+  /// [base, 3 * sleep_{n-1}], clamped to cap.
+  sim::SimTime backoff_base = sim::millis(50);
+  sim::SimTime backoff_cap = sim::seconds(5);
+  bool use_breaker = true;
+};
+
+template <typename Resp>
+struct RpcResult {
+  std::optional<Resp> value;
+  RpcError error = RpcError::kNone;
+  int attempts = 0;  // attempts actually sent (0 if failed fast pre-send)
+  [[nodiscard]] bool ok() const { return value.has_value(); }
+};
+
 namespace detail {
 
+enum class RpcWireStatus : std::uint8_t { kOk, kNoHandler, kExpired };
+
 struct RpcRequestEnvelope {
-  std::uint64_t call_id;
+  std::uint64_t call_id;  // stable across retries (dedup identity)
+  std::uint32_t attempt;  // 1-based; responses echo it (stale-reply guard)
+  sim::SimTime deadline;  // absolute caller-clock deadline; zero = none
   std::type_index body_type;
   std::any body;
   std::uint32_t body_size;
@@ -29,121 +101,217 @@ struct RpcRequestEnvelope {
 
 struct RpcResponseEnvelope {
   std::uint64_t call_id;
-  std::any body;
+  std::uint32_t attempt;
+  RpcWireStatus status;
+  std::any body;  // engaged only when status == kOk
   std::uint32_t body_size;
   std::uint32_t wire_size() const { return body_size; }
 };
 
 }  // namespace detail
 
-struct RpcOptions {
-  sim::SimTime timeout = sim::millis(500);
-  int max_attempts = 1;  // 1 = no retry
-};
-
 class RpcEndpoint {
  public:
-  explicit RpcEndpoint(Node& node) : node_(node) {
-    node_.on<detail::RpcRequestEnvelope>(
-        [this](NodeId from, const detail::RpcRequestEnvelope& env) {
-          handle_request(from, env);
-        });
-    node_.on<detail::RpcResponseEnvelope>(
-        [this](NodeId from, const detail::RpcResponseEnvelope& env) {
-          handle_response(from, env);
-        });
-  }
+  explicit RpcEndpoint(Node& node);
 
-  /// Register a server handler: Req -> Resp.
+  /// Register a server handler: Req -> Resp. Handler execution is
+  /// effectively-once per (caller, call_id): retries and network duplicates
+  /// replay the cached response instead of re-invoking.
   template <typename Req, typename Resp>
   void serve(std::function<Resp(NodeId from, const Req&)> handler) {
-    servers_[typeid(Req)] = [this, handler = std::move(handler)](
-                                NodeId from,
-                                const detail::RpcRequestEnvelope& env) {
-      Resp resp = handler(from, std::any_cast<const Req&>(env.body));
+    servers_[typeid(Req)] = [handler = std::move(handler)](
+                                NodeId from, const std::any& body) {
+      Resp resp = handler(from, std::any_cast<const Req&>(body));
       const std::uint32_t size = wire_size_of(resp);
-      node_.send(from, detail::RpcResponseEnvelope{env.call_id,
-                                                   std::move(resp), size});
+      return std::pair<std::any, std::uint32_t>(std::move(resp), size);
     };
   }
 
-  /// Issue a call. `done` receives nullopt on timeout (after all retry
-  /// attempts are exhausted).
+  /// Issue a call with full outcome reporting.
+  template <typename Req, typename Resp>
+  void call_result(NodeId to, Req request, RpcOptions options,
+                   std::function<void(RpcResult<Resp>)> done) {
+    auto call = std::make_shared<CallState>();
+    call->call_id = next_call_id_++;
+    call->to = to;
+    call->options = options;
+    call->started_at = node_.now();
+    if (options.deadline > sim::kSimTimeZero) {
+      call->deadline_at = call->started_at + options.deadline;
+    }
+    call->complete = [done = std::move(done)](RpcError error, std::any* body,
+                                              int attempts) {
+      RpcResult<Resp> r;
+      r.error = error;
+      r.attempts = attempts;
+      if (body != nullptr) r.value = std::any_cast<Resp>(std::move(*body));
+      done(std::move(r));
+    };
+    // weak_ptr: the closure lives inside CallState, a shared_ptr to the
+    // owner would leak the state on abandoned calls.
+    call->send = [this, weak = std::weak_ptr<CallState>(call),
+                  request = std::move(request)] {
+      auto c = weak.lock();
+      if (!c) return;
+      const std::uint32_t size = wire_size_of(request);
+      node_.send(c->to,
+                 detail::RpcRequestEnvelope{c->call_id, c->attempt,
+                                            c->deadline_at, typeid(Req),
+                                            request, size});
+    };
+    ++calls_;
+    calls_total_.increment();
+    begin_attempt(call);
+  }
+
+  /// Compatibility surface: `done` receives nullopt on any failure.
   template <typename Req, typename Resp>
   void call(NodeId to, Req request, RpcOptions options,
             std::function<void(std::optional<Resp>)> done) {
-    attempt<Req, Resp>(to, std::move(request), options, 1, std::move(done));
+    call_result<Req, Resp>(
+        to, std::move(request), options,
+        [done = std::move(done)](RpcResult<Resp> r) {
+          done(std::move(r.value));
+        });
   }
 
-  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  // --- Policy knobs ---------------------------------------------------------
+
+  void set_breaker(BreakerConfig config) { breaker_config_ = config; }
+  /// Bound on the response cache (entries, FIFO eviction). Sizing rule:
+  /// at least the number of calls a peer set can retry within one deadline
+  /// budget, or a retry landing after eviction re-executes the handler.
+  void set_dedup_capacity(std::size_t capacity);
+  /// Observe every *actual* handler execution (dedup-suppressed replays do
+  /// not fire). Chaos invariants count executions per (caller, call_id).
+  void set_execution_observer(
+      std::function<void(NodeId caller, std::uint64_t call_id)> observer) {
+    on_execute_ = std::move(observer);
+  }
+
+  /// Breaker state for a destination (kClosed when never used). Note the
+  /// open -> half-open transition is traffic-driven: it happens when the
+  /// first call after the cooldown is admitted.
+  [[nodiscard]] BreakerState breaker_state(NodeId to) const;
+
+  // --- Per-endpoint counters (registry-level riot_rpc_* mirror these) ------
+
+  [[nodiscard]] std::uint64_t calls() const { return calls_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t failed_fast() const { return failed_fast_; }
+  [[nodiscard]] std::uint64_t dedup_hits() const { return dedup_hits_; }
+  [[nodiscard]] std::uint64_t shed() const { return shed_; }
+  [[nodiscard]] std::uint64_t stale_responses() const {
+    return stale_responses_;
+  }
+  [[nodiscard]] std::uint64_t handler_executions() const {
+    return handler_executions_;
+  }
+  [[nodiscard]] std::size_t dedup_size() const { return dedup_.size(); }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
 
  private:
-  struct Pending {
-    std::function<void(std::optional<std::any>)> complete;
-    sim::EventId timeout_event;
+  struct CallState {
+    std::uint64_t call_id = 0;
+    NodeId to;
+    RpcOptions options;
+    sim::SimTime started_at = sim::kSimTimeZero;
+    sim::SimTime deadline_at = sim::kSimTimeZero;  // zero = unbounded
+    std::uint32_t attempt = 0;                     // current (1-based)
+    sim::SimTime last_backoff = sim::kSimTimeZero;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+    std::function<void(RpcError, std::any*, int)> complete;
+    std::function<void()> send;  // (re)send with the current attempt tag
+  };
+  using CallPtr = std::shared_ptr<CallState>;
+
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    std::deque<bool> window;  // true = failure
+    std::size_t failures = 0;
+    sim::SimTime open_until = sim::kSimTimeZero;
+    bool probe_in_flight = false;
   };
 
-  template <typename Req, typename Resp>
-  void attempt(NodeId to, Req request, RpcOptions options, int attempt_no,
-               std::function<void(std::optional<Resp>)> done) {
-    const std::uint64_t call_id = next_call_id_++;
-    const std::uint32_t size = wire_size_of(request);
-    Pending pending;
-    pending.complete = [done](std::optional<std::any> body) {
-      if (!body.has_value()) {
-        done(std::nullopt);
-      } else {
-        done(std::any_cast<Resp>(std::move(*body)));
-      }
-    };
-    pending.timeout_event = node_.after(
-        options.timeout,
-        [this, call_id, to, request, options, attempt_no, done]() mutable {
-          auto it = pending_.find(call_id);
-          if (it == pending_.end()) return;  // already completed
-          pending_.erase(it);
-          ++timeouts_;
-          if (attempt_no < options.max_attempts) {
-            attempt<Req, Resp>(to, std::move(request), options,
-                               attempt_no + 1, std::move(done));
-          } else {
-            done(std::nullopt);
-          }
-        });
-    pending_.emplace(call_id, std::move(pending));
-    node_.send(to, detail::RpcRequestEnvelope{call_id, typeid(Req),
-                                              std::move(request), size});
-  }
-
-  void handle_request(NodeId from, const detail::RpcRequestEnvelope& env) {
-    if (auto it = servers_.find(env.body_type); it != servers_.end()) {
-      it->second(from, env);
+  struct DedupKey {
+    std::uint32_t caller;
+    std::uint64_t call_id;
+    bool operator==(const DedupKey&) const = default;
+  };
+  struct DedupKeyHash {
+    std::size_t operator()(const DedupKey& k) const {
+      std::uint64_t h = k.call_id * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<std::uint64_t>(k.caller) << 32) | k.caller;
+      return static_cast<std::size_t>(h ^ (h >> 29));
     }
-    // Unknown request types are dropped; the caller times out, which is
-    // the honest failure mode for talking to the wrong endpoint.
-  }
+  };
+  struct DedupEntry {
+    std::any body;
+    std::uint32_t size = 0;
+  };
 
-  void handle_response(NodeId /*from*/,
-                       const detail::RpcResponseEnvelope& env) {
-    auto it = pending_.find(env.call_id);
-    if (it == pending_.end()) return;  // late response after timeout
-    auto pending = std::move(it->second);
-    pending_.erase(it);
-    node_.cancel(pending.timeout_event);
-    ++completed_;
-    pending.complete(env.body);
-  }
+  // Client path.
+  void begin_attempt(const CallPtr& call);
+  void on_attempt_timeout(const CallPtr& call);
+  void fail_fast(const CallPtr& call, RpcError error);
+  void finish(const CallPtr& call, RpcError error, std::any* body);
+  [[nodiscard]] sim::SimTime next_backoff(CallState& call);
+
+  // Breaker.
+  bool admit(NodeId to);
+  void record_outcome(NodeId to, bool failure);
+  void transition(Breaker& breaker, NodeId to, BreakerState next);
+
+  // Server path.
+  void handle_request(NodeId from, const detail::RpcRequestEnvelope& env);
+  void handle_response(NodeId from, const detail::RpcResponseEnvelope& env);
+  void respond(NodeId to, std::uint64_t call_id, std::uint32_t attempt,
+               detail::RpcWireStatus status, std::any body,
+               std::uint32_t size);
+  void remember(const DedupKey& key, const std::any& body,
+                std::uint32_t size);
 
   Node& node_;
+  sim::Rng rng_;
+  BreakerConfig breaker_config_;
+  std::size_t dedup_capacity_ = 1024;
   std::uint64_t next_call_id_ = 1;
-  std::uint64_t timeouts_ = 0;
+
+  std::uint64_t calls_ = 0;
   std::uint64_t completed_ = 0;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failed_fast_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t stale_responses_ = 0;
+  std::uint64_t handler_executions_ = 0;
+
+  std::unordered_map<std::uint64_t, CallPtr> pending_;  // by call_id
+  std::unordered_map<std::uint32_t, Breaker> breakers_;  // by NodeId value
+  std::unordered_map<DedupKey, DedupEntry, DedupKeyHash> dedup_;
+  std::deque<DedupKey> dedup_order_;  // FIFO eviction order
   std::unordered_map<std::type_index,
-                     std::function<void(NodeId,
-                                        const detail::RpcRequestEnvelope&)>>
+                     std::function<std::pair<std::any, std::uint32_t>(
+                         NodeId, const std::any&)>>
       servers_;
+  std::function<void(NodeId, std::uint64_t)> on_execute_;
+
+  // Registry-level handles (shared across endpoints), resolved once here.
+  sim::Counter& calls_total_;
+  sim::Counter& attempts_total_;
+  sim::Counter& retries_total_;
+  sim::Counter& timeouts_total_;
+  sim::Counter& dedup_hits_total_;
+  sim::Counter& shed_total_;
+  sim::Counter& stale_total_;
+  sim::Counter& no_handler_total_;
+  sim::Counter& breaker_rejected_total_;
+  std::array<sim::Counter*, 5> completed_by_result_;  // indexed by RpcError
+  std::array<sim::Counter*, 3> breaker_transitions_;  // indexed by BreakerState
+  sim::Histogram& call_latency_us_;
 };
 
 }  // namespace riot::net

@@ -97,6 +97,16 @@ class Rng {
   /// Bernoulli trial.
   bool chance(double p) { return uniform01() < p; }
 
+  /// Decorrelated-jitter backoff step (Brooker, "Exponential Backoff and
+  /// Jitter"): next = min(cap, uniform(base, 3 * prev)). Units are the
+  /// caller's choice; `prev` is the previous sleep (pass `base` on the
+  /// first step).
+  double decorrelated(double base, double prev, double cap) {
+    const double hi = prev * 3.0;
+    const double next = uniform(base, hi > base ? hi : base + 1e-9);
+    return next < cap ? next : cap;
+  }
+
   /// Exponentially distributed value with the given mean (inter-arrival
   /// times of Poisson processes).
   double exponential(double mean);

@@ -243,6 +243,52 @@ TEST_F(SchedulerTest, EdgeSchedulerFailsWhenNowhereFits) {
   EXPECT_FALSE(second.has_value());
 }
 
+TEST_F(SchedulerTest, EdgeSchedulerSkipsPeerWithOpenBreaker) {
+  EdgeScheduler a(network, registry);
+  EdgeScheduler b(network, registry);
+  a.start();
+  b.start();
+  a.set_scope({edge0});
+  b.set_scope({edge1});
+  a.add_peer(b.id());
+  a.set_peer_rpc_options(net::RpcOptions{.timeout = sim::millis(100),
+                                         .max_attempts = 1,
+                                         .deadline = sim::millis(200)});
+  a.rpc().set_breaker(net::BreakerConfig{.window = 4,
+                                         .min_samples = 2,
+                                         .failure_threshold = 0.5,
+                                         .open_timeout = sim::seconds(5)});
+  // Saturate edge0 so every further placement overflows to the peer; kill
+  // the peer so those forwards time out and trip the breaker.
+  const double cap = registry.get(edge0).caps.cpu_mips;
+  std::optional<device::DeviceId> first;
+  a.place(edge_task(1, cap), [&](auto host) { first = host; });
+  sim.run_until(sim::seconds(1));
+  ASSERT_TRUE(first.has_value());
+  b.crash();
+  for (std::uint64_t id = 2; id <= 3; ++id) {
+    bool done = false;
+    a.place(edge_task(id, 100), [&](auto) { done = true; });
+    sim.run_until(sim.now() + sim::seconds(1));
+    EXPECT_TRUE(done);  // timeout resolved the forward
+  }
+  EXPECT_EQ(a.rpc().breaker_state(b.id()), net::BreakerState::kOpen);
+  // With the breaker open the next overflow placement fails fast instead
+  // of burning the forward timeout.
+  bool resolved = false;
+  const sim::SimTime asked_at = sim.now();
+  sim::SimTime resolved_at = sim::kSimTimeZero;
+  a.place(edge_task(4, 100), [&](auto host) {
+    resolved = true;
+    resolved_at = sim.now();
+    EXPECT_FALSE(host.has_value());
+  });
+  sim.run_until(sim.now() + sim::seconds(1));
+  ASSERT_TRUE(resolved);
+  EXPECT_EQ(resolved_at, asked_at);
+  EXPECT_GE(a.breaker_skips(), 1u);
+}
+
 TEST_F(SchedulerTest, CentralSnapshotGoesStale) {
   CentralScheduler scheduler(network, registry, sim::seconds(10));
   scheduler.start();

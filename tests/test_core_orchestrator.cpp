@@ -146,6 +146,69 @@ TEST_F(OrchestratorTest, FleetRestriction) {
   EXPECT_EQ(orchestrator.host_of("analytics"), edge_far);
 }
 
+TEST_F(OrchestratorTest, CentralSchedulerDecidesPlacement) {
+  auto& central =
+      system.attach<coord::CentralScheduler>(gateway, system.registry());
+  orchestrator.use_central(central.id());
+  orchestrator.add_service(edge_service("analytics"));
+  orchestrator.start();
+  system.run_for(sim::seconds(2));
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_near);
+  EXPECT_EQ(orchestrator.remote_placements(), 1u);
+  EXPECT_EQ(orchestrator.local_fallbacks(), 0u);
+  ASSERT_EQ(events["analytics"].size(), 1u);
+  EXPECT_EQ(events["analytics"][0], "deploy@edge-near");
+}
+
+TEST_F(OrchestratorTest, FallsBackLocallyWhenCentralDown) {
+  auto& central =
+      system.attach<coord::CentralScheduler>(gateway, system.registry());
+  orchestrator.use_central(central.id(),
+                           net::RpcOptions{.timeout = sim::millis(100),
+                                           .max_attempts = 1,
+                                           .deadline = sim::millis(300)});
+  central.crash();
+  orchestrator.add_service(edge_service("analytics"));
+  orchestrator.start();
+  system.run_for(sim::seconds(2));
+  // The service is never left hanging on the dead central: placement
+  // degrades to the local engine.
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_near);
+  EXPECT_GE(orchestrator.local_fallbacks(), 1u);
+  EXPECT_EQ(orchestrator.remote_placements(), 0u);
+}
+
+TEST_F(OrchestratorTest, CentralBreakerOpensThenRecovers) {
+  auto& central =
+      system.attach<coord::CentralScheduler>(gateway, system.registry());
+  orchestrator.use_central(central.id(),
+                           net::RpcOptions{.timeout = sim::millis(250),
+                                           .max_attempts = 2,
+                                           .deadline = sim::seconds(1)});
+  orchestrator.central_rpc()->set_breaker(
+      net::BreakerConfig{.window = 4,
+                         .min_samples = 2,
+                         .failure_threshold = 0.5,
+                         .open_timeout = sim::millis(500)});
+  central.crash();
+  orchestrator.add_service(edge_service("analytics"));
+  orchestrator.start();
+  system.run_for(sim::millis(1500));
+  // Both attempts of the first call timed out: breaker open, service
+  // placed by the local fallback.
+  EXPECT_EQ(orchestrator.central_breaker(), net::BreakerState::kOpen);
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_near);
+  EXPECT_GE(orchestrator.local_fallbacks(), 1u);
+  // Host dies after the central healed: the re-placement goes through the
+  // recovered central (half-open probe succeeds and closes the breaker).
+  system.crash_device(edge_near);
+  central.recover();
+  system.run_for(sim::seconds(2));
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_far);
+  EXPECT_EQ(orchestrator.central_breaker(), net::BreakerState::kClosed);
+  EXPECT_GE(orchestrator.remote_placements(), 1u);
+}
+
 TEST_F(OrchestratorTest, DomainConstraintHonored) {
   const auto domain_a = system.add_domain(device::AdminDomain{.name = "a"});
   const auto domain_b = system.add_domain(device::AdminDomain{.name = "b"});

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "net_fixture.hpp"
 
@@ -89,17 +92,24 @@ TEST_F(RpcTest, AllRetriesExhausted) {
   EXPECT_EQ(client.rpc.timeouts(), 3u);
 }
 
-TEST_F(RpcTest, UnknownRequestTypeTimesOut) {
+TEST_F(RpcTest, UnknownRequestTypeFailsFast) {
+  // The server answers with an error envelope instead of silently
+  // dropping: the caller learns no_handler in one round trip rather than
+  // burning the full timeout (and never retries — the peer is healthy).
   struct Unknown {
     int x = 0;
   };
-  bool got = true;
-  client.rpc.call<Unknown, EchoResp>(
+  std::optional<RpcResult<EchoResp>> result;
+  client.rpc.call_result<Unknown, EchoResp>(
       server.id(), Unknown{},
-      RpcOptions{.timeout = sim::millis(100), .max_attempts = 1},
-      [&](std::optional<EchoResp> r) { got = r.has_value(); });
-  sim.run_until(sim::seconds(1));
-  EXPECT_FALSE(got);
+      RpcOptions{.timeout = sim::millis(100), .max_attempts = 3},
+      [&](RpcResult<EchoResp> r) { result = std::move(r); });
+  sim.run_until(sim::millis(50));  // well under the 100ms attempt timeout
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->error, RpcError::kNoHandler);
+  EXPECT_EQ(result->attempts, 1);
+  EXPECT_EQ(client.rpc.timeouts(), 0u);
 }
 
 TEST_F(RpcTest, ConcurrentCallsCorrelate) {
@@ -136,6 +146,241 @@ TEST_F(RpcTest, LateResponseAfterTimeoutIgnored) {
   sim.run_until(sim::seconds(1));
   EXPECT_EQ(completions, 1);
   EXPECT_FALSE(last.has_value());
+}
+
+TEST_F(RpcTest, StaleResponseNeverMatchesNewerAttempt) {
+  // Regression: a response to attempt 1 that lands after the timeout but
+  // while attempt 2 is in flight must not be matched to attempt 2. The
+  // asymmetric link makes attempt 1's response arrive mid-retry; before
+  // attempt tagging this completed the call with a response the newer
+  // attempt never earned.
+  const NodeId server_id = server.id();
+  network.set_link_model([server_id](NodeId from, NodeId) {
+    return LinkQuality{from == server_id ? sim::millis(130) : sim::millis(10),
+                       sim::kSimTimeZero, 0.0};
+  });
+  int completions = 0;
+  std::optional<RpcResult<EchoResp>> result;
+  client.rpc.call_result<EchoReq, EchoResp>(
+      server.id(), EchoReq{5},
+      RpcOptions{.timeout = sim::millis(100),
+                 .max_attempts = 2,
+                 .backoff_base = sim::millis(5),
+                 .backoff_cap = sim::millis(15)},
+      [&](RpcResult<EchoResp> r) {
+        ++completions;
+        result = std::move(r);
+      });
+  // Timeline: attempt 1 sent at 0, times out at 100; attempt 2 sent at
+  // ~105-115; attempt 1's response (tag 1) arrives at 140 while attempt 2
+  // is pending and must be discarded as stale.
+  sim.run_until(sim::seconds(1));
+  EXPECT_EQ(completions, 1);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->error, RpcError::kTimeout);
+  EXPECT_GE(client.rpc.stale_responses(), 1u);
+  // Both attempts reached the server; the handler still ran exactly once.
+  EXPECT_EQ(server.rpc.handler_executions(), 1u);
+  EXPECT_EQ(server.rpc.dedup_hits(), 1u);
+}
+
+TEST_F(RpcTest, RetryReplaysCachedResponseAfterSlowFirstReply) {
+  // First response is too slow (effectively lost); the retry hits the
+  // dedup cache and succeeds without re-executing the handler —
+  // at-least-once transport, effectively-once execution.
+  const NodeId server_id = server.id();
+  auto reply_latency = std::make_shared<sim::SimTime>(sim::millis(150));
+  network.set_link_model([server_id, reply_latency](NodeId from, NodeId) {
+    return LinkQuality{from == server_id ? *reply_latency : sim::millis(10),
+                       sim::kSimTimeZero, 0.0};
+  });
+  sim.schedule_at(sim::millis(120),
+                  [&] { *reply_latency = sim::millis(10); });
+  std::optional<RpcResult<EchoResp>> result;
+  client.rpc.call_result<EchoReq, EchoResp>(
+      server.id(), EchoReq{5},
+      RpcOptions{.timeout = sim::millis(100),
+                 .max_attempts = 3,
+                 .backoff_base = sim::millis(30),
+                 .backoff_cap = sim::millis(31)},
+      [&](RpcResult<EchoResp> r) { result = std::move(r); });
+  sim.run_until(sim::seconds(1));
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->ok());
+  EXPECT_EQ(result->value->value, 10);
+  EXPECT_EQ(result->attempts, 2);
+  EXPECT_EQ(server.rpc.handler_executions(), 1u);
+  EXPECT_EQ(server.rpc.dedup_hits(), 1u);
+}
+
+TEST_F(RpcTest, DeadlineBudgetCapsTotalAttempts) {
+  server.crash();
+  std::optional<RpcResult<EchoResp>> result;
+  sim::SimTime done_at = sim::kSimTimeZero;
+  client.rpc.call_result<EchoReq, EchoResp>(
+      server.id(), EchoReq{1},
+      RpcOptions{.timeout = sim::millis(100),
+                 .max_attempts = 10,
+                 .deadline = sim::millis(350),
+                 .backoff_base = sim::millis(10),
+                 .backoff_cap = sim::millis(20)},
+      [&](RpcResult<EchoResp> r) {
+        result = std::move(r);
+        done_at = sim.now();
+      });
+  sim.run_until(sim::seconds(5));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok());
+  // The budget, not max_attempts, ended the call: 10 attempts at 100ms
+  // each can never fit in 350ms.
+  EXPECT_LT(result->attempts, 10);
+  EXPECT_GE(result->attempts, 3);
+  EXPECT_LE(done_at, sim::millis(351));
+}
+
+TEST_F(RpcTest, ServerShedsExpiredRequests) {
+  // Request takes 200ms to arrive but the caller's budget is 150ms: the
+  // server must shed it instead of doing dead work.
+  network.set_link_model([](NodeId, NodeId) {
+    return LinkQuality{sim::millis(200), sim::kSimTimeZero, 0.0};
+  });
+  std::optional<RpcResult<EchoResp>> result;
+  client.rpc.call_result<EchoReq, EchoResp>(
+      server.id(), EchoReq{1},
+      RpcOptions{.timeout = sim::millis(500),
+                 .max_attempts = 1,
+                 .deadline = sim::millis(150)},
+      [&](RpcResult<EchoResp> r) { result = std::move(r); });
+  sim.run_until(sim::seconds(2));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(server.rpc.shed(), 1u);
+  EXPECT_EQ(server.rpc.handler_executions(), 0u);
+}
+
+TEST_F(RpcTest, BreakerOpensAndFailsFast) {
+  server.crash();
+  client.rpc.set_breaker(BreakerConfig{.window = 10,
+                                       .min_samples = 5,
+                                       .failure_threshold = 0.5,
+                                       .open_timeout = sim::seconds(1)});
+  const RpcOptions options{.timeout = sim::millis(50), .max_attempts = 1};
+  int failures = 0;
+  for (int i = 0; i < 5; ++i) {
+    client.rpc.call<EchoReq, EchoResp>(
+        server.id(), EchoReq{i}, options,
+        [&](std::optional<EchoResp> r) { failures += r ? 0 : 1; });
+    sim.run_until(sim.now() + sim::millis(100));
+  }
+  EXPECT_EQ(failures, 5);
+  EXPECT_EQ(client.rpc.breaker_state(server.id()), BreakerState::kOpen);
+  // Next call fails fast without consuming its timeout.
+  std::optional<RpcResult<EchoResp>> result;
+  const sim::SimTime issued_at = sim.now();
+  sim::SimTime done_at = sim::kSimTimeZero;
+  client.rpc.call_result<EchoReq, EchoResp>(
+      server.id(), EchoReq{9}, options, [&](RpcResult<EchoResp> r) {
+        result = std::move(r);
+        done_at = sim.now();
+      });
+  sim.run_until(sim.now() + sim::millis(100));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->error, RpcError::kCircuitOpen);
+  EXPECT_EQ(result->attempts, 0);
+  EXPECT_EQ(done_at, issued_at);  // deferred one zero-delay event only
+  EXPECT_GE(client.rpc.failed_fast(), 1u);
+}
+
+TEST_F(RpcTest, BreakerLifecycleUnderPartitionAndHeal) {
+  client.rpc.set_breaker(BreakerConfig{.window = 10,
+                                       .min_samples = 4,
+                                       .failure_threshold = 0.5,
+                                       .open_timeout = sim::millis(500)});
+  // Steady client traffic through a partition and its heal. The breaker
+  // must open while the server is unreachable, probe half-open after the
+  // cooldown, and close again once the path heals.
+  std::uint64_t successes = 0;
+  client.every(sim::millis(100), [&] {
+    client.rpc.call<EchoReq, EchoResp>(
+        server.id(), EchoReq{1},
+        RpcOptions{.timeout = sim::millis(80), .max_attempts = 1},
+        [&](std::optional<EchoResp> r) { successes += r ? 1 : 0; });
+  });
+  sim.run_until(sim::millis(500));
+  EXPECT_GT(successes, 0u);  // healthy before the partition
+  partition_away({server.id()});
+  sim.run_until(sim::seconds(2));
+  // While the server is unreachable the breaker cycles open -> half-open
+  // probe -> open; whichever phase the checkpoint lands on, it is not
+  // closed and calls are being refused.
+  EXPECT_NE(client.rpc.breaker_state(server.id()), BreakerState::kClosed);
+  const std::uint64_t fast_fails = client.rpc.failed_fast();
+  EXPECT_GT(fast_fails, 0u);
+  heal();
+  const std::uint64_t successes_before_heal = successes;
+  sim.run_until(sim::seconds(4));
+  // Cooldown elapsed -> a probe was admitted (half-open), succeeded, and
+  // closed the breaker; traffic flows again.
+  EXPECT_EQ(client.rpc.breaker_state(server.id()), BreakerState::kClosed);
+  EXPECT_GT(successes, successes_before_heal);
+  // Trace carries the full lifecycle. While the partition persists, probes
+  // may bounce half_open -> open several times; the first transition must
+  // be the trip to open and the last the close after the heal, with a
+  // half-open probe in between.
+  std::vector<std::string> states;
+  for (const auto& ev : trace.find("rpc", "breaker")) {
+    states.push_back(ev.detail);
+  }
+  ASSERT_GE(states.size(), 3u);
+  EXPECT_NE(states.front().find("state=open"), std::string::npos);
+  EXPECT_NE(states.back().find("state=closed"), std::string::npos);
+  const bool probed = std::any_of(
+      states.begin(), states.end(), [](const std::string& s) {
+        return s.find("state=half_open") != std::string::npos;
+      });
+  EXPECT_TRUE(probed);
+}
+
+TEST_F(RpcTest, DuplicatedMessagesExecuteHandlersOnce) {
+  enable_duplication(1.0);  // every message delivered twice
+  std::vector<int> results;
+  for (int i = 0; i < 5; ++i) {
+    client.rpc.call<EchoReq, EchoResp>(
+        server.id(), EchoReq{i}, RpcOptions{},
+        [&](std::optional<EchoResp> r) {
+          ASSERT_TRUE(r.has_value());
+          results.push_back(r->value);
+        });
+  }
+  sim.run_until(sim::seconds(1));
+  ASSERT_EQ(results.size(), 5u);
+  std::sort(results.begin(), results.end());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 2);
+  }
+  // Each duplicated request was answered from the dedup cache.
+  EXPECT_EQ(server.rpc.handler_executions(), 5u);
+  EXPECT_EQ(server.rpc.dedup_hits(), 5u);
+  // Duplicated responses to completed calls were discarded as stale.
+  EXPECT_GE(client.rpc.stale_responses(), 5u);
+}
+
+TEST_F(RpcTest, DedupCacheEvictionIsBounded) {
+  server.rpc.set_dedup_capacity(4);
+  int completions = 0;
+  for (int i = 0; i < 10; ++i) {
+    client.rpc.call<EchoReq, EchoResp>(
+        server.id(), EchoReq{i}, RpcOptions{},
+        [&](std::optional<EchoResp>) { ++completions; });
+    sim.run_until(sim.now() + sim::millis(50));
+  }
+  EXPECT_EQ(completions, 10);
+  EXPECT_EQ(server.rpc.handler_executions(), 10u);
+  EXPECT_LE(server.rpc.dedup_size(), 4u);
+  // Shrinking the bound evicts immediately.
+  server.rpc.set_dedup_capacity(2);
+  EXPECT_LE(server.rpc.dedup_size(), 2u);
 }
 
 TEST_F(RpcTest, ServerSeesCallerId) {
