@@ -17,20 +17,31 @@
 //            splits the metro in half). Measures end-to-end events/sec and
 //            bytes/event through the network fabric.
 //
+//   delivery — the envelope hot path in isolation: node pairs ping-pong a
+//            fixed-size POD payload over a zero-loss, zero-jitter LAN
+//            link. Every simulated event is exactly one message delivery,
+//            and a global operator-new hook counts heap allocations inside
+//            the measured window — the rung that proves the typed-envelope
+//            path is allocation-free (allocs_per_ev must read 0.000).
+//
 // Usage:
 //   bench_scale                      # full run: 1k/5k/10k, 60 simulated s
 //   bench_scale --trim               # CI variant: 1k only, 5 simulated s
 //   bench_scale --populations=1000   # comma-separated endpoint counts
 //   bench_scale --sim-seconds=30
 //   bench_scale --min-kernel-eps=N   # exit 1 if kernel events/sec < N
+//   bench_scale --min-delivery-eps=N # exit 1 if delivery events/sec < N
+//   bench_scale --max-delivery-allocs=X  # exit 1 if allocs/delivery > X
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -39,6 +50,39 @@
 #include "membership/heartbeat.hpp"
 #include "membership/swim.hpp"
 #include "net_harness.hpp"
+
+// --- Heap-allocation counter -------------------------------------------------
+// Global operator-new replacement: every heap allocation in the process
+// bumps a counter the delivery rung samples around its measured window.
+// Single-threaded bench, so a plain counter is race-free. The sized /
+// aligned delete forms are provided so the replacement set stays matched;
+// array and nothrow news forward to the plain form by default.
+
+namespace {
+std::uint64_t g_heap_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_heap_allocs;
+  void* p = nullptr;
+  const std::size_t al =
+      std::max(static_cast<std::size_t>(align), sizeof(void*));
+  if (posix_memalign(&p, al, size != 0 ? size : 1) == 0) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace riot::bench {
 namespace {
@@ -64,12 +108,18 @@ struct PhaseResult {
   double wall_s = 0.0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t allocs = 0;  // heap allocations inside the measured window
 
   [[nodiscard]] double events_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
   }
   [[nodiscard]] double bytes_per_event() const {
     return events > 0 ? static_cast<double>(bytes) /
+                            static_cast<double>(events)
+                      : 0.0;
+  }
+  [[nodiscard]] double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) /
                             static_cast<double>(events)
                       : 0.0;
   }
@@ -226,11 +276,79 @@ PhaseResult run_stack(std::size_t population, double sim_seconds,
 
   PhaseResult r;
   const double t0 = now_s();
+  const std::uint64_t allocs0 = g_heap_allocs;
   h.sim.run_until(sim::millis(static_cast<std::int64_t>(sim_seconds * 1e3)));
+  r.allocs = g_heap_allocs - allocs0;
   r.wall_s = now_s() - t0;
   r.events = h.sim.executed_events();
   r.messages = h.network.messages_sent();
   r.bytes = h.network.bytes_sent();
+  return r;
+}
+
+// --- delivery phase ---------------------------------------------------------
+
+// The envelope hot path in isolation. Node pairs bat a fixed-size POD
+// payload back and forth over a deterministic link (no loss, no jitter —
+// the fabric draws no randomness), so every executed event is exactly one
+// message delivery: payload boxed inline, flight-slab slot reused,
+// dispatch through the flat handler table. After a warm-up window lets
+// every pool reach its steady-state high-water mark, the measured window
+// must run allocation-free.
+
+struct Ball {
+  std::uint64_t bounce = 0;
+};
+
+class PongNode final : public net::Node {
+ public:
+  explicit PongNode(net::Network& network) : net::Node(network) {
+    on<Ball>([this](net::NodeId from, const Ball& ball) {
+      send(from, Ball{ball.bounce + 1});
+    });
+  }
+};
+
+PhaseResult run_delivery(std::size_t population, double sim_seconds) {
+  Harness h(7);
+  h.trace.set_min_level(sim::TraceLevel::kWarn);
+  // Deterministic LAN link: zero jitter and zero loss keep the per-message
+  // path free of RNG draws; the cached class matrix keeps it free of
+  // hashing.
+  h.network.set_class_link(0, 0,
+                           net::LinkQuality{sim::micros(500), {}, 0.0});
+
+  std::vector<std::unique_ptr<PongNode>> nodes;
+  nodes.reserve(population);
+  for (std::size_t i = 0; i < population; ++i) {
+    nodes.push_back(std::make_unique<PongNode>(h.network));
+  }
+  for (std::size_t i = 0; i + 1 < population; i += 2) {
+    nodes[i]->send(nodes[i + 1]->id(), Ball{0});
+  }
+
+  // Warm-up: grow the event pool, flight slab, and dispatch tables to
+  // their steady-state sizes before the counter snapshot.
+  const sim::SimTime warmup = sim::millis(500);
+  h.sim.run_until(warmup);
+
+  // Bounded measurement window: one ball per pair at 500 us per hop is
+  // ~1k deliveries per endpoint per simulated second, so a short window
+  // already executes millions of deliveries at 10k endpoints.
+  const double window_s = std::min(2.0, sim_seconds);
+  PhaseResult r;
+  const std::uint64_t events0 = h.sim.executed_events();
+  const std::uint64_t delivered0 = h.network.messages_delivered();
+  const std::uint64_t bytes0 = h.network.bytes_sent();
+  const std::uint64_t allocs0 = g_heap_allocs;
+  const double t0 = now_s();
+  h.sim.run_until(warmup +
+                  sim::millis(static_cast<std::int64_t>(window_s * 1e3)));
+  r.wall_s = now_s() - t0;
+  r.allocs = g_heap_allocs - allocs0;
+  r.events = h.sim.executed_events() - events0;
+  r.messages = h.network.messages_delivered() - delivered0;
+  r.bytes = h.network.bytes_sent() - bytes0;
   return r;
 }
 
@@ -244,6 +362,8 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> populations = {1000, 5000, 10000};
   double sim_seconds = 60.0;
   double min_kernel_eps = 0.0;
+  double min_delivery_eps = 0.0;
+  double max_delivery_allocs = -1.0;  // < 0: floor disabled
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trim") {
@@ -262,6 +382,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--min-kernel-eps=", 0) == 0) {
       min_kernel_eps = std::atof(arg.c_str() + 17);
+    } else if (arg.rfind("--min-delivery-eps=", 0) == 0) {
+      min_delivery_eps = std::atof(arg.c_str() + 19);
+    } else if (arg.rfind("--max-delivery-allocs=", 0) == 0) {
+      max_delivery_allocs = std::atof(arg.c_str() + 22);
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
       return 2;
@@ -278,7 +402,7 @@ int main(int argc, char** argv) {
   report.set_sim_time_s(sim_seconds * static_cast<double>(populations.size()));
 
   Table table({"population", "phase", "events", "wall_s", "events_per_s",
-               "messages", "bytes_per_ev", "rss_mb"});
+               "messages", "bytes_per_ev", "allocs_per_ev", "rss_mb"});
   table.tee_to(report);
   table.print_header();
 
@@ -287,11 +411,18 @@ int main(int argc, char** argv) {
     const PhaseResult kernel = run_kernel(population, sim_seconds);
     table.print_row({fmt_u(population), "kernel", fmt_u(kernel.events),
                      fmt(kernel.wall_s), fmt(kernel.events_per_s(), 0), "0",
-                     "0", fmt(max_rss_mb(), 1)});
+                     "0", "-", fmt(max_rss_mb(), 1)});
     const PhaseResult stack = run_stack(population, sim_seconds, 42);
     table.print_row({fmt_u(population), "stack", fmt_u(stack.events),
                      fmt(stack.wall_s), fmt(stack.events_per_s(), 0),
                      fmt_u(stack.messages), fmt(stack.bytes_per_event(), 1),
+                     fmt(stack.allocs_per_event(), 3), fmt(max_rss_mb(), 1)});
+    const PhaseResult delivery = run_delivery(population, sim_seconds);
+    table.print_row({fmt_u(population), "delivery", fmt_u(delivery.events),
+                     fmt(delivery.wall_s), fmt(delivery.events_per_s(), 0),
+                     fmt_u(delivery.messages),
+                     fmt(delivery.bytes_per_event(), 1),
+                     fmt(delivery.allocs_per_event(), 3),
                      fmt(max_rss_mb(), 1)});
     report.metric("kernel_events_per_s_" + std::to_string(population),
                   kernel.events_per_s());
@@ -299,11 +430,36 @@ int main(int argc, char** argv) {
                   stack.events_per_s());
     report.metric("stack_bytes_per_event_" + std::to_string(population),
                   stack.bytes_per_event());
+    report.metric("stack_allocs_per_event_" + std::to_string(population),
+                  stack.allocs_per_event());
+    report.metric("delivery_events_per_s_" + std::to_string(population),
+                  delivery.events_per_s());
+    report.metric("delivery_allocs_per_event_" + std::to_string(population),
+                  delivery.allocs_per_event());
     if (min_kernel_eps > 0.0 && kernel.events_per_s() < min_kernel_eps) {
       std::fprintf(stderr,
                    "scale-check FAILED: kernel %.0f events/s at %zu "
                    "endpoints is below the floor %.0f\n",
                    kernel.events_per_s(), population, min_kernel_eps);
+      floor_ok = false;
+    }
+    if (min_delivery_eps > 0.0 &&
+        delivery.events_per_s() < min_delivery_eps) {
+      std::fprintf(stderr,
+                   "scale-check FAILED: delivery %.0f events/s at %zu "
+                   "endpoints is below the floor %.0f\n",
+                   delivery.events_per_s(), population, min_delivery_eps);
+      floor_ok = false;
+    }
+    if (max_delivery_allocs >= 0.0 &&
+        delivery.allocs_per_event() > max_delivery_allocs) {
+      std::fprintf(stderr,
+                   "scale-check FAILED: %.3f heap allocations per "
+                   "delivered message at %zu endpoints (%llu allocations "
+                   "in the measured window; ceiling %.3f)\n",
+                   delivery.allocs_per_event(), population,
+                   static_cast<unsigned long long>(delivery.allocs),
+                   max_delivery_allocs);
       floor_ok = false;
     }
   }

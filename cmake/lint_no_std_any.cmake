@@ -1,0 +1,41 @@
+# Lint: the type-erased std::any message API was replaced by the typed
+# payload envelope (net/message.hpp); std::any must not reappear under
+# src/. Run in script mode:
+#
+#   cmake -DSRC_DIR=<repo>/src -P cmake/lint_no_std_any.cmake
+#
+# Bans `#include <any>` and every `std::any...` token except the
+# <algorithm> function std::any_of, which is unrelated. Exits fatally with
+# a per-file listing on violation; wired both as an ALL build target and a
+# ctest entry so a reintroduction fails the build, not just review.
+
+if(NOT DEFINED SRC_DIR)
+  message(FATAL_ERROR "lint_no_std_any: pass -DSRC_DIR=<path to src/>")
+endif()
+
+file(GLOB_RECURSE sources "${SRC_DIR}/*.hpp" "${SRC_DIR}/*.cpp")
+
+set(violations "")
+foreach(source IN LISTS sources)
+  file(READ "${source}" contents)
+  string(REGEX MATCHALL "#[ \t]*include[ \t]*<any>" includes "${contents}")
+  if(includes)
+    list(APPEND violations "${source}: #include <any>")
+  endif()
+  string(REGEX MATCHALL "std::any[_a-zA-Z0-9]*" tokens "${contents}")
+  foreach(token IN LISTS tokens)
+    if(NOT token STREQUAL "std::any_of")
+      list(APPEND violations "${source}: ${token}")
+    endif()
+  endforeach()
+endforeach()
+
+if(violations)
+  list(JOIN violations "\n  " listing)
+  message(FATAL_ERROR
+          "std::any is banned under src/ — use the typed payload envelope "
+          "(net/message.hpp: Payload concept, msg.as<T>(), Node::on<T>). "
+          "Violations:\n  ${listing}")
+endif()
+
+message(STATUS "lint_no_std_any: clean")

@@ -1,7 +1,6 @@
 #include "coord/gossip.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace riot::coord {
 
@@ -15,25 +14,40 @@ GossipNode::GossipNode(net::Network& network, GossipConfig config)
     // sender is silent), pull keys where the sender is ahead. Ordering is
     // (version, origin) lexicographic — origin breaks concurrent
     // same-version writes deterministically.
+    //
+    // Hot path at scale: one store lookup per digest entry, and the
+    // "which local keys did the sender not mention" test is a linear scan
+    // over the pointers collected below instead of a rebuilt hash set —
+    // stores are small (tens of keys) and this keeps the steady-state
+    // receipt allocation-free.
     Delta ahead;
     DigestRequest want;
-    std::unordered_set<std::string> remote;
-    remote.reserve(digest.entries.size());
-    for (const auto& entry : digest.entries) {
-      remote.insert(entry.key);
-      if (newer_than_local(entry.key, entry.version, entry.origin)) {
-        want.keys.push_back(entry.key);
-      } else {
-        auto it = store_.find(entry.key);
-        if (it != store_.end() &&
-            (it->second.version != entry.version ||
-             it->second.origin != entry.origin)) {
-          ahead.entries.emplace_back(entry.key, it->second);
+    matched_.clear();
+    if (digest.entries != nullptr) {
+      for (const auto& entry : *digest.entries) {
+        const VersionedValue* found = find_entry(entry.key);
+        if (found == nullptr) {
+          want.keys.push_back(entry.key);
+          continue;
+        }
+        const VersionedValue& local = *found;
+        matched_.push_back(&local);
+        const bool remote_newer = entry.version != local.version
+                                      ? entry.version > local.version
+                                      : entry.origin > local.origin;
+        if (remote_newer) {
+          want.keys.push_back(entry.key);
+        } else if (local.version != entry.version ||
+                   local.origin != entry.origin) {
+          ahead.entries.emplace_back(entry.key, local);
         }
       }
     }
     for (const auto& [key, value] : store_) {
-      if (!remote.contains(key)) ahead.entries.emplace_back(key, value);
+      if (std::find(matched_.begin(), matched_.end(), &value) ==
+          matched_.end()) {
+        ahead.entries.emplace_back(key, value);
+      }
     }
     if (!ahead.entries.empty()) send(from, std::move(ahead));
     if (!want.keys.empty()) send(from, std::move(want));
@@ -41,8 +55,8 @@ GossipNode::GossipNode(net::Network& network, GossipConfig config)
   on<DigestRequest>([this](net::NodeId from, const DigestRequest& req) {
     Delta delta;
     for (const auto& key : req.keys) {
-      if (auto it = store_.find(key); it != store_.end()) {
-        delta.entries.emplace_back(key, it->second);
+      if (const VersionedValue* found = find_entry(key)) {
+        delta.entries.emplace_back(key, *found);
       }
     }
     if (!delta.entries.empty()) send(from, std::move(delta));
@@ -65,17 +79,34 @@ void GossipNode::set_peers(std::vector<net::NodeId> peers) {
 }
 
 void GossipNode::put(const std::string& key, std::string value) {
-  auto& entry = store_[key];
-  entry.value = std::move(value);
-  ++entry.version;
-  entry.origin = id().value;
-  if (update_cb_) update_cb_(key, entry.value);
+  VersionedValue* entry = nullptr;
+  for (auto& [k, v] : store_) {
+    if (k == key) {
+      entry = &v;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    entry = &store_.emplace_back(key, VersionedValue{}).second;
+  }
+  entry->value = std::move(value);
+  ++entry->version;
+  entry->origin = id().value;
+  digest_cache_.reset();
+  if (update_cb_) update_cb_(key, entry->value);
 }
 
 std::optional<std::string> GossipNode::get(const std::string& key) const {
-  auto it = store_.find(key);
-  return it == store_.end() ? std::nullopt
-                            : std::optional<std::string>(it->second.value);
+  const VersionedValue* found = find_entry(key);
+  return found == nullptr ? std::nullopt
+                          : std::optional<std::string>(found->value);
+}
+
+const VersionedValue* GossipNode::find_entry(const std::string& key) const {
+  for (const auto& [k, v] : store_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
 }
 
 void GossipNode::on_start() {
@@ -85,6 +116,7 @@ void GossipNode::on_start() {
 void GossipNode::on_recover() {
   // Volatile store is gone after a crash; anti-entropy refills it.
   store_.clear();
+  digest_cache_.reset();
   every(cfg_.round_interval, [this] { round(); });
 }
 
@@ -94,28 +126,49 @@ void GossipNode::round() {
   // lack, which is how crashed-and-recovered nodes re-hydrate.
   const auto picks = rng_.sample_indices(
       peers_.size(), static_cast<std::size_t>(cfg_.fanout));
-  Digest digest;
-  digest.entries.reserve(store_.size());
-  for (const auto& [key, value] : store_) {
-    digest.entries.push_back(DigestEntry{key, value.version, value.origin});
+  if (digest_cache_ == nullptr) {
+    // Snapshot into a fresh vector — in-flight digests may still hold the
+    // previous one.
+    auto entries = std::make_shared<std::vector<DigestEntry>>();
+    entries->reserve(store_.size());
+    for (const auto& [key, value] : store_) {
+      entries->push_back(DigestEntry{key, value.version, value.origin});
+    }
+    digest_cache_ = std::move(entries);
   }
   for (const std::size_t i : picks) {
-    send(peers_[i], digest);
+    send(peers_[i], Digest{digest_cache_});
   }
 }
 
 bool GossipNode::newer_than_local(const std::string& key,
                                   std::uint64_t version,
                                   std::uint32_t origin) const {
-  auto it = store_.find(key);
-  if (it == store_.end()) return true;
-  if (it->second.version != version) return version > it->second.version;
-  return origin > it->second.origin;  // deterministic tie-break
+  const VersionedValue* found = find_entry(key);
+  if (found == nullptr) return true;
+  if (found->version != version) return version > found->version;
+  return origin > found->origin;  // deterministic tie-break
 }
 
 void GossipNode::absorb(const std::string& key, const VersionedValue& value) {
-  if (!newer_than_local(key, value.version, value.origin)) return;
-  store_[key] = value;
+  // Single-probe form of "if newer_than_local, store_[key] = value".
+  VersionedValue* local = nullptr;
+  for (auto& [k, v] : store_) {
+    if (k == key) {
+      local = &v;
+      break;
+    }
+  }
+  if (local != nullptr) {
+    const bool newer = value.version != local->version
+                           ? value.version > local->version
+                           : value.origin > local->origin;
+    if (!newer) return;
+    *local = value;
+  } else {
+    store_.emplace_back(key, value);
+  }
+  digest_cache_.reset();
   if (update_cb_) update_cb_(key, value.value);
 }
 

@@ -9,9 +9,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/node.hpp"
@@ -59,9 +60,14 @@ class GossipNode : public net::Node {
     std::uint32_t origin;  // tie-break for concurrent same-version writes
   };
   struct Digest {  // key -> (version, origin) summary, push phase
-    std::vector<DigestEntry> entries;
+    // Shared immutable snapshot: the sender builds the entry list once per
+    // store generation and every fanout copy (and every in-flight message)
+    // bumps a refcount instead of deep-copying 16 keys. Mutations never
+    // touch a published vector — round() re-snapshots into a fresh one.
+    std::shared_ptr<const std::vector<DigestEntry>> entries;
     std::uint32_t wire_size() const {
-      return static_cast<std::uint32_t>(entries.size() * 28);
+      return static_cast<std::uint32_t>(
+          (entries == nullptr ? 0 : entries->size()) * 28);
     }
   };
   struct Delta {  // full entries, reply/push phase
@@ -82,12 +88,23 @@ class GossipNode : public net::Node {
   bool newer_than_local(const std::string& key, std::uint64_t version,
                         std::uint32_t origin) const;
   void absorb(const std::string& key, const VersionedValue& value);
+  [[nodiscard]] const VersionedValue* find_entry(const std::string& key) const;
 
   GossipConfig cfg_;
   sim::Rng rng_;
   std::vector<net::NodeId> peers_;
-  std::unordered_map<std::string, VersionedValue> store_;
+  // Flat keyed store. Per-node stores are small (tens of keys, SSO-sized)
+  // and there are thousands of nodes at city scale, so a contiguous vector
+  // with a linear probe beats a per-node hash table: no hashing, no
+  // modulo, no node-walk cache misses — the whole store is a couple of
+  // cache lines. Iteration order is insertion order (deterministic).
+  std::vector<std::pair<std::string, VersionedValue>> store_;
   std::function<void(const std::string&, const std::string&)> update_cb_;
+  // Copy-on-write digest snapshot; invalidated by any store mutation.
+  std::shared_ptr<const std::vector<DigestEntry>> digest_cache_;
+  // Reconciliation scratch (reused across digest receipts, no per-message
+  // allocation): store entries named by the incoming digest.
+  std::vector<const VersionedValue*> matched_;
 };
 
 }  // namespace riot::coord

@@ -1,16 +1,31 @@
 // Typed message envelope.
 //
 // riot protocols exchange strongly typed payload structs. The simulator
-// carries them in a type-erased envelope (std::any) and dispatches on the
-// payload's type at the receiver — the simulated analogue of a tagged wire
-// format, without a serialization layer that would add nothing to the
-// experiments. `wire_size` carries an estimated on-the-wire size so
-// bandwidth accounting stays meaningful.
+// carries them in a compact typed envelope: a payload-kind tag (assigned
+// once per payload type, process-wide) plus small-buffer storage sized for
+// the fixed-size protocol messages (SWIM pings/acks, heartbeats, gossip
+// digests, Raft RPCs, RPC envelopes), with a heap fallback for large
+// payloads — the simulated analogue of a tagged wire format, without a
+// serialization layer that would add nothing to the experiments.
+//
+// The envelope is the zero-allocation half of the 100k→1M delivery path
+// (DESIGN.md §11): a fixed-size payload travels send → flight slab →
+// dispatch without ever touching the heap, and receivers dispatch on the
+// kind tag through a flat table (Node::on<T>) instead of hashing a
+// type_index. Accessors are `msg.as<T>()` / `msg.try_as<T>()` /
+// `msg.visit<Ts...>(f)`; a mismatched `as<T>()` throws PayloadTypeError.
+// `wire_size` carries an estimated on-the-wire size so bandwidth
+// accounting stays meaningful.
 #pragma once
 
-#include <any>
+#include <concepts>
+#include <cstddef>
 #include <cstdint>
-#include <typeindex>
+#include <new>
+#include <stdexcept>
+#include <string_view>
+#include <type_traits>
+#include <typeinfo>
 #include <utility>
 
 #include "net/node_id.hpp"
@@ -18,20 +33,337 @@
 
 namespace riot::net {
 
+/// Estimated header bytes (addresses, message id, causal context) every
+/// modeled wire format pays on top of its payload body. Single source of
+/// truth for wire_size_of() — and thereby for the Network's bandwidth
+/// accounting, which sums the wire_size stamped here.
+inline constexpr std::uint32_t kWireHeaderBytes = 48;
+
+/// Process-wide tag identifying a payload type. Kind 0 is reserved as
+/// invalid; real kinds are assigned on first use of a type (registration
+/// order is deterministic for a given binary and execution, which is all
+/// the seed-stable trace hashes need).
+using PayloadKind = std::uint16_t;
+inline constexpr PayloadKind kInvalidPayloadKind = 0;
+
+/// Anything the fabric can carry: a plain object type that is at least
+/// move-constructible. Move-only payloads are first-class (they simply
+/// cannot be duplicated by the at-least-once link hook or replayed from
+/// caches that must copy).
+template <typename T>
+concept Payload = std::is_object_v<T> && !std::is_const_v<T> &&
+                  !std::is_volatile_v<T> && std::move_constructible<T>;
+
+/// Thrown by as<T>() / take<T>() on a kind mismatch, and by copying an
+/// envelope holding a move-only payload.
+class PayloadTypeError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+/// Per-type operations table. One static instance per payload type; its
+/// address doubles as the type's identity (no type_index, no RTTI on the
+/// hot path).
+struct PayloadVTable {
+  PayloadKind kind = kInvalidPayloadKind;
+  std::uint32_t size = 0;
+  std::uint32_t align = 0;
+  bool copyable = false;
+  void (*destroy)(void*) noexcept = nullptr;        // inline storage
+  void (*heap_destroy)(void*) noexcept = nullptr;   // heap storage
+  void (*move_construct)(void* dst, void* src) noexcept = nullptr;
+  void (*copy_construct)(void* dst, const void* src) = nullptr;  // null: move-only
+  void* (*heap_clone)(const void* src) = nullptr;                // null: move-only
+  const char* name = "";  // mangled; diagnostics only
+};
+
+/// Assign the next kind and record the vtable for kind-indexed diagnostics.
+PayloadKind register_payload_kind(const PayloadVTable* vt);
+/// Vtable registered for a kind; nullptr when the kind was never assigned.
+const PayloadVTable* vtable_of(PayloadKind kind);
+
+template <Payload T>
+PayloadVTable make_vtable() {
+  PayloadVTable v;
+  v.size = static_cast<std::uint32_t>(sizeof(T));
+  v.align = static_cast<std::uint32_t>(alignof(T));
+  v.copyable = std::copy_constructible<T>;
+  v.destroy = [](void* p) noexcept { static_cast<T*>(p)->~T(); };
+  v.heap_destroy = [](void* p) noexcept { delete static_cast<T*>(p); };
+  v.move_construct = [](void* dst, void* src) noexcept {
+    ::new (dst) T(std::move(*static_cast<T*>(src)));
+  };
+  if constexpr (std::copy_constructible<T>) {
+    v.copy_construct = [](void* dst, const void* src) {
+      ::new (dst) T(*static_cast<const T*>(src));
+    };
+    v.heap_clone = [](const void* src) -> void* {
+      return new T(*static_cast<const T*>(src));
+    };
+  }
+  v.name = typeid(T).name();
+  return v;
+}
+
+template <Payload T>
+const PayloadVTable* vtable_for() {
+  static PayloadVTable vt = make_vtable<T>();
+  static const bool registered = [] {
+    vt.kind = register_payload_kind(&vt);
+    return true;
+  }();
+  (void)registered;
+  return &vt;
+}
+
+}  // namespace detail
+
+/// The kind tag assigned to payload type T (stable for the process).
+template <Payload T>
+PayloadKind payload_kind_of() {
+  return detail::vtable_for<T>()->kind;
+}
+
+/// Number of kinds assigned so far (kinds are 1..count, 0 invalid).
+std::size_t payload_kind_count();
+
+/// Diagnostic name for a kind ("?" when unknown). Mangled type name.
+std::string_view payload_kind_name(PayloadKind kind);
+
+/// Type-erased payload value with small-buffer storage: values whose size,
+/// alignment and nothrow-movability permit are stored inline; everything
+/// else lives on the heap. Move is O(inline bytes) and never allocates;
+/// copy allocates only what the payload itself allocates (plus the heap
+/// cell for spilled payloads) and throws PayloadTypeError for move-only
+/// payloads.
+template <std::size_t InlineCapacity>
+class BasicPayloadBox {
+ public:
+  static constexpr std::size_t kInlineCapacity = InlineCapacity;
+  static constexpr std::size_t kInlineAlign = 16;
+
+  /// True when T is carried in the inline buffer (the zero-allocation
+  /// path). Compile-time: benches and tests static_assert their protocol
+  /// messages stay on it.
+  template <typename T>
+  static constexpr bool stores_inline() {
+    return sizeof(T) <= InlineCapacity && alignof(T) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+  BasicPayloadBox() noexcept = default;
+
+  template <Payload T>
+    requires(!std::same_as<std::remove_cvref_t<T>, BasicPayloadBox>)
+  explicit BasicPayloadBox(T value) {
+    const detail::PayloadVTable* vt = detail::vtable_for<T>();
+    if constexpr (stores_inline<T>()) {
+      ::new (static_cast<void*>(buf_)) T(std::move(value));
+    } else {
+      heap_ = new T(std::move(value));
+    }
+    vt_ = vt;
+  }
+
+  BasicPayloadBox(BasicPayloadBox&& other) noexcept { steal(other); }
+
+  BasicPayloadBox& operator=(BasicPayloadBox&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  BasicPayloadBox(const BasicPayloadBox& other) { clone(other); }
+
+  BasicPayloadBox& operator=(const BasicPayloadBox& other) {
+    if (this != &other) {
+      reset();
+      clone(other);
+    }
+    return *this;
+  }
+
+  ~BasicPayloadBox() { reset(); }
+
+  void reset() noexcept {
+    if (vt_ == nullptr) return;
+    if (heap_ != nullptr) {
+      vt_->heap_destroy(heap_);
+      heap_ = nullptr;
+    } else {
+      vt_->destroy(buf_);
+    }
+    vt_ = nullptr;
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return vt_ != nullptr; }
+  [[nodiscard]] PayloadKind kind() const noexcept {
+    return vt_ != nullptr ? vt_->kind : kInvalidPayloadKind;
+  }
+  /// False for move-only payloads: duplicating links and replaying caches
+  /// must check before copying.
+  [[nodiscard]] bool copyable() const noexcept {
+    return vt_ != nullptr && vt_->copyable;
+  }
+  /// True when the value lives in the inline buffer (no heap cell).
+  [[nodiscard]] bool inline_stored() const noexcept {
+    return vt_ != nullptr && heap_ == nullptr;
+  }
+  [[nodiscard]] std::string_view type_name() const noexcept {
+    return vt_ != nullptr ? vt_->name : "<empty>";
+  }
+
+  template <Payload T>
+  [[nodiscard]] bool is() const noexcept {
+    return vt_ == detail::vtable_for<T>();
+  }
+
+  /// Typed access; throws PayloadTypeError on kind mismatch or empty box.
+  template <Payload T>
+  [[nodiscard]] const T& as() const {
+    if (!is<T>()) throw_mismatch(typeid(T).name());
+    return *ptr<T>();
+  }
+  template <Payload T>
+  [[nodiscard]] T& as() {
+    if (!is<T>()) throw_mismatch(typeid(T).name());
+    return *ptr<T>();
+  }
+
+  /// Kind-checked access without the throw: nullptr on mismatch.
+  template <Payload T>
+  [[nodiscard]] const T* try_as() const noexcept {
+    return is<T>() ? ptr<T>() : nullptr;
+  }
+  template <Payload T>
+  [[nodiscard]] T* try_as() noexcept {
+    return is<T>() ? ptr<T>() : nullptr;
+  }
+
+  /// Unchecked access for dispatch paths that already matched the kind.
+  template <Payload T>
+  [[nodiscard]] const T& as_unchecked() const noexcept {
+    return *ptr<T>();
+  }
+
+  /// Move the value out (the box becomes empty). Throws on mismatch.
+  template <Payload T>
+  [[nodiscard]] T take() {
+    if (!is<T>()) throw_mismatch(typeid(T).name());
+    T out = std::move(*ptr<T>());
+    reset();
+    return out;
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T* ptr() const noexcept {
+    void* raw = heap_ != nullptr
+                    ? heap_
+                    : const_cast<void*>(static_cast<const void*>(buf_));
+    return static_cast<T*>(raw);
+  }
+
+  void steal(BasicPayloadBox& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ == nullptr) return;
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      other.heap_ = nullptr;
+    } else {
+      vt_->move_construct(buf_, other.buf_);
+      vt_->destroy(other.buf_);
+    }
+    other.vt_ = nullptr;
+  }
+
+  void clone(const BasicPayloadBox& other) {
+    if (other.vt_ == nullptr) return;
+    if (!other.vt_->copyable) {
+      throw PayloadTypeError(
+          std::string("PayloadBox: copy of move-only payload ") +
+          other.vt_->name);
+    }
+    if (other.heap_ != nullptr) {
+      heap_ = other.vt_->heap_clone(other.heap_);
+    } else {
+      other.vt_->copy_construct(buf_, other.buf_);
+    }
+    vt_ = other.vt_;
+  }
+
+  [[noreturn]] void throw_mismatch(const char* wanted) const {
+    throw PayloadTypeError(std::string("PayloadBox: stored ") +
+                           std::string(type_name()) + ", asked for " + wanted);
+  }
+
+  const detail::PayloadVTable* vt_ = nullptr;
+  void* heap_ = nullptr;
+  alignas(kInlineAlign) std::byte buf_[InlineCapacity];
+};
+
+/// Inline budget of the message envelope. Sized so every fixed-size
+/// protocol message rides inline: SWIM pings/acks (≤48 B), heartbeats
+/// (8 B), Raft AppendEntries (56 B), and the RPC request/response
+/// envelopes (≤64 B, themselves carrying a nested 16-byte-inline body box).
+inline constexpr std::size_t kMessageInlineBytes = 64;
+using PayloadBox = BasicPayloadBox<kMessageInlineBytes>;
+
+/// Smaller box for payloads nested inside another envelope (RPC bodies):
+/// keeps the outer envelope within the message inline budget while still
+/// carrying empty/tiny bodies without a heap cell.
+using NestedPayloadBox = BasicPayloadBox<16>;
+
 struct Message {
   NodeId from;
   NodeId to;
-  std::any payload;
-  std::type_index type = typeid(void);
-  std::uint32_t wire_size = 64;  // bytes; headers + payload estimate
-  std::uint64_t id = 0;          // assigned by the Network, unique per send
+  std::uint32_t wire_size = kWireHeaderBytes;  // headers + payload estimate
+  std::uint64_t id = 0;  // assigned by the Network, unique per send
   // Causal context (the wire analogue of trace headers). Stamped by the
   // Network at send time when a causal parent exists; invalid otherwise.
   obs::SpanContext span;
+  PayloadBox payload;
+
+  [[nodiscard]] PayloadKind kind() const noexcept { return payload.kind(); }
+  template <Payload T>
+  [[nodiscard]] bool is() const noexcept {
+    return payload.is<T>();
+  }
+  template <Payload T>
+  [[nodiscard]] const T& as() const {
+    return payload.as<T>();
+  }
+  template <Payload T>
+  [[nodiscard]] const T* try_as() const noexcept {
+    return payload.try_as<T>();
+  }
+
+  /// Try each listed payload type in order; on the first match invoke `f`
+  /// with the typed value and return true. False when none match:
+  ///   m.visit<Ping, Ack>(overloaded{[](const Ping&){...},
+  ///                                 [](const Ack&){...}});
+  template <Payload... Ts, typename F>
+  bool visit(F&& f) const {
+    return (visit_one<Ts>(f) || ...);
+  }
+
+ private:
+  template <Payload T, typename F>
+  bool visit_one(F& f) const {
+    if (const T* p = payload.try_as<T>()) {
+      f(*p);
+      return true;
+    }
+    return false;
+  }
 };
 
 /// Payload types may advertise their approximate wire size by providing
-/// `std::uint32_t wire_size() const`; otherwise a default is used.
+/// `std::uint32_t wire_size() const`; otherwise sizeof is used.
 template <typename T>
 concept HasWireSize = requires(const T& t) {
   { t.wire_size() } -> std::convertible_to<std::uint32_t>;
@@ -39,21 +371,22 @@ concept HasWireSize = requires(const T& t) {
 
 template <typename T>
 std::uint32_t wire_size_of(const T& payload) {
+  std::uint32_t body;
   if constexpr (HasWireSize<T>) {
-    return payload.wire_size() + 48;  // + header estimate
+    body = payload.wire_size();
   } else {
-    return static_cast<std::uint32_t>(sizeof(T)) + 48;
+    body = static_cast<std::uint32_t>(sizeof(T));
   }
+  return body + kWireHeaderBytes;
 }
 
-template <typename T>
+template <Payload T>
 Message make_message(NodeId from, NodeId to, T payload) {
   Message m;
   m.from = from;
   m.to = to;
   m.wire_size = wire_size_of(payload);
-  m.type = typeid(T);
-  m.payload = std::move(payload);
+  m.payload = PayloadBox(std::move(payload));
   return m;
 }
 

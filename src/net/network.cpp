@@ -245,6 +245,8 @@ std::uint64_t Network::submit(Message message) {
   const std::uint64_t id = message.id;
   // Duplication hook: an extra copy with its own latency draw. Guarded by
   // > 0 so the nominal path consumes no extra randomness (seed stability).
+  // Move-only payloads cannot be duplicated; the latency draw still
+  // happens (seed stability again), the copy is just not made.
   if (duplicate_probability_ > 0.0 && rng_.chance(duplicate_probability_)) {
     sim::SimTime dup_latency = q.base_latency;
     if (q.jitter > sim::kSimTimeZero) {
@@ -255,22 +257,43 @@ std::uint64_t Network::submit(Message message) {
       dup_latency = sim::nanos(static_cast<std::int64_t>(
           static_cast<double>(dup_latency.count()) * latency_factor_));
     }
-    ++duplicated_;
-    duplicated_total_.increment();
-    Message copy = message;
-    copy.span = {};  // the copy is ambient; never double-closes the send span
-    sim_.schedule_after(
-        dup_latency,
-        [this, copy = std::move(copy)]() mutable { deliver(std::move(copy)); },
-        component_);
+    if (message.payload.copyable()) {
+      ++duplicated_;
+      duplicated_total_.increment();
+      Message copy = message;
+      copy.span = {};  // the copy is ambient; never double-closes the send span
+      schedule_delivery(std::move(copy), dup_latency);
+    }
   }
-  sim_.schedule_after(
-      latency,
-      [this, message = std::move(message)]() mutable {
-        deliver(std::move(message));
-      },
-      component_);
+  schedule_delivery(std::move(message), latency);
   return id;
+}
+
+// --- In-flight slab ---------------------------------------------------------
+
+std::uint32_t Network::flight_store(Message&& message) {
+  if (!flight_free_.empty()) {
+    const std::uint32_t slot = flight_free_.back();
+    flight_free_.pop_back();
+    flight_[slot] = std::move(message);
+    return slot;
+  }
+  flight_.push_back(std::move(message));
+  return static_cast<std::uint32_t>(flight_.size() - 1);
+}
+
+void Network::deliver_flight(std::uint32_t slot) {
+  Message message = std::move(flight_[slot]);
+  flight_free_.push_back(slot);
+  deliver(std::move(message));
+}
+
+void Network::schedule_delivery(Message&& message, sim::SimTime latency) {
+  const std::uint32_t slot = flight_store(std::move(message));
+  // {this, slot} is 16 bytes and trivially copyable: std::function keeps
+  // it in its inline buffer, so scheduling a delivery never allocates.
+  sim_.schedule_after(
+      latency, [this, slot] { deliver_flight(slot); }, component_);
 }
 
 void Network::set_clock_skew(NodeId id, sim::SimTime skew) {

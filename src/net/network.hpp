@@ -179,6 +179,17 @@ class Network {
 
   void deliver(Message message);
 
+  // --- In-flight message slab ----------------------------------------------
+  // Messages scheduled for delivery park in a reusable slab; the event
+  // captured by the kernel is just {this, slot} — small and trivially
+  // copyable, so std::function stores it inline and the per-delivery
+  // closure allocation disappears. Slots are recycled LIFO on delivery
+  // (deterministic), and in steady state the slab stops growing, making
+  // fixed-size payload delivery allocation-free end to end.
+  std::uint32_t flight_store(Message&& message);
+  void deliver_flight(std::uint32_t slot);
+  void schedule_delivery(Message&& message, sim::SimTime latency);
+
   sim::Simulation& sim_;
   obs::MetricsRegistry& metrics_;
   obs::Tracer& tracer_;
@@ -186,6 +197,8 @@ class Network {
   sim::Rng rng_;
   sim::ComponentId component_;
   std::vector<Endpoint> endpoints_;
+  std::vector<Message> flight_;            // in-flight message slab
+  std::vector<std::uint32_t> flight_free_;  // recycled slots, LIFO
   LinkModel link_model_;
   std::unordered_map<std::uint64_t, LinkQuality> link_overrides_;
   // Class-pair quality cache (row-major from_class x to_class); consulted

@@ -1,0 +1,61 @@
+// Process-wide payload-kind registry backing the typed message envelope.
+//
+// Kinds are assigned on first use of a payload type (lazily, from
+// detail::vtable_for<T>), so the numbering is deterministic for a given
+// binary and execution order — which is all the seed-stable trace hashes
+// require. The registry exists for kind-indexed diagnostics (unknown-kind
+// dispatch events name the type) and for sizing flat dispatch tables.
+#include "net/message.hpp"
+
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace riot::net {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // Index = kind; slot 0 is the reserved invalid kind.
+  std::vector<const detail::PayloadVTable*> vtables{nullptr};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+namespace detail {
+
+PayloadKind register_payload_kind(const PayloadVTable* vt) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  if (r.vtables.size() > std::numeric_limits<PayloadKind>::max()) {
+    throw std::length_error("payload kind space exhausted");
+  }
+  r.vtables.push_back(vt);
+  return static_cast<PayloadKind>(r.vtables.size() - 1);
+}
+
+const PayloadVTable* vtable_of(PayloadKind kind) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return kind < r.vtables.size() ? r.vtables[kind] : nullptr;
+}
+
+}  // namespace detail
+
+std::size_t payload_kind_count() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.vtables.size() - 1;
+}
+
+std::string_view payload_kind_name(PayloadKind kind) {
+  const detail::PayloadVTable* vt = detail::vtable_of(kind);
+  return vt != nullptr ? vt->name : "?";
+}
+
+}  // namespace riot::net

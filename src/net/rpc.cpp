@@ -191,7 +191,7 @@ void RpcEndpoint::fail_fast(const CallPtr& call, RpcError error) {
 }
 
 void RpcEndpoint::finish(const CallPtr& call, RpcError error,
-                         std::any* body) {
+                         NestedPayloadBox* body) {
   completed_by_result_[static_cast<std::size_t>(error)]->increment();
   if (error == RpcError::kNone) {
     ++completed_;
@@ -314,8 +314,10 @@ void RpcEndpoint::handle_request(NodeId from,
             it->second.body, it->second.size);
     return;
   }
-  const auto server = servers_.find(env.body_type);
-  if (server == servers_.end()) {
+  const auto* server = env.body_kind < servers_.size()
+                           ? &servers_[env.body_kind]
+                           : nullptr;
+  if (server == nullptr || !*server) {
     // Answer with an error envelope so the caller fails fast with a
     // distinct no_handler outcome instead of burning its whole deadline.
     no_handler_total_.increment();
@@ -325,7 +327,7 @@ void RpcEndpoint::handle_request(NodeId from,
   }
   ++handler_executions_;
   if (on_execute_) on_execute_(from, env.call_id);
-  auto [body, size] = server->second(from, env.body);
+  auto [body, size] = (*server)(from, env.body);
   remember(key, body, size);
   respond(from, env.call_id, env.attempt, detail::RpcWireStatus::kOk,
           std::move(body), size);
@@ -347,7 +349,7 @@ void RpcEndpoint::handle_response(NodeId /*from*/,
   switch (env.status) {
     case detail::RpcWireStatus::kOk: {
       if (call->options.use_breaker) record_outcome(call->to, false);
-      std::any body = env.body;
+      NestedPayloadBox body = env.body;
       finish(call, RpcError::kNone, &body);
       break;
     }
@@ -369,13 +371,13 @@ void RpcEndpoint::handle_response(NodeId /*from*/,
 
 void RpcEndpoint::respond(NodeId to, std::uint64_t call_id,
                           std::uint32_t attempt,
-                          detail::RpcWireStatus status, std::any body,
-                          std::uint32_t size) {
-  node_.send(to, detail::RpcResponseEnvelope{call_id, attempt, status,
-                                             std::move(body), size});
+                          detail::RpcWireStatus status,
+                          NestedPayloadBox body, std::uint32_t size) {
+  node_.send(to, detail::RpcResponseEnvelope{call_id, attempt, status, size,
+                                             std::move(body)});
 }
 
-void RpcEndpoint::remember(const DedupKey& key, const std::any& body,
+void RpcEndpoint::remember(const DedupKey& key, const NestedPayloadBox& body,
                            std::uint32_t size) {
   if (dedup_.size() >= dedup_capacity_ && !dedup_order_.empty()) {
     dedup_.erase(dedup_order_.front());

@@ -23,7 +23,6 @@
 // on raw typed messages.
 #pragma once
 
-#include <any>
 #include <array>
 #include <cstdint>
 #include <deque>
@@ -31,9 +30,9 @@
 #include <memory>
 #include <optional>
 #include <string_view>
-#include <typeindex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "net/node.hpp"
 #include "sim/rng.hpp"
@@ -89,22 +88,27 @@ namespace detail {
 
 enum class RpcWireStatus : std::uint8_t { kOk, kNoHandler, kExpired };
 
+// The envelopes carry their body in a nested typed box (16-byte inline
+// budget: empty and tiny bodies ride free, bigger ones spill to one heap
+// cell) and tag it with the body's PayloadKind so servers dispatch through
+// a flat table — the envelope structs themselves stay small enough to ride
+// the message envelope's inline buffer.
 struct RpcRequestEnvelope {
-  std::uint64_t call_id;  // stable across retries (dedup identity)
-  std::uint32_t attempt;  // 1-based; responses echo it (stale-reply guard)
-  sim::SimTime deadline;  // absolute caller-clock deadline; zero = none
-  std::type_index body_type;
-  std::any body;
-  std::uint32_t body_size;
+  std::uint64_t call_id = 0;  // stable across retries (dedup identity)
+  std::uint32_t attempt = 0;  // 1-based; responses echo it (stale-reply guard)
+  sim::SimTime deadline = sim::kSimTimeZero;  // absolute caller clock; 0=none
+  PayloadKind body_kind = kInvalidPayloadKind;
+  std::uint32_t body_size = 0;
+  NestedPayloadBox body;
   std::uint32_t wire_size() const { return body_size; }
 };
 
 struct RpcResponseEnvelope {
-  std::uint64_t call_id;
-  std::uint32_t attempt;
-  RpcWireStatus status;
-  std::any body;  // engaged only when status == kOk
-  std::uint32_t body_size;
+  std::uint64_t call_id = 0;
+  std::uint32_t attempt = 0;
+  RpcWireStatus status = RpcWireStatus::kOk;
+  std::uint32_t body_size = 0;
+  NestedPayloadBox body;  // engaged only when status == kOk
   std::uint32_t wire_size() const { return body_size; }
 };
 
@@ -119,11 +123,17 @@ class RpcEndpoint {
   /// replay the cached response instead of re-invoking.
   template <typename Req, typename Resp>
   void serve(std::function<Resp(NodeId from, const Req&)> handler) {
-    servers_[typeid(Req)] = [handler = std::move(handler)](
-                                NodeId from, const std::any& body) {
-      Resp resp = handler(from, std::any_cast<const Req&>(body));
+    static_assert(std::copy_constructible<Resp>,
+                  "RPC responses must be copyable: the idempotency cache "
+                  "replays them on duplicate requests");
+    const PayloadKind kind = payload_kind_of<Req>();
+    if (servers_.size() <= kind) servers_.resize(kind + 1);
+    servers_[kind] = [handler = std::move(handler)](
+                         NodeId from, const NestedPayloadBox& body) {
+      Resp resp = handler(from, body.as_unchecked<Req>());
       const std::uint32_t size = wire_size_of(resp);
-      return std::pair<std::any, std::uint32_t>(std::move(resp), size);
+      return std::pair<NestedPayloadBox, std::uint32_t>(
+          NestedPayloadBox(std::move(resp)), size);
     };
   }
 
@@ -139,25 +149,31 @@ class RpcEndpoint {
     if (options.deadline > sim::kSimTimeZero) {
       call->deadline_at = call->started_at + options.deadline;
     }
-    call->complete = [done = std::move(done)](RpcError error, std::any* body,
+    call->complete = [done = std::move(done)](RpcError error,
+                                              NestedPayloadBox* body,
                                               int attempts) {
       RpcResult<Resp> r;
       r.error = error;
       r.attempts = attempts;
-      if (body != nullptr) r.value = std::any_cast<Resp>(std::move(*body));
+      if (body != nullptr) r.value = body->take<Resp>();
       done(std::move(r));
     };
+    static_assert(std::copy_constructible<Req>,
+                  "RPC requests must be copyable: retries re-send them");
     // weak_ptr: the closure lives inside CallState, a shared_ptr to the
     // owner would leak the state on abandoned calls.
     call->send = [this, weak = std::weak_ptr<CallState>(call),
                   request = std::move(request)] {
       auto c = weak.lock();
       if (!c) return;
-      const std::uint32_t size = wire_size_of(request);
-      node_.send(c->to,
-                 detail::RpcRequestEnvelope{c->call_id, c->attempt,
-                                            c->deadline_at, typeid(Req),
-                                            request, size});
+      detail::RpcRequestEnvelope env;
+      env.call_id = c->call_id;
+      env.attempt = c->attempt;
+      env.deadline = c->deadline_at;
+      env.body_kind = payload_kind_of<Req>();
+      env.body_size = wire_size_of(request);
+      env.body = NestedPayloadBox(request);  // copy: retries re-send
+      node_.send(c->to, std::move(env));
     };
     ++calls_;
     calls_total_.increment();
@@ -222,7 +238,7 @@ class RpcEndpoint {
     std::uint32_t attempt = 0;                     // current (1-based)
     sim::SimTime last_backoff = sim::kSimTimeZero;
     sim::EventId timeout_event = sim::kInvalidEventId;
-    std::function<void(RpcError, std::any*, int)> complete;
+    std::function<void(RpcError, NestedPayloadBox*, int)> complete;
     std::function<void()> send;  // (re)send with the current attempt tag
   };
   using CallPtr = std::shared_ptr<CallState>;
@@ -248,7 +264,7 @@ class RpcEndpoint {
     }
   };
   struct DedupEntry {
-    std::any body;
+    NestedPayloadBox body;
     std::uint32_t size = 0;
   };
 
@@ -256,7 +272,7 @@ class RpcEndpoint {
   void begin_attempt(const CallPtr& call);
   void on_attempt_timeout(const CallPtr& call);
   void fail_fast(const CallPtr& call, RpcError error);
-  void finish(const CallPtr& call, RpcError error, std::any* body);
+  void finish(const CallPtr& call, RpcError error, NestedPayloadBox* body);
   [[nodiscard]] sim::SimTime next_backoff(CallState& call);
 
   // Breaker.
@@ -268,9 +284,9 @@ class RpcEndpoint {
   void handle_request(NodeId from, const detail::RpcRequestEnvelope& env);
   void handle_response(NodeId from, const detail::RpcResponseEnvelope& env);
   void respond(NodeId to, std::uint64_t call_id, std::uint32_t attempt,
-               detail::RpcWireStatus status, std::any body,
+               detail::RpcWireStatus status, NestedPayloadBox body,
                std::uint32_t size);
-  void remember(const DedupKey& key, const std::any& body,
+  void remember(const DedupKey& key, const NestedPayloadBox& body,
                 std::uint32_t size);
 
   Node& node_;
@@ -293,9 +309,9 @@ class RpcEndpoint {
   std::unordered_map<std::uint32_t, Breaker> breakers_;  // by NodeId value
   std::unordered_map<DedupKey, DedupEntry, DedupKeyHash> dedup_;
   std::deque<DedupKey> dedup_order_;  // FIFO eviction order
-  std::unordered_map<std::type_index,
-                     std::function<std::pair<std::any, std::uint32_t>(
-                         NodeId, const std::any&)>>
+  // Flat server-dispatch table, indexed by the request body's PayloadKind.
+  std::vector<std::function<std::pair<NestedPayloadBox, std::uint32_t>(
+      NodeId, const NestedPayloadBox&)>>
       servers_;
   std::function<void(NodeId, std::uint64_t)> on_execute_;
 

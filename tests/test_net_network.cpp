@@ -34,7 +34,7 @@ TEST_F(NetworkTest, DeliversWithLinkLatency) {
   sim.run_until(sim::millis(8));
   ASSERT_EQ(inbox.size(), 1u);
   EXPECT_EQ(inbox[0].from, a);
-  EXPECT_EQ(std::any_cast<const Ping&>(inbox[0].payload).value, 1);
+  EXPECT_EQ(inbox[0].as<Ping>().value, 1);
 }
 
 TEST_F(NetworkTest, JitterStaysWithinBound) {
