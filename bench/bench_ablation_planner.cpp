@@ -50,6 +50,7 @@ int main() {
       "1000 random worlds per strategy, seed-fixed.");
 
   bench::BenchReport report("bench_ablation_planner");
+  report.config("seed", 42.0);
   bench::Table table({"planner", "mean_quality", "optimal_rate",
                       "cand_evals", "us_per_plan"});
   table.tee_to(report);

@@ -185,6 +185,8 @@ int main() {
   bench::banner("Ablation A1: decentralization-protocol parameters",
                 "Trade-off curves for the ML4 building blocks.");
   bench::BenchReport report("bench_ablation_protocols");
+  report.config("seed", 1.0);  // sweeps run seeds 1..5 per point
+  report.config("seeds_per_point", 5.0);
   swim_sweep(report);
   raft_sweep(report);
   gossip_sweep(report);

@@ -110,6 +110,7 @@ int main() {
       "Ablation A2: synchronization strategy under loss + partition",
       "4 replicas, 2 writes/s, 5% loss, 20s partition. What survives?");
   bench::BenchReport report("bench_ablation_sync");
+  report.config("seed", 5.0);
   bench::Table table({"strategy", "writes", "surviving", "conflicts",
                       "converged", "messages"});
   table.tee_to(report);

@@ -84,6 +84,7 @@ int main() {
       "cloud = ML2 funnel architecture, edge = ML4 decentralized.");
 
   bench::BenchReport report("bench_fig1_landscape");
+  report.config("seed", 7.0);
   bench::Table table({"wan_state", "coordination", "freshness", "actuation",
                       "msgs"});
   table.tee_to(report);

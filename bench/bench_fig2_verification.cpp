@@ -68,6 +68,7 @@ int main() {
       "PCTL: P[F failed], P[F<=k ok] on the component DTMC.");
 
   bench::BenchReport report("bench_fig2_verification");
+  report.config("seed", 17.0);
   std::printf("CTL model checking (time vs model size):\n");
   bench::Table ctl_table(
       {"states", "transitions", "check_ms", "us_per_state", "holds"});

@@ -89,6 +89,7 @@ int main() {
       "latency and survival.");
 
   bench::BenchReport report("bench_fig3_edge_control");
+  report.config("seed", 21.0);
   bench::Table table({"wan_1way_ms", "control", "p50_ms", "p99_ms",
                       "deadline_ok", "outage_act/s"});
   table.tee_to(report);

@@ -270,6 +270,7 @@ int main() {
       "consumers, policy enforced at different points.");
 
   bench::BenchReport report("bench_fig4_dataflows");
+  report.config("seed", 31.0);
   std::printf("(A) synchronization strategy under partition:\n");
   bench::Table sync({"strategy", "write_avail", "lost_updates",
                      "heal_conv_s"});

@@ -165,6 +165,7 @@ int main() {
       "and WAN latency.");
 
   bench::BenchReport report("bench_fig5_mape");
+  report.config("seed", 13.0);
   report.config("telemetry_period_ms", 500.0);
   report.config("fault_every_s", 20.0);
   bench::Table table({"wan_1way_ms", "loop_host", "detect_ms",

@@ -215,6 +215,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   bench::BenchReport report("bench_micro");
+  report.config("seed", "fixed-per-case");  // each BM_* pins its own
   report.columns({"name", "real_time_ns", "cpu_time_ns", "iterations"});
   TeeReporter reporter(report);
   benchmark::RunSpecifiedBenchmarks(&reporter);

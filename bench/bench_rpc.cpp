@@ -192,6 +192,7 @@ int main(int argc, char** argv) {
          "policy layer (retries + deadline budget + breaker + dedup).");
 
   BenchReport report("rpc");
+  report.config("seed", 42.0);
   report.config("clusters", static_cast<double>(clusters));
   report.config("clients_per_cluster",
                 static_cast<double>(clients_per_cluster));

@@ -397,6 +397,7 @@ int main(int argc, char** argv) {
          "every kernel PR is measured against");
 
   BenchReport report("scale");
+  report.config("seed", 42.0);
   report.config("sim_seconds", sim_seconds);
   report.config("cluster_size", static_cast<double>(kClusterSize));
   report.set_sim_time_s(sim_seconds * static_cast<double>(populations.size()));

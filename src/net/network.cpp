@@ -175,7 +175,7 @@ void Network::heal_partition() {
   for (auto& ep : endpoints_) ep.group = 0;
   isolated_.clear();
   partitioned_ = false;
-  trace_.event("net", "heal");
+  (void)trace_.event("net", "heal");
 }
 
 bool Network::reachable(NodeId from, NodeId to) const {

@@ -60,6 +60,13 @@ RpcEndpoint::RpcEndpoint(Node& node)
                                 "duplicate requests answered from the "
                                 "response cache (handler not re-run)")
                             .with({})),
+      inflight_suppressed_total_(
+          node.network()
+              .metrics()
+              .counter_family("riot_rpc_inflight_suppressed_total",
+                              "duplicate requests dropped because an async "
+                              "handler for the call was still in flight")
+              .with({})),
       shed_total_(node.network()
                       .metrics()
                       .counter_family("riot_rpc_shed_total",
@@ -306,12 +313,21 @@ void RpcEndpoint::handle_request(NodeId from,
             {}, 0);
     return;
   }
-  const DedupKey key{from.value, env.call_id};
+  const detail::DedupKey key{from.value, env.call_id};
   if (const auto it = dedup_.find(key); it != dedup_.end()) {
     ++dedup_hits_;
     dedup_hits_total_.increment();
     respond(from, env.call_id, env.attempt, detail::RpcWireStatus::kOk,
             it->second.body, it->second.size);
+    return;
+  }
+  if (const auto it = in_progress_.find(key); it != in_progress_.end()) {
+    // An async handler is already executing this call; remember the newest
+    // attempt so the eventual response is not discarded as stale, and drop
+    // the duplicate instead of re-executing.
+    it->second = std::max(it->second, env.attempt);
+    ++inflight_suppressed_;
+    inflight_suppressed_total_.increment();
     return;
   }
   const auto* server = env.body_kind < servers_.size()
@@ -327,10 +343,18 @@ void RpcEndpoint::handle_request(NodeId from,
   }
   ++handler_executions_;
   if (on_execute_) on_execute_(from, env.call_id);
-  auto [body, size] = (*server)(from, env.body);
+  (*server)(from, env);
+}
+
+void RpcEndpoint::complete_async(const detail::DedupKey& key,
+                                 NestedPayloadBox body, std::uint32_t size) {
+  const auto it = in_progress_.find(key);
+  if (it == in_progress_.end()) return;  // already responded
+  const std::uint32_t attempt = it->second;
+  in_progress_.erase(it);
   remember(key, body, size);
-  respond(from, env.call_id, env.attempt, detail::RpcWireStatus::kOk,
-          std::move(body), size);
+  respond(NodeId{key.caller}, key.call_id, attempt,
+          detail::RpcWireStatus::kOk, std::move(body), size);
 }
 
 void RpcEndpoint::handle_response(NodeId /*from*/,
@@ -377,7 +401,8 @@ void RpcEndpoint::respond(NodeId to, std::uint64_t call_id,
                                              std::move(body)});
 }
 
-void RpcEndpoint::remember(const DedupKey& key, const NestedPayloadBox& body,
+void RpcEndpoint::remember(const detail::DedupKey& key,
+                           const NestedPayloadBox& body,
                            std::uint32_t size) {
   if (dedup_.size() >= dedup_capacity_ && !dedup_order_.empty()) {
     dedup_.erase(dedup_order_.front());

@@ -112,7 +112,45 @@ struct RpcResponseEnvelope {
   std::uint32_t wire_size() const { return body_size; }
 };
 
+/// Identity of one logical server-side execution: retries and duplicates of
+/// a call share the key, so it indexes both the response cache and the
+/// in-progress (async) table.
+struct DedupKey {
+  std::uint32_t caller;
+  std::uint64_t call_id;
+  bool operator==(const DedupKey&) const = default;
+};
+struct DedupKeyHash {
+  std::size_t operator()(const DedupKey& k) const {
+    std::uint64_t h = k.call_id * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<std::uint64_t>(k.caller) << 32) | k.caller;
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
 }  // namespace detail
+
+class RpcEndpoint;
+
+/// Completion handle for an async server handler (see serve_async). Respond
+/// exactly once; extra invocations are ignored (the in-progress entry is
+/// consumed by the first). Copyable so handlers can stash it in queues and
+/// downstream-call closures. Must not outlive the endpoint.
+template <typename Resp>
+class RpcResponder {
+ public:
+  RpcResponder() = default;
+
+  void operator()(Resp resp) const;
+
+ private:
+  friend class RpcEndpoint;
+  RpcResponder(RpcEndpoint* endpoint, detail::DedupKey key)
+      : endpoint_(endpoint), key_(key) {}
+
+  RpcEndpoint* endpoint_ = nullptr;
+  detail::DedupKey key_{0, 0};
+};
 
 class RpcEndpoint {
  public:
@@ -128,12 +166,41 @@ class RpcEndpoint {
                   "replays them on duplicate requests");
     const PayloadKind kind = payload_kind_of<Req>();
     if (servers_.size() <= kind) servers_.resize(kind + 1);
-    servers_[kind] = [handler = std::move(handler)](
-                         NodeId from, const NestedPayloadBox& body) {
-      Resp resp = handler(from, body.as_unchecked<Req>());
+    servers_[kind] = [this, handler = std::move(handler)](
+                         NodeId from, const detail::RpcRequestEnvelope& env) {
+      Resp resp = handler(from, env.body.as_unchecked<Req>());
       const std::uint32_t size = wire_size_of(resp);
-      return std::pair<NestedPayloadBox, std::uint32_t>(
-          NestedPayloadBox(std::move(resp)), size);
+      NestedPayloadBox body{std::move(resp)};
+      remember({from.value, env.call_id}, body, size);
+      respond(from, env.call_id, env.attempt, detail::RpcWireStatus::kOk,
+              std::move(body), size);
+    };
+  }
+
+  /// Register an *async* server handler: the response is produced later —
+  /// after queueing, a service delay, or a downstream call — by invoking
+  /// the RpcResponder. Execution stays effectively-once per (caller,
+  /// call_id): duplicates arriving while the handler is in flight are
+  /// suppressed (the eventual response answers the latest attempt seen),
+  /// and duplicates after completion replay the cached response. `deadline`
+  /// is the caller's absolute end-to-end budget (zero = none) so queueing
+  /// layers can prioritize by remaining budget and shed dead work.
+  template <typename Req, typename Resp>
+  void serve_async(std::function<void(NodeId from, const Req&,
+                                      sim::SimTime deadline,
+                                      RpcResponder<Resp>)>
+                       handler) {
+    static_assert(std::copy_constructible<Resp>,
+                  "RPC responses must be copyable: the idempotency cache "
+                  "replays them on duplicate requests");
+    const PayloadKind kind = payload_kind_of<Req>();
+    if (servers_.size() <= kind) servers_.resize(kind + 1);
+    servers_[kind] = [this, handler = std::move(handler)](
+                         NodeId from, const detail::RpcRequestEnvelope& env) {
+      const detail::DedupKey key{from.value, env.call_id};
+      in_progress_.emplace(key, env.attempt);
+      handler(from, env.body.as_unchecked<Req>(), env.deadline,
+              RpcResponder<Resp>(this, key));
     };
   }
 
@@ -225,7 +292,13 @@ class RpcEndpoint {
   [[nodiscard]] std::uint64_t handler_executions() const {
     return handler_executions_;
   }
+  [[nodiscard]] std::uint64_t inflight_suppressed() const {
+    return inflight_suppressed_;
+  }
   [[nodiscard]] std::size_t dedup_size() const { return dedup_.size(); }
+  [[nodiscard]] std::size_t in_progress_count() const {
+    return in_progress_.size();
+  }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
 
  private:
@@ -251,18 +324,9 @@ class RpcEndpoint {
     bool probe_in_flight = false;
   };
 
-  struct DedupKey {
-    std::uint32_t caller;
-    std::uint64_t call_id;
-    bool operator==(const DedupKey&) const = default;
-  };
-  struct DedupKeyHash {
-    std::size_t operator()(const DedupKey& k) const {
-      std::uint64_t h = k.call_id * 0x9e3779b97f4a7c15ULL;
-      h ^= (static_cast<std::uint64_t>(k.caller) << 32) | k.caller;
-      return static_cast<std::size_t>(h ^ (h >> 29));
-    }
-  };
+  template <typename Resp>
+  friend class RpcResponder;
+
   struct DedupEntry {
     NestedPayloadBox body;
     std::uint32_t size = 0;
@@ -286,8 +350,13 @@ class RpcEndpoint {
   void respond(NodeId to, std::uint64_t call_id, std::uint32_t attempt,
                detail::RpcWireStatus status, NestedPayloadBox body,
                std::uint32_t size);
-  void remember(const DedupKey& key, const NestedPayloadBox& body,
+  void remember(const detail::DedupKey& key, const NestedPayloadBox& body,
                 std::uint32_t size);
+  /// Finish an async execution: consume the in-progress entry, cache the
+  /// response, and answer the latest attempt seen. No-op when the entry was
+  /// already consumed (double respond).
+  void complete_async(const detail::DedupKey& key, NestedPayloadBox body,
+                      std::uint32_t size);
 
   Node& node_;
   sim::Rng rng_;
@@ -304,14 +373,20 @@ class RpcEndpoint {
   std::uint64_t shed_ = 0;
   std::uint64_t stale_responses_ = 0;
   std::uint64_t handler_executions_ = 0;
+  std::uint64_t inflight_suppressed_ = 0;
 
   std::unordered_map<std::uint64_t, CallPtr> pending_;  // by call_id
   std::unordered_map<std::uint32_t, Breaker> breakers_;  // by NodeId value
-  std::unordered_map<DedupKey, DedupEntry, DedupKeyHash> dedup_;
-  std::deque<DedupKey> dedup_order_;  // FIFO eviction order
+  std::unordered_map<detail::DedupKey, DedupEntry, detail::DedupKeyHash>
+      dedup_;
+  std::deque<detail::DedupKey> dedup_order_;  // FIFO eviction order
+  // Async executions in flight: (caller, call_id) -> latest attempt seen.
+  std::unordered_map<detail::DedupKey, std::uint32_t, detail::DedupKeyHash>
+      in_progress_;
   // Flat server-dispatch table, indexed by the request body's PayloadKind.
-  std::vector<std::function<std::pair<NestedPayloadBox, std::uint32_t>(
-      NodeId, const NestedPayloadBox&)>>
+  // Entries run after the shed / dedup / in-progress checks and own the
+  // whole response path (sync entries respond inline, async ones later).
+  std::vector<std::function<void(NodeId, const detail::RpcRequestEnvelope&)>>
       servers_;
   std::function<void(NodeId, std::uint64_t)> on_execute_;
 
@@ -321,6 +396,7 @@ class RpcEndpoint {
   sim::Counter& retries_total_;
   sim::Counter& timeouts_total_;
   sim::Counter& dedup_hits_total_;
+  sim::Counter& inflight_suppressed_total_;
   sim::Counter& shed_total_;
   sim::Counter& stale_total_;
   sim::Counter& no_handler_total_;
@@ -329,5 +405,12 @@ class RpcEndpoint {
   std::array<sim::Counter*, 3> breaker_transitions_;  // indexed by BreakerState
   sim::Histogram& call_latency_us_;
 };
+
+template <typename Resp>
+void RpcResponder<Resp>::operator()(Resp resp) const {
+  if (endpoint_ == nullptr) return;  // default-constructed: inert
+  const std::uint32_t size = wire_size_of(resp);
+  endpoint_->complete_async(key_, NestedPayloadBox{std::move(resp)}, size);
+}
 
 }  // namespace riot::net

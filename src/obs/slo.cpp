@@ -1,0 +1,39 @@
+#include "obs/slo.hpp"
+
+namespace riot::obs {
+
+SloTracker::SloTracker(MetricsRegistry& registry, const std::string& name,
+                       sim::SimTime target)
+    : target_(target),
+      latency_us_(registry
+                      .histogram_family("riot_" + name + "_latency_us",
+                                        "end-to-end request latency")
+                      .with({})),
+      ok_within_(registry
+                     .counter_family("riot_" + name + "_requests_total",
+                                     "finished requests by SLO outcome")
+                     .with({{"outcome", "ok_within_slo"}})),
+      ok_late_(registry.counter_family("riot_" + name + "_requests_total")
+                   .with({{"outcome", "ok_late"}})),
+      failed_(registry.counter_family("riot_" + name + "_requests_total")
+                  .with({{"outcome", "failed"}})) {}
+
+void SloTracker::record(sim::SimTime latency, bool ok) {
+  latency_us_.record_time(latency);
+  if (!ok) {
+    failed_.increment();
+  } else if (latency <= target_) {
+    ok_within_.increment();
+  } else {
+    ok_late_.increment();
+  }
+}
+
+double SloTracker::attainment() const {
+  const std::uint64_t n = total();
+  return n == 0 ? 1.0
+                : static_cast<double>(ok_within_.value()) /
+                      static_cast<double>(n);
+}
+
+}  // namespace riot::obs

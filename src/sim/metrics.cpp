@@ -1,19 +1,19 @@
 #include "sim/metrics.hpp"
 
-#include <bit>
-
 namespace riot::sim {
 
 int Histogram::bucket_for(double v) {
   if (!(v >= 1.0)) return 0;  // also catches NaN
   if (v >= 0x1.0p63) return kBuckets - 1;
-  const auto iv = static_cast<std::uint64_t>(v);
-  const int octave = 63 - std::countl_zero(iv);
-  // Sub-bucket from the bits just below the leading one.
-  const int sub =
-      octave >= kSubBits
-          ? static_cast<int>((iv >> (octave - kSubBits)) & (kSub - 1))
-          : static_cast<int>((iv << (kSubBits - octave)) & (kSub - 1));
+  // Sub-bucket from the mantissa so fractional values below 2^kSubBits
+  // still land on the geometric boundaries bucket_lower_bound() defines
+  // (truncating to integer first would quantize octaves 0..kSubBits-1 to
+  // whole numbers). frac - 0.5 is exact (Sterbenz) and 2 * kSub is a
+  // power of two, so sub is always in [0, kSub).
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in
+  const int octave = exp - 1;               // [0.5, 1)
+  const int sub = static_cast<int>((frac - 0.5) * (2 * kSub));
   return 1 + octave * kSub + sub;
 }
 
@@ -24,6 +24,31 @@ double Histogram::bucket_value(int b) {
   const double base = std::ldexp(1.0, octave);
   const double step = base / kSub;
   return base + step * (sub + 0.5);
+}
+
+double Histogram::bucket_lower_bound(int b) {
+  if (b <= 0) return 0.0;
+  const int octave = (b - 1) / kSub;
+  const int sub = (b - 1) % kSub;
+  const double base = std::ldexp(1.0, octave);
+  return base + (base / kSub) * sub;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] +=
+        other.buckets_[static_cast<std::size_t>(b)];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 void Histogram::record(double v) {

@@ -56,19 +56,31 @@ class Histogram {
   [[nodiscard]] double p50() const { return quantile(0.50); }
   [[nodiscard]] double p95() const { return quantile(0.95); }
   [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double p999() const { return quantile(0.999); }
+
+  /// Fold another histogram into this one. Buckets are fixed and shared by
+  /// every instance, so merging is exact at bucket resolution: merging N
+  /// shards is bucket-for-bucket identical to recording every sample into
+  /// one histogram (per-tier latency shards fold into an end-to-end view).
+  void merge(const Histogram& other);
 
   void reset();
 
- private:
-  // Buckets: [0] for v < 1; then 64 octaves x 16 sub-buckets covering
+  // Bucket layout (public so tests and exporters can reason about
+  // boundaries): [0] for v < 1; then 64 octaves x 16 sub-buckets covering
   // [1, 2^64) with ~4.6% relative resolution.
   static constexpr int kSubBits = 4;
   static constexpr int kSub = 1 << kSubBits;
   static constexpr int kBuckets = 1 + 64 * kSub;
 
+  /// Index of the bucket that stores `v` (NaN and v < 1 map to bucket 0).
   static int bucket_for(double v);
+  /// Representative (midpoint) value reported for bucket `b`.
   static double bucket_value(int b);
+  /// Inclusive lower bound of bucket `b` (0 for the underflow bucket).
+  static double bucket_lower_bound(int b);
 
+ private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   double sum_ = 0.0;

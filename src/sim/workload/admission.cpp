@@ -1,0 +1,69 @@
+#include "sim/workload/admission.hpp"
+
+namespace riot::sim::workload {
+
+void AdmissionQueue::offer(SimTime deadline, Served on_served, Shed on_shed) {
+  ++offered_;
+  Entry entry{std::move(on_served), std::move(on_shed)};
+  const bool bounded = deadline > kSimTimeZero;
+  // Dead on arrival: cannot finish inside the deadline even if served
+  // right now (same rule dispatch() applies to queued entries).
+  if (bounded && sim_.now() + config_.service_time > deadline) {
+    shed(entry, ShedReason::kExpired, shed_expired_);
+    return;
+  }
+  if (in_service_ < config_.concurrency && queue_.empty()) {
+    start_service(std::move(entry));
+    return;
+  }
+  const SimTime key = bounded ? deadline : kSimTimeMax;
+  if (queue_.size() >= config_.queue_capacity) {
+    // Full: the most-slack request yields — an urgent newcomer evicts the
+    // latest-deadline entry, otherwise the newcomer itself bounces. With
+    // zero capacity there is nothing to evict: always bounce.
+    if (queue_.empty() || key >= std::prev(queue_.end())->first) {
+      shed(entry, ShedReason::kQueueFull, shed_full_);
+      return;
+    }
+    auto most_slack = std::prev(queue_.end());
+    shed(most_slack->second, ShedReason::kQueueFull, shed_full_);
+    queue_.erase(most_slack);
+  }
+  queue_.emplace(key, std::move(entry));
+  high_water_ = std::max(high_water_, queue_.size());
+}
+
+void AdmissionQueue::shed(Entry& entry, ShedReason reason,
+                          std::uint64_t& counter) {
+  ++counter;
+  if (entry.on_shed) entry.on_shed(reason);
+}
+
+void AdmissionQueue::start_service(Entry entry) {
+  ++in_service_;
+  sim_.schedule_after(config_.service_time,
+                      [this, entry = std::move(entry)]() mutable {
+                        --in_service_;
+                        ++served_;
+                        if (entry.on_served) entry.on_served();
+                        dispatch();
+                      });
+}
+
+void AdmissionQueue::dispatch() {
+  while (in_service_ < config_.concurrency && !queue_.empty()) {
+    auto head = queue_.begin();
+    const SimTime deadline = head->first;
+    Entry entry = std::move(head->second);
+    queue_.erase(head);
+    // Dead at dispatch: the request cannot finish inside its deadline.
+    if (deadline != kSimTimeMax &&
+        sim_.now() + config_.service_time > deadline) {
+      shed(entry, ShedReason::kExpired, shed_expired_);
+      continue;
+    }
+    start_service(std::move(entry));
+  }
+}
+
+}  // namespace riot::sim::workload

@@ -1,0 +1,98 @@
+// Bounded admission queue with deadline-aware shedding (per-tier
+// backpressure for the serving path).
+//
+// Each service tier owns one AdmissionQueue modeling its capacity:
+// `concurrency` parallel service slots, each taking `service_time` per
+// request, with at most `queue_capacity` requests waiting. Overload
+// policy, in order of application:
+//
+//   1. dead-on-arrival:   a request whose deadline has already passed is
+//                         shed immediately — never queued (the RPC layer
+//                         sheds these too; this catches budget spent in
+//                         upstream queues).
+//   2. priority:          the wait queue is ordered by absolute deadline
+//                         (EDF) — the request with the least remaining
+//                         budget is served first.
+//   3. full-queue shed:   when the queue is full, the *most-slack* entry
+//                         yields: an arriving request with an earlier
+//                         deadline evicts the queued request with the
+//                         latest deadline; otherwise the newcomer itself
+//                         is shed. Requests without deadlines carry the
+//                         least urgency.
+//   4. dead-at-dispatch:  when a slot frees, queued requests that can no
+//                         longer finish inside their deadline
+//                         (now + service_time > deadline) are shed instead
+//                         of served — no capacity is spent on work the
+//                         caller will discard.
+//
+// The queue is transport-agnostic (callbacks, no net dependency) so unit
+// tests drive it directly; TierServer (service.hpp) binds it to RPC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace riot::sim::workload {
+
+struct AdmissionConfig {
+  std::size_t queue_capacity = 256;  // waiting requests (excludes in-service)
+  std::size_t concurrency = 4;       // parallel service slots
+  SimTime service_time = millis(1);  // per-request service latency
+};
+
+enum class ShedReason : std::uint8_t {
+  kQueueFull,  // bounced or evicted by the full-queue policy
+  kExpired,    // deadline passed (on arrival or at dispatch)
+};
+
+class AdmissionQueue {
+ public:
+  /// `on_served` runs when the request's service completes; `on_shed`
+  /// runs (at most once, instead of on_served) when it is shed.
+  using Served = std::function<void()>;
+  using Shed = std::function<void(ShedReason)>;
+
+  AdmissionQueue(Simulation& sim, AdmissionConfig config)
+      : sim_(sim), config_(config) {}
+
+  /// Submit a request with an absolute deadline (kSimTimeZero = none).
+  void offer(SimTime deadline, Served on_served, Shed on_shed);
+
+  // --- Introspection (tier metrics mirror these) ---------------------------
+  [[nodiscard]] std::uint64_t offered() const { return offered_; }
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+  [[nodiscard]] std::uint64_t shed_full() const { return shed_full_; }
+  [[nodiscard]] std::uint64_t shed_expired() const { return shed_expired_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] std::size_t in_service() const { return in_service_; }
+  [[nodiscard]] std::size_t queue_high_water() const { return high_water_; }
+
+ private:
+  struct Entry {
+    Served on_served;
+    Shed on_shed;
+  };
+
+  void shed(Entry& entry, ShedReason reason, std::uint64_t& counter);
+  void start_service(Entry entry);
+  void dispatch();  // fill free slots from the queue head
+
+  Simulation& sim_;
+  AdmissionConfig config_;
+  // EDF wait queue: key = absolute deadline (kSimTimeMax for none); FIFO
+  // among equal deadlines via multimap insertion order.
+  std::multimap<SimTime, Entry> queue_;
+  std::size_t in_service_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t offered_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t shed_full_ = 0;
+  std::uint64_t shed_expired_ = 0;
+};
+
+}  // namespace riot::sim::workload

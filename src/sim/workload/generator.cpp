@@ -1,0 +1,95 @@
+#include "sim/workload/generator.hpp"
+
+namespace riot::sim::workload {
+
+OpenLoopGenerator::OpenLoopGenerator(Simulation& sim, OpenLoopConfig config,
+                                     Sink sink, std::string_view label)
+    : sim_(sim),
+      config_(config),
+      sink_(std::move(sink)),
+      rng_(sim.rng().split(label)) {
+  envelope_hz_ = static_cast<double>(config_.clients) *
+                 config_.rate_per_client_hz *
+                 config_.shape.max_multiplier();
+}
+
+void OpenLoopGenerator::start() {
+  if (running_ || envelope_hz_ <= 0.0) return;
+  running_ = true;
+  schedule_next();
+}
+
+void OpenLoopGenerator::stop() {
+  running_ = false;
+  sim_.cancel(next_event_);
+  next_event_ = kInvalidEventId;
+}
+
+void OpenLoopGenerator::schedule_next() {
+  const SimTime gap = seconds_f(rng_.exponential(1.0 / envelope_hz_));
+  next_event_ = sim_.schedule_after(gap, [this] {
+    if (!running_) return;
+    ++candidates_;
+    // Thinning: the candidate survives with probability shape(t) / max.
+    const double keep =
+        config_.shape.multiplier_at(sim_.now()) /
+        config_.shape.max_multiplier();
+    // Always draw both variates so the RNG stream advances identically
+    // whatever the shape decides — acceptance never perturbs later draws.
+    const bool accept = rng_.chance(keep);
+    const auto client = static_cast<std::uint32_t>(
+        rng_.below(config_.clients));
+    if (accept) {
+      ++arrivals_;
+      hash_.mix(client, sim_.now());
+      sink_(client);
+    }
+    schedule_next();
+  });
+}
+
+ClosedLoopGenerator::ClosedLoopGenerator(Simulation& sim,
+                                         ClosedLoopConfig config, Sink sink,
+                                         std::string_view label)
+    : sim_(sim),
+      config_(config),
+      sink_(std::move(sink)),
+      rng_(sim.rng().split(label)) {}
+
+void ClosedLoopGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::uint32_t c = 0; c < config_.clients; ++c) {
+    // Stagger session starts so a fleet does not fire in lockstep; the
+    // spread draw happens here (setup), not in the per-cycle path.
+    const SimTime spread =
+        config_.first_spread > kSimTimeZero
+            ? SimTime{static_cast<std::int64_t>(
+                  rng_.below(static_cast<std::uint64_t>(
+                      config_.first_spread.count())))}
+            : kSimTimeZero;
+    think_then_issue(c, spread);
+  }
+}
+
+void ClosedLoopGenerator::think_then_issue(std::uint32_t client,
+                                           SimTime think) {
+  sim_.schedule_after(think, [this, client] {
+    if (!running_) return;
+    issue(client);
+  });
+}
+
+void ClosedLoopGenerator::issue(std::uint32_t client) {
+  ++arrivals_;
+  ++in_flight_;
+  hash_.mix(client, sim_.now());
+  sink_(client, [this, client] {
+    --in_flight_;
+    if (!running_) return;
+    think_then_issue(
+        client, seconds_f(rng_.exponential(to_seconds(config_.think_mean))));
+  });
+}
+
+}  // namespace riot::sim::workload

@@ -1,0 +1,84 @@
+#include "sim/workload/shape.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace riot::sim::workload {
+
+std::string_view to_string(ShapeKind kind) {
+  switch (kind) {
+    case ShapeKind::kConstant: return "constant";
+    case ShapeKind::kDiurnal: return "diurnal";
+    case ShapeKind::kBurst: return "burst";
+    case ShapeKind::kFlashCrowd: return "flash_crowd";
+  }
+  return "unknown";
+}
+
+RateShape RateShape::constant() { return RateShape{}; }
+
+RateShape RateShape::diurnal(SimTime period, double trough, double peak) {
+  RateShape s;
+  s.kind = ShapeKind::kDiurnal;
+  s.period = period;
+  s.trough = trough;
+  s.peak = peak;
+  return s;
+}
+
+RateShape RateShape::burst(SimTime period, SimTime width, double peak) {
+  RateShape s;
+  s.kind = ShapeKind::kBurst;
+  s.period = period;
+  s.width = width;
+  s.peak = peak;
+  return s;
+}
+
+RateShape RateShape::flash_crowd(SimTime at, SimTime ramp, double peak,
+                                 SimTime decay) {
+  RateShape s;
+  s.kind = ShapeKind::kFlashCrowd;
+  s.at = at;
+  s.ramp = ramp;
+  s.peak = peak;
+  s.decay = decay;
+  return s;
+}
+
+double RateShape::multiplier_at(SimTime t) const {
+  switch (kind) {
+    case ShapeKind::kConstant:
+      return 1.0;
+    case ShapeKind::kDiurnal: {
+      if (period <= kSimTimeZero) return trough;
+      const double phase = static_cast<double>((t % period).count()) /
+                           static_cast<double>(period.count());
+      // Cosine day starting at the trough: midnight = trough, midday = peak.
+      const double w =
+          0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * phase);
+      return trough + (peak - trough) * w;
+    }
+    case ShapeKind::kBurst: {
+      if (period <= kSimTimeZero) return 1.0;
+      return (t % period) < width ? peak : 1.0;
+    }
+    case ShapeKind::kFlashCrowd: {
+      if (t < at) return 1.0;
+      const SimTime since = t - at;
+      if (since < ramp && ramp > kSimTimeZero) {
+        const double frac = static_cast<double>(since.count()) /
+                            static_cast<double>(ramp.count());
+        return 1.0 + (peak - 1.0) * frac;
+      }
+      if (decay <= kSimTimeZero) return peak;
+      const double elapsed =
+          static_cast<double>((since - ramp).count()) /
+          static_cast<double>(decay.count());
+      return 1.0 + (peak - 1.0) * std::exp(-elapsed);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace riot::sim::workload

@@ -1,0 +1,67 @@
+// Arrival-rate shapes: time-varying multipliers over a base request rate.
+//
+// The serving bench models planet-scale user traffic, and real traffic is
+// never flat: it breathes with the day, spikes on schedules, and
+// occasionally stampedes (a "flash crowd" after an event). A RateShape is
+// a pure function sim-time -> non-negative multiplier applied to the base
+// arrival rate; shapes are plain data (no RNG, no state), so the same
+// shape is exactly reproducible and cheap to evaluate per candidate
+// arrival in the thinning loop (generator.hpp).
+#pragma once
+
+#include <algorithm>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace riot::sim::workload {
+
+enum class ShapeKind : std::uint8_t {
+  kConstant,    // multiplier 1 everywhere
+  kDiurnal,     // sinusoid between trough and peak over `period`
+  kBurst,       // square wave: `peak` for `width` out of every `period`
+  kFlashCrowd,  // ramp to `peak` at `at`, exponential decay back to 1
+};
+
+std::string_view to_string(ShapeKind kind);
+
+/// One traffic shape. Factories are the intended construction surface;
+/// the fields are public so benches can print / serialize configurations.
+struct RateShape {
+  ShapeKind kind = ShapeKind::kConstant;
+  SimTime period = kSimTimeZero;  // diurnal / burst cycle length
+  SimTime width = kSimTimeZero;   // burst: active window per cycle
+  SimTime at = kSimTimeZero;      // flash crowd: ramp start
+  SimTime ramp = kSimTimeZero;    // flash crowd: 1 -> peak ramp duration
+  SimTime decay = kSimTimeZero;   // flash crowd: exponential time constant
+  double trough = 1.0;            // diurnal: minimum multiplier
+  double peak = 1.0;              // maximum multiplier
+
+  /// Flat traffic (multiplier 1).
+  static RateShape constant();
+
+  /// Sinusoidal day: multiplier swings between `trough` and `peak` with
+  /// the given period, starting at the trough (simulated midnight).
+  static RateShape diurnal(SimTime period, double trough, double peak);
+
+  /// Periodic bursts: `peak` during the first `width` of every `period`,
+  /// 1 otherwise (cron-style synchronized load).
+  static RateShape burst(SimTime period, SimTime width, double peak);
+
+  /// Flash crowd: 1 until `at`, linear ramp to `peak` over `ramp`, then
+  /// exponential decay back toward 1 with time constant `decay`.
+  static RateShape flash_crowd(SimTime at, SimTime ramp, double peak,
+                               SimTime decay);
+
+  /// Multiplier at time `t` (>= 0; 1 means the base rate).
+  [[nodiscard]] double multiplier_at(SimTime t) const;
+
+  /// Tight upper bound on multiplier_at over all t — the thinning
+  /// envelope: candidate arrivals are drawn at base_rate * max_multiplier
+  /// and accepted with probability multiplier_at(t) / max_multiplier.
+  [[nodiscard]] double max_multiplier() const {
+    return std::max(1.0, peak);
+  }
+};
+
+}  // namespace riot::sim::workload

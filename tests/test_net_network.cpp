@@ -254,7 +254,7 @@ TEST_F(NetworkTest, ClassMatrixResolvesWithoutModelCall) {
   EXPECT_FALSE(model_called);
   // Unpopulated cells fall through to the model.
   network.set_endpoint_class(edge, 2);
-  network.link_quality(device, edge);
+  (void)network.link_quality(device, edge);
   EXPECT_TRUE(model_called);
 }
 

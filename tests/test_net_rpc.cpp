@@ -396,5 +396,145 @@ TEST_F(RpcTest, ServerSeesCallerId) {
   EXPECT_EQ(seen, client.id());
 }
 
+// --- Async server handlers (serve_async / RpcResponder) --------------------
+
+TEST_F(RpcTest, AsyncHandlerRespondsAfterDelay) {
+  server.rpc.serve_async<EchoReq, EchoResp>(
+      [this](NodeId, const EchoReq& req, sim::SimTime,
+             RpcResponder<EchoResp> respond) {
+        // Simulated service time: the response leaves 80 ms later.
+        server.after(sim::millis(80),
+                     [req, respond] { respond(EchoResp{req.value + 1}); });
+      });
+  std::optional<EchoResp> result;
+  client.rpc.call<EchoReq, EchoResp>(
+      server.id(), EchoReq{10}, RpcOptions{.timeout = sim::millis(500)},
+      [&](std::optional<EchoResp> r) { result = r; });
+  sim.run_until(sim::millis(50));
+  EXPECT_FALSE(result.has_value()) << "no response before the service delay";
+  EXPECT_EQ(server.rpc.in_progress_count(), 1u);
+  sim.run_until(sim::seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, 11);
+  EXPECT_EQ(server.rpc.in_progress_count(), 0u);
+}
+
+TEST_F(RpcTest, AsyncHandlerSeesCallerDeadline) {
+  sim::SimTime seen = sim::kSimTimeZero;
+  server.rpc.serve_async<EchoReq, EchoResp>(
+      [&](NodeId, const EchoReq&, sim::SimTime deadline,
+          RpcResponder<EchoResp> respond) {
+        seen = deadline;
+        respond(EchoResp{});
+      });
+  client.rpc.call<EchoReq, EchoResp>(
+      server.id(), EchoReq{}, RpcOptions{.deadline = sim::millis(400)},
+      [](std::optional<EchoResp>) {});
+  sim.run_until(sim::seconds(1));
+  // The envelope carries the caller's absolute deadline (stamped at send).
+  EXPECT_EQ(seen, sim::millis(400));
+}
+
+TEST_F(RpcTest, AsyncDuplicateWhileInFlightSuppressedNotReExecuted) {
+  enable_duplication(1.0);  // every message delivered twice
+  int executions = 0;
+  server.rpc.serve_async<EchoReq, EchoResp>(
+      [&, this](NodeId, const EchoReq& req, sim::SimTime,
+                RpcResponder<EchoResp> respond) {
+        ++executions;
+        server.after(sim::millis(50),
+                     [req, respond] { respond(EchoResp{req.value * 2}); });
+      });
+  std::optional<EchoResp> result;
+  client.rpc.call<EchoReq, EchoResp>(
+      server.id(), EchoReq{21}, RpcOptions{.timeout = sim::millis(500)},
+      [&](std::optional<EchoResp> r) { result = r; });
+  sim.run_until(sim::seconds(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, 42);
+  EXPECT_EQ(executions, 1) << "the duplicate must not re-run the handler";
+  EXPECT_GE(server.rpc.inflight_suppressed(), 1u);
+}
+
+TEST_F(RpcTest, AsyncRetryNeverReExecutesHandler) {
+  int executions = 0;
+  server.rpc.serve_async<EchoReq, EchoResp>(
+      [&, this](NodeId, const EchoReq& req, sim::SimTime,
+                RpcResponder<EchoResp> respond) {
+        ++executions;
+        // Service takes 150 ms: longer than the client's per-attempt
+        // timeout, so attempt 2 lands either while the execution is in
+        // flight (suppressed) or after it cached its response (dedup
+        // replay). Both paths must avoid a second execution.
+        server.after(sim::millis(150),
+                     [req, respond] { respond(EchoResp{req.value + 5}); });
+      });
+  std::optional<EchoResp> result;
+  client.rpc.call<EchoReq, EchoResp>(
+      server.id(), EchoReq{1},
+      RpcOptions{.timeout = sim::millis(100), .max_attempts = 3},
+      [&](std::optional<EchoResp> r) { result = r; });
+  sim.run_until(sim::seconds(2));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, 6);
+  EXPECT_EQ(executions, 1) << "retry must hit the dedup cache, not re-run";
+  EXPECT_GE(server.rpc.dedup_hits() + server.rpc.inflight_suppressed(), 1u);
+}
+
+TEST_F(RpcTest, AsyncInFlightRetryAnswersLatestAttempt) {
+  // Attempt 1 times out while the handler is still in flight; attempt 2 is
+  // suppressed as a duplicate. The eventual response must echo attempt 2 —
+  // answering attempt 1 would be discarded as stale and the call would
+  // burn its whole budget for nothing.
+  server.rpc.serve_async<EchoReq, EchoResp>(
+      [this](NodeId, const EchoReq& req, sim::SimTime,
+             RpcResponder<EchoResp> respond) {
+        server.after(sim::millis(180),
+                     [req, respond] { respond(EchoResp{req.value + 9}); });
+      });
+  std::optional<EchoResp> result;
+  int attempts = 0;
+  client.rpc.call_result<EchoReq, EchoResp>(
+      server.id(), EchoReq{1},
+      RpcOptions{.timeout = sim::millis(100),
+                 .max_attempts = 3,
+                 .backoff_base = sim::millis(10),
+                 .backoff_cap = sim::millis(20)},
+      [&](RpcResult<EchoResp> r) {
+        result = std::move(r.value);
+        attempts = r.attempts;
+      });
+  sim.run_until(sim::seconds(2));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, 10);
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(server.rpc.handler_executions(), 1u);
+  EXPECT_EQ(server.rpc.inflight_suppressed(), 1u);
+  EXPECT_EQ(client.rpc.stale_responses(), 0u);
+}
+
+TEST_F(RpcTest, AsyncDoubleRespondIsIgnored) {
+  RpcResponder<EchoResp> saved;
+  server.rpc.serve_async<EchoReq, EchoResp>(
+      [&](NodeId, const EchoReq& req, sim::SimTime,
+          RpcResponder<EchoResp> respond) {
+        saved = respond;
+        respond(EchoResp{req.value});  // first answer wins...
+      });
+  int completions = 0;
+  client.rpc.call<EchoReq, EchoResp>(
+      server.id(), EchoReq{7}, RpcOptions{},
+      [&](std::optional<EchoResp> r) {
+        ++completions;
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(r->value, 7);
+      });
+  sim.run_until(sim::seconds(1));
+  saved(EchoResp{999});  // ...the late duplicate is inert
+  sim.run_until(sim::seconds(2));
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(server.rpc.in_progress_count(), 0u);
+}
+
 }  // namespace
 }  // namespace riot::net

@@ -97,6 +97,85 @@ TEST(Histogram, Reset) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
+TEST(Histogram, BucketBoundariesArePowersOfTwoSubdivided) {
+  // Bucket 0 is the underflow bucket; octave o starts at bucket
+  // 1 + o * kSub with lower bound 2^o, split into kSub equal steps.
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(1), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(1 + Histogram::kSub), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(1 + 2 * Histogram::kSub),
+                   4.0);
+  // Sub-bucket width within octave [2, 4) is 2 / kSub.
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(2 + Histogram::kSub),
+                   2.0 + 2.0 / Histogram::kSub);
+}
+
+TEST(Histogram, BucketForIsConsistentWithBounds) {
+  // Every value must land in the bucket whose [lower, next-lower) range
+  // contains it, and the representative value must stay in that range.
+  for (const double v : {1.0, 1.5, 2.0, 3.0, 7.99, 8.0, 1000.0, 1e6, 1e12}) {
+    const int b = Histogram::bucket_for(v);
+    ASSERT_GE(b, 1);
+    ASSERT_LT(b + 1, Histogram::kBuckets);
+    EXPECT_GE(v, Histogram::bucket_lower_bound(b)) << "v=" << v;
+    EXPECT_LT(v, Histogram::bucket_lower_bound(b + 1)) << "v=" << v;
+    const double rep = Histogram::bucket_value(b);
+    EXPECT_GE(rep, Histogram::bucket_lower_bound(b));
+    EXPECT_LE(rep, Histogram::bucket_lower_bound(b + 1));
+  }
+  EXPECT_EQ(Histogram::bucket_for(0.5), 0);
+  EXPECT_EQ(Histogram::bucket_for(0.999), 0);
+}
+
+TEST(Histogram, BucketRelativeErrorBounded) {
+  // The bucket representative must sit within one sub-bucket step of the
+  // recorded value: ~(1/kSub)/2 relative error at the octave floor.
+  for (double v = 1.0; v < 1e9; v *= 1.37) {
+    const int b = Histogram::bucket_for(v);
+    const double rep = Histogram::bucket_value(b);
+    EXPECT_NEAR(rep, v, v * (1.0 / Histogram::kSub))
+        << "bucket " << b << " for " << v;
+  }
+}
+
+TEST(Histogram, MergeMatchesRecordingIntoOne) {
+  // Fixed bucket layout makes merge exact: N shards folded together must
+  // be indistinguishable from one histogram that saw every sample.
+  Histogram shard_a;
+  Histogram shard_b;
+  Histogram reference;
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = static_cast<double>(i) * 3.7;
+    (i % 2 == 0 ? shard_a : shard_b).record(v);
+    reference.record(v);
+  }
+  Histogram merged;
+  merged.merge(shard_a);
+  merged.merge(shard_b);
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), reference.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), reference.min());
+  EXPECT_DOUBLE_EQ(merged.max(), reference.max());
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), reference.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  Histogram h;
+  h.record(5.0);
+  Histogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  // Merging *into* an empty histogram adopts the source's extrema.
+  Histogram target;
+  target.merge(h);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.min(), 5.0);
+  EXPECT_DOUBLE_EQ(target.max(), 5.0);
+}
+
 TEST(TimeSeries, MeanOverWindow) {
   TimeSeries ts;
   ts.sample(seconds(1), 1.0);
