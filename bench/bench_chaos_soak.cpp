@@ -1,0 +1,186 @@
+// Chaos-soak throughput bench: the full protocol stack (Raft + SWIM +
+// CRDT store + gossip + MAPE, cell-sharded to 1001 endpoints) driven
+// through generated fault schedules, timed end to end. Two things are
+// measured per seed:
+//
+//   events/s  — simulated events executed per wall-clock second *under
+//               fault load*, i.e. with partitions, crashes, loss, delay,
+//               duplication and clock skew active and every invariant
+//               checker polling. This is the harness's capacity number:
+//               how much chaos soaking a nightly minute buys.
+//   checks    — per-invariant evaluation counts, proving the checker
+//               library actually ran (a soak that silently skipped its
+//               checkers would otherwise look fast and green).
+//
+// Every run must hold all protocol invariants; a violation fails the
+// bench (exit 1) and prints the offending seed, so the rung doubles as a
+// soak gate. Writes BENCH_chaos.json (schema riot-bench-v1) with the
+// riot_chaos_* families of the last run embedded as a registry snapshot.
+//
+// Usage:
+//   bench_chaos_soak                   # 3 seeds x 200 nodes (1001 endpoints)
+//   bench_chaos_soak --trim            # CI variant: 2 seeds x 60 nodes
+//   bench_chaos_soak --min-eps=50000   # floor on events/s (ctest guard)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chaos_env.hpp"
+#include "chaos_stack.hpp"
+#include "sim/chaos.hpp"
+
+namespace riot::bench {
+namespace {
+
+using namespace riot::chaos_test;
+using namespace sim::chaos;
+
+struct SoakResult {
+  std::uint64_t seed = 0;
+  std::size_t endpoints = 0;
+  std::size_t actions = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  std::uint64_t checks = 0;
+  std::size_t violations = 0;
+
+  [[nodiscard]] double events_per_s() const {
+    return wall_s <= 0.0 ? 0.0 : static_cast<double>(events) / wall_s;
+  }
+};
+
+SoakResult run_soak(const ChaosProfile& profile, std::size_t cells,
+                    std::uint64_t seed,
+                    std::map<std::string, std::uint64_t>& check_counts,
+                    BenchReport* snapshot_into) {
+  const ChaosSchedule schedule = generate_schedule(seed, profile);
+  ChaosStack stack(schedule, profile, cells);
+
+  SoakResult result;
+  result.seed = seed;
+  result.endpoints = stack.endpoint_count();
+  result.actions = schedule.actions.size();
+
+  const auto started = std::chrono::steady_clock::now();
+  const ChaosRunReport report = stack.run();
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+
+  result.events = stack.simulation().executed_events();
+  result.violations = report.violations.size();
+  for (const auto& v : report.violations) {
+    std::fprintf(stderr, "bench_chaos_soak: seed %llu violated %s: %s\n",
+                 static_cast<unsigned long long>(seed), v.invariant.c_str(),
+                 v.message.c_str());
+  }
+  for (const auto& s : stack.registry().stats()) {
+    result.checks += s.checks;
+    check_counts[s.name] += s.checks;
+  }
+  if (snapshot_into != nullptr) snapshot_into->snapshot(stack.metrics());
+  return result;
+}
+
+}  // namespace
+}  // namespace riot::bench
+
+int main(int argc, char** argv) {
+  using namespace riot;
+  using namespace riot::bench;
+  using namespace riot::chaos_test;
+
+  bool trim = false;
+  double min_eps = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trim") == 0) trim = true;
+    if (std::strncmp(argv[i], "--min-eps=", 10) == 0) {
+      min_eps = std::stod(argv[i] + 10);
+    }
+  }
+
+  // The trim rung shrinks the population, not the schedule envelope: CI
+  // still soaks real fault windows, just over fewer endpoints.
+  sim::chaos::ChaosProfile profile = soak_profile();
+  std::size_t cells = kSoakCells;
+  std::size_t seeds = 3;
+  if (trim) {
+    profile.node_count = 60;
+    cells = 12;
+    seeds = 2;
+  }
+  const std::uint64_t base_seed = chaos_base_seed(7777);
+
+  banner("Chaos soak throughput",
+         "Simulated events per wall-clock second with the full protocol "
+         "stack under generated fault schedules, all invariant checkers "
+         "armed.");
+
+  BenchReport report("chaos");
+  report.config("base_seed", static_cast<double>(base_seed));
+  report.config("seeds", static_cast<double>(seeds));
+  report.config("node_count", static_cast<double>(profile.node_count));
+  report.config("cells", static_cast<double>(cells));
+  report.config("endpoints", static_cast<double>(5 * profile.node_count + 1));
+
+  Table table({"seed", "endpoints", "actions", "sim_events", "wall_s",
+               "events/s", "inv_checks", "violations"},
+              12);
+  table.tee_to(report);
+  table.print_header();
+
+  std::map<std::string, std::uint64_t> check_counts;
+  double total_events = 0.0;
+  double total_wall = 0.0;
+  double min_observed_eps = 0.0;
+  std::size_t total_violations = 0;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    // The artifact embeds the registry of the last run (riot_chaos_*
+    // invariant counters + schedule tags).
+    BenchReport* capture = (i + 1 == seeds) ? &report : nullptr;
+    const SoakResult r =
+        run_soak(profile, cells, base_seed + i, check_counts, capture);
+    table.print_row({fmt_u(r.seed), fmt_u(r.endpoints), fmt_u(r.actions),
+                     fmt_u(r.events), fmt(r.wall_s, 2),
+                     fmt(r.events_per_s(), 0), fmt_u(r.checks),
+                     fmt_u(r.violations)});
+    total_events += static_cast<double>(r.events);
+    total_wall += r.wall_s;
+    total_violations += r.violations;
+    if (i == 0 || r.events_per_s() < min_observed_eps) {
+      min_observed_eps = r.events_per_s();
+    }
+  }
+
+  const double aggregate_eps =
+      total_wall <= 0.0 ? 0.0 : total_events / total_wall;
+  std::printf("\naggregate: %.0f events/s over %.2f s wall\n", aggregate_eps,
+              total_wall);
+  report.metric("events_per_s", aggregate_eps);
+  report.metric("min_seed_events_per_s", min_observed_eps);
+  report.metric("total_sim_events", total_events);
+  report.metric("total_wall_s", total_wall);
+  report.metric("violations", static_cast<double>(total_violations));
+  for (const auto& [name, checks] : check_counts) {
+    report.metric("checks_" + name, static_cast<double>(checks));
+  }
+  report.write();
+
+  if (total_violations != 0) {
+    std::fprintf(stderr, "bench_chaos_soak: %zu invariant violation(s)\n",
+                 total_violations);
+    return 1;
+  }
+  if (min_eps > 0.0 && aggregate_eps < min_eps) {
+    std::fprintf(stderr,
+                 "bench_chaos_soak: %.0f events/s under floor %.0f\n",
+                 aggregate_eps, min_eps);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "adapt/chaos_checks.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace riot::adapt::chaos {
+
+void MapeRecoveryChecker::attach(MapeLoop& loop) {
+  loop_ = &loop;
+  loop.on_analysis([this](const std::vector<Violation>& violations) {
+    on_pass(violations);
+  });
+}
+
+void MapeRecoveryChecker::on_pass(const std::vector<Violation>& violations) {
+  ++passes_;
+  const sim::SimTime at = loop_->last_analysis_at();
+
+  // Close episodes whose requirement is no longer raised.
+  for (auto it = open_.begin(); it != open_.end();) {
+    const bool still_raised =
+        std::any_of(violations.begin(), violations.end(),
+                    [&](const Violation& v) {
+                      return v.requirement == it->first;
+                    });
+    if (still_raised) {
+      ++it;
+    } else {
+      episodes_[it->second].recovered_at = at;
+      it = open_.erase(it);
+    }
+  }
+
+  // Open a new episode for each newly-raised requirement.
+  for (const Violation& v : violations) {
+    if (open_.contains(v.requirement)) continue;
+    open_.emplace(v.requirement, episodes_.size());
+    episodes_.push_back(Episode{v.requirement, at, std::nullopt});
+  }
+}
+
+std::optional<std::string> MapeRecoveryChecker::loop_live(
+    sim::SimTime now, sim::SimTime max_gap) const {
+  if (loop_ == nullptr) return "checker not attached to a loop";
+  if (loop_->last_analysis_at() + max_gap < now) {
+    return "MAPE loop stopped analyzing";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> MapeRecoveryChecker::quiescent() const {
+  if (loop_ == nullptr) return "checker not attached to a loop";
+  if (!open_.empty()) {
+    return "MAPE still raising '" + open_.begin()->first + "' after cooldown";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> MapeRecoveryChecker::recovered_within(
+    sim::SimTime bound, sim::SimTime now) const {
+  for (const Episode& e : episodes_) {
+    const sim::SimTime end = e.recovered_at.value_or(now);
+    if (end - e.detected_at > bound) {
+      return "'" + e.requirement + "' detected at " +
+             std::to_string(sim::to_seconds(e.detected_at)) + "s " +
+             (e.recovered_at ? "recovered" : "still open") + " after " +
+             std::to_string(sim::to_seconds(end - e.detected_at)) +
+             "s (bound " + std::to_string(sim::to_seconds(bound)) + "s)";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace riot::adapt::chaos

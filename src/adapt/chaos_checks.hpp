@@ -1,0 +1,66 @@
+// Chaos invariant checkers for the adaptation layer (MAPE-K loop).
+//
+// The resilience property under test is the closed loop itself: the loop
+// keeps analyzing through faults (liveness), every violation it raises is
+// eventually cleared (quiescence), and the gap between detecting a
+// violation and clearing it stays within the recovery bound the roadmap's
+// self-* requirements promise.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adapt/mape.hpp"
+#include "sim/time.hpp"
+
+namespace riot::adapt::chaos {
+
+/// Records every analysis pass of one MapeLoop (via its on_analysis
+/// callback) as a series of violation *episodes* — from the pass that
+/// first raises a requirement to the pass where it no longer appears —
+/// and checks liveness, quiescence, and detection-to-recovery bounds over
+/// them.
+class MapeRecoveryChecker {
+ public:
+  /// Installs itself as the loop's on_analysis callback (replacing any
+  /// previous callback). Episode timestamps use the loop's own analysis
+  /// clock (last_analysis_at), so clock-skew chaos on the loop host is
+  /// part of what the bounds tolerate.
+  void attach(MapeLoop& loop);
+
+  /// The loop analyzed within `max_gap` of `now` (it did not silently die
+  /// under fault load).
+  [[nodiscard]] std::optional<std::string> loop_live(
+      sim::SimTime now, sim::SimTime max_gap) const;
+
+  /// No requirement is still raised (every episode closed) — meaningful
+  /// only after the disruption-free cooldown.
+  [[nodiscard]] std::optional<std::string> quiescent() const;
+
+  /// Every episode closed within `bound` of detection; episodes still open
+  /// at `now` must not have exceeded the bound yet.
+  [[nodiscard]] std::optional<std::string> recovered_within(
+      sim::SimTime bound, sim::SimTime now) const;
+
+  [[nodiscard]] std::size_t episodes() const { return episodes_.size(); }
+  [[nodiscard]] std::size_t passes() const { return passes_; }
+
+ private:
+  struct Episode {
+    std::string requirement;
+    sim::SimTime detected_at = sim::kSimTimeZero;
+    std::optional<sim::SimTime> recovered_at;
+  };
+
+  void on_pass(const std::vector<Violation>& violations);
+
+  MapeLoop* loop_ = nullptr;
+  std::size_t passes_ = 0;
+  std::vector<Episode> episodes_;
+  std::unordered_map<std::string, std::size_t> open_;  // requirement -> index
+};
+
+}  // namespace riot::adapt::chaos

@@ -1,0 +1,117 @@
+#include "coord/chaos_checks.hpp"
+
+#include <algorithm>
+
+#include "sim/chaos.hpp"
+
+namespace riot::coord::chaos {
+
+std::optional<std::string> ElectionSafetyChecker::check() {
+  if (violation_) return violation_;
+  const std::vector<sim::TraceEvent>& events = trace_->events();
+  for (; cursor_ < events.size(); ++cursor_) {
+    const sim::TraceEvent& ev = events[cursor_];
+    if (ev.component != "raft" || ev.kind != "leader") continue;
+    const auto term = sim::chaos::parse_detail_u64(ev.detail, "term");
+    if (!term) continue;
+    const auto group_it = group_of_.find(ev.node);
+    const std::uint32_t group =
+        group_it != group_of_.end() ? group_it->second : 0;
+    std::set<std::uint32_t>& leaders = leaders_[{group, *term}];
+    leaders.insert(ev.node);
+    if (leaders.size() > 1 && !violation_) {
+      violation_ = "group " + std::to_string(group) + " term " +
+                   std::to_string(*term) + " elected " +
+                   std::to_string(leaders.size()) + " leaders";
+    }
+  }
+  return violation_;
+}
+
+void RaftGroupChecker::observe_apply(std::size_t member, std::uint64_t index,
+                                     const Command& cmd) {
+  // Whoever applies an index first defines it. (Recovered peers re-apply
+  // from index 1, which must reproduce the same commands — idempotent
+  // here, a violation if they differ.)
+  auto [it, inserted] = applied_.try_emplace(index, cmd);
+  if (!inserted && it->second != cmd && !sm_violation_) {
+    sm_violation_ = "index " + std::to_string(index) + " applied as '" +
+                    it->second + "' and '" + cmd + "' (member " +
+                    std::to_string(member) + ")";
+  }
+  appliers_[index].insert(member);
+  if (appliers_[index].size() >= peers_.size() / 2 + 1) acked_.insert(index);
+}
+
+std::optional<std::string> RaftGroupChecker::leader_agreement() const {
+  std::uint64_t max_term = 0;
+  for (const RaftPeer* p : peers_) {
+    max_term = std::max(max_term, p->current_term());
+  }
+  int leaders = 0;
+  for (const RaftPeer* p : peers_) {
+    if (p->alive() && p->is_leader() && p->current_term() == max_term) {
+      ++leaders;
+    }
+  }
+  if (leaders != 1) {
+    return std::to_string(leaders) + " leaders in max term " +
+           std::to_string(max_term) + " after cooldown";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> RaftGroupChecker::log_agreement() const {
+  for (std::size_t a = 0; a < storages_.size(); ++a) {
+    for (std::size_t b = a + 1; b < storages_.size(); ++b) {
+      const RaftStorage& sa = *storages_[a];
+      const RaftStorage& sb = *storages_[b];
+      const std::uint64_t lo =
+          std::max(sa.snapshot_index, sb.snapshot_index) + 1;
+      const std::uint64_t hi = std::min(sa.last_index(), sb.last_index());
+      for (std::uint64_t i = lo; i <= hi; ++i) {
+        if (sa.term_at(i) == sb.term_at(i) &&
+            sa.entry(i).command != sb.entry(i).command) {
+          return "logs " + std::to_string(a) + "/" + std::to_string(b) +
+                 " disagree at index " + std::to_string(i) + " term " +
+                 std::to_string(sa.term_at(i));
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> RaftGroupChecker::no_lost_acked() const {
+  for (const std::uint64_t index : acked_) {
+    for (std::size_t i = 0; i < storages_.size(); ++i) {
+      const RaftStorage& s = *storages_[i];
+      if (index <= s.snapshot_index) continue;  // compacted == retained
+      if (s.last_index() < index ||
+          s.entry(index).command != applied_.at(index)) {
+        return "acked write at index " + std::to_string(index) +
+               " missing from member " + std::to_string(i) + "'s log";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> GossipConvergenceChecker::check() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& [key, value] : expected_) {
+      const auto held = nodes_[i]->get(key);
+      if (!held) {
+        return "gossip node " + std::to_string(i) + " missing key '" + key +
+               "'";
+      }
+      if (*held != value) {
+        return "gossip node " + std::to_string(i) + " holds stale '" + key +
+               "' = '" + *held + "' (want '" + value + "')";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace riot::coord::chaos

@@ -1,8 +1,17 @@
 #include "coord/gossip.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 namespace riot::coord {
+
+namespace {
+// (epoch, version, origin) lexicographic — see VersionedValue.
+bool newer(std::uint32_t e_a, std::uint64_t v_a, std::uint32_t o_a,
+           std::uint32_t e_b, std::uint64_t v_b, std::uint32_t o_b) {
+  return std::tie(e_a, v_a, o_a) > std::tie(e_b, v_b, o_b);
+}
+}  // namespace
 
 GossipNode::GossipNode(net::Network& network, GossipConfig config)
     : net::Node(network),
@@ -32,12 +41,11 @@ GossipNode::GossipNode(net::Network& network, GossipConfig config)
         }
         const VersionedValue& local = *found;
         matched_.push_back(&local);
-        const bool remote_newer = entry.version != local.version
-                                      ? entry.version > local.version
-                                      : entry.origin > local.origin;
-        if (remote_newer) {
+        if (newer(entry.epoch, entry.version, entry.origin, local.epoch,
+                  local.version, local.origin)) {
           want.keys.push_back(entry.key);
-        } else if (local.version != entry.version ||
+        } else if (local.epoch != entry.epoch ||
+                   local.version != entry.version ||
                    local.origin != entry.origin) {
           ahead.entries.emplace_back(entry.key, local);
         }
@@ -90,6 +98,10 @@ void GossipNode::put(const std::string& key, std::string value) {
     entry = &store_.emplace_back(key, VersionedValue{}).second;
   }
   entry->value = std::move(value);
+  // Never step the epoch backwards: the entry may have been absorbed from a
+  // writer whose boot count is ahead of ours, and a lower-epoch overwrite
+  // would lose to the very value it replaces.
+  entry->epoch = std::max(entry->epoch, boot_epoch_);
   ++entry->version;
   entry->origin = id().value;
   digest_cache_.reset();
@@ -114,7 +126,10 @@ void GossipNode::on_start() {
 }
 
 void GossipNode::on_recover() {
-  // Volatile store is gone after a crash; anti-entropy refills it.
+  // Volatile store is gone after a crash; anti-entropy refills it. The
+  // bumped epoch keeps writes made in this life ahead of our own pre-crash
+  // values still circulating.
+  ++boot_epoch_;
   store_.clear();
   digest_cache_.reset();
   every(cfg_.round_interval, [this] { round(); });
@@ -132,22 +147,14 @@ void GossipNode::round() {
     auto entries = std::make_shared<std::vector<DigestEntry>>();
     entries->reserve(store_.size());
     for (const auto& [key, value] : store_) {
-      entries->push_back(DigestEntry{key, value.version, value.origin});
+      entries->push_back(
+          DigestEntry{key, value.epoch, value.version, value.origin});
     }
     digest_cache_ = std::move(entries);
   }
   for (const std::size_t i : picks) {
     send(peers_[i], Digest{digest_cache_});
   }
-}
-
-bool GossipNode::newer_than_local(const std::string& key,
-                                  std::uint64_t version,
-                                  std::uint32_t origin) const {
-  const VersionedValue* found = find_entry(key);
-  if (found == nullptr) return true;
-  if (found->version != version) return version > found->version;
-  return origin > found->origin;  // deterministic tie-break
 }
 
 void GossipNode::absorb(const std::string& key, const VersionedValue& value) {
@@ -160,10 +167,10 @@ void GossipNode::absorb(const std::string& key, const VersionedValue& value) {
     }
   }
   if (local != nullptr) {
-    const bool newer = value.version != local->version
-                           ? value.version > local->version
-                           : value.origin > local->origin;
-    if (!newer) return;
+    if (!newer(value.epoch, value.version, value.origin, local->epoch,
+               local->version, local->origin)) {
+      return;
+    }
     *local = value;
   } else {
     store_.emplace_back(key, value);

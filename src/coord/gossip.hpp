@@ -26,6 +26,13 @@ struct GossipConfig {
 
 struct VersionedValue {
   std::string value;
+  // Ordering is (epoch, version, origin) lexicographic. The epoch is the
+  // writer's boot counter: a crash wipes the volatile store and with it the
+  // per-key version counters, so a recovered writer's next put would
+  // restart at version 1 and lose — cluster-wide, permanently — to its own
+  // pre-crash values pushed back by anti-entropy. A higher boot epoch makes
+  // post-recovery writes dominate anything written in an earlier life.
+  std::uint32_t epoch = 0;
   std::uint64_t version = 0;     // per-key, monotone; origin breaks ties
   std::uint32_t origin = 0;      // NodeId.value of the writer
 };
@@ -56,6 +63,7 @@ class GossipNode : public net::Node {
  private:
   struct DigestEntry {
     std::string key;
+    std::uint32_t epoch;
     std::uint64_t version;
     std::uint32_t origin;  // tie-break for concurrent same-version writes
   };
@@ -67,7 +75,7 @@ class GossipNode : public net::Node {
     std::shared_ptr<const std::vector<DigestEntry>> entries;
     std::uint32_t wire_size() const {
       return static_cast<std::uint32_t>(
-          (entries == nullptr ? 0 : entries->size()) * 28);
+          (entries == nullptr ? 0 : entries->size()) * 32);
     }
   };
   struct Delta {  // full entries, reply/push phase
@@ -85,14 +93,16 @@ class GossipNode : public net::Node {
   };
 
   void round();
-  bool newer_than_local(const std::string& key, std::uint64_t version,
-                        std::uint32_t origin) const;
   void absorb(const std::string& key, const VersionedValue& value);
   [[nodiscard]] const VersionedValue* find_entry(const std::string& key) const;
 
   GossipConfig cfg_;
   sim::Rng rng_;
   std::vector<net::NodeId> peers_;
+  // Boot counter, bumped on every recovery. Deliberately NOT cleared with
+  // the store: it models the tiny persistent boot count real devices keep
+  // in stable storage precisely so that reincarnations are ordered.
+  std::uint32_t boot_epoch_ = 0;
   // Flat keyed store. Per-node stores are small (tens of keys, SSO-sized)
   // and there are thousands of nodes at city scale, so a contiguous vector
   // with a linear probe beats a per-node hash table: no hashing, no

@@ -86,7 +86,7 @@ void RaftPeer::on_crash() {
   known_leader_ = net::kInvalidNode;
   commit_index_ = 0;
   last_applied_ = 0;
-  votes_received_ = 0;
+  votes_from_.clear();
   heartbeat_timer_ = sim::kInvalidEventId;
   next_index_.clear();
   match_index_.clear();
@@ -148,7 +148,8 @@ void RaftPeer::become_candidate() {
   role_ = RaftRole::kCandidate;
   ++storage_.current_term;
   storage_.voted_for = id();
-  votes_received_ = 1;  // own vote
+  votes_from_.clear();
+  votes_from_.insert(id());  // own vote
   if (!election_span_.valid()) {
     // Parent on the lost leader's incident: the election is an effect of
     // that failure, not ambient behaviour.
@@ -262,7 +263,7 @@ void RaftPeer::handle_request_vote(net::NodeId from, const RequestVote& rv) {
   send(from, RequestVoteReply{storage_.current_term, granted});
 }
 
-void RaftPeer::handle_vote_reply(net::NodeId /*from*/,
+void RaftPeer::handle_vote_reply(net::NodeId from,
                                  const RequestVoteReply& reply) {
   if (reply.term > storage_.current_term) {
     become_follower(reply.term);
@@ -272,7 +273,8 @@ void RaftPeer::handle_vote_reply(net::NodeId /*from*/,
       !reply.granted) {
     return;
   }
-  if (++votes_received_ >= majority()) become_leader();
+  votes_from_.insert(from);
+  if (votes_from_.size() >= majority()) become_leader();
 }
 
 void RaftPeer::handle_append(net::NodeId from, const AppendEntries& ae) {
@@ -317,7 +319,13 @@ void RaftPeer::handle_append(net::NodeId from, const AppendEntries& ae) {
   }
   const std::uint64_t match = ae.prev_log_index + ae.entries.size();
   if (ae.leader_commit > commit_index_) {
-    commit_index_ = std::min(ae.leader_commit, storage_.last_index());
+    // Clamp to the last entry *this append* confirmed (Raft §5.3's "index
+    // of last new entry"), never to our own last_index(): the log may
+    // still hold an unconfirmed — possibly conflicting — suffix from a
+    // deposed leader beyond this append's window, and committing it would
+    // apply commands the current leader never replicated.
+    commit_index_ =
+        std::max(commit_index_, std::min(ae.leader_commit, match));
     apply_committed();
   }
   send(from,

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -205,7 +206,10 @@ class RaftPeer : public net::Node {
   std::uint64_t commit_index_ = 0;
   std::uint64_t last_applied_ = 0;
   std::uint64_t election_generation_ = 0;
-  std::size_t votes_received_ = 0;
+  // Distinct granters, not a count: the network may duplicate a
+  // RequestVoteReply, and a double-counted grant would hand a minority
+  // candidate the election (split-brain under partition + duplication).
+  std::set<net::NodeId> votes_from_;
   sim::EventId heartbeat_timer_ = sim::kInvalidEventId;
   std::unordered_map<net::NodeId, std::uint64_t> next_index_;
   std::unordered_map<net::NodeId, std::uint64_t> match_index_;

@@ -1,0 +1,44 @@
+// Chaos invariant checkers for the data layer (CRDT store).
+//
+// Strong eventual consistency is checked as *digest equality at
+// quiescence*: every replica of a group hashes its observable state
+// (values, not internal vector clocks or entry order) to the same 64-bit
+// digest once syncing has settled. Digests make the check O(replicas)
+// instead of O(replicas^2) pairwise deep-compares at soak scale; on a
+// digest mismatch (and, belt-and-braces, on the astronomically unlikely
+// digest collision) the deep stores_converged oracle names the diverging
+// pair.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/crdt_store.hpp"
+
+namespace riot::data::chaos {
+
+/// Order-insensitive FNV-1a digest of a store's observable state: per key,
+/// the CRDT type and its *value* (counter totals, register winners, set
+/// elements, MV sibling sets — never internal replica maps or tags, which
+/// legitimately differ across converged replicas).
+[[nodiscard]] std::uint64_t store_digest(const CrdtStore& store);
+
+/// Per-group replica-digest equality at quiescence.
+class CrdtConvergenceChecker {
+ public:
+  void add_group(std::string label, std::vector<CrdtStore*> replicas) {
+    groups_.emplace_back(std::move(label), std::move(replicas));
+  }
+
+  [[nodiscard]] std::size_t groups() const { return groups_.size(); }
+
+  [[nodiscard]] std::optional<std::string> check() const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<CrdtStore*>>> groups_;
+};
+
+}  // namespace riot::data::chaos

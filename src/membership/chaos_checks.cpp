@@ -1,0 +1,19 @@
+#include "membership/chaos_checks.hpp"
+
+namespace riot::membership::chaos {
+
+std::optional<std::string> SwimConvergenceChecker::check() const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    for (std::size_t j = 0; j < members_.size(); ++j) {
+      if (i == j) continue;
+      const MemberState state = members_[i]->state_of(members_[j]->id());
+      if (state != MemberState::kAlive) {
+        return "member " + std::to_string(i) + " still sees member " +
+               std::to_string(j) + " as " + std::string(to_string(state));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace riot::membership::chaos

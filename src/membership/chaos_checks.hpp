@@ -1,0 +1,31 @@
+// Chaos invariant checkers for the membership layer (SWIM).
+//
+// Counterpart of coord/chaos_checks.hpp: protocol-aware bodies that chaos
+// scenarios register with sim::chaos::InvariantRegistry.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "membership/swim.hpp"
+
+namespace riot::membership::chaos {
+
+/// SWIM eventual membership convergence: after every fault has healed and
+/// the cooldown has elapsed, every member must see every other member as
+/// alive. Stale suspicion or a lingering kDead entry after heal is the
+/// classic SWIM resilience bug this guards against.
+class SwimConvergenceChecker {
+ public:
+  void add_member(SwimMember* member) { members_.push_back(member); }
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+
+  [[nodiscard]] std::optional<std::string> check() const;
+
+ private:
+  std::vector<SwimMember*> members_;
+};
+
+}  // namespace riot::membership::chaos

@@ -123,19 +123,37 @@ void SwimMember::probe_dead() {
   }
   if (dead.empty()) return;
   std::sort(dead.begin(), dead.end());  // determinism
-  rng_.shuffle(dead);
-  const net::NodeId target = dead.front();
-  // Carry the verdict explicitly: the outbox has usually drained the dead
-  // update by now, and refutation needs the assertion to reach its subject.
-  auto updates = take_piggyback();
-  updates.push_back(
-      {target, MemberState::kDead, members_[target].incarnation});
-  network()
-      .trace()
-      .event("swim", "dead_probe")
-      .node(id().value)
-      .detail(to_string(target));
-  send(target, Ping{next_seq_++, std::move(updates)});
+  // Batch size scales with the dead set so that full coverage takes a
+  // bounded number of intervals regardless of how many verdicts a mass
+  // false-death event left behind; the rotating cursor makes selection
+  // round-robin, so a genuinely dead member (which never acks and so never
+  // leaves the set) cannot shadow a falsely dead one indefinitely the way
+  // an independent random draw can.
+  const std::size_t floor_count =
+      static_cast<std::size_t>(std::max(1, cfg_.dead_probes_per_interval));
+  const std::size_t per_round =
+      (dead.size() + static_cast<std::size_t>(
+                         std::max(1, cfg_.dead_probe_coverage_rounds)) -
+       1) /
+      static_cast<std::size_t>(std::max(1, cfg_.dead_probe_coverage_rounds));
+  const std::size_t count =
+      std::min(dead.size(), std::max(floor_count, per_round));
+  for (std::size_t i = 0; i < count; ++i) {
+    const net::NodeId target = dead[(dead_probe_cursor_ + i) % dead.size()];
+    // Carry the verdict explicitly: the outbox has usually drained the
+    // dead update by now, and refutation needs the assertion to reach its
+    // subject.
+    auto updates = take_piggyback();
+    updates.push_back(
+        {target, MemberState::kDead, members_[target].incarnation});
+    network()
+        .trace()
+        .event("swim", "dead_probe")
+        .node(id().value)
+        .detail(to_string(target));
+    send(target, Ping{next_seq_++, std::move(updates)});
+  }
+  dead_probe_cursor_ += count;
 }
 
 void SwimMember::probe(net::NodeId target) {
@@ -177,13 +195,31 @@ void SwimMember::ack_received_for(net::NodeId target) {
 void SwimMember::on_ping(net::NodeId from, const Ping& ping) {
   apply_updates(ping.updates);
   add_peer(from);
-  send(from, Ack{ping.seq, take_piggyback()});
+  auto updates = take_piggyback();
+  // If we still hold a suspect/dead verdict against the sender, tell it
+  // directly: a mass false-death event can exhaust an update's retransmit
+  // budget before it ever reaches its subject, and the subject can only
+  // refute a verdict it has heard. Its own ping traffic is the one channel
+  // guaranteed to reach exactly the members whose view of it is stale.
+  if (const auto it = members_.find(from);
+      it != members_.end() && it->second.state != MemberState::kAlive) {
+    updates.push_back({from, it->second.state, it->second.incarnation});
+  }
+  send(from, Ack{ping.seq, std::move(updates)});
 }
 
 void SwimMember::on_ack(net::NodeId from, const Ack& ack) {
   apply_updates(ack.updates);
   ack_received_for(from);
-  // An ack proves liveness regardless of gossip state.
+  // An ack proves liveness for an unexpired suspicion. Dead verdicts are
+  // deliberately NOT cleared here: a same-incarnation clear leaves this
+  // node re-susceptible to the very rumor it just dropped (Suspect beats
+  // Alive at equal incarnation), and each re-acceptance re-enqueues the
+  // verdict with a fresh retransmit budget — a self-sustaining rumor storm
+  // after mass false death. Dead verdicts clear only through the subject's
+  // own refutation, whose bumped incarnation dominates every stale claim;
+  // the dead-probe path hands the subject exactly that opportunity and the
+  // refutation rides the ack straight back here.
   auto it = members_.find(from);
   if (it != members_.end() && it->second.state == MemberState::kSuspect) {
     mark(from, MemberState::kAlive, it->second.incarnation);
@@ -327,6 +363,23 @@ void SwimMember::enqueue_update(const MemberUpdate& update) {
 }
 
 std::vector<MemberUpdate> SwimMember::take_piggyback() {
+  // Least-transmitted first (the SWIM paper's piggyback policy). A plain
+  // FIFO scan starves the outbox tail once the view is large: after a
+  // mass-suspicion storm (~n queued updates, a handful of slots, ~24
+  // transmissions each) a refutation enqueued at the back would wait
+  // outbox/slots full budgets before its first ride, so dead verdicts
+  // outlive any realistic quiescent period. Serving the freshest (highest
+  // remaining budget) entries gets refutations on the wire immediately;
+  // the stable sort keeps equal-budget entries in insertion order
+  // (deterministic).
+  if (outbox_.size() > static_cast<std::size_t>(cfg_.max_piggyback)) {
+    std::stable_sort(outbox_.begin(), outbox_.end(),
+                     [](const OutstandingUpdate& a,
+                        const OutstandingUpdate& b) {
+                       return a.remaining_transmissions >
+                              b.remaining_transmissions;
+                     });
+  }
   std::vector<MemberUpdate> out;
   for (auto& o : outbox_) {
     if (out.size() >= static_cast<std::size_t>(cfg_.max_piggyback)) break;

@@ -48,11 +48,22 @@ struct SwimConfig {
   sim::SimTime suspect_timeout = sim::seconds(3); // suspicion -> dead
   int max_piggyback = 6;                          // updates per message
   int retransmit_factor = 3;  // each update rides ~factor*log2(n) times
-  // How often to re-probe one member we believe dead. Without this a
+  // How often to re-probe members we believe dead. Without this a
   // symmetric partition that outlives the suspect timeout is permanent:
   // both sides stop pinging each other, so the dead verdict never reaches
   // its subject and can never be refuted. Zero disables re-probing.
   sim::SimTime dead_probe_interval = sim::seconds(3);
+  // Dead members re-probed per interval (floor). One is enough for an
+  // isolated failure, but a mass false-death event (a partition outliving
+  // the suspect timeout) leaves every observer with a *set* of stale
+  // verdicts, and draining them one victim per interval outlasts any
+  // realistic quiescence window at cluster scale.
+  int dead_probes_per_interval = 3;
+  // The batch grows past the floor so the whole dead set is covered within
+  // this many intervals: per-round count = ceil(|dead| / coverage_rounds).
+  // Cost is self-limiting — a falsely dead member acks its probe, which
+  // clears the verdict and shrinks the set.
+  int dead_probe_coverage_rounds = 5;
 };
 
 /// Per-node SWIM agent. Construct one per participating node, seed all of
@@ -144,6 +155,8 @@ class SwimMember : public net::Node {
   sim::Counter& refute_total_;
   std::uint32_t incarnation_ = 0;
   std::uint64_t next_seq_ = 1;
+  // Round-robin position over the (sorted) dead set for probe_dead().
+  std::size_t dead_probe_cursor_ = 0;
   std::unordered_map<net::NodeId, MemberInfo> members_;
   std::deque<OutstandingUpdate> outbox_;
   // Probes awaiting an ack (direct or indirect), keyed by target.

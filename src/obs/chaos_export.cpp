@@ -19,6 +19,24 @@ void tag_chaos_run(MetricsRegistry& metrics,
   }
 }
 
+void tag_invariant_stats(
+    MetricsRegistry& metrics,
+    const std::vector<sim::chaos::InvariantStats>& stats) {
+  auto& checks = metrics.counter_family(
+      "riot_chaos_invariant_checks_total",
+      "invariant evaluations, by invariant and polling mode");
+  auto& violations = metrics.counter_family(
+      "riot_chaos_invariant_violations_total",
+      "invariant violations, by invariant");
+  for (const sim::chaos::InvariantStats& s : stats) {
+    checks
+        .with({{"invariant", s.name},
+               {"mode", s.always ? "always" : "eventually"}})
+        .increment(s.checks);
+    violations.with({{"invariant", s.name}}).increment(s.violations);
+  }
+}
+
 void write_chaos_repro(
     std::ostream& os, const sim::chaos::ChaosSchedule& schedule,
     const std::vector<sim::chaos::InvariantViolation>& violations,

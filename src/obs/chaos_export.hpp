@@ -22,6 +22,15 @@ namespace riot::obs {
 void tag_chaos_run(MetricsRegistry& metrics,
                    const sim::chaos::ChaosSchedule& schedule);
 
+/// Record per-invariant checker tallies as metrics:
+///   riot_chaos_invariant_checks_total{invariant=...,mode=always|eventually}
+///   riot_chaos_invariant_violations_total{invariant=...}
+/// Call once at end of run — the registry's stats are cumulative, so
+/// tagging mid-run and again at the end would double-count.
+void tag_invariant_stats(
+    MetricsRegistry& metrics,
+    const std::vector<sim::chaos::InvariantStats>& stats);
+
 /// Write a repro artifact: schedule fields + "violations" + "trace_tail"
 /// (the last `trace_tail` events). Parseable by schedule_from_json.
 void write_chaos_repro(std::ostream& os,

@@ -498,18 +498,45 @@ std::optional<ChaosSchedule> schedule_from_json(std::string_view json,
 
 namespace {
 
-/// Reference counts shared by every window a schedule installs, so that
+/// Shared execution state for every window a schedule installs, so that
 /// overlapping or handcrafted schedules can never double-apply a crash or
 /// heal a disruption another window still owns.
+///
+/// Crash/isolate windows are per-node reference counts (the node stays
+/// down until the last window ends). Partition, global-knob and clock-skew
+/// windows keep *active-window stacks* of (window id, payload): a revert
+/// removes its own entry and, when another window is still active,
+/// re-applies that window's payload instead of resetting to the healthy
+/// state — so an inner loss window ending restores the outer window's
+/// magnitude, and an inner partition ending restores the outer layout.
 struct ExecState {
   std::vector<std::uint32_t> crash_depth;
   std::vector<std::uint32_t> isolate_depth;
-  std::vector<std::uint32_t> skew_depth;
-  std::uint32_t partition_depth = 0;
-  std::uint32_t loss_depth = 0;
-  std::uint32_t delay_depth = 0;
-  std::uint32_t duplicate_depth = 0;
+  std::uint64_t next_window = 0;
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint32_t>>> partitions;
+  std::vector<std::pair<std::uint64_t, double>> loss;
+  std::vector<std::pair<std::uint64_t, double>> delay;
+  std::vector<std::pair<std::uint64_t, double>> duplicate;
+  std::vector<std::vector<std::pair<std::uint64_t, SimTime>>> skew;  // per node
 };
+
+template <typename Payload>
+bool erase_window(std::vector<std::pair<std::uint64_t, Payload>>& stack,
+                  std::uint64_t id) {
+  const auto it =
+      std::find_if(stack.begin(), stack.end(),
+                   [id](const auto& entry) { return entry.first == id; });
+  if (it == stack.end()) return false;
+  stack.erase(it);
+  return true;
+}
+
+template <typename Payload>
+bool window_active(const std::vector<std::pair<std::uint64_t, Payload>>& stack,
+                   std::uint64_t id) {
+  return std::any_of(stack.begin(), stack.end(),
+                     [id](const auto& entry) { return entry.first == id; });
+}
 
 std::string action_name(const ChaosAction& action) {
   std::string name = "chaos/";
@@ -536,7 +563,32 @@ std::size_t install_schedule(const ChaosSchedule& schedule,
   const std::size_t nodes = std::max<std::size_t>(schedule.node_count, 1);
   state->crash_depth.assign(nodes, 0);
   state->isolate_depth.assign(nodes, 0);
-  state->skew_depth.assign(nodes, 0);
+  state->skew.assign(nodes, {});
+
+  // Global-knob windows share one shape: apply pushes (id, magnitude) and
+  // sets the knob; revert pops its own entry and restores the next active
+  // window's magnitude, or the healthy value when none remains.
+  auto knob_window = [&](std::vector<std::pair<std::uint64_t, double>>
+                             ExecState::*stack,
+                         std::function<void(double)> ChaosHooks::*hook,
+                         double healthy, double magnitude,
+                         std::function<void()>& apply,
+                         std::function<void()>& revert,
+                         std::function<bool()>& guard) {
+    auto id = std::make_shared<std::uint64_t>(0);
+    apply = [hooks_ptr, state, stack, hook, magnitude, id] {
+      *id = ++state->next_window;
+      ((*state).*stack).emplace_back(*id, magnitude);
+      ((*hooks_ptr).*hook)(magnitude);
+    };
+    guard = [state, stack, id] { return window_active((*state).*stack, *id); };
+    revert = [hooks_ptr, state, stack, hook, healthy, id] {
+      auto& windows = (*state).*stack;
+      if (!erase_window(windows, *id)) return;
+      ((*hooks_ptr).*hook)(windows.empty() ? healthy
+                                           : windows.back().second);
+    };
+  };
 
   std::size_t installed = 0;
   for (const ChaosAction& action : schedule.actions) {
@@ -544,6 +596,10 @@ std::size_t install_schedule(const ChaosSchedule& schedule,
     std::function<void()> apply;
     std::function<void()> revert;
     std::function<bool()> guard;
+    // Topology and knob reverts run before node restarts landing on the
+    // same instant (FaultInjector drains same-instant reverts in phase
+    // order), so a restarted node never sends into a stale layout.
+    int revert_phase = 0;
 
     switch (action.kind) {
       case ActionKind::kCrash: {
@@ -558,6 +614,7 @@ std::size_t install_schedule(const ChaosSchedule& schedule,
             hooks_ptr->restart_node(node);
           }
         };
+        revert_phase = 1;
         break;
       }
       case ActionKind::kIsolate: {
@@ -577,70 +634,71 @@ std::size_t install_schedule(const ChaosSchedule& schedule,
       case ActionKind::kPartition: {
         if (!hooks_ptr->partition || action.targets.empty()) break;
         const std::vector<std::uint32_t> group = action.targets;
-        apply = [hooks_ptr, state, group] {
-          ++state->partition_depth;
-          hooks_ptr->partition(group);  // last partition wins
+        auto id = std::make_shared<std::uint64_t>(0);
+        apply = [hooks_ptr, state, group, id] {
+          *id = ++state->next_window;
+          state->partitions.emplace_back(*id, group);
+          hooks_ptr->partition(group);  // most recent layout wins
         };
-        guard = [state] { return state->partition_depth > 0; };
-        revert = [hooks_ptr, state] {
-          if (--state->partition_depth == 0 && hooks_ptr->heal) {
-            hooks_ptr->heal();
+        guard = [state, id] { return window_active(state->partitions, *id); };
+        revert = [hooks_ptr, state, id] {
+          if (!erase_window(state->partitions, *id)) return;
+          if (!state->partitions.empty()) {
+            // An outer partition window is still open: restore its layout
+            // instead of healing the world out from under it.
+            hooks_ptr->partition(state->partitions.back().second);
+            return;
+          }
+          if (hooks_ptr->heal) hooks_ptr->heal();
+          // A heal typically resets *all* topology state, including
+          // isolation owned by still-open isolate windows — re-assert it
+          // so those windows keep what they claimed.
+          if (hooks_ptr->isolate) {
+            for (std::size_t n = 0; n < state->isolate_depth.size(); ++n) {
+              if (state->isolate_depth[n] > 0) {
+                hooks_ptr->isolate(static_cast<std::uint32_t>(n));
+              }
+            }
           }
         };
         break;
       }
       case ActionKind::kLoss: {
         if (!hooks_ptr->ambient_loss) break;
-        const double magnitude = action.magnitude;
-        apply = [hooks_ptr, state, magnitude] {
-          ++state->loss_depth;
-          hooks_ptr->ambient_loss(magnitude);
-        };
-        guard = [state] { return state->loss_depth > 0; };
-        revert = [hooks_ptr, state] {
-          if (--state->loss_depth == 0) hooks_ptr->ambient_loss(0.0);
-        };
+        knob_window(&ExecState::loss, &ChaosHooks::ambient_loss, 0.0,
+                    action.magnitude, apply, revert, guard);
         break;
       }
       case ActionKind::kDelay: {
         if (!hooks_ptr->latency_factor) break;
-        const double magnitude = action.magnitude;
-        apply = [hooks_ptr, state, magnitude] {
-          ++state->delay_depth;
-          hooks_ptr->latency_factor(magnitude);
-        };
-        guard = [state] { return state->delay_depth > 0; };
-        revert = [hooks_ptr, state] {
-          if (--state->delay_depth == 0) hooks_ptr->latency_factor(1.0);
-        };
+        knob_window(&ExecState::delay, &ChaosHooks::latency_factor, 1.0,
+                    action.magnitude, apply, revert, guard);
         break;
       }
       case ActionKind::kDuplicate: {
         if (!hooks_ptr->duplicate) break;
-        const double magnitude = action.magnitude;
-        apply = [hooks_ptr, state, magnitude] {
-          ++state->duplicate_depth;
-          hooks_ptr->duplicate(magnitude);
-        };
-        guard = [state] { return state->duplicate_depth > 0; };
-        revert = [hooks_ptr, state] {
-          if (--state->duplicate_depth == 0) hooks_ptr->duplicate(0.0);
-        };
+        knob_window(&ExecState::duplicate, &ChaosHooks::duplicate, 0.0,
+                    action.magnitude, apply, revert, guard);
         break;
       }
       case ActionKind::kClockSkew: {
         if (!hooks_ptr->clock_skew || action.targets.empty()) break;
         const std::uint32_t node = action.targets[0] % nodes;
         const SimTime skew = seconds_f(action.magnitude);
-        apply = [hooks_ptr, state, node, skew] {
-          ++state->skew_depth[node];
+        auto id = std::make_shared<std::uint64_t>(0);
+        apply = [hooks_ptr, state, node, skew, id] {
+          *id = ++state->next_window;
+          state->skew[node].emplace_back(*id, skew);
           hooks_ptr->clock_skew(node, skew);
         };
-        guard = [state, node] { return state->skew_depth[node] > 0; };
-        revert = [hooks_ptr, state, node] {
-          if (--state->skew_depth[node] == 0) {
-            hooks_ptr->clock_skew(node, kSimTimeZero);
-          }
+        guard = [state, node, id] {
+          return window_active(state->skew[node], *id);
+        };
+        revert = [hooks_ptr, state, node, id] {
+          auto& windows = state->skew[node];
+          if (!erase_window(windows, *id)) return;
+          hooks_ptr->clock_skew(
+              node, windows.empty() ? kSimTimeZero : windows.back().second);
         };
         break;
       }
@@ -651,7 +709,7 @@ std::size_t install_schedule(const ChaosSchedule& schedule,
       injector.plan(PlannedFault{
           action.at, action.duration,
           Disruption{name, std::move(apply), std::move(revert),
-                     std::move(guard)}});
+                     std::move(guard), revert_phase}});
     } else {
       injector.plan(PlannedFault{action.at, kSimTimeZero,
                                  Disruption{name, std::move(apply), {}, {}}});
@@ -681,12 +739,25 @@ std::size_t InvariantRegistry::run(bool include_eventually, SimTime now,
           return v.invariant == entry.name;
         });
     if (already) continue;
+    ++entry.checks;
     if (auto message = entry.check()) {
+      ++entry.violations;
       out.push_back(InvariantViolation{entry.name, std::move(*message), now});
       ++added;
     }
   }
   return added;
+}
+
+std::vector<InvariantStats> InvariantRegistry::stats() const {
+  std::vector<InvariantStats> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    out.push_back(
+        InvariantStats{entry.name, entry.always, entry.checks,
+                       entry.violations});
+  }
+  return out;
 }
 
 std::size_t InvariantRegistry::check_now(

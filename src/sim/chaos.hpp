@@ -150,11 +150,15 @@ struct ChaosHooks {
 /// Install every schedule action into `injector` as guarded windowed
 /// disruptions (call FaultInjector::arm() afterwards). Even for
 /// handcrafted, overlapping schedules the wiring is safe: crash/isolate
-/// depths are reference-counted per node, global knobs per kind, and a
-/// window whose subject was independently re-disrupted skips its revert
-/// instead of yanking state out from under the other window. Emits one
-/// "chaos/action" trace event per applied action. Returns the number of
-/// actions installed.
+/// depths are reference-counted per node; partition, global-knob and
+/// clock-skew windows keep active-window stacks, so an inner window's
+/// revert restores the outer window's layout/magnitude instead of healing
+/// the world out from under it (and a heal re-asserts isolation that
+/// still-open isolate windows own). Reverts landing on one simulation
+/// instant drain topology-first, restarts-last (Disruption::revert_phase),
+/// so a node restarting exactly when a partition heals rejoins the healed
+/// topology, never the pre-heal groups. Returns the number of actions
+/// installed.
 std::size_t install_schedule(const ChaosSchedule& schedule,
                              FaultInjector& injector, ChaosHooks hooks);
 
@@ -164,6 +168,15 @@ struct InvariantViolation {
   std::string invariant;
   std::string message;
   SimTime at = kSimTimeZero;
+};
+
+/// Per-invariant evaluation tally, the raw material for the
+/// riot_chaos_invariant_* metric families (obs::tag_invariant_stats).
+struct InvariantStats {
+  std::string name;
+  bool always = true;
+  std::uint64_t checks = 0;      // evaluations performed
+  std::uint64_t violations = 0;  // evaluations that returned a message
 };
 
 /// A registry of named correctness properties over a running scenario.
@@ -189,11 +202,19 @@ class InvariantRegistry {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  /// Evaluation tallies per invariant, in registration order. (A violated
+  /// invariant stops being re-evaluated — see the dedup rule — so its
+  /// `checks` stops advancing at the recording point.)
+  [[nodiscard]] std::vector<InvariantStats> stats() const;
+
  private:
   struct Entry {
     std::string name;
     bool always;
     CheckFn check;
+    // Tallies survive const check passes (observability, not semantics).
+    mutable std::uint64_t checks = 0;
+    mutable std::uint64_t violations = 0;
   };
   std::size_t run(bool include_eventually, SimTime now,
                   std::vector<InvariantViolation>& out) const;

@@ -1,5 +1,6 @@
 #include "sim/fault.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -67,28 +68,54 @@ void FaultInjector::fire(const PlannedFault& fault) {
     // shared flag makes the revert at-most-once and the guard lets it
     // abstain when the disrupted subject was independently re-disrupted
     // (e.g. the node this window crashed got crashed again — reverting
-    // would resurrect a node another fault believes is down).
+    // would resurrect a node another fault believes is down). The revert
+    // itself is not executed inline: it joins the same-instant batch that
+    // drain_reverts() runs in phase order, so windows ending together
+    // revert topology (heals, knob restores) before node state (restarts)
+    // no matter which window was armed or fired first.
     auto revert = fault.disruption.revert;
     auto guard = fault.disruption.revert_guard;
     auto name = fault.disruption.name;
+    const int phase = fault.disruption.revert_phase;
     auto reverted = std::make_shared<bool>(false);
     sim_.schedule_after(fault.duration, [this, revert = std::move(revert),
                                          guard = std::move(guard),
-                                         name = std::move(name), reverted] {
+                                         name = std::move(name), phase,
+                                         reverted] {
       if (*reverted) return;
       *reverted = true;
-      if (guard && !guard()) {
-        ++reverts_skipped_;
-        trace_.event("fault", "revert_skipped").warn().detail(name);
-        return;
-      }
-      trace_.event("fault", "revert").detail(name);
-      if (wrapper_) {
-        wrapper_(name, revert);
-      } else {
-        revert();
+      pending_reverts_.push_back(PendingRevert{phase, name, revert, guard});
+      if (!drain_scheduled_) {
+        drain_scheduled_ = true;
+        // Same-instant events run FIFO by insertion, so this drain runs
+        // after every revert timer already queued for this instant has
+        // appended its entry.
+        sim_.schedule_at(sim_.now(), [this] { drain_reverts(); });
       }
     });
+  }
+}
+
+void FaultInjector::drain_reverts() {
+  drain_scheduled_ = false;
+  std::vector<PendingRevert> batch = std::move(pending_reverts_);
+  pending_reverts_.clear();
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const PendingRevert& a, const PendingRevert& b) {
+                     return a.phase < b.phase;
+                   });
+  for (PendingRevert& r : batch) {
+    if (r.guard && !r.guard()) {
+      ++reverts_skipped_;
+      trace_.event("fault", "revert_skipped").warn().detail(r.name);
+      continue;
+    }
+    trace_.event("fault", "revert").detail(r.name);
+    if (wrapper_) {
+      wrapper_(r.name, r.revert);
+    } else {
+      r.revert();
+    }
   }
 }
 

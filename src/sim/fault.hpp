@@ -36,6 +36,13 @@ struct Disruption {
   std::function<void()> apply;
   std::function<void()> revert;  // empty => not reversible (e.g. crash-only)
   std::function<bool()> revert_guard;  // empty => always revert
+  // Reverts that land on the same simulation instant run in ascending
+  // phase order (FIFO within a phase), regardless of which window started
+  // first. This is how composed schedules stay consistent: a partition
+  // heal (phase 0) must precede a crash-restart (phase 1) ending at the
+  // same instant, or the restarted node's first sends still see the
+  // pre-heal topology.
+  int revert_phase = 0;
 };
 
 /// One entry of a fault plan: disruption active during [start, start+duration).
@@ -98,13 +105,27 @@ class FaultInjector {
   }
 
  private:
+  // Reverts due at one simulation instant are collected and drained by a
+  // single same-instant event, ordered by Disruption::revert_phase (stable
+  // within a phase), so composed windows always revert topology before
+  // node state. Guards are consulted at drain time.
+  struct PendingRevert {
+    int phase;
+    std::string name;
+    std::function<void()> revert;
+    std::function<bool()> guard;
+  };
+
   void fire(const PlannedFault& fault);
+  void drain_reverts();
 
   Simulation& sim_;
   TraceLog& trace_;
   Rng rng_;
   InjectWrapper wrapper_;
   std::vector<PlannedFault> plan_;
+  std::vector<PendingRevert> pending_reverts_;
+  bool drain_scheduled_ = false;
   std::size_t armed_ = 0;  // how many plan entries are already installed
   std::size_t injected_ = 0;
   std::size_t reverts_skipped_ = 0;

@@ -1,0 +1,40 @@
+// Environment knobs shared by the chaos test binaries, so local runs, CI
+// smoke and the nightly soak matrix steer one set of switches:
+//
+//   CHAOS_ITERATIONS  explorer iterations per test (nightly escalates)
+//   CHAOS_BASE_SEED   base seed for schedule generation (nightly matrix)
+//   CHAOS_REPRO_OUT   directory to write shrunk repro artifacts into
+//                     (nightly uploads it on failure); unset = no writes
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace riot::chaos_test {
+
+inline std::size_t chaos_iterations(std::size_t fallback) {
+  if (const char* env = std::getenv("CHAOS_ITERATIONS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline std::uint64_t chaos_base_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("CHAOS_BASE_SEED")) {
+    const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::uint64_t>(parsed);
+  }
+  return fallback;
+}
+
+inline std::optional<std::string> chaos_repro_out() {
+  if (const char* env = std::getenv("CHAOS_REPRO_OUT")) {
+    if (*env != '\0') return std::string(env);
+  }
+  return std::nullopt;
+}
+
+}  // namespace riot::chaos_test

@@ -1,31 +1,44 @@
-// Full-stack chaos scenario: the harness's ChaosHooks and invariant
-// registry bound to the real protocol stack.
+// Full-stack chaos scenario: the harness's ChaosHooks and the protocol
+// checker library (src/*/chaos_checks.hpp) bound to the real stack.
 //
-// Each logical node co-locates one RaftPeer, one SwimMember, one CrdtStore
-// and one TelemetrySource (four network endpoints); a MapeLoop host rides
-// alongside as an extra, un-crashable endpoint so the adaptation layer's
-// liveness is part of every run. Chaos actions fan out to every endpoint
-// of the targeted logical node — a "crash" takes the whole co-located
-// stack down, a clock-skew skews every timestamp that node stamps.
+// Topology is cell-sharded so the same scenario scales from a 5-node
+// smoke run to a 1000-endpoint soak: `cells` disjoint cells of
+// node_count/cells logical nodes each. Every cell runs its own Raft group
+// and CRDT replica set (quorum protocols stay quorum-sized); SWIM
+// membership and the gossip mesh span all nodes (dissemination protocols
+// are what should scale); one MapeLoop host watches everything.
 //
-// Workloads (Raft client proposals, CRDT mutations) run until the
-// schedule horizon and then stop, so the disruption-free cooldown is also
-// write-quiescent and the eventual invariants (log agreement, CRDT
-// convergence) compare settled states.
+// Each logical node co-locates one RaftPeer, one SwimMember, one
+// CrdtStore, one GossipNode and one TelemetrySource (five network
+// endpoints); the MapeLoop rides alongside as an extra, un-crashable
+// endpoint so the adaptation layer's liveness is part of every run. Chaos
+// actions fan out to every endpoint of the targeted logical node — a
+// "crash" takes the whole co-located stack down, a clock-skew skews every
+// timestamp that node stamps.
+//
+// Workloads (Raft client proposals per cell, CRDT mutations, gossip puts)
+// run until the schedule horizon and then stop, so the disruption-free
+// cooldown is also write-quiescent and the eventual invariants (log
+// agreement, CRDT/gossip convergence) compare settled states.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "adapt/chaos_checks.hpp"
 #include "adapt/mape.hpp"
+#include "coord/chaos_checks.hpp"
+#include "coord/gossip.hpp"
 #include "coord/raft.hpp"
+#include "data/chaos_checks.hpp"
 #include "data/crdt_store.hpp"
+#include "membership/chaos_checks.hpp"
 #include "membership/swim.hpp"
 #include "net/network.hpp"
 #include "obs/chaos_export.hpp"
@@ -41,16 +54,18 @@ namespace riot::chaos_test {
 class ChaosStack {
  public:
   ChaosStack(const sim::chaos::ChaosSchedule& schedule,
-             const sim::chaos::ChaosProfile& profile)
+             const sim::chaos::ChaosProfile& profile, std::size_t cells = 1)
       : schedule_(schedule),
         profile_(profile),
         n_(schedule.node_count != 0 ? schedule.node_count
                                     : profile.node_count),
+        cells_(cells == 0 || cells > n_ ? 1 : cells),
         sim_(schedule.seed ^ 0x5eed5eed5eed5eedULL),
         tracer_(sim_),
         network_(sim_, metrics_, tracer_, trace_),
         injector_(sim_, trace_) {
     trace_.bind_clock(sim_);
+    gossip_last_.resize(cells_);
     build_nodes();
     wire_hooks();
     register_invariants();
@@ -75,52 +90,104 @@ class ChaosStack {
     const sim::SimTime end = schedule_horizon() + profile_.cooldown;
     sim_.run_until(end);
     registry_.check_final(sim_.now(), report_.violations);
+    obs::tag_invariant_stats(metrics_, registry_.stats());
     report_.trace_hash = sim::chaos::trace_hash(trace_);
     return report_;
   }
 
   [[nodiscard]] sim::TraceLog& trace() { return trace_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const sim::Simulation& simulation() const { return sim_; }
+  /// Open for scenario-specific extra invariants (e.g. a soak test's
+  /// deliberately-violated canary); register before run().
+  [[nodiscard]] sim::chaos::InvariantRegistry& registry() {
+    return registry_;
+  }
+  [[nodiscard]] std::size_t cells() const { return cells_; }
+  [[nodiscard]] std::size_t node_count() const { return n_; }
+  [[nodiscard]] std::size_t endpoint_count() const { return 5 * n_ + 1; }
+  [[nodiscard]] const membership::SwimMember& swim(std::size_t i) const {
+    return *swims_[i];
+  }
 
   /// ScheduleRunFn that builds a fresh stack per schedule — the form
-  /// ChaosExplorer consumes.
-  static sim::chaos::ScheduleRunFn runner(sim::chaos::ChaosProfile profile) {
-    return [profile](const sim::chaos::ChaosSchedule& schedule) {
-      return ChaosStack(schedule, profile).run();
+  /// ChaosExplorer consumes. `prepare` (optional) customizes each stack
+  /// before it runs.
+  static sim::chaos::ScheduleRunFn runner(
+      sim::chaos::ChaosProfile profile, std::size_t cells = 1,
+      std::function<void(ChaosStack&)> prepare = {}) {
+    return [profile, cells,
+            prepare](const sim::chaos::ChaosSchedule& schedule) {
+      ChaosStack stack(schedule, profile, cells);
+      if (prepare) prepare(stack);
+      return stack.run();
     };
   }
 
  private:
   // Endpoint ids are assigned in registration order: logical node i owns
-  // endpoints 4i..4i+3 (raft, swim, crdt, telemetry); the loop host is 4n.
+  // endpoints 5i..5i+4 (raft, swim, crdt, gossip, telemetry); the loop
+  // host is 5n.
   void build_nodes() {
     for (std::size_t i = 0; i < n_; ++i) {
       storages_.push_back(std::make_unique<coord::RaftStorage>());
       rafts_.push_back(
           std::make_unique<coord::RaftPeer>(network_, *storages_.back()));
-      swims_.push_back(std::make_unique<membership::SwimMember>(network_));
+      // At soak scale a refutation must ride enough piggyback slots to
+      // outrun 199 members' worth of concurrent updates; the default 6
+      // slots are tuned for small meshes.
+      membership::SwimConfig swim_cfg;
+      if (n_ > 50) swim_cfg.max_piggyback = 16;
+      swims_.push_back(
+          std::make_unique<membership::SwimMember>(network_, swim_cfg));
       crdts_.push_back(std::make_unique<data::CrdtStore>(network_));
+      gossips_.push_back(std::make_unique<coord::GossipNode>(network_));
       telemetry_.push_back(std::make_unique<adapt::TelemetrySource>(
           network_, net::kInvalidNode));
     }
     loop_ = std::make_unique<adapt::MapeLoop>(network_);
 
-    std::vector<net::NodeId> raft_ids;
-    for (auto& r : rafts_) raft_ids.push_back(r->id());
+    // Per-cell Raft groups and CRDT replica sets.
+    raft_checkers_.resize(cells_);
+    for (std::size_t c = 0; c < cells_; ++c) {
+      std::vector<net::NodeId> raft_ids;
+      for (std::size_t i = cell_begin(c); i < cell_end(c); ++i) {
+        raft_ids.push_back(rafts_[i]->id());
+      }
+      std::vector<data::CrdtStore*> replicas;
+      for (std::size_t i = cell_begin(c); i < cell_end(c); ++i) {
+        const std::size_t member = i - cell_begin(c);
+        rafts_[i]->set_peers(raft_ids);
+        rafts_[i]->on_apply([this, c, member](std::uint64_t index,
+                                              const coord::Command& cmd) {
+          raft_checkers_[c].observe_apply(member, index, cmd);
+        });
+        raft_checkers_[c].add_peer(rafts_[i].get(), storages_[i].get());
+        election_safety_.map_node(rafts_[i]->id().value,
+                                  static_cast<std::uint32_t>(c));
+        std::vector<net::NodeId> peers;
+        for (std::size_t j = cell_begin(c); j < cell_end(c); ++j) {
+          if (j != i) peers.push_back(crdts_[j]->id());
+        }
+        crdts_[i]->set_replicas(std::move(peers));
+        replicas.push_back(crdts_[i].get());
+      }
+      crdt_checker_.add_group("cell" + std::to_string(c),
+                              std::move(replicas));
+    }
+
+    // Global planes: SWIM membership, gossip mesh, telemetry -> MAPE.
     for (std::size_t i = 0; i < n_; ++i) {
-      rafts_[i]->set_peers(raft_ids);
-      rafts_[i]->on_apply([this, i](std::uint64_t index,
-                                    const coord::Command& cmd) {
-        record_apply(i, index, cmd);
-      });
       for (std::size_t j = 0; j < n_; ++j) {
         if (j != i) swims_[i]->add_peer(swims_[j]->id());
       }
-      std::vector<net::NodeId> replicas;
+      std::vector<net::NodeId> gossip_peers;
       for (std::size_t j = 0; j < n_; ++j) {
-        if (j != i) replicas.push_back(crdts_[j]->id());
+        if (j != i) gossip_peers.push_back(gossips_[j]->id());
       }
-      crdts_[i]->set_replicas(std::move(replicas));
+      gossips_[i]->set_peers(std::move(gossip_peers));
+      gossip_checker_.add_node(gossips_[i].get());
+      swim_checker_.add_member(swims_[i].get());
       telemetry_[i]->set_loop_host(loop_->id());
       telemetry_[i]->add_probe("commit_index_" + std::to_string(i),
                                [this, i] {
@@ -128,6 +195,7 @@ class ChaosStack {
                                      rafts_[i]->commit_index());
                                });
     }
+    mape_checker_.attach(*loop_);
     loop_->add_analyzer("telemetry_fresh", [this](
                                                const adapt::KnowledgeBase& kb)
                                                -> std::optional<
@@ -153,6 +221,17 @@ class ChaosStack {
     };
     hooks_.restart_node = [this](std::uint32_t i) {
       for (net::Node* node : logical_node(i)) node->recover();
+      // An owner that reboots republishes the key it owns, regenerated
+      // from its source (the workload's intent), not from the wiped store.
+      // Without this, a final pre-crash put that never survived a gossip
+      // round dies with the origin and no amount of anti-entropy can
+      // produce it — the convergence expectation would be unmeetable.
+      const std::size_t per = n_ / cells_;
+      if (i % per == 0 && i / per < cells_ &&
+          !gossip_last_[i / per].empty()) {
+        const std::size_t c = i / per;
+        gossips_[i]->put("cell" + std::to_string(c), gossip_last_[c]);
+      }
     };
     hooks_.partition = [this](const std::vector<std::uint32_t>& group_a) {
       std::vector<net::NodeId> side;
@@ -185,41 +264,50 @@ class ChaosStack {
   void register_invariants() {
     // -- Safety (checked while the schedule runs) --------------------------
     registry_.add_always("raft_election_safety", [this] {
-      return election_safety();
+      return election_safety_.check();
     });
-    registry_.add_always("raft_sm_safety",
-                         [this] { return sm_safety_violation_; });
+    registry_.add_always("raft_sm_safety", [this] {
+      return per_cell([](const coord::chaos::RaftGroupChecker& g) {
+        return g.sm_safety();
+      });
+    });
 
     // -- Convergence (meaningful only after the quiescent cooldown) --------
     registry_.add_eventually("raft_leader_agreement", [this] {
-      return leader_agreement();
+      return per_cell([](const coord::chaos::RaftGroupChecker& g) {
+        return g.leader_agreement();
+      });
     });
-    registry_.add_eventually("raft_log_agreement",
-                             [this] { return log_agreement(); });
+    registry_.add_eventually("raft_log_agreement", [this] {
+      return per_cell([](const coord::chaos::RaftGroupChecker& g) {
+        return g.log_agreement();
+      });
+    });
     registry_.add_eventually("raft_no_lost_acked_writes", [this] {
-      return no_lost_acked();
+      return per_cell([](const coord::chaos::RaftGroupChecker& g) {
+        return g.no_lost_acked();
+      });
     });
-    registry_.add_eventually("swim_all_alive", [this] {
-      return swim_converged();
+    registry_.add_eventually("swim_membership_convergence", [this] {
+      return swim_checker_.check();
     });
     registry_.add_eventually("crdt_convergence", [this] {
-      return crdt_converged();
+      return crdt_checker_.check();
     });
-    registry_.add_eventually("mape_loop_live",
-                             [this]() -> std::optional<std::string> {
-      if (loop_->last_analysis_at() + sim::seconds(2) < sim_.now()) {
-        return "MAPE loop stopped analyzing";
-      }
-      return std::nullopt;
+    registry_.add_eventually("gossip_convergence", [this] {
+      return gossip_checker_.check();
     });
-    registry_.add_eventually("mape_quiescent",
-                             [this]() -> std::optional<std::string> {
-      if (!loop_->last_violations().empty()) {
-        return "MAPE still raising '" +
-               loop_->last_violations().front().requirement +
-               "' after cooldown";
-      }
-      return std::nullopt;
+    registry_.add_eventually("mape_loop_live", [this] {
+      return mape_checker_.loop_live(sim_.now(), sim::seconds(2));
+    });
+    registry_.add_eventually("mape_quiescent", [this] {
+      return mape_checker_.quiescent();
+    });
+    registry_.add_eventually("mape_detection_to_recovery", [this] {
+      // A violation detected mid-fault must clear within one worst-case
+      // window plus settling slack once the fault reverts.
+      return mape_checker_.recovered_within(
+          profile_.max_duration + sim::seconds(10), sim_.now());
     });
   }
 
@@ -228,19 +316,23 @@ class ChaosStack {
       rafts_[i]->start();
       swims_[i]->start();
       crdts_[i]->start();
+      gossips_[i]->start();
       telemetry_[i]->start();
     }
     loop_->start();
 
-    // Raft client: one proposal per tick to whichever peer claims
-    // leadership; proposals that land on a deposed leader may be lost —
-    // only majority-applied ("acked") commands must survive.
+    // Raft clients: per cell, one proposal per tick to whichever peer
+    // claims leadership; proposals that land on a deposed leader may be
+    // lost — only majority-applied ("acked") commands must survive.
     sim_.schedule_every(sim::millis(250), [this] {
       if (sim_.now() >= schedule_horizon()) return;
-      for (auto& peer : rafts_) {
-        if (peer->alive() && peer->is_leader()) {
-          peer->propose("w" + std::to_string(next_write_++));
-          return;
+      for (std::size_t c = 0; c < cells_; ++c) {
+        for (std::size_t i = cell_begin(c); i < cell_end(c); ++i) {
+          if (rafts_[i]->alive() && rafts_[i]->is_leader()) {
+            rafts_[i]->propose("c" + std::to_string(c) + "w" +
+                               std::to_string(next_write_++));
+            break;
+          }
         }
       }
     });
@@ -259,125 +351,45 @@ class ChaosStack {
       }
       ++crdt_tick_;
     });
-  }
 
-  // --- invariant bodies -----------------------------------------------------
-
-  void record_apply(std::size_t node, std::uint64_t index,
-                    const coord::Command& cmd) {
-    // State-machine safety: whoever applies an index first defines it.
-    // (Recovered peers re-apply from index 1, which must reproduce the
-    // same commands — idempotent here, a violation if they differ.)
-    auto [it, inserted] = applied_.try_emplace(index, cmd);
-    if (!inserted && it->second != cmd) {
-      sm_safety_violation_ =
-          "index " + std::to_string(index) + " applied as '" + it->second +
-          "' and '" + cmd + "' (node " + std::to_string(node) + ")";
-    }
-    appliers_[index].insert(node);
-    if (appliers_[index].size() >= n_ / 2 + 1) acked_.insert(index);
-  }
-
-  std::optional<std::string> election_safety() {
-    // At most one distinct leader announcement per term, over the whole
-    // trace so far.
-    std::map<std::uint64_t, std::set<std::uint32_t>> leaders_by_term;
-    for (const sim::TraceEvent& ev : trace_.find("raft", "leader")) {
-      if (auto term = sim::chaos::parse_detail_u64(ev.detail, "term")) {
-        leaders_by_term[*term].insert(ev.node);
+    // Gossip writers: one origin per cell owns one key (single-origin
+    // versioning keeps "latest value" well-defined); the checker expects
+    // whatever value the origin last actually wrote.
+    sim_.schedule_every(sim::millis(600), [this] {
+      if (sim_.now() >= schedule_horizon()) return;
+      for (std::size_t c = 0; c < cells_; ++c) {
+        coord::GossipNode& origin = *gossips_[cell_begin(c)];
+        if (!origin.alive()) continue;
+        const std::string key = "cell" + std::to_string(c);
+        const std::string value = "v" + std::to_string(gossip_tick_);
+        origin.put(key, value);
+        gossip_checker_.expect(key, value);
+        gossip_last_[c] = value;
       }
-    }
-    for (const auto& [term, leaders] : leaders_by_term) {
-      if (leaders.size() > 1) {
-        return "term " + std::to_string(term) + " elected " +
-               std::to_string(leaders.size()) + " leaders";
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::optional<std::string> leader_agreement() {
-    std::uint64_t max_term = 0;
-    for (auto& p : rafts_) max_term = std::max(max_term, p->current_term());
-    int leaders = 0;
-    for (auto& p : rafts_) {
-      if (p->alive() && p->is_leader() && p->current_term() == max_term) {
-        ++leaders;
-      }
-    }
-    if (leaders != 1) {
-      return std::to_string(leaders) + " leaders in max term " +
-             std::to_string(max_term) + " after cooldown";
-    }
-    return std::nullopt;
-  }
-
-  std::optional<std::string> log_agreement() {
-    // Log matching: same index + same term => same command, across every
-    // pair of persistent logs.
-    for (std::size_t a = 0; a < n_; ++a) {
-      for (std::size_t b = a + 1; b < n_; ++b) {
-        const coord::RaftStorage& sa = *storages_[a];
-        const coord::RaftStorage& sb = *storages_[b];
-        const std::uint64_t lo =
-            std::max(sa.snapshot_index, sb.snapshot_index) + 1;
-        const std::uint64_t hi = std::min(sa.last_index(), sb.last_index());
-        for (std::uint64_t i = lo; i <= hi; ++i) {
-          if (sa.term_at(i) == sb.term_at(i) &&
-              sa.entry(i).command != sb.entry(i).command) {
-            return "logs " + std::to_string(a) + "/" + std::to_string(b) +
-                   " disagree at index " + std::to_string(i) + " term " +
-                   std::to_string(sa.term_at(i));
-          }
-        }
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::optional<std::string> no_lost_acked() {
-    // Every command applied by a majority must be in every persistent log.
-    for (std::uint64_t index : acked_) {
-      for (std::size_t i = 0; i < n_; ++i) {
-        const coord::RaftStorage& s = *storages_[i];
-        if (index <= s.snapshot_index) continue;  // compacted == retained
-        if (s.last_index() < index ||
-            s.entry(index).command != applied_[index]) {
-          return "acked write at index " + std::to_string(index) +
-                 " missing from node " + std::to_string(i) + "'s log";
-        }
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::optional<std::string> swim_converged() {
-    for (std::size_t i = 0; i < n_; ++i) {
-      for (std::size_t j = 0; j < n_; ++j) {
-        if (i == j) continue;
-        const auto state = swims_[i]->state_of(swims_[j]->id());
-        if (state != membership::MemberState::kAlive) {
-          return "node " + std::to_string(i) + " still sees node " +
-                 std::to_string(j) + " as " +
-                 std::string(membership::to_string(state));
-        }
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::optional<std::string> crdt_converged() {
-    for (std::size_t i = 1; i < n_; ++i) {
-      if (!data::stores_converged(*crdts_[0], *crdts_[i])) {
-        return "replicas 0 and " + std::to_string(i) +
-               " diverge after cooldown";
-      }
-    }
-    return std::nullopt;
+      ++gossip_tick_;
+    });
   }
 
   // --- plumbing -------------------------------------------------------------
 
+  /// First violation across cells, prefixed with the cell that raised it.
+  std::optional<std::string> per_cell(
+      const std::function<std::optional<std::string>(
+          const coord::chaos::RaftGroupChecker&)>& check) const {
+    for (std::size_t c = 0; c < cells_; ++c) {
+      if (auto v = check(raft_checkers_[c])) {
+        return "cell" + std::to_string(c) + ": " + *v;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t cell_begin(std::size_t c) const {
+    return c * (n_ / cells_);
+  }
+  [[nodiscard]] std::size_t cell_end(std::size_t c) const {
+    return c + 1 == cells_ ? n_ : (c + 1) * (n_ / cells_);
+  }
   [[nodiscard]] sim::SimTime schedule_horizon() const {
     return schedule_.horizon != sim::kSimTimeZero ? schedule_.horizon
                                                   : profile_.horizon;
@@ -385,14 +397,15 @@ class ChaosStack {
   [[nodiscard]] sim::SimTime loop_now() const {
     return sim_.now() + network_.clock_skew(loop_->id());
   }
-  [[nodiscard]] std::array<net::Node*, 4> logical_node(std::uint32_t i) {
+  [[nodiscard]] std::array<net::Node*, 5> logical_node(std::uint32_t i) {
     return {rafts_[i].get(), swims_[i].get(), crdts_[i].get(),
-            telemetry_[i].get()};
+            gossips_[i].get(), telemetry_[i].get()};
   }
 
   sim::chaos::ChaosSchedule schedule_;
   sim::chaos::ChaosProfile profile_;
   std::size_t n_;
+  std::size_t cells_;
 
   sim::Simulation sim_;
   obs::MetricsRegistry metrics_;
@@ -408,15 +421,23 @@ class ChaosStack {
   std::vector<std::unique_ptr<coord::RaftPeer>> rafts_;
   std::vector<std::unique_ptr<membership::SwimMember>> swims_;
   std::vector<std::unique_ptr<data::CrdtStore>> crdts_;
+  std::vector<std::unique_ptr<coord::GossipNode>> gossips_;
   std::vector<std::unique_ptr<adapt::TelemetrySource>> telemetry_;
   std::unique_ptr<adapt::MapeLoop> loop_;
 
+  // Checker library instances (src/*/chaos_checks.hpp).
+  coord::chaos::ElectionSafetyChecker election_safety_{trace_};
+  std::vector<coord::chaos::RaftGroupChecker> raft_checkers_;
+  membership::chaos::SwimConvergenceChecker swim_checker_;
+  data::chaos::CrdtConvergenceChecker crdt_checker_;
+  coord::chaos::GossipConvergenceChecker gossip_checker_;
+  adapt::chaos::MapeRecoveryChecker mape_checker_;
+
   std::uint64_t next_write_ = 0;
   std::uint64_t crdt_tick_ = 0;
-  std::map<std::uint64_t, coord::Command> applied_;  // index -> command
-  std::map<std::uint64_t, std::set<std::size_t>> appliers_;
-  std::set<std::uint64_t> acked_;  // indices applied by a majority
-  std::optional<std::string> sm_safety_violation_;
+  std::uint64_t gossip_tick_ = 0;
+  // Last value each cell's origin wrote, for republish-on-reboot.
+  std::vector<std::string> gossip_last_;
 };
 
 /// Reduced-violence profile for CI smoke runs (< 30 s wall including
@@ -432,5 +453,24 @@ inline sim::chaos::ChaosProfile smoke_profile() {
   p.max_duration = sim::seconds(3);
   return p;
 }
+
+/// Soak envelope (`ctest -L scale`): 200 logical nodes x 5 endpoints + 1
+/// MAPE host = 1001 endpoints, sharded into 40 five-node cells, under a
+/// denser schedule. max_concurrent_down stays small relative to a cell so
+/// every Raft group keeps a quorum reachable.
+inline sim::chaos::ChaosProfile soak_profile() {
+  sim::chaos::ChaosProfile p;
+  p.node_count = 200;
+  p.warmup = sim::seconds(4);
+  p.horizon = sim::seconds(24);
+  p.cooldown = sim::seconds(20);
+  p.min_actions = 8;
+  p.max_actions = 14;
+  p.max_duration = sim::seconds(5);
+  p.max_concurrent_down = 2;
+  return p;
+}
+
+inline constexpr std::size_t kSoakCells = 40;
 
 }  // namespace riot::chaos_test

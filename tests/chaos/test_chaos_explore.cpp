@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos_env.hpp"
 #include "chaos_stack.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
@@ -262,11 +263,8 @@ TEST(ChaosSeededBug, ReproArtifactRoundTrips) {
 // --- Smoke: the real stack holds its invariants -----------------------------
 
 std::size_t smoke_iterations() {
-  if (const char* env = std::getenv("CHAOS_ITERATIONS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
-  }
-  return 3;  // CI default: ~3 full-stack runs keep the target under 30 s
+  // CI default: ~3 full-stack runs keep the target under 30 s.
+  return chaos_iterations(3);
 }
 
 TEST(ChaosSmoke, FullStackHoldsInvariantsUnderFixedSeeds) {

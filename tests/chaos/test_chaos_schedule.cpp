@@ -7,6 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "net/network.hpp"
+#include "obs/chaos_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace riot::sim::chaos {
 namespace {
 
@@ -216,6 +221,12 @@ struct InstallFixture : ::testing::Test {
   TraceLog trace;
   FaultInjector injector{sim, trace};
 
+  static std::string fmt(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+  }
+
   // Recorded hook calls, in order.
   std::vector<std::string> calls;
   ChaosHooks recording_hooks() {
@@ -227,11 +238,19 @@ struct InstallFixture : ::testing::Test {
       calls.push_back("restart " + std::to_string(n));
     };
     hooks.partition = [this](const std::vector<std::uint32_t>& g) {
-      calls.push_back("partition " + std::to_string(g.size()));
+      std::string call = "partition";
+      for (const std::uint32_t n : g) call += " " + std::to_string(n);
+      calls.push_back(std::move(call));
     };
     hooks.heal = [this] { calls.push_back("heal"); };
+    hooks.isolate = [this](std::uint32_t n) {
+      calls.push_back("isolate " + std::to_string(n));
+    };
+    hooks.unisolate = [this](std::uint32_t n) {
+      calls.push_back("unisolate " + std::to_string(n));
+    };
     hooks.ambient_loss = [this](double p) {
-      calls.push_back(p == 0.0 ? "loss off" : "loss on");
+      calls.push_back("loss " + fmt(p));
     };
     return hooks;
   }
@@ -248,8 +267,8 @@ TEST_F(InstallFixture, AppliesAndRevertsWindows) {
   EXPECT_EQ(install_schedule(s, injector, recording_hooks()), 2u);
   injector.arm();
   sim.run_until(seconds(10));
-  EXPECT_EQ(calls, (std::vector<std::string>{"crash 1", "loss on",
-                                             "restart 1", "loss off"}));
+  EXPECT_EQ(calls, (std::vector<std::string>{"crash 1", "loss 0.3",
+                                             "restart 1", "loss 0"}));
 }
 
 TEST_F(InstallFixture, OverlappingCrashWindowsRefcount) {
@@ -271,7 +290,7 @@ TEST_F(InstallFixture, OverlappingCrashWindowsRefcount) {
   EXPECT_EQ(calls, (std::vector<std::string>{"crash 0", "restart 0"}));
 }
 
-TEST_F(InstallFixture, OverlappingGlobalKnobsRevertOnce) {
+TEST_F(InstallFixture, OverlappingGlobalKnobsRestoreOuterMagnitude) {
   ChaosSchedule s;
   s.node_count = 2;
   s.horizon = seconds(10);
@@ -282,12 +301,147 @@ TEST_F(InstallFixture, OverlappingGlobalKnobsRevertOnce) {
   install_schedule(s, injector, recording_hooks());
   injector.arm();
   sim.run_until(seconds(4));
-  EXPECT_EQ(calls, (std::vector<std::string>{"loss on", "loss on"}))
-      << "inner window's revert must not zero the knob at t=3";
+  EXPECT_EQ(calls, (std::vector<std::string>{"loss 0.5", "loss 0.2",
+                                             "loss 0.5"}))
+      << "inner window's revert restores the outer magnitude, not zero";
   sim.run_until(seconds(10));
-  EXPECT_EQ(calls.back(), "loss off");
-  EXPECT_EQ(std::count(calls.begin(), calls.end(), std::string("loss off")),
-            1);
+  EXPECT_EQ(calls.back(), "loss 0");
+  EXPECT_EQ(std::count(calls.begin(), calls.end(), std::string("loss 0")), 1)
+      << "the knob returns to healthy exactly once, when the last window ends";
+}
+
+TEST_F(InstallFixture, OverlappingPartitionsRestoreOuterLayout) {
+  ChaosSchedule s;
+  s.node_count = 4;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kPartition, seconds(1), seconds(5), {0, 1}, 0.0},
+      ChaosAction{ActionKind::kPartition, seconds(2), seconds(1), {2}, 0.0},
+  };
+  install_schedule(s, injector, recording_hooks());
+  injector.arm();
+  sim.run_until(seconds(4));
+  EXPECT_EQ(calls, (std::vector<std::string>{"partition 0 1", "partition 2",
+                                             "partition 0 1"}))
+      << "inner partition's revert re-applies the still-open outer layout";
+  sim.run_until(seconds(10));
+  EXPECT_EQ(calls.back(), "heal");
+  EXPECT_EQ(std::count(calls.begin(), calls.end(), std::string("heal")), 1);
+}
+
+TEST_F(InstallFixture, HealReassertsActiveIsolates) {
+  // Handcrafted composition the generator forbids: a partition heals while
+  // an isolate window is still open. Since a heal resets all topology
+  // state, the isolate must be re-asserted — and lifted only when its own
+  // window ends.
+  ChaosSchedule s;
+  s.node_count = 4;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kPartition, seconds(1), seconds(2), {0}, 0.0},
+      ChaosAction{ActionKind::kIsolate, seconds(2), seconds(4), {3}, 0.0},
+  };
+  install_schedule(s, injector, recording_hooks());
+  injector.arm();
+  sim.run_until(seconds(4));
+  EXPECT_EQ(calls, (std::vector<std::string>{"partition 0", "isolate 3",
+                                             "heal", "isolate 3"}));
+  sim.run_until(seconds(10));
+  EXPECT_EQ(calls.back(), "unisolate 3");
+}
+
+TEST_F(InstallFixture, HealPrecedesRestartAtSameInstant) {
+  // A crash-restart window overlapping a partition heal on the same node,
+  // both ending at the same instant. The crash window fires first, so its
+  // revert timer is enqueued first — but the restart must still run after
+  // the heal (two-phase revert drain), or the restarted node's first sends
+  // would see the pre-heal groups.
+  ChaosSchedule s;
+  s.node_count = 3;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kCrash, seconds(1), seconds(4), {0}, 0.0},
+      ChaosAction{ActionKind::kPartition, seconds(2), seconds(3), {0, 1}, 0.0},
+  };
+  install_schedule(s, injector, recording_hooks());
+  injector.arm();
+  sim.run_until(seconds(10));
+  EXPECT_EQ(calls, (std::vector<std::string>{"crash 0", "partition 0 1",
+                                             "heal", "restart 0"}));
+}
+
+// The same composition against a live net::Network: after every window of
+// a composed crash/partition/isolate schedule has reverted, the fabric
+// must be back in its home state — every node up, every pair mutually
+// reachable, no group or isolation leftovers ("home-group consistency").
+TEST(ChaosInstallNetwork, HomeGroupConsistencyAfterComposedRevert) {
+  Simulation sim(11);
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer(sim);
+  TraceLog trace;
+  net::Network network(sim, metrics, tracer, trace);
+  FaultInjector injector(sim, trace);
+
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(network.register_endpoint([](const net::Message&) {}));
+  }
+
+  ChaosHooks hooks;
+  hooks.crash_node = [&](std::uint32_t n) {
+    network.set_node_up(ids[n], false);
+  };
+  hooks.restart_node = [&](std::uint32_t n) {
+    network.set_node_up(ids[n], true);
+  };
+  hooks.partition = [&](const std::vector<std::uint32_t>& group) {
+    std::vector<net::NodeId> side;
+    for (const std::uint32_t n : group) side.push_back(ids[n]);
+    network.partition({side});
+  };
+  hooks.heal = [&] { network.heal_partition(); };
+  hooks.isolate = [&](std::uint32_t n) { network.isolate(ids[n]); };
+  hooks.unisolate = [&](std::uint32_t n) { network.unisolate(ids[n]); };
+
+  // Crash n0 and a partition containing n0 end on the same instant (t=6);
+  // an inner partition opens and closes inside the outer one; an isolate
+  // window straddles the heal.
+  ChaosSchedule s;
+  s.node_count = 5;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kCrash, seconds(1), seconds(5), {0}, 0.0},
+      ChaosAction{ActionKind::kPartition, seconds(2), seconds(4), {0, 1}, 0.0},
+      ChaosAction{ActionKind::kIsolate, seconds(3), seconds(5), {2}, 0.0},
+      ChaosAction{ActionKind::kPartition, seconds(4), seconds(1), {1, 4}, 0.0},
+  };
+  ASSERT_EQ(install_schedule(s, injector, hooks), 4u);
+  injector.arm();
+
+  sim.run_until(seconds(4) + millis(500));
+  EXPECT_TRUE(network.reachable(ids[1], ids[4]))
+      << "inner partition {1,4} is the active layout";
+  sim.run_until(seconds(5) + millis(500));
+  EXPECT_FALSE(network.reachable(ids[1], ids[4]))
+      << "outer layout {0,1} restored: 1 is split from 4 again, not healed";
+  EXPECT_TRUE(network.reachable(ids[3], ids[4]))
+      << "majority side intact under the restored outer layout";
+  sim.run_until(seconds(7));
+  EXPECT_TRUE(network.node_up(ids[0])) << "restart lands with the heal";
+  EXPECT_TRUE(network.reachable(ids[0], ids[3]))
+      << "restarted node rejoins the healed topology, not the old group";
+  EXPECT_FALSE(network.reachable(ids[0], ids[2]))
+      << "the heal at t=6 must not lift the isolate window that ends at t=8";
+  sim.run_until(seconds(10));
+  for (const net::NodeId id : ids) EXPECT_TRUE(network.node_up(id));
+  for (const net::NodeId a : ids) {
+    for (const net::NodeId b : ids) {
+      if (a == b) continue;
+      EXPECT_TRUE(network.reachable(a, b))
+          << "home-group consistency after composed revert";
+    }
+  }
+  EXPECT_EQ(injector.reverts_skipped(), 0u);
 }
 
 TEST_F(InstallFixture, UnboundKindsAreSkipped) {
@@ -361,6 +515,76 @@ TEST(ChaosInvariants, HoldingChecksAddNothing) {
   std::vector<InvariantViolation> out;
   EXPECT_EQ(registry.check_final(seconds(1), out), 0u);
   EXPECT_TRUE(out.empty());
+}
+
+TEST(ChaosInvariants, StatsCountChecksAndViolations) {
+  InvariantRegistry registry;
+  registry.add_always("fine", [] { return std::optional<std::string>{}; });
+  registry.add_always("broken", [] {
+    return std::optional<std::string>("bad");
+  });
+  registry.add_eventually("settled", [] {
+    return std::optional<std::string>{};
+  });
+
+  std::vector<InvariantViolation> out;
+  registry.check_now(seconds(1), out);
+  registry.check_now(seconds(2), out);
+  registry.check_final(seconds(3), out);
+
+  const std::vector<InvariantStats> stats = registry.stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].name, "fine");
+  EXPECT_TRUE(stats[0].always);
+  EXPECT_EQ(stats[0].checks, 3u);
+  EXPECT_EQ(stats[0].violations, 0u);
+  EXPECT_EQ(stats[1].name, "broken");
+  EXPECT_EQ(stats[1].checks, 1u) << "recorded invariants stop re-evaluating";
+  EXPECT_EQ(stats[1].violations, 1u);
+  EXPECT_EQ(stats[2].name, "settled");
+  EXPECT_FALSE(stats[2].always);
+  EXPECT_EQ(stats[2].checks, 1u) << "eventual checks only run at final";
+  EXPECT_EQ(stats[2].violations, 0u);
+}
+
+TEST(ChaosInvariants, StatsExportAsChaosMetrics) {
+  InvariantRegistry registry;
+  registry.add_always("safety", [] {
+    return std::optional<std::string>("bad");
+  });
+  registry.add_eventually("convergence", [] {
+    return std::optional<std::string>{};
+  });
+  std::vector<InvariantViolation> out;
+  registry.check_now(seconds(1), out);
+  registry.check_final(seconds(2), out);
+
+  obs::MetricsRegistry metrics;
+  obs::tag_invariant_stats(metrics, registry.stats());
+  EXPECT_EQ(metrics.counter_value("riot_chaos_invariant_checks_total",
+                                  {{"invariant", "safety"},
+                                   {"mode", "always"}}),
+            1u);
+  EXPECT_EQ(metrics.counter_value("riot_chaos_invariant_violations_total",
+                                  {{"invariant", "safety"}}),
+            1u);
+  EXPECT_EQ(metrics.counter_value("riot_chaos_invariant_checks_total",
+                                  {{"invariant", "convergence"},
+                                   {"mode", "eventually"}}),
+            1u);
+  EXPECT_EQ(metrics.counter_value("riot_chaos_invariant_violations_total",
+                                  {{"invariant", "convergence"}}),
+            0u);
+
+  // Both exporters carry the per-invariant families.
+  const std::string prom = metrics.to_prometheus();
+  EXPECT_NE(prom.find("riot_chaos_invariant_checks_total{invariant=\"safety\""),
+            std::string::npos)
+      << prom;
+  const std::string json = metrics.to_json();
+  EXPECT_NE(json.find("riot_chaos_invariant_violations_total"),
+            std::string::npos)
+      << json;
 }
 
 // --- Explorer / shrinking (synthetic run functions; no scenario needed) -----
@@ -450,6 +674,29 @@ TEST(ChaosShrink, RespectsRunBudget) {
   EXPECT_LE(result.runs, 5u);
   EXPECT_EQ(result.runs, runs);
   EXPECT_FALSE(result.violations.empty());
+}
+
+TEST(ChaosShrink, ShrinkIsIdempotent) {
+  // A shrunk schedule is a fixed point: ddmin can remove nothing more and
+  // every simplification floor is reached, so re-shrinking returns it
+  // unchanged (the property that makes pinned repros stable artifacts).
+  ChaosExplorer explorer(test_profile(), crash0_oracle);
+  ChaosSchedule failing;
+  failing.node_count = 5;
+  failing.horizon = seconds(20);
+  failing.actions = {
+      ChaosAction{ActionKind::kLoss, seconds(1), seconds(2), {}, 0.4},
+      ChaosAction{ActionKind::kCrash, seconds(2), seconds(3), {1}, 0.0},
+      ChaosAction{ActionKind::kCrash, seconds(4), seconds(3), {0}, 0.0},
+      ChaosAction{ActionKind::kDelay, seconds(5), seconds(2), {}, 4.0},
+      ChaosAction{ActionKind::kPartition, seconds(8), seconds(2), {0, 2}, 0.0},
+  };
+  const ShrinkResult once = explorer.shrink(failing, 256);
+  ASSERT_EQ(once.schedule.actions.size(), 1u);
+  EXPECT_EQ(once.schedule.actions[0].kind, ActionKind::kCrash);
+  const ShrinkResult twice = explorer.shrink(once.schedule, 256);
+  EXPECT_EQ(twice.schedule, once.schedule);
+  EXPECT_EQ(schedule_to_json(twice.schedule), schedule_to_json(once.schedule));
 }
 
 TEST(ChaosShrink, NonReproducingFailureReturnsUntouched) {

@@ -1,0 +1,192 @@
+// Full-protocol-stack chaos soak (`ctest -L scale`): 200 logical nodes x
+// 5 endpoints (Raft, SWIM, CRDT, gossip, telemetry) + 1 MAPE host = 1001
+// endpoints, sharded into 40 Raft/CRDT cells, driven through a generated
+// fault schedule. Three properties are on trial:
+//
+//  1. every protocol invariant — election safety, log matching,
+//     no-lost-acked-writes, SWIM convergence, CRDT/gossip strong eventual
+//     consistency, MAPE detection-to-recovery — holds at 1k+ endpoints,
+//     and replays bit-identically (trace hash) for the same seed;
+//  2. the shrink ladder works end to end: a deliberately-seeded violation
+//     (a canary that trips on SWIM's first dead verdict) is found by
+//     exploration and ddmin-shrunk to a 1-2 action repro that still
+//     reproduces, twice, with identical trace hashes;
+//  3. the pinned repro artifact under tests/chaos/repros/ keeps
+//     reproducing that violation bit-identically, forever.
+//
+// CHAOS_BASE_SEED / CHAOS_ITERATIONS widen the nightly matrix;
+// CHAOS_REPRO_OUT makes failures (and the canary's shrunk schedule) land
+// as JSON artifacts the nightly job uploads.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "chaos_env.hpp"
+#include "chaos_stack.hpp"
+#include "membership/swim.hpp"
+#include "obs/chaos_export.hpp"
+#include "sim/chaos.hpp"
+
+#ifndef CHAOS_REPRO_DIR
+#error "CHAOS_REPRO_DIR must point at tests/chaos/repros"
+#endif
+
+namespace riot::chaos_test {
+namespace {
+
+using namespace sim::chaos;
+
+/// Write an enriched repro artifact into $CHAOS_REPRO_OUT (no-op when the
+/// variable is unset); the nightly workflow uploads that directory.
+void maybe_write_repro(const std::string& name, const ChaosSchedule& schedule,
+                       const std::vector<InvariantViolation>& violations,
+                       const sim::TraceLog* trace) {
+  const auto dir = chaos_repro_out();
+  if (!dir) return;
+  std::filesystem::create_directories(*dir);
+  std::ofstream out(*dir + "/" + name + ".json");
+  obs::write_chaos_repro(out, schedule, violations, trace);
+}
+
+TEST(ChaosSoak, ThousandEndpointStackHoldsAllInvariantsDeterministically) {
+  const ChaosProfile profile = soak_profile();
+  const ChaosSchedule schedule =
+      generate_schedule(chaos_base_seed(7777), profile);
+  ASSERT_GE(schedule.actions.size(), profile.min_actions);
+
+  ChaosStack first(schedule, profile, kSoakCells);
+  ASSERT_GE(first.endpoint_count(), 1001u);
+  ASSERT_EQ(first.cells(), kSoakCells);
+  const ChaosRunReport a = first.run();
+  for (const auto& v : a.violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.message;
+  }
+  if (a.failed()) {
+    maybe_write_repro("soak_seed" + std::to_string(schedule.seed), schedule,
+                      a.violations, &first.trace());
+  }
+
+  // The soak really worked the stack: a dense event stream, and every
+  // invariant family was evaluated (safety repeatedly, eventual once).
+  EXPECT_GT(first.simulation().executed_events(), 100'000u);
+  EXPECT_GT(first.metrics().counter_value(
+                "riot_chaos_invariant_checks_total",
+                {{"invariant", "raft_election_safety"}, {"mode", "always"}}),
+            1u);
+  for (const char* eventual :
+       {"raft_log_agreement", "raft_no_lost_acked_writes",
+        "swim_membership_convergence", "crdt_convergence",
+        "gossip_convergence", "mape_detection_to_recovery"}) {
+    EXPECT_EQ(first.metrics().counter_value(
+                  "riot_chaos_invariant_checks_total",
+                  {{"invariant", eventual}, {"mode", "eventually"}}),
+              1u)
+        << eventual;
+  }
+
+  // Determinism at scale: the same schedule replays to a bit-identical
+  // trace, so any soak-only failure is reproducible from its seed alone.
+  ChaosStack second(schedule, profile, kSoakCells);
+  const ChaosRunReport b = second.run();
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+}
+
+// --- The shrink ladder, exercised by a deliberately-seeded violation --------
+//
+// The canary trips the moment any SWIM member records a *dead* verdict
+// about any other — which a crash outliving the suspect timeout (3 s)
+// guarantees and which heals by cooldown, so only the canary (never the
+// standard invariants) separates these schedules from passing ones. That
+// makes its minimal repro exactly one long-enough crash window.
+
+ChaosProfile canary_profile() {
+  ChaosProfile p;
+  p.node_count = 20;  // 4 cells x 5 nodes = 101 endpoints; ladder stays fast
+  p.warmup = sim::seconds(3);
+  p.horizon = sim::seconds(16);
+  p.cooldown = sim::seconds(10);
+  p.min_actions = 3;
+  p.max_actions = 6;
+  p.max_duration = sim::seconds(5);
+  p.crash_weight = 6.0;  // bias the search toward the interesting windows
+  return p;
+}
+
+constexpr std::size_t kCanaryCells = 4;
+
+void register_canary(ChaosStack& stack) {
+  ChaosStack* s = &stack;
+  stack.registry().add_always(
+      "canary_no_dead_verdict", [s]() -> std::optional<std::string> {
+        for (std::size_t i = 0; i < s->node_count(); ++i) {
+          for (std::size_t j = 0; j < s->node_count(); ++j) {
+            if (i == j) continue;
+            if (s->swim(i).state_of(s->swim(j).id()) ==
+                membership::MemberState::kDead) {
+              return "member " + std::to_string(i) + " declared member " +
+                     std::to_string(j) + " dead";
+            }
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+TEST(ChaosSoak, SeededViolationShrinksToMinimalReplayableRepro) {
+  const ChaosProfile profile = canary_profile();
+  const auto run = ChaosStack::runner(profile, kCanaryCells, register_canary);
+  ChaosExplorer explorer(profile, run);
+
+  const ExploreResult result = explorer.explore(chaos_base_seed(424242),
+                                                chaos_iterations(12));
+  ASSERT_TRUE(result.failure.has_value())
+      << "schedules with >3s crash windows must trip the dead-verdict "
+         "canary within a few seeds";
+  const ChaosFailure& failure = *result.failure;
+  EXPECT_EQ(failure.violations[0].invariant, "canary_no_dead_verdict");
+
+  // ddmin + simplification reduce whatever was generated to (essentially)
+  // the one crash window that matters.
+  const ShrinkResult& shrunk = failure.shrunk;
+  ASSERT_FALSE(shrunk.violations.empty());
+  EXPECT_LE(shrunk.schedule.actions.size(), 2u) << failure.summary();
+
+  // The shrunk schedule replays bit-identically: same violation, same
+  // trace hash, run after run.
+  const ChaosRunReport r1 = run(shrunk.schedule);
+  const ChaosRunReport r2 = run(shrunk.schedule);
+  ASSERT_TRUE(r1.failed());
+  EXPECT_EQ(r1.violations[0].invariant, "canary_no_dead_verdict");
+  EXPECT_EQ(r1.trace_hash, r2.trace_hash);
+
+  maybe_write_repro("swim_dead_verdict_canary", shrunk.schedule,
+                    shrunk.violations, nullptr);
+}
+
+TEST(ChaosSoak, PinnedCanaryReproReplaysBitIdentically) {
+  const std::filesystem::path path =
+      std::filesystem::path(CHAOS_REPRO_DIR) / "swim_dead_verdict_canary.json";
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const auto schedule = schedule_from_json(buffer.str(), &error);
+  ASSERT_TRUE(schedule.has_value()) << error;
+
+  const ChaosProfile profile = canary_profile();
+  const auto run = ChaosStack::runner(profile, kCanaryCells, register_canary);
+  const ChaosRunReport r1 = run(*schedule);
+  const ChaosRunReport r2 = run(*schedule);
+  ASSERT_TRUE(r1.failed()) << "pinned repro no longer reproduces";
+  EXPECT_EQ(r1.violations[0].invariant, "canary_no_dead_verdict");
+  EXPECT_EQ(r1.trace_hash, r2.trace_hash)
+      << "pinned repro replay is no longer deterministic";
+}
+
+}  // namespace
+}  // namespace riot::chaos_test

@@ -155,6 +155,36 @@ TEST_F(RaftTest, MinorityPartitionCannotCommit) {
   EXPECT_GT(majority_leader->commit_index(), commit_before);
 }
 
+TEST_F(RaftTest, MinorityCannotElectFromDuplicatedVoteReplies) {
+  // Regression: vote counting must track distinct granters. With every
+  // message duplicated, a two-node partition delivers each granted
+  // RequestVoteReply twice; counting the duplicate as a second voter
+  // handed the minority candidate a 3-vote "majority" — a second leader,
+  // split-brain commits, and state machines applying different commands
+  // at the same index (found by the 1k-endpoint chaos soak).
+  make_cluster(5);
+  enable_duplication(1.0);
+  sim.run_until(sim::seconds(5));
+  RaftPeer* l = leader();
+  ASSERT_NE(l, nullptr);
+  std::vector<net::NodeId> minority;
+  for (auto& p : peers) {
+    if (p.get() != l && minority.size() < 2) minority.push_back(p->id());
+  }
+  network.partition({minority});
+  sim.run_until(sim::seconds(20));
+  // Plenty of election timeouts later, the cut-off pair still has one real
+  // peer vote each — never a quorum, never a leader.
+  for (auto& p : peers) {
+    if (std::find(minority.begin(), minority.end(), p->id()) !=
+        minority.end()) {
+      EXPECT_FALSE(p->is_leader())
+          << "minority node " << p->id().value
+          << " won an election from duplicated vote replies";
+    }
+  }
+}
+
 TEST_F(RaftTest, HealedPartitionConverges) {
   make_cluster(5);
   sim.run_until(sim::seconds(5));

@@ -144,6 +144,85 @@ TEST_F(RaftSnapshotTest, RecoveryRestoresFromOwnSnapshot) {
   EXPECT_EQ(applied_count[follower->id().value], 10u);
 }
 
+TEST_F(RaftSnapshotTest, SnapshotInstallRacesLeaderChange) {
+  make_cluster(5);
+  sim.run_until(sim::seconds(5));
+  RaftPeer* l = leader();
+  ASSERT_NE(l, nullptr);
+  RaftPeer* lagger = nullptr;
+  for (auto& p : peers) {
+    if (p.get() != l) lagger = p.get();
+  }
+  ASSERT_NE(lagger, nullptr);
+  // The lagger sleeps through 30 commands; every *live* peer then compacts
+  // to 25, so whoever leads next can only catch the lagger up by shipping
+  // a snapshot — the install cannot be bypassed via plain log replication.
+  lagger->crash();
+  for (int i = 0; i < 30; ++i) l->propose("c" + std::to_string(i));
+  sim.run_until(sim::seconds(10));
+  for (auto& p : peers) {
+    if (p.get() == lagger) continue;
+    ASSERT_TRUE(p->compact(25, "25")) << "peer " << p->id().value;
+  }
+  // Rejoin, then yank the leader out from under the in-flight install: the
+  // lagger may hold a snapshot from a deposed leader (or nothing at all)
+  // when the new leader takes over mid-transfer.
+  lagger->recover();
+  sim.run_until(sim.now() + sim::millis(200));
+  l->crash();
+  sim.run_until(sim::seconds(25));
+  RaftPeer* new_leader = leader();
+  ASSERT_NE(new_leader, nullptr);
+  ASSERT_NE(new_leader, l);
+  EXPECT_EQ(restored_from[lagger->id().value], 25u);
+  EXPECT_EQ(applied_count[lagger->id().value], 30u);
+  // The reconfigured group (old leader still down) keeps committing, and
+  // the freshly-installed lagger applies the new tail like any follower.
+  ASSERT_TRUE(new_leader->propose("post-churn").has_value());
+  sim.run_until(sim::seconds(30));
+  for (auto& p : peers) {
+    if (p.get() == l) continue;
+    EXPECT_EQ(applied_count[p->id().value], 31u) << "peer " << p->id().value;
+  }
+}
+
+TEST_F(RaftSnapshotTest, SnapshotInstallSurvivesConcurrentFollowerChurn) {
+  make_cluster(5);
+  sim.run_until(sim::seconds(5));
+  RaftPeer* l = leader();
+  ASSERT_NE(l, nullptr);
+  RaftPeer* lagger = nullptr;
+  RaftPeer* churner = nullptr;
+  for (auto& p : peers) {
+    if (p.get() == l) continue;
+    if (!lagger) {
+      lagger = p.get();
+    } else if (!churner) {
+      churner = p.get();
+    }
+  }
+  ASSERT_NE(lagger, nullptr);
+  ASSERT_NE(churner, nullptr);
+  lagger->crash();
+  for (int i = 0; i < 30; ++i) l->propose("c" + std::to_string(i));
+  sim.run_until(sim::seconds(10));
+  ASSERT_TRUE(l->compact(25, "25"));
+  // The lagger's snapshot install races a second membership event: another
+  // follower drops out and rejoins during the transfer window. Quorum (3/5)
+  // holds throughout, so neither the install nor commit progress may stall.
+  lagger->recover();
+  churner->crash();
+  applied_count[churner->id().value] = 0;  // volatile state machine lost
+  sim.run_until(sim::seconds(12));
+  churner->recover();
+  l->propose("during-churn");
+  sim.run_until(sim::seconds(25));
+  EXPECT_EQ(restored_from[lagger->id().value], 25u);
+  for (auto& p : peers) {
+    EXPECT_EQ(applied_count[p->id().value], 31u) << "peer " << p->id().value;
+  }
+}
+
 TEST_F(RaftSnapshotTest, SnapshotPreservesCommitSafety) {
   make_cluster(5);
   sim.run_until(sim::seconds(5));
