@@ -24,6 +24,15 @@
 //            the measured window — the rung that proves the typed-envelope
 //            path is allocation-free (allocs_per_ev must read 0.000).
 //
+// Plus the sharded ladder (its own populations, up to the 100k rung): the
+// same heartbeat + request-chain workload run on the sharded kernel at
+// 1/2/4/8 shards. Shard-count determinism is enforced unconditionally —
+// every rung of a ladder must fingerprint bit-identically (events, sent,
+// delivered, dropped, bytes, delivery hash) to its single-shard run.
+// Parallel speedup floors (--min-shard-speedup) only apply when the host
+// actually has the cores (hardware_concurrency >= shards); the `cpus`
+// config field records what the numbers were measured on.
+//
 // Usage:
 //   bench_scale                      # full run: 1k/5k/10k, 60 simulated s
 //   bench_scale --trim               # CI variant: 1k only, 5 simulated s
@@ -32,9 +41,13 @@
 //   bench_scale --min-kernel-eps=N   # exit 1 if kernel events/sec < N
 //   bench_scale --min-delivery-eps=N # exit 1 if delivery events/sec < N
 //   bench_scale --max-delivery-allocs=X  # exit 1 if allocs/delivery > X
+//   bench_scale --min-sharded-eps=N  # exit 1 if 1-shard sharded rung < N
+//   bench_scale --min-shard-speedup=X    # exit 1 if 4-shard < X * 1-shard
+//                                        # (skipped below 4 hardware threads)
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -43,33 +56,37 @@
 #include <memory>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "coord/gossip.hpp"
 #include "membership/heartbeat.hpp"
 #include "membership/swim.hpp"
+#include "net/shard_net.hpp"
 #include "net_harness.hpp"
+#include "sim/sharded.hpp"
 
 // --- Heap-allocation counter -------------------------------------------------
 // Global operator-new replacement: every heap allocation in the process
 // bumps a counter the delivery rung samples around its measured window.
-// Single-threaded bench, so a plain counter is race-free. The sized /
-// aligned delete forms are provided so the replacement set stays matched;
-// array and nothrow news forward to the plain form by default.
+// Relaxed atomic: the sharded rung allocates from worker threads, and a
+// plain counter would race. The sized / aligned delete forms are provided
+// so the replacement set stays matched; array and nothrow news forward to
+// the plain form by default.
 
 namespace {
-std::uint64_t g_heap_allocs = 0;
+std::atomic<std::uint64_t> g_heap_allocs{0};
 }  // namespace
 
 void* operator new(std::size_t size) {
-  ++g_heap_allocs;
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size != 0 ? size : 1)) return p;
   throw std::bad_alloc{};
 }
 
 void* operator new(std::size_t size, std::align_val_t align) {
-  ++g_heap_allocs;
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   void* p = nullptr;
   const std::size_t al =
       std::max(static_cast<std::size_t>(align), sizeof(void*));
@@ -352,6 +369,92 @@ PhaseResult run_delivery(std::size_t population, double sim_seconds) {
   return r;
 }
 
+// --- sharded phase ----------------------------------------------------------
+
+// Heartbeat + request-chain workload on the sharded kernel, built to be
+// shard-count invariant: heartbeat neighbors come from fixed cells sized
+// for the widest ladder rung (population / 8), which nest inside the
+// contiguous shard blocks of every narrower rung, so the message set is a
+// function of (population, seed) alone. Request chains pair endpoint e
+// with e + population/2 — cross-shard long-haul at every rung above 1.
+
+struct ShardPing {
+  std::uint32_t hops = 0;
+};
+struct ShardBeat {
+  std::uint32_t beat = 0;
+};
+
+constexpr std::size_t kShardLadderMax = 8;
+
+struct ShardedResult {
+  PhaseResult phase;
+  // Fingerprint compared across the ladder: any difference is a
+  // determinism regression, not a tuning matter.
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hash = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t cross = 0;
+};
+
+ShardedResult run_sharded(std::size_t population, std::size_t shards,
+                          double sim_seconds, std::uint64_t seed) {
+  sim::ShardedSimulation kernel(shards, seed);
+  net::ShardedNetwork net(kernel);
+  std::vector<net::NodeId> ids;
+  ids.reserve(population);
+  for (std::size_t e = 0; e < population; ++e) {
+    const std::size_t shard = e * shards / population;  // contiguous blocks
+    ids.push_back(net.register_endpoint(shard, [&net](const net::Message& m) {
+      if (m.kind() == net::payload_kind_of<ShardPing>()) {
+        const auto& ping = m.as<ShardPing>();
+        if (ping.hops > 0) net.send(m.to, m.from, ShardPing{ping.hops - 1});
+      }
+    }));
+    net.set_endpoint_class(ids.back(), e % 2 == 0 ? 0 : 1);
+  }
+  net.set_class_link(0, 0, {sim::millis(2), sim::millis(1), 0.01});
+  net.set_class_link(1, 1, {sim::millis(2), sim::millis(1), 0.01});
+  net.set_class_link(0, 1, {sim::millis(6), sim::millis(3), 0.03});
+  net.set_class_link(1, 0, {sim::millis(6), sim::millis(3), 0.03});
+  net.set_ambient_loss(0.005);
+  net.seal();
+
+  const std::size_t cell = population / kShardLadderMax;
+  for (std::size_t e = 0; e < population; ++e) {
+    const std::size_t shard = e * shards / population;
+    const std::size_t neighbor = (e / cell) * cell + (e % cell + 1) % cell;
+    kernel.shard(shard).schedule_every(
+        sim::millis(100), [&net, e, neighbor] {
+          net.send(net::NodeId{static_cast<std::uint32_t>(e)},
+                   net::NodeId{static_cast<std::uint32_t>(neighbor)},
+                   ShardBeat{});
+        });
+  }
+  for (std::size_t e = 0; e < population / 2; ++e) {
+    net.send(ids[e], ids[e + population / 2], ShardPing{10});
+  }
+
+  ShardedResult r;
+  const double t0 = now_s();
+  kernel.run_until(sim::millis(static_cast<std::int64_t>(sim_seconds * 1e3)));
+  r.phase.wall_s = now_s() - t0;
+  r.phase.events = kernel.executed_events();
+  r.phase.messages = net.messages_delivered();
+  r.phase.bytes = net.bytes_sent();
+  r.sent = net.messages_sent();
+  r.delivered = net.messages_delivered();
+  r.dropped = net.messages_dropped();
+  r.bytes = net.bytes_sent();
+  r.hash = net.delivery_hash();
+  r.windows = kernel.windows();
+  r.cross = net.messages_cross_shard();
+  return r;
+}
+
 }  // namespace
 }  // namespace riot::bench
 
@@ -360,14 +463,18 @@ int main(int argc, char** argv) {
   using namespace riot::bench;
 
   std::vector<std::size_t> populations = {1000, 5000, 10000};
+  std::vector<std::size_t> sharded_populations = {10000, 100000};
   double sim_seconds = 60.0;
   double min_kernel_eps = 0.0;
   double min_delivery_eps = 0.0;
   double max_delivery_allocs = -1.0;  // < 0: floor disabled
+  double min_sharded_eps = 0.0;
+  double min_shard_speedup = 0.0;  // 4-shard vs 1-shard; needs >= 4 cores
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trim") {
       populations = {1000};
+      sharded_populations = {1000};
       sim_seconds = 5.0;
     } else if (arg.rfind("--sim-seconds=", 0) == 0) {
       sim_seconds = std::atof(arg.c_str() + 14);
@@ -386,6 +493,10 @@ int main(int argc, char** argv) {
       min_delivery_eps = std::atof(arg.c_str() + 19);
     } else if (arg.rfind("--max-delivery-allocs=", 0) == 0) {
       max_delivery_allocs = std::atof(arg.c_str() + 22);
+    } else if (arg.rfind("--min-sharded-eps=", 0) == 0) {
+      min_sharded_eps = std::atof(arg.c_str() + 18);
+    } else if (arg.rfind("--min-shard-speedup=", 0) == 0) {
+      min_shard_speedup = std::atof(arg.c_str() + 20);
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
       return 2;
@@ -464,6 +575,85 @@ int main(int argc, char** argv) {
       floor_ok = false;
     }
   }
+  // --- sharded ladder -------------------------------------------------------
+  const unsigned cpus = std::thread::hardware_concurrency();
+  report.config("cpus", static_cast<double>(cpus));
+  for (const std::size_t population : sharded_populations) {
+    // Keep the 100k rung's wall time in check: half the simulated window.
+    const double sharded_s = population >= 100000 ? 1.0 : 2.0;
+    ShardedResult baseline{};
+    double eps1 = 0.0;
+    double eps4 = 0.0;
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      const ShardedResult r = run_sharded(population, shards, sharded_s, 42);
+      table.print_row(
+          {fmt_u(population), "shard-" + std::to_string(shards),
+           fmt_u(r.phase.events), fmt(r.phase.wall_s),
+           fmt(r.phase.events_per_s(), 0), fmt_u(r.delivered),
+           fmt(r.phase.bytes_per_event(), 1), "-", fmt(max_rss_mb(), 1)});
+      const std::string tag =
+          std::to_string(population) + "_shards" + std::to_string(shards);
+      report.metric("sharded_events_per_s_" + tag, r.phase.events_per_s());
+      report.metric("sharded_windows_" + tag,
+                    static_cast<double>(r.windows));
+      report.metric("sharded_cross_" + tag, static_cast<double>(r.cross));
+      if (shards == 1) {
+        baseline = r;
+        eps1 = r.phase.events_per_s();
+        if (min_sharded_eps > 0.0 && eps1 < min_sharded_eps) {
+          std::fprintf(stderr,
+                       "scale-check FAILED: sharded(1) %.0f events/s at %zu "
+                       "endpoints is below the floor %.0f\n",
+                       eps1, population, min_sharded_eps);
+          floor_ok = false;
+        }
+      } else {
+        if (shards == 4) eps4 = r.phase.events_per_s();
+        // The non-negotiable: every ladder rung executes the identical run.
+        const bool identical =
+            r.phase.events == baseline.phase.events &&
+            r.sent == baseline.sent && r.delivered == baseline.delivered &&
+            r.dropped == baseline.dropped && r.bytes == baseline.bytes &&
+            r.hash == baseline.hash;
+        if (!identical) {
+          std::fprintf(
+              stderr,
+              "scale-check FAILED: %zu-shard run diverged from single-shard "
+              "at %zu endpoints (events %llu vs %llu, hash %016llx vs "
+              "%016llx)\n",
+              shards, population,
+              static_cast<unsigned long long>(r.phase.events),
+              static_cast<unsigned long long>(baseline.phase.events),
+              static_cast<unsigned long long>(r.hash),
+              static_cast<unsigned long long>(baseline.hash));
+          floor_ok = false;
+        }
+      }
+    }
+    if (eps1 > 0.0) {
+      report.metric("sharded_speedup4_" + std::to_string(population),
+                    eps4 / eps1);
+    }
+    if (min_shard_speedup > 0.0) {
+      if (cpus >= 4) {
+        if (eps4 < min_shard_speedup * eps1) {
+          std::fprintf(stderr,
+                       "scale-check FAILED: 4-shard speedup %.2fx at %zu "
+                       "endpoints is below the floor %.2fx\n",
+                       eps1 > 0.0 ? eps4 / eps1 : 0.0, population,
+                       min_shard_speedup);
+          floor_ok = false;
+        }
+      } else {
+        std::fprintf(stderr,
+                     "scale-check: skipping the %.2fx shard-speedup floor — "
+                     "only %u hardware threads (need >= 4 to measure "
+                     "parallelism honestly)\n",
+                     min_shard_speedup, cpus);
+      }
+    }
+  }
+
   report.metric("rss_mb_peak", max_rss_mb());
   report.write();
   return floor_ok ? 0 : 1;

@@ -1,0 +1,299 @@
+#include "net/shard_net.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "obs/metrics.hpp"
+
+namespace riot::net {
+
+namespace {
+
+sim::Rng endpoint_rng(std::uint64_t kernel_seed, std::uint32_t endpoint) {
+  // Stateless per-endpoint stream: must not depend on registration order,
+  // shard placement, or shard count — this is what makes a run's loss and
+  // jitter draws identical at every shard count.
+  std::uint64_t state =
+      kernel_seed ^
+      (0xaf251af3b0f025b5ULL * (static_cast<std::uint64_t>(endpoint) + 1));
+  return sim::Rng{sim::splitmix64(state)};
+}
+
+}  // namespace
+
+ShardedNetwork::ShardedNetwork(sim::ShardedSimulation& kernel)
+    : kernel_(kernel) {
+  shards_.resize(kernel.shard_count());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& ss = shards_[i];
+    ss.component = kernel.shard(i).component_id("net");
+    ss.outbox.resize(shards_.size());
+  }
+}
+
+NodeId ShardedNetwork::register_endpoint(std::size_t shard,
+                                         DeliveryHandler handler) {
+  if (sealed_) {
+    throw std::logic_error(
+        "ShardedNetwork::register_endpoint: topology is sealed");
+  }
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("ShardedNetwork::register_endpoint: bad shard");
+  }
+  if (!handler) {
+    throw std::invalid_argument(
+        "ShardedNetwork::register_endpoint: empty handler");
+  }
+  const auto id = static_cast<std::uint32_t>(endpoints_.size());
+  EndpointState ep;
+  ep.handler = std::move(handler);
+  ep.shard = static_cast<std::uint32_t>(shard);
+  ep.rng = endpoint_rng(kernel_.seed(), id);
+  endpoints_.push_back(std::move(ep));
+  return NodeId{id};
+}
+
+NodeId ShardedNetwork::register_endpoint(DeliveryHandler handler) {
+  return register_endpoint(endpoints_.size() % shards_.size(),
+                           std::move(handler));
+}
+
+void ShardedNetwork::set_endpoint_class(NodeId id, LinkClass cls) {
+  if (cls >= kMaxLinkClasses) {
+    throw std::invalid_argument(
+        "ShardedNetwork::set_endpoint_class: class too big");
+  }
+  endpoints_.at(id.value).link_class = cls;
+}
+
+void ShardedNetwork::set_class_link(LinkClass from, LinkClass to,
+                                    ShardLinkQuality quality) {
+  if (from >= kMaxLinkClasses || to >= kMaxLinkClasses) {
+    throw std::invalid_argument(
+        "ShardedNetwork::set_class_link: class too big");
+  }
+  if (sealed_) {
+    throw std::logic_error("ShardedNetwork::set_class_link: sealed");
+  }
+  const std::size_t cell =
+      static_cast<std::size_t>(from) * kMaxLinkClasses + to;
+  class_matrix_[cell] = quality;
+  class_matrix_set_[cell] = true;
+}
+
+void ShardedNetwork::seal() {
+  if (sealed_) return;
+  // Conservative lookahead: the smallest base latency any cross-shard
+  // message can draw. Walk the class pairs actually reachable by
+  // registered endpoints; a pair without a populated cell falls back to
+  // the default quality, so the default participates whenever any such
+  // pair exists.
+  std::array<bool, kMaxLinkClasses> class_used{};
+  for (const EndpointState& ep : endpoints_) class_used[ep.link_class] = true;
+  sim::SimTime min_latency = kernel_.shard_count() > 1 ? sim::kSimTimeMax
+                                                       : sim::kSimTimeZero;
+  if (kernel_.shard_count() > 1) {
+    for (std::size_t f = 0; f < kMaxLinkClasses; ++f) {
+      if (!class_used[f]) continue;
+      for (std::size_t t = 0; t < kMaxLinkClasses; ++t) {
+        if (!class_used[t]) continue;
+        const std::size_t cell = f * kMaxLinkClasses + t;
+        const ShardLinkQuality& q =
+            class_matrix_set_[cell] ? class_matrix_[cell] : default_quality_;
+        min_latency = std::min(min_latency, q.base_latency);
+      }
+    }
+    if (min_latency == sim::kSimTimeMax) min_latency = sim::kSimTimeZero;
+  }
+  lookahead_ = min_latency;
+  kernel_.set_lookahead(lookahead_);
+  kernel_.set_exchange([this](std::size_t dst) { merge_inbound(dst); });
+  sealed_ = true;
+}
+
+std::uint64_t ShardedNetwork::submit(Message message) {
+  if (message.from.value >= endpoints_.size() ||
+      message.to.value >= endpoints_.size()) {
+    throw std::out_of_range("ShardedNetwork::submit: unknown endpoint");
+  }
+  EndpointState& src = endpoints_[message.from.value];
+  if (!src.up) return 0;  // dead senders say nothing
+  ShardState& ss = shards_[src.shard];
+  // (sender << 32 | sender seq): unique, and invariant across shard counts
+  // — the canonical cross-shard ordering key.
+  message.id = (static_cast<std::uint64_t>(message.from.value) << 32) |
+               src.next_seq++;
+  ++ss.sent;
+  ss.bytes += message.wire_size;
+
+  const EndpointState& dst = endpoints_[message.to.value];
+  const ShardLinkQuality q = link_quality(src, dst);
+  const double loss = q.loss + ambient_loss_;
+  if (loss > 0.0 && src.rng.chance(loss)) {
+    ++ss.dropped;
+    return message.id;
+  }
+  sim::SimTime latency = q.base_latency;
+  if (q.jitter > sim::kSimTimeZero) {
+    latency += sim::nanos(static_cast<std::int64_t>(
+        src.rng.uniform01() * static_cast<double>(q.jitter.count())));
+  }
+  const std::uint64_t id = message.id;
+  const sim::SimTime at = kernel_.shard(src.shard).now() + latency;
+  if (dst.shard == src.shard) {
+    schedule_delivery(src.shard, at, std::move(message));
+  } else {
+    // The seal()-derived lookahead must bound every cross-shard latency;
+    // anything tighter (a post-seal matrix edit would be the only way)
+    // breaks the window protocol, so refuse loudly.
+    if (latency < lookahead_) {
+      throw std::logic_error(
+          "ShardedNetwork::submit: cross-shard latency below lookahead");
+    }
+    ++ss.cross;
+    ss.outbox[dst.shard].push_back(FlightEntry{at, std::move(message)});
+  }
+  return id;
+}
+
+std::uint32_t ShardedNetwork::flight_store(ShardState& ss,
+                                           Message&& message) {
+  if (!ss.flight_free.empty()) {
+    const std::uint32_t slot = ss.flight_free.back();
+    ss.flight_free.pop_back();
+    ss.flight[slot] = std::move(message);
+    return slot;
+  }
+  ss.flight.push_back(std::move(message));
+  return static_cast<std::uint32_t>(ss.flight.size() - 1);
+}
+
+void ShardedNetwork::schedule_delivery(std::uint32_t dst_shard,
+                                       sim::SimTime at, Message&& message) {
+  ShardState& ss = shards_[dst_shard];
+  const std::uint32_t slot = flight_store(ss, std::move(message));
+  // {this, shard, slot} is 16 bytes and trivially copyable: stays in
+  // std::function's inline buffer, so a delivery never allocates.
+  kernel_.shard(dst_shard).schedule_at(
+      at, [this, dst_shard, slot] { deliver_flight(dst_shard, slot); },
+      ss.component);
+}
+
+void ShardedNetwork::deliver_flight(std::uint32_t shard, std::uint32_t slot) {
+  ShardState& ss = shards_[shard];
+  Message message = std::move(ss.flight[slot]);
+  ss.flight_free.push_back(slot);
+  EndpointState& ep = endpoints_[message.to.value];
+  if (!ep.up) {
+    ++ss.dropped;
+    return;
+  }
+  ++ss.delivered;
+  // Order-invariant delivery fingerprint: (time, id, destination, kind)
+  // identifies the delivery independent of which shard executed it.
+  ss.hash.mix(
+      static_cast<std::uint64_t>(kernel_.shard(shard).now().count()),
+      message.id, message.to.value, message.kind());
+  ep.handler(message);
+}
+
+void ShardedNetwork::merge_inbound(std::size_t dst_shard) {
+  const std::size_t shards = shards_.size();
+  ShardState& dst = shards_[dst_shard];
+  std::vector<FlightEntry>& scratch = dst.merge_scratch;
+  scratch.clear();
+  for (std::size_t src = 0; src < shards; ++src) {
+    std::vector<FlightEntry>& ob = shards_[src].outbox[dst_shard];
+    for (FlightEntry& fe : ob) scratch.push_back(std::move(fe));
+    ob.clear();
+  }
+  if (scratch.empty()) return;
+  // Canonical delivery order: (timestamp, message id). Message ids embed
+  // (sender, sender seq), so this is a total order that does not depend
+  // on shard count or arrival interleaving.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const FlightEntry& a, const FlightEntry& b) {
+              return std::tie(a.at, a.msg.id) < std::tie(b.at, b.msg.id);
+            });
+  for (FlightEntry& fe : scratch) {
+    schedule_delivery(static_cast<std::uint32_t>(dst_shard), fe.at,
+                      std::move(fe.msg));
+  }
+  scratch.clear();
+}
+
+void ShardedNetwork::set_node_up(NodeId id, bool up) {
+  endpoints_.at(id.value).up = up;
+}
+
+bool ShardedNetwork::node_up(NodeId id) const {
+  return id.value < endpoints_.size() && endpoints_[id.value].up;
+}
+
+std::uint64_t ShardedNetwork::messages_sent() const {
+  std::uint64_t total = 0;
+  for (const ShardState& ss : shards_) total += ss.sent;
+  return total;
+}
+
+std::uint64_t ShardedNetwork::messages_delivered() const {
+  std::uint64_t total = 0;
+  for (const ShardState& ss : shards_) total += ss.delivered;
+  return total;
+}
+
+std::uint64_t ShardedNetwork::messages_dropped() const {
+  std::uint64_t total = 0;
+  for (const ShardState& ss : shards_) total += ss.dropped;
+  return total;
+}
+
+std::uint64_t ShardedNetwork::messages_cross_shard() const {
+  std::uint64_t total = 0;
+  for (const ShardState& ss : shards_) total += ss.cross;
+  return total;
+}
+
+std::uint64_t ShardedNetwork::bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const ShardState& ss : shards_) total += ss.bytes;
+  return total;
+}
+
+std::uint64_t ShardedNetwork::delivery_hash() const {
+  sim::RunHash merged;
+  for (const ShardState& ss : shards_) merged.merge(ss.hash);
+  return merged.digest();
+}
+
+void ShardedNetwork::export_metrics(obs::MetricsRegistry& registry) const {
+  auto& sent = registry
+                   .counter_family("riot_shardnet_sent_total",
+                                   "messages submitted to the sharded fabric")
+                   .with({});
+  auto& delivered =
+      registry
+          .counter_family("riot_shardnet_delivered_total",
+                          "messages delivered to a live endpoint")
+          .with({});
+  auto& dropped = registry
+                      .counter_family("riot_shardnet_dropped_total",
+                                      "messages dropped (loss or dead target)")
+                      .with({});
+  auto& cross = registry
+                    .counter_family("riot_shardnet_cross_shard_total",
+                                    "messages exchanged across shards")
+                    .with({});
+  auto& bytes = registry
+                    .counter_family("riot_shardnet_bytes_total",
+                                    "estimated wire bytes submitted")
+                    .with({});
+  sent.increment(messages_sent());
+  delivered.increment(messages_delivered());
+  dropped.increment(messages_dropped());
+  cross.increment(messages_cross_shard());
+  bytes.increment(bytes_sent());
+}
+
+}  // namespace riot::net

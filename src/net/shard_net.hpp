@@ -1,0 +1,185 @@
+// Shard-aware network fabric over the sharded kernel.
+//
+// ShardedNetwork is the delivery substrate for 100k+-endpoint runs: global
+// endpoint ids, but every per-message resource partitioned by shard — each
+// shard owns an in-flight message slab, plain counters, and a RunHash, so
+// the send → flight slab → dispatch hot path never crosses a cache line
+// another worker writes. Cross-shard sends are buffered in per-(src, dst)
+// outboxes and exchanged at the kernel's window barrier, enqueued into the
+// destination shard sorted by (deliver time, message id) — message ids are
+// (sender << 32 | sender sequence), so the order is canonical, not an
+// arrival race.
+//
+// Shard-count invariance (the determinism matrix in
+// tests/test_net_sharded.cpp): every random draw on the message path —
+// loss, jitter — comes from a per-endpoint Rng derived statelessly from
+// (kernel seed, endpoint id), never from a shared stream consumed in
+// global arrival order and never from a shard's own rng. A (seed, config)
+// run therefore executes the identical message set at 1, 2, 4, or 8
+// shards: bit-identical sent/delivered/dropped counts and an identical
+// order-invariant delivery hash.
+//
+// Scope: this is the scale fabric, deliberately leaner than net::Network —
+// class-matrix link resolution only (no per-pair overrides, no partitions,
+// no span tracing on the hot path), liveness flags owned by the endpoint's
+// home shard. Topology (endpoints, classes, class links) is wired
+// single-threaded before seal(); after seal() only message traffic and
+// owner-shard liveness toggles are legal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/node_id.hpp"
+#include "sim/rng.hpp"
+#include "sim/sharded.hpp"
+#include "sim/time.hpp"
+
+namespace riot::obs {
+class MetricsRegistry;
+}  // namespace riot::obs
+
+namespace riot::net {
+
+/// Quality of a directed link (mirror of network.hpp's LinkQuality, local
+/// copy to avoid pulling the full Network surface into the scale fabric).
+struct ShardLinkQuality {
+  sim::SimTime base_latency = sim::millis(1);
+  sim::SimTime jitter = sim::kSimTimeZero;  // uniform in [0, jitter)
+  double loss = 0.0;
+};
+
+class ShardedNetwork {
+ public:
+  using DeliveryHandler = std::function<void(const Message&)>;
+  using LinkClass = std::uint8_t;
+  static constexpr std::size_t kMaxLinkClasses = 16;
+
+  explicit ShardedNetwork(sim::ShardedSimulation& kernel);
+
+  ShardedNetwork(const ShardedNetwork&) = delete;
+  ShardedNetwork& operator=(const ShardedNetwork&) = delete;
+
+  /// Register an endpoint on an explicit shard (partitioning is the
+  /// caller's: keep chatty neighborhoods — clusters, cells — on one shard
+  /// so cross-shard traffic stays the long-haul minority).
+  NodeId register_endpoint(std::size_t shard, DeliveryHandler handler);
+  /// Round-robin shard assignment (id % shard_count).
+  NodeId register_endpoint(DeliveryHandler handler);
+
+  /// Class wiring, exactly as net::Network: per-endpoint class plus a
+  /// (from, to) class matrix. Unpopulated cells fall back to the default
+  /// link quality. Pre-seal only.
+  void set_endpoint_class(NodeId id, LinkClass cls);
+  void set_class_link(LinkClass from, LinkClass to, ShardLinkQuality quality);
+  void set_default_link(ShardLinkQuality quality) {
+    default_quality_ = quality;
+  }
+
+  /// Extra loss applied on top of link loss. Pre-seal only (a mid-run
+  /// change would be observed at different windows on different shards).
+  void set_ambient_loss(double loss) { ambient_loss_ = loss; }
+
+  /// Freeze topology: derive the kernel lookahead (minimum base latency
+  /// any cross-shard message can draw, from the class cells reachable by
+  /// registered endpoints) and install the exchange hook. Call once,
+  /// before the first run.
+  void seal();
+
+  /// Send a typed payload. Returns the message id, 0 if the sender is
+  /// down. Callable from the sending endpoint's shard (or pre-run).
+  template <typename T>
+  std::uint64_t send(NodeId from, NodeId to, T payload) {
+    return submit(make_message(from, to, std::move(payload)));
+  }
+  std::uint64_t submit(Message message);
+
+  /// Liveness. Owned by the endpoint's home shard: call from that shard's
+  /// events (or pre-run). Messages to a down endpoint drop at delivery.
+  void set_node_up(NodeId id, bool up);
+  [[nodiscard]] bool node_up(NodeId id) const;
+
+  [[nodiscard]] std::size_t size() const { return endpoints_.size(); }
+  [[nodiscard]] std::size_t shard_of(NodeId id) const {
+    return endpoints_[id.value].shard;
+  }
+  [[nodiscard]] sim::ShardedSimulation& kernel() { return kernel_; }
+  [[nodiscard]] sim::SimTime lookahead() const { return lookahead_; }
+
+  // Merged (post-run / between windows) counters.
+  [[nodiscard]] std::uint64_t messages_sent() const;
+  [[nodiscard]] std::uint64_t messages_delivered() const;
+  [[nodiscard]] std::uint64_t messages_dropped() const;
+  [[nodiscard]] std::uint64_t messages_cross_shard() const;
+  [[nodiscard]] std::uint64_t bytes_sent() const;
+
+  /// Order-invariant fingerprint of every delivery (time, message id,
+  /// destination, payload kind) — the seed-stable trace hash the
+  /// determinism matrix compares across shard counts.
+  [[nodiscard]] std::uint64_t delivery_hash() const;
+
+  /// Merge per-shard counters into riot_shardnet_* metric families.
+  /// Single-threaded; call after (or between) runs.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct EndpointState {
+    DeliveryHandler handler;
+    std::uint32_t shard = 0;
+    LinkClass link_class = 0;
+    bool up = true;
+    std::uint32_t next_seq = 0;  // per-sender message sequence
+    sim::Rng rng;                // derived from (kernel seed, endpoint id)
+  };
+
+  struct FlightEntry {
+    sim::SimTime at;  // absolute delivery time
+    Message msg;
+  };
+
+  // Everything a worker touches per message lives here, one cache-line
+  // aligned block per shard.
+  struct alignas(64) ShardState {
+    std::vector<Message> flight;              // in-flight slab
+    std::vector<std::uint32_t> flight_free;   // recycled slots, LIFO
+    std::vector<std::vector<FlightEntry>> outbox;  // per destination shard
+    std::vector<FlightEntry> merge_scratch;
+    sim::ComponentId component = sim::kAnonymousComponent;
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t cross = 0;  // cross-shard sends originated here
+    std::uint64_t bytes = 0;
+    sim::RunHash hash;
+  };
+
+  [[nodiscard]] ShardLinkQuality link_quality(const EndpointState& from,
+                                              const EndpointState& to) const {
+    const std::size_t cell =
+        static_cast<std::size_t>(from.link_class) * kMaxLinkClasses +
+        to.link_class;
+    return class_matrix_set_[cell] ? class_matrix_[cell] : default_quality_;
+  }
+
+  std::uint32_t flight_store(ShardState& ss, Message&& message);
+  void deliver_flight(std::uint32_t shard, std::uint32_t slot);
+  void schedule_delivery(std::uint32_t dst_shard, sim::SimTime at,
+                         Message&& message);
+  void merge_inbound(std::size_t dst_shard);
+
+  sim::ShardedSimulation& kernel_;
+  std::vector<EndpointState> endpoints_;
+  std::vector<ShardState> shards_;
+  std::array<ShardLinkQuality, kMaxLinkClasses * kMaxLinkClasses>
+      class_matrix_{};
+  std::array<bool, kMaxLinkClasses * kMaxLinkClasses> class_matrix_set_{};
+  ShardLinkQuality default_quality_{};
+  double ambient_loss_ = 0.0;
+  sim::SimTime lookahead_ = sim::kSimTimeZero;
+  bool sealed_ = false;
+};
+
+}  // namespace riot::net

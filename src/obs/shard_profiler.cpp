@@ -1,0 +1,73 @@
+#include "obs/shard_profiler.hpp"
+
+#include <map>
+#include <string>
+
+namespace riot::obs {
+
+ShardedProfiler::ShardedProfiler(sim::ShardedSimulation& kernel)
+    : kernel_(kernel) {}
+
+void ShardedProfiler::install() {
+  if (!collectors_.empty()) return;
+  collectors_.reserve(kernel_.shard_count());
+  for (std::size_t i = 0; i < kernel_.shard_count(); ++i) {
+    collectors_.push_back(std::make_unique<Collector>());
+    kernel_.shard(i).set_profiler(collectors_.back().get());
+  }
+}
+
+void ShardedProfiler::uninstall() {
+  if (collectors_.empty()) return;
+  for (std::size_t i = 0; i < kernel_.shard_count(); ++i) {
+    if (kernel_.shard(i).profiler() == collectors_[i].get()) {
+      kernel_.shard(i).set_profiler(nullptr);
+    }
+  }
+  collectors_.clear();
+}
+
+void ShardedProfiler::export_metrics(MetricsRegistry& registry) const {
+  // Component ids are interned per shard Simulation; merge by name so the
+  // aggregate is shard-layout independent.
+  struct Totals {
+    std::uint64_t events = 0;
+    double wall_us = 0.0;
+  };
+  std::map<std::string, Totals> merged;
+  for (std::size_t i = 0; i < collectors_.size(); ++i) {
+    const Collector& collector = *collectors_[i];
+    const sim::Simulation& sim = kernel_.shard(i);
+    for (std::size_t id = 0; id < collector.by_component.size(); ++id) {
+      const Collector::Cell& cell = collector.by_component[id];
+      if (cell.events == 0) continue;
+      Totals& totals =
+          merged[std::string(sim.component_name(
+              static_cast<sim::ComponentId>(id)))];
+      totals.events += cell.events;
+      totals.wall_us += cell.wall_us;
+    }
+  }
+  auto& events_family = registry.counter_family(
+      "riot_sim_events_total", "events dispatched, summed across shards");
+  auto& wall_family = registry.counter_family(
+      "riot_sim_handler_wall_us_total",
+      "handler wall-clock cost in microseconds, summed across shards");
+  for (const auto& [name, totals] : merged) {
+    events_family.with({{"component", name}}).increment(totals.events);
+    wall_family.with({{"component", name}})
+        .increment(static_cast<std::uint64_t>(totals.wall_us));
+  }
+}
+
+std::uint64_t ShardedProfiler::total_events() const {
+  std::uint64_t total = 0;
+  for (const auto& collector : collectors_) {
+    for (const Collector::Cell& cell : collector->by_component) {
+      total += cell.events;
+    }
+  }
+  return total;
+}
+
+}  // namespace riot::obs

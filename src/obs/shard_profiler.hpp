@@ -1,0 +1,70 @@
+// Shard-local profiling with post-run aggregation.
+//
+// obs::SimProfiler resolves metric handles against a MetricsRegistry on
+// the event path — fine single-threaded, a data race the moment two shard
+// workers dispatch concurrently. ShardedProfiler is the sharded-kernel
+// counterpart: one plain collector per shard (cache-line aligned, touched
+// only by that shard's worker) accumulates per-component event counts and
+// handler wall time, and export_metrics() merges by component *name*
+// (component ids are interned per shard Simulation and may differ across
+// shards) into the registry after the run, single-threaded:
+//
+//   riot_sim_events_total{component=...}      events dispatched, all shards
+//   riot_sim_handler_wall_us_total{component=...}  summed handler wall cost
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simulation.hpp"
+
+namespace riot::obs {
+
+class ShardedProfiler {
+ public:
+  explicit ShardedProfiler(sim::ShardedSimulation& kernel);
+  ~ShardedProfiler() { uninstall(); }
+
+  ShardedProfiler(const ShardedProfiler&) = delete;
+  ShardedProfiler& operator=(const ShardedProfiler&) = delete;
+
+  /// Install one collector per shard. Collectors are shard-private; no
+  /// synchronization happens on the event path.
+  void install();
+  void uninstall();
+
+  /// Merge every shard's collection into the registry, keyed by component
+  /// name. Single-threaded; call after the run.
+  void export_metrics(MetricsRegistry& registry) const;
+
+  /// Events dispatched across all shards (cheap cross-check against
+  /// ShardedSimulation::executed_events()).
+  [[nodiscard]] std::uint64_t total_events() const;
+
+ private:
+  struct alignas(64) Collector final : sim::Simulation::Profiler {
+    struct Cell {
+      std::uint64_t events = 0;
+      double wall_us = 0.0;
+    };
+    std::vector<Cell> by_component;
+
+    void on_event(sim::ComponentId component, sim::SimTime /*at*/,
+                  double wall_micros) override {
+      if (component >= by_component.size()) {
+        by_component.resize(component + std::size_t{1});
+      }
+      Cell& cell = by_component[component];
+      ++cell.events;
+      cell.wall_us += wall_micros;
+    }
+  };
+
+  sim::ShardedSimulation& kernel_;
+  std::vector<std::unique_ptr<Collector>> collectors_;
+};
+
+}  // namespace riot::obs

@@ -88,10 +88,17 @@ class Rng {
     return static_cast<std::uint64_t>(m >> 64);
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Safe for any span, including
+  /// the full [INT64_MIN, INT64_MAX] range: the span is computed in
+  /// unsigned arithmetic (hi - lo + 1 would overflow int64, and its 2^64
+  /// wrap would feed below(0), which is undefined).
   std::int64_t between(std::int64_t lo, std::int64_t hi) {
-    return lo + static_cast<std::int64_t>(
-                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    const std::uint64_t offset =
+        span == std::numeric_limits<std::uint64_t>::max() ? (*this)()
+                                                          : below(span + 1);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
   }
 
   /// Bernoulli trial.

@@ -1,0 +1,203 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+namespace riot::sim {
+
+namespace {
+
+std::uint64_t shard_seed(std::uint64_t root, std::size_t shard) {
+  // Stateless derivation: shard streams must not depend on construction
+  // order or on each other.
+  std::uint64_t state =
+      root ^ (0xd1342543de82ef95ULL * (static_cast<std::uint64_t>(shard) + 1));
+  return splitmix64(state);
+}
+
+}  // namespace
+
+ShardedSimulation::ShardedSimulation(std::size_t shard_count,
+                                     std::uint64_t seed)
+    : seed_(seed),
+      plan_barrier_(static_cast<std::ptrdiff_t>(
+                        shard_count > 0 ? shard_count : 1),
+                    PlanCompletion{this}),
+      exec_barrier_(static_cast<std::ptrdiff_t>(
+          shard_count > 0 ? shard_count : 1)) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("ShardedSimulation: shard_count must be >= 1");
+  }
+  sims_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    sims_.push_back(std::make_unique<Simulation>(shard_seed(seed, i)));
+  }
+  slots_.resize(shard_count);
+  outbox_.resize(shard_count * shard_count);
+}
+
+void ShardedSimulation::post(std::size_t src_shard, std::size_t dst_shard,
+                             SimTime at, std::uint64_t order_key,
+                             std::function<void()> fn,
+                             ComponentId component) {
+  if (src_shard >= sims_.size() || dst_shard >= sims_.size()) {
+    throw std::out_of_range("ShardedSimulation::post: shard out of range");
+  }
+  if (src_shard == dst_shard) {
+    // Same shard: an ordinary local schedule, no barrier involved.
+    sims_[src_shard]->schedule_at(at, std::move(fn), component);
+    return;
+  }
+  if (at < sims_[src_shard]->now() + lookahead_) {
+    // A delivery inside the lookahead window could land on a shard that
+    // already executed past `at` — refuse loudly instead of reordering
+    // causality. (With lookahead 0 this still admits same-timestamp posts;
+    // they are exchanged in extra same-time rounds.)
+    throw std::logic_error(
+        "ShardedSimulation::post: cross-shard event inside the lookahead "
+        "window");
+  }
+  ShardSlot& slot = slots_[src_shard];
+  outbox_[src_shard * sims_.size() + dst_shard].push_back(
+      PostedEvent{at, order_key, slot.posted_seq++,
+                  static_cast<std::uint32_t>(src_shard), component,
+                  std::move(fn)});
+  ++slot.posted_total;
+}
+
+void ShardedSimulation::merge_posts(std::size_t dst_shard) {
+  const std::size_t shards = sims_.size();
+  std::vector<PostedEvent>& scratch = slots_[dst_shard].merge_scratch;
+  scratch.clear();
+  for (std::size_t src = 0; src < shards; ++src) {
+    std::vector<PostedEvent>& ob = outbox_[src * shards + dst_shard];
+    for (PostedEvent& pe : ob) scratch.push_back(std::move(pe));
+    ob.clear();
+  }
+  if (scratch.empty()) return;
+  // Canonical enqueue order — never arrival race: timestamp, then the
+  // caller's deterministic key, then (source shard, push sequence) so the
+  // order is total for a fixed shard count.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const PostedEvent& a, const PostedEvent& b) {
+              return std::tie(a.at, a.key, a.src, a.seq) <
+                     std::tie(b.at, b.key, b.src, b.seq);
+            });
+  Simulation& sim = *sims_[dst_shard];
+  for (PostedEvent& pe : scratch) {
+    sim.schedule_at(pe.at, std::move(pe.fn), pe.component);
+  }
+  scratch.clear();
+}
+
+void ShardedSimulation::plan_window() noexcept {
+  if (error_flag_.load(std::memory_order_relaxed)) {
+    done_ = true;
+    return;
+  }
+  SimTime next = kSimTimeMax;
+  for (const ShardSlot& slot : slots_) {
+    next = std::min(next, slot.next_time);
+  }
+  if (next == kSimTimeMax || next > deadline_) {
+    done_ = true;
+    return;
+  }
+  // Window horizon: lookahead, floored at 1 ns so zero lookahead
+  // degenerates to single-timestamp rounds instead of an empty window.
+  const SimTime horizon = lookahead_ > kSimTimeZero ? lookahead_ : nanos(1);
+  // Cap just past the deadline: events stamped exactly at the deadline run
+  // (run_until semantics), nothing later does.
+  const SimTime cap =
+      deadline_ >= kSimTimeMax - nanos(1) ? kSimTimeMax : deadline_ + nanos(1);
+  window_end_ = next >= cap - horizon ? cap : next + horizon;
+  ++windows_;
+}
+
+void ShardedSimulation::worker_loop(std::size_t shard) {
+  Simulation& sim = *sims_[shard];
+  ShardSlot& slot = slots_[shard];
+  for (;;) {
+    // Plan phase: drain inbound cross-shard work (kernel posts, then the
+    // transport's typed exchange), then publish the next local event time.
+    if (!error_flag_.load(std::memory_order_relaxed)) {
+      try {
+        merge_posts(shard);
+        if (exchange_) exchange_(shard);
+        slot.next_time = sim.next_event_time();
+      } catch (...) {
+        slot.error = std::current_exception();
+        error_flag_.store(true, std::memory_order_relaxed);
+        slot.next_time = kSimTimeMax;
+      }
+    } else {
+      slot.next_time = kSimTimeMax;
+    }
+    plan_barrier_.arrive_and_wait();  // completion: plan_window()
+    if (done_) break;
+    // Execute phase: everything strictly inside the window, in parallel.
+    if (!error_flag_.load(std::memory_order_relaxed)) {
+      try {
+        sim.run_before(window_end_);
+      } catch (...) {
+        slot.error = std::current_exception();
+        error_flag_.store(true, std::memory_order_relaxed);
+      }
+    }
+    exec_barrier_.arrive_and_wait();
+  }
+}
+
+void ShardedSimulation::run_until(SimTime deadline) {
+  const std::size_t shards = sims_.size();
+  deadline_ = deadline;
+  done_ = false;
+  windows_ = 0;
+  error_flag_.store(false, std::memory_order_relaxed);
+  for (ShardSlot& slot : slots_) slot.error = nullptr;
+
+  // One worker per shard; shard 0 rides the calling thread, so a
+  // single-shard kernel runs exactly like a plain Simulation loop with
+  // per-window bookkeeping.
+  std::vector<std::thread> workers;
+  workers.reserve(shards > 0 ? shards - 1 : 0);
+  for (std::size_t i = 1; i < shards; ++i) {
+    workers.emplace_back([this, i] { worker_loop(i); });
+  }
+  worker_loop(0);
+  for (std::thread& t : workers) t.join();
+
+  // Surface the first (lowest-shard) handler exception deterministically.
+  for (ShardSlot& slot : slots_) {
+    if (slot.error != nullptr) {
+      std::exception_ptr err = slot.error;
+      slot.error = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+  // Pin every shard clock to the deadline (run_until semantics). All
+  // events <= deadline already ran, so these calls execute nothing.
+  for (auto& sim : sims_) sim->run_until(deadline);
+}
+
+std::uint64_t ShardedSimulation::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& sim : sims_) total += sim->executed_events();
+  return total;
+}
+
+std::size_t ShardedSimulation::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& sim : sims_) total += sim->pending_events();
+  return total;
+}
+
+std::uint64_t ShardedSimulation::posted_events() const {
+  std::uint64_t total = 0;
+  for (const ShardSlot& slot : slots_) total += slot.posted_total;
+  return total;
+}
+
+}  // namespace riot::sim

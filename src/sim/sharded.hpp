@@ -1,0 +1,218 @@
+// Sharded discrete-event kernel: deterministic multi-threaded execution.
+//
+// A ShardedSimulation partitions a simulation across worker threads. Each
+// shard owns a full sim::Simulation — local priority queue, event slab,
+// component table, and an Rng seeded from (root seed, shard index) — and
+// shards advance together through conservative time windows:
+//
+//   window k covers [T_k, T_k + lookahead)
+//
+// where T_k is the minimum next-event time across shards and `lookahead`
+// is a lower bound on cross-shard interaction latency (for the network
+// fabric: the minimum cross-shard link latency from the class matrix).
+// Within a window every shard executes its local events in parallel;
+// cross-shard work produced during the window cannot land inside it
+// (latency >= lookahead), so shards never observe each other mid-window.
+// At the window barrier, buffered cross-shard events are exchanged and
+// enqueued into the destination shards in a canonical order — sorted by
+// (timestamp, order key, source shard, sequence), never by arrival race —
+// before the next window opens.
+//
+// Determinism contract (the non-negotiable): for a fixed (seed, config,
+// shard count), every run is bit-identical. For runs that differ only in
+// shard count, applications that (a) draw randomness from per-entity
+// streams (never from a shard's own rng), and (b) keep same-timestamp
+// handlers on different entities commutative, execute the identical event
+// set — bit-identical executed-event/message counts and an identical
+// order-invariant RunHash. The sharded network fabric (net/shard_net.hpp)
+// is built to those rules, and tests/test_sim_sharded.cpp +
+// tests/test_net_sharded.cpp pin the 1/2/4/8-shard equivalence.
+//
+// Zero lookahead degenerates gracefully: windows collapse to a single
+// timestamp and same-time cross-shard sends are exchanged in repeated
+// rounds at that timestamp until quiescent (see the barrier edge-case
+// tests) — slower, but still deterministic and never deadlocked.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace riot::sim {
+
+/// Order-invariant run fingerprint. Records are mixed through SplitMix64
+/// and combined commutatively (sum + xor + count), so the digest does not
+/// depend on the order records were added in — shards can accumulate
+/// locally and merge, and an N-shard run hashes identically to the
+/// single-shard run that executes the same record set.
+class RunHash {
+ public:
+  void mix(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0,
+           std::uint64_t d = 0) {
+    std::uint64_t state = a;
+    std::uint64_t h = splitmix64(state);
+    state ^= b + 0x9e3779b97f4a7c15ULL;
+    h ^= splitmix64(state) * 0x2545f4914f6cdd1dULL;
+    state ^= c + 0xd1342543de82ef95ULL;
+    h += splitmix64(state);
+    state ^= d + 0xaf251af3b0f025b5ULL;
+    h ^= splitmix64(state);
+    sum_ += h;
+    xor_ ^= h;
+    ++count_;
+  }
+
+  void merge(const RunHash& other) {
+    sum_ += other.sum_;
+    xor_ ^= other.xor_;
+    count_ += other.count_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  [[nodiscard]] std::uint64_t digest() const {
+    std::uint64_t state = sum_;
+    std::uint64_t d = splitmix64(state);
+    state ^= xor_;
+    d ^= splitmix64(state);
+    state ^= count_;
+    d += splitmix64(state);
+    return d;
+  }
+
+ private:
+  std::uint64_t sum_ = 0;
+  std::uint64_t xor_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+class ShardedSimulation {
+ public:
+  /// `shard_count` >= 1. Shard i's Simulation is seeded deterministically
+  /// from (seed, i); note that anything drawn from a *shard's* rng is only
+  /// deterministic for that shard count — shard-count-invariant behavior
+  /// requires per-entity streams (Rng derived from (seed, entity id)).
+  explicit ShardedSimulation(std::size_t shard_count, std::uint64_t seed = 1);
+
+  ShardedSimulation(const ShardedSimulation&) = delete;
+  ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return sims_.size(); }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] Simulation& shard(std::size_t i) { return *sims_[i]; }
+  [[nodiscard]] const Simulation& shard(std::size_t i) const {
+    return *sims_[i];
+  }
+
+  /// Conservative lower bound on cross-shard latency. Every cross-shard
+  /// post/send must land at least this far past the sending shard's clock;
+  /// larger values mean fewer barriers. Zero is legal (single-timestamp
+  /// windows). Set before run_until.
+  void set_lookahead(SimTime lookahead) { lookahead_ = lookahead; }
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+
+  /// Exchange hook, called once per shard between windows on that shard's
+  /// worker thread, after every shard finished executing the window and
+  /// before the next window is computed. A transport layered on top (the
+  /// sharded network fabric) drains its typed cross-shard buffers for
+  /// `dst_shard` here, in its own canonical order.
+  using ExchangeFn = std::function<void(std::size_t dst_shard)>;
+  void set_exchange(ExchangeFn fn) { exchange_ = std::move(fn); }
+
+  /// Schedule `fn` on shard `dst_shard` at absolute time `at`. Callable
+  /// from any shard's executing events (`src_shard` = the caller's shard).
+  /// `at` must be >= the source shard's clock + lookahead — enforced, so a
+  /// mis-set lookahead surfaces as an error instead of a causality hole.
+  /// Exchanged at the next barrier in (at, order_key, src_shard, seq)
+  /// order. `order_key` is the caller's deterministic tie-break (e.g. a
+  /// stable entity id); pass 0 when same-time posts commute.
+  void post(std::size_t src_shard, std::size_t dst_shard, SimTime at,
+            std::uint64_t order_key, std::function<void()> fn,
+            ComponentId component = kAnonymousComponent);
+
+  /// Run every shard until its queue drains or the clock passes
+  /// `deadline`; events stamped exactly at `deadline` run. Shard clocks
+  /// end at `deadline` (run_until semantics). Worker threads (one per
+  /// shard; shard 0 runs on the calling thread) live for the duration of
+  /// the call. An exception thrown by any handler stops the run at the
+  /// next barrier and is rethrown here.
+  void run_until(SimTime deadline);
+
+  /// Sum of executed events across shards.
+  [[nodiscard]] std::uint64_t executed_events() const;
+  /// Sum of pending (live) events across shards.
+  [[nodiscard]] std::size_t pending_events() const;
+  /// Cross-shard events exchanged through post().
+  [[nodiscard]] std::uint64_t posted_events() const;
+  /// Windows (barrier rounds) executed by the last run_until.
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+
+ private:
+  struct PostedEvent {
+    SimTime at;
+    std::uint64_t key;       // caller-supplied deterministic tie-break
+    std::uint64_t seq;       // per-(src,dst) push order
+    std::uint32_t src;       // source shard
+    ComponentId component;
+    std::function<void()> fn;
+  };
+
+  // Hot per-shard coordination slots, padded so worker threads never
+  // false-share a cache line. Everything here is written only by the
+  // owning shard's thread (or read across the window barrier).
+  struct alignas(64) ShardSlot {
+    SimTime next_time = kSimTimeMax;
+    std::uint64_t posted_seq = 0;    // per-source push order for posts
+    std::uint64_t posted_total = 0;  // cross-shard posts originated here
+    std::exception_ptr error;
+    std::vector<PostedEvent> merge_scratch;  // reused by this shard's merges
+  };
+
+  void merge_posts(std::size_t dst_shard);
+  void worker_loop(std::size_t shard);
+  void plan_window() noexcept;
+
+  // Barrier completion step: runs on exactly one worker thread once all
+  // shards arrived, before any is released — the single-threaded slice
+  // that plans the next window.
+  struct PlanCompletion {
+    ShardedSimulation* self;
+    void operator()() noexcept { self->plan_window(); }
+  };
+
+  std::uint64_t seed_;
+  SimTime lookahead_ = kSimTimeZero;
+  ExchangeFn exchange_;
+  std::vector<std::unique_ptr<Simulation>> sims_;
+  std::vector<ShardSlot> slots_;
+  // outbox_[src * S + dst]: cross-shard posts buffered during a window.
+  // Written only by src's thread while executing, drained only by dst's
+  // thread at the barrier — the barrier itself is the synchronization.
+  std::vector<std::vector<PostedEvent>> outbox_;
+  std::uint64_t windows_ = 0;
+
+  // Window state owned by the barrier completion step (single-threaded,
+  // synchronized by the barrier for everyone else).
+  SimTime window_end_ = kSimTimeZero;
+  SimTime deadline_ = kSimTimeZero;
+  bool done_ = false;
+  // Raised by any worker that caught a handler exception; checked by the
+  // completion step, which turns it into a uniform stop.
+  std::atomic<bool> error_flag_{false};
+
+  // plan_barrier_ separates "everyone published next_time" from "window
+  // planned"; exec_barrier_ separates "everyone executed the window" from
+  // "outboxes may be drained". Both are reused across windows and runs.
+  std::barrier<PlanCompletion> plan_barrier_;
+  std::barrier<> exec_barrier_;
+};
+
+}  // namespace riot::sim

@@ -63,7 +63,7 @@ EventId Simulation::schedule_at(SimTime at, std::function<void()> fn,
   s.period = kSimTimeZero;
   s.component = component;
   s.state = SlotState::kOneShot;
-  queue_.push(QueuedEvent{at, next_seq_++, slot, s.generation});
+  queue_push(QueuedEvent{at, next_seq_++, slot, s.generation});
   ++live_;
   return make_id(slot, s.generation);
 }
@@ -92,8 +92,8 @@ EventId Simulation::schedule_every(SimTime initial_delay, SimTime period,
   s.period = period;
   s.component = component;
   s.state = SlotState::kPeriodic;
-  queue_.push(QueuedEvent{now_ + initial_delay, next_seq_++, slot,
-                          s.generation});
+  queue_push(QueuedEvent{now_ + initial_delay, next_seq_++, slot,
+                         s.generation});
   ++live_;
   return make_id(slot, s.generation);
 }
@@ -108,7 +108,23 @@ bool Simulation::cancel(EventId id) {
   }
   retire_slot(slot);
   --live_;
+  // Every live slot has exactly one heap entry; retiring it turned that
+  // entry into a tombstone. Long-lived sims with heavy cancel churn (retry
+  // timers cancelled and re-armed far in the future) would otherwise grow
+  // the heap without bound between pops — compact once stale entries
+  // outnumber live ones.
+  ++tombstones_;
+  if (tombstones_ > queue_.size() / 2 && queue_.size() >= 64) {
+    compact_queue();
+  }
   return true;
+}
+
+void Simulation::compact_queue() {
+  std::erase_if(queue_,
+                [this](const QueuedEvent& qe) { return entry_stale(qe); });
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+  tombstones_ = 0;
 }
 
 void Simulation::invoke(std::function<void()>& fn, ComponentId component,
@@ -129,22 +145,39 @@ void Simulation::invoke(std::function<void()>& fn, ComponentId component,
 
 bool Simulation::step() {
   while (!queue_.empty()) {
-    const QueuedEvent qe = queue_.top();
-    queue_.pop();
+    const QueuedEvent qe = queue_.front();
+    queue_pop();
     EventSlot& s = slots_[qe.slot];
-    if (s.generation != qe.gen) continue;  // cancelled tombstone
+    if (s.generation != qe.gen) {  // cancelled tombstone
+      --tombstones_;
+      continue;
+    }
     now_ = qe.at;
     const ComponentId component = s.component;
     if (s.state == SlotState::kPeriodic) {
       // Re-arm before invoking so the callback can cancel its own id. The
       // closure is moved out for the call: anything it schedules may grow
       // the slab and relocate the slot it lives in.
-      queue_.push(QueuedEvent{qe.at + s.period, next_seq_++, qe.slot,
-                              qe.gen});
+      queue_push(QueuedEvent{qe.at + s.period, next_seq_++, qe.slot,
+                             qe.gen});
       std::function<void()> fn = std::move(s.fn);
+      // Scope guard: the closure must return to its (possibly relocated)
+      // slot on unwind too. A throwing handler would otherwise destroy the
+      // moved-out closure while the re-armed heap entry survives, and the
+      // next firing would invoke an empty std::function
+      // (std::bad_function_call). Skipped when the handler cancelled its
+      // own id (generation moved on).
+      struct RestoreClosure {
+        Simulation& sim;
+        std::uint32_t slot;
+        std::uint32_t gen;
+        std::function<void()>& fn;
+        ~RestoreClosure() {
+          EventSlot& after = sim.slots_[slot];  // slab may have reallocated
+          if (after.generation == gen) after.fn = std::move(fn);
+        }
+      } restore{*this, qe.slot, qe.gen, fn};
       invoke(fn, component, qe.at);
-      EventSlot& after = slots_[qe.slot];  // slab may have reallocated
-      if (after.generation == qe.gen) after.fn = std::move(fn);
     } else {
       std::function<void()> fn = std::move(s.fn);
       retire_slot(qe.slot);  // cancel(id) inside the callback returns false
@@ -161,16 +194,27 @@ void Simulation::run_until(SimTime deadline) {
   while (!stop_requested_) {
     // Drain cancelled tombstones first: the deadline check must see the
     // next *live* event, or a stale head would let execution overshoot.
-    while (!queue_.empty() &&
-           slots_[queue_.top().slot].generation != queue_.top().gen) {
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().at > deadline) break;
+    drain_stale_head();
+    if (queue_.empty() || queue_.front().at > deadline) break;
     step();
   }
   // On a stop the clock stays at the last executed event; callers read
   // now() to learn when the run actually halted.
   if (!stop_requested_ && now_ < deadline) now_ = deadline;
+}
+
+void Simulation::run_before(SimTime end) {
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    drain_stale_head();
+    if (queue_.empty() || queue_.front().at >= end) break;
+    step();
+  }
+}
+
+SimTime Simulation::next_event_time() {
+  drain_stale_head();
+  return queue_.empty() ? kSimTimeMax : queue_.front().at;
 }
 
 void Simulation::run_to_completion() {

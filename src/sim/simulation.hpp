@@ -19,9 +19,9 @@
 // per-component breakdowns without any cost when no profiler is set.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -103,8 +103,11 @@ class Simulation {
                          ComponentId component = kAnonymousComponent);
 
   /// Cancel a pending (or periodic) event. Returns false if it already ran
-  /// or was never scheduled. O(1): retires the slot, leaving any queued
-  /// entry as a stale tombstone that the run loop discards on pop.
+  /// or was never scheduled. O(1) amortized: retires the slot, leaving any
+  /// queued entry as a stale tombstone that the run loop discards on pop.
+  /// When tombstones outnumber live entries (heavy cancel churn between
+  /// pops — RPC retry timers re-armed far in the future), the heap is
+  /// compacted in place so queue memory stays proportional to live events.
   bool cancel(EventId id);
 
   /// Execute the next event. Returns false when the queue is exhausted.
@@ -122,6 +125,18 @@ class Simulation {
   /// Run for a duration from the current clock.
   void run_for(SimTime duration) { run_until(now_ + duration); }
 
+  /// Execute every event strictly before `end`, leaving the clock at the
+  /// last executed event (never advanced to `end`). The window primitive of
+  /// the sharded kernel: a shard drains its window [T, T+lookahead), then
+  /// cross-shard deliveries for later windows are enqueued — which is legal
+  /// exactly because the clock was not pushed past the window.
+  void run_before(SimTime end);
+
+  /// Timestamp of the next live event (tombstones are drained), or
+  /// kSimTimeMax when the queue is empty. Used by the sharded barrier to
+  /// compute the next global window.
+  [[nodiscard]] SimTime next_event_time();
+
   /// Run until the queue is empty. Intended for tests; most experiments
   /// have periodic events and must use run_until.
   void run_to_completion();
@@ -132,6 +147,9 @@ class Simulation {
 
   [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  /// Heap entries, live + cancelled tombstones. Bounded at ~2x live by the
+  /// compaction in cancel(); exposed so tests can assert the bound.
+  [[nodiscard]] std::size_t queued_entries() const { return queue_.size(); }
 
   /// Pre-size the slab and queue for an expected number of concurrently
   /// pending events (optional; the slab grows on demand).
@@ -173,6 +191,32 @@ class Simulation {
   void retire_slot(std::uint32_t slot);
   void invoke(std::function<void()>& fn, ComponentId component, SimTime at);
 
+  // Explicit binary heap over queue_ (std::push_heap/pop_heap with Later)
+  // instead of std::priority_queue: compaction needs access to the
+  // underlying container to erase tombstones in place.
+  void queue_push(const QueuedEvent& qe) {
+    queue_.push_back(qe);
+    std::push_heap(queue_.begin(), queue_.end(), Later{});
+  }
+  void queue_pop() {
+    std::pop_heap(queue_.begin(), queue_.end(), Later{});
+    queue_.pop_back();
+  }
+  [[nodiscard]] bool entry_stale(const QueuedEvent& qe) const {
+    return slots_[qe.slot].generation != qe.gen;
+  }
+  /// Pop tombstones off the heap head; the queue front afterwards is the
+  /// next live event (or the queue is empty).
+  void drain_stale_head() {
+    while (!queue_.empty() && entry_stale(queue_.front())) {
+      queue_pop();
+      --tombstones_;
+    }
+  }
+  /// Erase every tombstone and re-heapify. O(n), amortized O(1) per cancel
+  /// because it only runs when tombstones exceed half the heap.
+  void compact_queue();
+
   // Transparent lookup so component_id(string_view) never allocates on the
   // hit path.
   struct StringHash {
@@ -193,7 +237,8 @@ class Simulation {
   std::vector<std::string> component_names_;
   std::unordered_map<std::string, ComponentId, StringHash, std::equal_to<>>
       component_index_;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  std::vector<QueuedEvent> queue_;  // binary heap (Later on top)
+  std::size_t tombstones_ = 0;      // stale entries still parked in queue_
   std::vector<EventSlot> slots_;
   std::vector<std::uint32_t> free_slots_;
 };

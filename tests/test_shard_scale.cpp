@@ -1,0 +1,97 @@
+// Scale-tier shard equivalence: the determinism matrix at a population
+// closer to real experiments (1000 endpoints, mixed local heartbeat +
+// cross-shard request/reply chains with loss and jitter). Enforced via
+// `ctest -L scale` (the scale-check preset): for every (seed, shard count)
+// in the matrix, the run must be bit-identical to the single-shard run —
+// same executed-event count, same sent/delivered/dropped/bytes, same
+// order-invariant delivery hash.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/shard_net.hpp"
+#include "sim/sharded.hpp"
+#include "sim/time.hpp"
+
+namespace riot::net {
+namespace {
+
+struct Request {
+  std::uint32_t hops = 0;
+};
+struct Heartbeat {
+  std::uint32_t beat = 0;
+};
+
+constexpr std::size_t kEndpoints = 1000;
+constexpr std::uint32_t kHops = 10;
+
+struct Fingerprint {
+  std::uint64_t events, sent, delivered, dropped, bytes, hash;
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint run_stack(std::size_t shards, std::uint64_t seed) {
+  sim::ShardedSimulation kernel(shards, seed);
+  ShardedNetwork net(kernel);
+  std::vector<NodeId> ids;
+  ids.reserve(kEndpoints);
+  for (std::size_t e = 0; e < kEndpoints; ++e) {
+    // Contiguous blocks: heartbeat neighbors stay on-shard, request chains
+    // (partner in the opposite block) cross shards.
+    const std::size_t shard = e * shards / kEndpoints;
+    ids.push_back(net.register_endpoint(shard, [&net](const Message& m) {
+      if (m.kind() == payload_kind_of<Request>()) {
+        const auto& req = m.as<Request>();
+        if (req.hops > 0) net.send(m.to, m.from, Request{req.hops - 1});
+      }
+    }));
+    net.set_endpoint_class(ids.back(), e % 2 == 0 ? 0 : 1);
+  }
+  net.set_class_link(0, 0, {sim::millis(2), sim::millis(1), 0.01});
+  net.set_class_link(1, 1, {sim::millis(2), sim::millis(1), 0.01});
+  net.set_class_link(0, 1, {sim::millis(6), sim::millis(3), 0.03});
+  net.set_class_link(1, 0, {sim::millis(6), sim::millis(3), 0.03});
+  net.set_ambient_loss(0.005);
+  net.seal();
+
+  // Local heartbeat fan-out every 50 ms. Neighbors come from fixed
+  // 125-endpoint cells (the 8-shard block size): cells nest inside the
+  // blocks of every shard count in the matrix, so the neighbor graph is
+  // shard-count invariant AND every beat stays on-shard.
+  constexpr std::size_t kCell = kEndpoints / 8;
+  for (std::size_t e = 0; e < kEndpoints; ++e) {
+    const std::size_t shard = e * shards / kEndpoints;
+    const std::size_t cell = e / kCell;
+    const std::size_t neighbor = cell * kCell + (e % kCell + 1) % kCell;
+    kernel.shard(shard).schedule_every(
+        sim::millis(50), [&net, e, neighbor] {
+          net.send(NodeId{static_cast<std::uint32_t>(e)},
+                   NodeId{static_cast<std::uint32_t>(neighbor)}, Heartbeat{});
+        });
+  }
+  // Cross-block request chains.
+  for (std::size_t e = 0; e < kEndpoints / 2; ++e) {
+    net.send(ids[e], ids[e + kEndpoints / 2], Request{kHops});
+  }
+  kernel.run_until(sim::seconds(1));
+  return {kernel.executed_events(), net.messages_sent(),
+          net.messages_delivered(), net.messages_dropped(),
+          net.bytes_sent(),         net.delivery_hash()};
+}
+
+TEST(ShardScale, DeterminismMatrix) {
+  for (std::uint64_t seed : {7ULL, 4242ULL}) {
+    const Fingerprint baseline = run_stack(1, seed);
+    EXPECT_GT(baseline.delivered, kEndpoints * 10)  // heartbeats flowed
+        << "seed=" << seed;
+    for (std::size_t shards : {2u, 4u, 8u}) {
+      const Fingerprint fp = run_stack(shards, seed);
+      EXPECT_EQ(fp, baseline) << "shards=" << shards << " seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace riot::net

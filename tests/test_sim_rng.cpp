@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -191,6 +192,57 @@ TEST(Rng, SplitDeterministic) {
   Rng a = r1.split("x");
   Rng b = r2.split("x");
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, BetweenFullInt64Range) {
+  // hi - lo + 1 == 2^65 - ... spans the whole uint64 space: the old span
+  // arithmetic wrapped to below(0), which is UB. Must draw without faulting
+  // and cover both halves of the range.
+  Rng rng(101);
+  constexpr auto kLo = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kHi = std::numeric_limits<std::int64_t>::max();
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.between(kLo, kHi);
+    saw_negative = saw_negative || v < 0;
+    saw_positive = saw_positive || v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(Rng, BetweenDegenerateAndBoundarySpans) {
+  Rng rng(103);
+  constexpr auto kLo = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kHi = std::numeric_limits<std::int64_t>::max();
+  // Single-point spans always return the point, including the extremes.
+  EXPECT_EQ(rng.between(5, 5), 5);
+  EXPECT_EQ(rng.between(kLo, kLo), kLo);
+  EXPECT_EQ(rng.between(kHi, kHi), kHi);
+  // Spans that straddle zero near the extremes stay inside [lo, hi].
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.between(kLo, kLo + 2);
+    EXPECT_GE(v, kLo);
+    EXPECT_LE(v, kLo + 2);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.between(kHi - 2, kHi);
+    EXPECT_GE(v, kHi - 2);
+    EXPECT_LE(v, kHi);
+  }
+  // One draw shy of the full range exercises below(2^64 - 1), the largest
+  // legal bound.
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = rng.between(kLo + 1, kHi);
+    EXPECT_GE(v, kLo + 1);
+  }
+}
+
+TEST(Rng, BetweenDeterministicForSeed) {
+  Rng a(107), b(107);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.between(-1000, 1000), b.between(-1000, 1000));
+  }
 }
 
 }  // namespace

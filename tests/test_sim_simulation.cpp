@@ -327,6 +327,93 @@ TEST(Simulation, ComponentInterningIsStableAndDeduplicated) {
   EXPECT_EQ(sim.component_name(swim), "swim");
 }
 
+TEST(Simulation, PeriodicSurvivesThrowingHandler) {
+  // Regression: step() moves the periodic closure out of its slab slot for
+  // the duration of the call. If the handler throws, the unwind must put
+  // the closure back — the re-armed queue entry survives the exception, and
+  // without the restore its next firing hit a moved-out std::function.
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_every(millis(10), [&] {
+    ++fired;
+    if (fired == 1) throw std::runtime_error("first tick fails");
+  });
+  EXPECT_THROW(sim.run_until(millis(35)), std::runtime_error);
+  EXPECT_EQ(fired, 1);
+  // The run resumes past the failed tick; firings at 20 ms and 30 ms work.
+  sim.run_until(millis(35));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, PeriodicCancelledDuringThrowStaysCancelled) {
+  Simulation sim;
+  int fired = 0;
+  EventId id = 0;
+  id = sim.schedule_every(millis(10), [&] {
+    ++fired;
+    sim.cancel(id);  // retires the slot before the throw unwinds
+    throw std::runtime_error("tick fails after self-cancel");
+  });
+  EXPECT_THROW(sim.run_until(millis(50)), std::runtime_error);
+  sim.run_until(millis(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, CancelStormKeepsQueueBounded) {
+  // Heavy cancel/re-arm churn (RPC retry timers pushed ever further out)
+  // must not accumulate tombstones: the queue compacts once stale entries
+  // outnumber live ones, so heap memory stays proportional to live events.
+  Simulation sim;
+  constexpr std::size_t kTimers = 1000;
+  std::vector<EventId> timers(kTimers);
+  for (std::size_t i = 0; i < kTimers; ++i) {
+    timers[i] = sim.schedule_at(seconds(10), [] {});
+  }
+  for (int round = 0; round < 50; ++round) {
+    for (std::size_t i = 0; i < kTimers; ++i) {
+      sim.cancel(timers[i]);
+      timers[i] = sim.schedule_at(
+          seconds(10 + round), [] {});  // re-arm further out, never fires
+    }
+    // Live count is constant; entries may transiently include tombstones
+    // but never more than ~half the heap plus the fresh pushes.
+    EXPECT_EQ(sim.pending_events(), kTimers);
+    EXPECT_LE(sim.queued_entries(), 2 * kTimers + 1);
+  }
+  sim.run_until(seconds(5));
+  EXPECT_EQ(sim.executed_events(), 0u);
+  EXPECT_EQ(sim.pending_events(), kTimers);
+}
+
+TEST(Simulation, RunBeforeStopsStrictlyBeforeEnd) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(millis(5), [&] { order.push_back(5); });
+  sim.schedule_at(millis(10), [&] { order.push_back(10); });
+  sim.schedule_at(millis(15), [&] { order.push_back(15); });
+  sim.run_before(millis(10));
+  EXPECT_EQ(order, (std::vector<int>{5}));
+  // The clock stays at the last executed event — not pushed to `end` — so
+  // a same-timestamp schedule_at(10ms) from outside is still legal.
+  EXPECT_EQ(sim.now(), millis(5));
+  EXPECT_EQ(sim.next_event_time(), millis(10));
+  sim.schedule_at(millis(10), [&] { order.push_back(11); });
+  sim.run_before(millis(11));
+  EXPECT_EQ(order, (std::vector<int>{5, 10, 11}));
+  sim.run_before(kSimTimeMax);
+  EXPECT_EQ(order.back(), 15);
+  EXPECT_EQ(sim.next_event_time(), kSimTimeMax);
+}
+
+TEST(Simulation, NextEventTimeSkipsTombstones) {
+  Simulation sim;
+  const EventId early = sim.schedule_at(millis(1), [] {});
+  sim.schedule_at(millis(7), [] {});
+  sim.cancel(early);
+  EXPECT_EQ(sim.next_event_time(), millis(7));
+}
+
 // --- determinism across the slab rewrite ------------------------------------
 
 namespace {
