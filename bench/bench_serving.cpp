@@ -22,12 +22,19 @@
 // with the riot_serving_* / riot_rpc_* registry snapshot of the most
 // adversarial run embedded.
 //
+// The ladder closes with a closed-loop rung (session users cycling
+// issue -> wait -> think through the same banks and fabric): the
+// self-throttling regime most load generators silently implement, printed
+// next to the open-loop rows so the overload disagreement between the two
+// models is visible in one table.
+//
 // Usage:
-//   bench_serving                  # full ladder: 10k / 100k / 1M clients
-//   bench_serving --trim           # CI floor: 10k rung only, short run
+//   bench_serving                  # 10k / 100k / 1M open + closed-loop 10k
+//   bench_serving --trim           # CI floor: 10k + closed-2k, short run
 //   bench_serving --clients=50000  # one custom rung
 //   bench_serving --trim --min-goodput-pct=80 --min-slo-pct=70
-//                 --min-faulted-goodput-pct=30   # enforce floors (CI)
+//                 --min-faulted-goodput-pct=30
+//                 --min-closed-goodput-pct=90   # enforce floors (CI)
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
@@ -57,6 +64,12 @@ struct Rung {
   std::uint64_t clients;
   double rate_per_client_hz;  // base rate; flash crowd peaks at 3x
   double sim_seconds;
+  // Closed-loop rung: `clients` session users cycle issue -> wait -> think
+  // (think mean = 1/rate_per_client_hz) instead of an open Poisson front
+  // door. Offered load self-throttles with latency, so shed/timeout under
+  // stress shows up as *reduced arrivals*, not lost goodput — the contrast
+  // the open-loop rows exist to expose.
+  bool closed = false;
 };
 
 struct RunStats {
@@ -134,21 +147,37 @@ RunStats run_rung(const Rung& rung, bool faulted, std::uint64_t seed,
         static_cast<std::uint32_t>(b)));
   }
 
-  // Flash crowd at 40% of the run: 3x the base rate inside ~500 ms, then
-  // exponential cooldown — the shape that makes admission control earn
-  // its keep.
-  wl::OpenLoopConfig load{
-      .clients = rung.clients,
-      .rate_per_client_hz = rung.rate_per_client_hz,
-      .shape = wl::RateShape::flash_crowd(
-          sim::seconds_f(0.4 * rung.sim_seconds), sim::millis(500),
-          /*peak=*/3.0, sim::seconds(2))};
-  wl::OpenLoopGenerator generator(
-      h.sim, load,
-      [&banks](std::uint32_t client) {
-        banks[client % banks.size()]->issue(client);
-      },
-      "serving-open");
+  // Open loop: flash crowd at 40% of the run — 3x the base rate inside
+  // ~500 ms, then exponential cooldown — the shape that makes admission
+  // control earn its keep. Closed loop: session users with exponential
+  // think time; no shape (self-throttling replaces the crowd).
+  std::unique_ptr<wl::OpenLoopGenerator> open_gen;
+  std::unique_ptr<wl::ClosedLoopGenerator> closed_gen;
+  if (rung.closed) {
+    wl::ClosedLoopConfig load{
+        .clients = static_cast<std::uint32_t>(rung.clients),
+        .think_mean = sim::seconds_f(1.0 / rung.rate_per_client_hz),
+        .first_spread = sim::seconds(1)};
+    closed_gen = std::make_unique<wl::ClosedLoopGenerator>(
+        h.sim, load,
+        [&banks](std::uint32_t client, wl::ClosedLoopGenerator::Done done) {
+          banks[client % banks.size()]->issue(client, std::move(done));
+        },
+        "serving-closed");
+  } else {
+    wl::OpenLoopConfig load{
+        .clients = rung.clients,
+        .rate_per_client_hz = rung.rate_per_client_hz,
+        .shape = wl::RateShape::flash_crowd(
+            sim::seconds_f(0.4 * rung.sim_seconds), sim::millis(500),
+            /*peak=*/3.0, sim::seconds(2))};
+    open_gen = std::make_unique<wl::OpenLoopGenerator>(
+        h.sim, load,
+        [&banks](std::uint32_t client) {
+          banks[client % banks.size()]->issue(client);
+        },
+        "serving-open");
+  }
 
   // Chaos: disruption windows across the tier nodes (never the client
   // banks — the front door stays up; the *fabric* degrades).
@@ -200,15 +229,25 @@ RunStats run_rung(const Rung& rung, bool faulted, std::uint64_t seed,
   }
 
   const sim::SimTime horizon = sim::seconds_f(rung.sim_seconds);
-  generator.start();
+  if (closed_gen != nullptr) {
+    closed_gen->start();
+  } else {
+    open_gen->start();
+  }
   h.sim.run_until(horizon);
-  generator.stop();
+  if (closed_gen != nullptr) {
+    closed_gen->stop();
+  } else {
+    open_gen->stop();
+  }
   // Drain: let in-flight requests resolve (the 600 ms budget bounds them).
   h.sim.run_until(horizon + sim::seconds(2));
 
   RunStats stats;
-  stats.arrivals = generator.arrivals();
-  stats.trace_hash = generator.trace_hash();
+  stats.arrivals =
+      closed_gen != nullptr ? closed_gen->arrivals() : open_gen->arrivals();
+  stats.trace_hash = closed_gen != nullptr ? closed_gen->trace_hash()
+                                           : open_gen->trace_hash();
   stats.finished = slo.total();
   for (const auto& bank : banks) stats.ok += bank->succeeded();
   stats.offered_per_s =
@@ -243,6 +282,7 @@ int main(int argc, char** argv) {
   double min_goodput_pct = -1.0;
   double min_slo_pct = -1.0;
   double min_faulted_goodput_pct = -1.0;
+  double min_closed_goodput_pct = -1.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trim") == 0) {
       trim = true;
@@ -253,7 +293,9 @@ int main(int argc, char** argv) {
                            &min_goodput_pct) == 1 ||
                std::sscanf(argv[i], "--min-slo-pct=%lf", &min_slo_pct) == 1 ||
                std::sscanf(argv[i], "--min-faulted-goodput-pct=%lf",
-                           &min_faulted_goodput_pct) == 1) {
+                           &min_faulted_goodput_pct) == 1 ||
+               std::sscanf(argv[i], "--min-closed-goodput-pct=%lf",
+                           &min_closed_goodput_pct) == 1) {
       // parsed
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
@@ -267,10 +309,12 @@ int main(int argc, char** argv) {
                      custom_clients <= 10000 ? 1.0 : 0.1, 10.0});
   } else if (trim) {
     rungs.push_back({"10k", 10000, 1.0, 6.0});
+    rungs.push_back({"closed-2k", 2000, 1.0, 6.0, /*closed=*/true});
   } else {
     rungs.push_back({"10k", 10000, 1.0, 10.0});
     rungs.push_back({"100k", 100000, 0.2, 10.0});
     rungs.push_back({"1M", 1000000, 0.05, 8.0});
+    rungs.push_back({"closed-10k", 10000, 1.0, 10.0, /*closed=*/true});
   }
 
   banner("Planet-scale serving",
@@ -292,11 +336,16 @@ int main(int argc, char** argv) {
 
   bool floors_ok = true;
   double total_sim_s = 0.0;
+  // The artifact embeds the registry of the biggest faulted open rung
+  // (the closed rung trails the ladder but is the less adversarial mode).
+  const Rung* capture_rung = nullptr;
+  for (const Rung& rung : rungs) {
+    if (!rung.closed) capture_rung = &rung;
+  }
   for (const Rung& rung : rungs) {
     for (const bool faulted : {false, true}) {
-      // The artifact embeds the registry of the biggest faulted rung.
       BenchReport* capture =
-          (faulted && &rung == &rungs.back()) ? &report : nullptr;
+          (faulted && &rung == capture_rung) ? &report : nullptr;
       const RunStats s = run_rung(rung, faulted, seed, capture);
       total_sim_s += rung.sim_seconds + 2.0;
       const char* mode = faulted ? "faulted" : "healthy";
@@ -320,6 +369,20 @@ int main(int argc, char** argv) {
       report.metric(prefix + "_trace_hash",
                     static_cast<double>(s.trace_hash));
 
+      if (rung.closed) {
+        // Closed-loop floor: session users self-throttle, so healthy
+        // goodput should be near-total — a miss means completions (or the
+        // done-callback plumbing) broke, not that load was shed.
+        if (!faulted && min_closed_goodput_pct >= 0.0 &&
+            s.goodput_pct() < min_closed_goodput_pct) {
+          std::fprintf(stderr,
+                       "FLOOR: %s healthy closed-loop goodput %.1f%% < "
+                       "%.1f%%\n",
+                       rung.name, s.goodput_pct(), min_closed_goodput_pct);
+          floors_ok = false;
+        }
+        continue;
+      }
       if (!faulted && min_goodput_pct >= 0.0 &&
           s.goodput_pct() < min_goodput_pct) {
         std::fprintf(stderr,

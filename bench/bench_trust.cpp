@@ -1,0 +1,208 @@
+// Trust/reputation bench: what quarantine buys when a tenth of the edge
+// fleet turns Byzantine.
+//
+// Three rungs over the same 1000-endpoint dispatcher/worker population
+// (tests/chaos/trust_chaos_stack.hpp), same seed, same traffic:
+//
+//   healthy     — no adversaries; the verified-goodput baseline.
+//   trust-blind — 10% persistent liars (falsify + selective-drop windows
+//                 spanning the whole run), routing ignores reputation.
+//                 Every visit to a liar risks a tainted result: the
+//                 goodput an unprotected deployment keeps.
+//   trust-aware — same adversaries, reputation-weighted routing with
+//                 hysteresis quarantine and rehabilitation probes. The
+//                 headline: goodput recovers to >= the floor (default 80%)
+//                 of healthy, every liar ends quarantined, no honest
+//                 worker does.
+//
+// Writes BENCH_trust.json (schema riot-bench-v1) with the trust-aware
+// run's riot_trust_* registry embedded.
+//
+// Usage:
+//   bench_trust                         # 900 workers + 100 dispatchers
+//   bench_trust --trim                  # CI variant: 90 + 10
+//   bench_trust --min-goodput-pct=80    # trust-aware vs healthy floor
+//   bench_trust --require-quarantine    # fail unless invariants held
+//   bench_trust --seed=N                # nightly soak sweeps the adversary
+//                                       # schedule (default 4242)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/chaos.hpp"
+#include "trust_chaos_stack.hpp"
+
+namespace riot::bench {
+namespace {
+
+using namespace riot::chaos_test;
+using namespace sim::chaos;
+
+struct RungResult {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t clean = 0;
+  std::uint64_t tainted = 0;
+  std::size_t quarantined = 0;
+  std::uint64_t releases = 0;
+  std::size_t violations = 0;
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+};
+
+RungResult run_rung(const std::string& name, const ChaosSchedule& schedule,
+                    const ChaosProfile& profile,
+                    const TrustChaosStack::Config& config,
+                    std::size_t adversary_stride, BenchReport* capture) {
+  TrustChaosStack stack(schedule, profile, config);
+  if (adversary_stride != 0) stack.mark_adversaries(adversary_stride);
+
+  RungResult r;
+  r.name = name;
+  const auto started = std::chrono::steady_clock::now();
+  const ChaosRunReport report = stack.run();
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           started)
+                 .count();
+  r.calls = stack.total_calls();
+  r.clean = stack.clean_successes();
+  r.tainted = stack.tainted_responses();
+  r.quarantined = stack.store().quarantined_count();
+  r.releases = stack.metrics().counter_value("riot_trust_releases_total", {});
+  r.violations = report.violations.size();
+  for (const auto& v : report.violations) {
+    std::fprintf(stderr, "bench_trust: rung %s violated %s: %s\n",
+                 name.c_str(), v.invariant.c_str(), v.message.c_str());
+  }
+  if (capture != nullptr) capture->snapshot(stack.metrics());
+  return r;
+}
+
+}  // namespace
+}  // namespace riot::bench
+
+int main(int argc, char** argv) {
+  using namespace riot;
+  using namespace riot::bench;
+  using namespace riot::chaos_test;
+  using namespace sim::chaos;
+
+  bool trim = false;
+  bool require_quarantine = false;
+  double min_goodput_pct = 0.0;
+  std::uint64_t seed = 4242;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trim") == 0) trim = true;
+    if (std::strcmp(argv[i], "--require-quarantine") == 0) {
+      require_quarantine = true;
+    }
+    if (std::strncmp(argv[i], "--min-goodput-pct=", 18) == 0) {
+      min_goodput_pct = std::stod(argv[i] + 18);
+    }
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::stoull(argv[i] + 7);
+    }
+  }
+
+  ChaosProfile profile = trust_scale_profile();
+  TrustChaosStack::Config config = trust_scale_config();
+  if (trim) {
+    profile.node_count = 90;
+    config.edges = 90;
+    config.dispatchers = 10;
+  }
+  const std::size_t adversaries =
+      (config.edges + kTrustAdversaryStride - 1) / kTrustAdversaryStride;
+
+  banner("Byzantine edges vs trust-weighted placement",
+         "Verified goodput with 10% of the edge fleet persistently lying: "
+         "healthy baseline, trust-blind routing, and reputation-aware "
+         "routing with hysteresis quarantine + rehabilitation probes.");
+
+  BenchReport report("trust");
+  report.config("seed", static_cast<double>(seed));
+  report.config("edges", static_cast<double>(config.edges));
+  report.config("dispatchers", static_cast<double>(config.dispatchers));
+  report.config("adversaries", static_cast<double>(adversaries));
+  report.config("adversary_stride",
+                static_cast<double>(kTrustAdversaryStride));
+
+  const ChaosSchedule byzantine = TrustChaosStack::byzantine_schedule(
+      seed, profile, kTrustAdversaryStride, /*crash_stride=*/0,
+      sim::kSimTimeZero);
+  ChaosSchedule healthy;
+  healthy.seed = seed;
+  healthy.node_count = byzantine.node_count;
+  healthy.horizon = byzantine.horizon;
+
+  Table table({"rung", "calls", "verified", "tainted", "quarantined",
+               "released", "violations", "wall_s"},
+              13);
+  table.tee_to(report);
+  table.print_header();
+
+  TrustChaosStack::Config blind = config;
+  blind.use_trust = false;
+  const RungResult base =
+      run_rung("healthy", healthy, profile, config, 0, nullptr);
+  const RungResult unprotected =
+      run_rung("trust-blind", byzantine, profile, blind,
+               kTrustAdversaryStride, nullptr);
+  const RungResult guarded =
+      run_rung("trust-aware", byzantine, profile, config,
+               kTrustAdversaryStride, &report);
+  for (const RungResult* r : {&base, &unprotected, &guarded}) {
+    table.print_row({r->name, fmt_u(r->calls), fmt_u(r->clean),
+                     fmt_u(r->tainted), fmt_u(r->quarantined),
+                     fmt_u(r->releases), fmt_u(r->violations),
+                     fmt(r->wall_s, 2)});
+  }
+
+  const auto pct = [&](const RungResult& r) {
+    return base.clean == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(r.clean) /
+                     static_cast<double>(base.clean);
+  };
+  std::printf("\ngoodput retention vs healthy: trust-blind %.1f%%, "
+              "trust-aware %.1f%% (floor %.0f%%)\n",
+              pct(unprotected), pct(guarded), min_goodput_pct);
+  report.metric("healthy_verified", static_cast<double>(base.clean));
+  report.metric("blind_verified", static_cast<double>(unprotected.clean));
+  report.metric("aware_verified", static_cast<double>(guarded.clean));
+  report.metric("blind_goodput_pct", pct(unprotected));
+  report.metric("aware_goodput_pct", pct(guarded));
+  report.metric("blind_tainted", static_cast<double>(unprotected.tainted));
+  report.metric("aware_tainted", static_cast<double>(guarded.tainted));
+  report.metric("aware_quarantined", static_cast<double>(guarded.quarantined));
+  report.metric("violations", static_cast<double>(base.violations +
+                                                  guarded.violations));
+  report.write();
+
+  // The baseline and the guarded run must hold their invariants; the blind
+  // rung is the ablation and is expected to keep calling liars (its
+  // quarantine set fills up even though routing ignores it).
+  if (base.violations != 0 || guarded.violations != 0) {
+    std::fprintf(stderr, "bench_trust: invariant violations\n");
+    return 1;
+  }
+  if (require_quarantine && guarded.quarantined != adversaries) {
+    std::fprintf(stderr,
+                 "bench_trust: %zu quarantined, expected exactly the %zu "
+                 "adversaries\n",
+                 guarded.quarantined, adversaries);
+    return 1;
+  }
+  if (min_goodput_pct > 0.0 && pct(guarded) < min_goodput_pct) {
+    std::fprintf(stderr,
+                 "bench_trust: trust-aware goodput %.1f%% under floor "
+                 "%.1f%%\n",
+                 pct(guarded), min_goodput_pct);
+    return 1;
+  }
+  return 0;
+}

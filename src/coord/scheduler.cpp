@@ -33,10 +33,10 @@ PlacementEngine::DeviceView* PlacementEngine::find(device::DeviceId id) {
 std::optional<device::DeviceId> PlacementEngine::place(
     const ServiceTask& task) {
   DeviceView* best = nullptr;
-  double best_distance = std::numeric_limits<double>::infinity();
+  double best_rank = std::numeric_limits<double>::infinity();
   double best_residual = -1.0;
   for (DeviceView& v : fleet_) {
-    if (!v.alive) continue;
+    if (!v.alive || v.quarantined) continue;
     if (!v.stack.compatible_with(task.required_stack)) continue;
     if (!v.caps.satisfies(task.required_caps)) continue;
     const double residual = v.caps.cpu_mips - v.cpu_allocated;
@@ -44,12 +44,18 @@ std::optional<device::DeviceId> PlacementEngine::place(
     if (task.domain && v.domain != *task.domain) continue;
     const double distance = v.location.distance_to(task.near);
     if (task.max_distance_m > 0.0 && distance > task.max_distance_m) continue;
-    const bool closer = distance < best_distance - 1e-9;
+    // Trust-weighted rank. At trust 1.0 (the default) this is a monotonic
+    // map of distance, so trust-oblivious callers keep the exact closest-
+    // wins ordering; a half-trusted device must be twice as close (plus
+    // one) to beat a trusted one. The floor guards against division blowup
+    // before quarantine has enough evidence to engage.
+    const double rank = (distance + 1.0) / std::max(0.05, v.trust);
+    const bool closer = rank < best_rank - 1e-9;
     const bool tie_but_roomier =
-        std::abs(distance - best_distance) <= 1e-9 && residual > best_residual;
+        std::abs(rank - best_rank) <= 1e-9 && residual > best_residual;
     if (best == nullptr || closer || tie_but_roomier) {
       best = &v;
-      best_distance = distance;
+      best_rank = rank;
       best_residual = residual;
     }
   }
@@ -206,6 +212,14 @@ void EdgeScheduler::refresh() {
     const auto& d = registry_.get(id);
     auto view = view_of(d);
     view.alive = d.node.valid() ? this->network().node_up(d.node) : true;
+    if (trust_ != nullptr && d.node.valid()) {
+      view.trust = trust_->score(d.node);
+      // Quarantine excludes the device from placement — except when the
+      // probe budget grants a rehabilitation window, during which one
+      // refresh interval of real tasks doubles as the probe traffic.
+      view.quarantined =
+          trust_->quarantined(d.node) && !trust_->should_probe(d.node);
+    }
     engine_.upsert_device(view);
   }
 }

@@ -23,6 +23,7 @@
 #include "device/registry.hpp"
 #include "net/node.hpp"
 #include "net/rpc.hpp"
+#include "trust/trust.hpp"
 
 namespace riot::coord {
 
@@ -58,6 +59,10 @@ class PlacementEngine {
     device::DomainId domain;
     double cpu_allocated = 0.0;
     bool alive = true;
+    // Reputation inputs (see trust::TrustStore). Defaults are the fully
+    // trusted state, so trust-oblivious callers keep today's behaviour.
+    double trust = 1.0;
+    bool quarantined = false;
   };
 
   /// Insert or update a device's view (placements against it survive).
@@ -66,9 +71,12 @@ class PlacementEngine {
   void clear();
 
   /// Place a task. Feasible devices must satisfy caps (including residual
-  /// CPU), run a compatible stack, match the domain, and sit within the
-  /// locality radius. Among feasible devices the *closest* wins, residual
-  /// capacity breaking ties — locality is the paper's first-order concern.
+  /// CPU), run a compatible stack, match the domain, sit within the
+  /// locality radius, and not be quarantined. Among feasible devices the
+  /// lowest trust-weighted distance wins — (distance + 1) / trust, so at
+  /// full trust the *closest* wins exactly as before (locality is the
+  /// paper's first-order concern) and distrusted devices must be
+  /// proportionally closer to be picked — residual capacity breaking ties.
   [[nodiscard]] std::optional<device::DeviceId> place(const ServiceTask& task);
 
   /// Record a placement decided elsewhere (e.g. by a remote scheduler):
@@ -159,6 +167,13 @@ class EdgeScheduler : public net::Node {
     peer_options_ = options;
   }
 
+  /// Weight placement by reputation: refresh() feeds each device's trust
+  /// score and quarantine state into the engine. Quarantined devices are
+  /// excluded from placement, except for a brief pass-through window per
+  /// TrustStore probe interval (the rehabilitation path). nullptr reverts
+  /// to trust-oblivious placement.
+  void set_trust_store(trust::TrustStore* store) { trust_ = store; }
+
   /// Refresh the live view from the registry (cheap; local).
   void refresh();
 
@@ -183,6 +198,7 @@ class EdgeScheduler : public net::Node {
                  std::function<void(std::optional<device::DeviceId>)> done);
 
   device::Registry& registry_;
+  trust::TrustStore* trust_ = nullptr;
   std::vector<device::DeviceId> scope_;
   std::vector<net::NodeId> peers_;
   PlacementEngine engine_;

@@ -1,5 +1,7 @@
 #include "core/orchestrator.hpp"
 
+#include <algorithm>
+
 namespace riot::core {
 
 /// Internal protocol node that carries the orchestrator's placement RPCs
@@ -93,12 +95,27 @@ void ServiceOrchestrator::stop() {
 bool ServiceOrchestrator::host_healthy(device::DeviceId id) const {
   const auto& d = system_.registry().get(id);
   if (d.node.valid() && !system_.network().node_up(d.node)) return false;
+  // A quarantined host is unhealthy for placement purposes: services
+  // migrate off it, and only the periodic probe window (computed by
+  // refresh_engine for this pass) lets one back in to rehabilitate.
+  if (trust_ != nullptr && d.node.valid() && trust_->quarantined(d.node) &&
+      std::find(probing_.begin(), probing_.end(), d.node.value) ==
+          probing_.end()) {
+    return false;
+  }
   return system_.device_alive(id);
 }
 
 void ServiceOrchestrator::refresh_engine() {
+  probing_.clear();
   const auto consider = [this](const device::Device& d) {
     auto view = coord::view_of(d);
+    if (trust_ != nullptr && d.node.valid()) {
+      view.trust = trust_->score(d.node);
+      if (trust_->quarantined(d.node) && trust_->should_probe(d.node)) {
+        probing_.push_back(d.node.value);
+      }
+    }
     view.alive = host_healthy(d.id);
     engine_.upsert_device(view);
   };

@@ -76,6 +76,12 @@ class ServiceOrchestrator {
     fleet_ = std::move(fleet);
   }
 
+  /// Weight placement by reputation. Quarantined hosts are treated as
+  /// unhealthy — services migrate off them and new placements avoid them,
+  /// except during the TrustStore's periodic probe window (the
+  /// rehabilitation path). nullptr reverts to trust-oblivious behaviour.
+  void set_trust_store(trust::TrustStore* store) { trust_ = store; }
+
   /// Declare a service; placement happens on the next reconcile (or
   /// immediately via reconcile_now()).
   void add_service(ServiceSpec spec);
@@ -136,6 +142,10 @@ class ServiceOrchestrator {
   sim::Counter& placement_failures_total_;
   sim::EventId timer_ = sim::kInvalidEventId;
   coord::PlacementEngine engine_;
+  trust::TrustStore* trust_ = nullptr;
+  // Nodes whose quarantine is suspended for this reconcile pass (the
+  // TrustStore granted a probe window); rebuilt by refresh_engine().
+  std::vector<std::uint32_t> probing_;
   std::vector<device::DeviceId> fleet_;
   std::vector<Managed> services_;
   DeployFn deploy_;

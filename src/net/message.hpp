@@ -323,6 +323,11 @@ struct Message {
   NodeId to;
   std::uint32_t wire_size = kWireHeaderBytes;  // headers + payload estimate
   std::uint64_t id = 0;  // assigned by the Network, unique per send
+  // Set by the fabric when a Byzantine sender falsified this message. The
+  // payload bytes are untouched (verifiable-corruption model): receivers
+  // that verify results (RPC callers, trust scoring) observe the flag;
+  // everything else behaves as if the content were genuine.
+  bool tainted = false;
   // Causal context (the wire analogue of trace headers). Stamped by the
   // Network at send time when a causal parent exists; invalid otherwise.
   obs::SpanContext span;

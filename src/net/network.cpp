@@ -34,11 +34,18 @@ Network::Network(sim::Simulation& simulation, obs::MetricsRegistry& metrics,
                         .with({{"reason", "loss"}})),
       dropped_dead_target_(metrics.counter_family("riot_net_dropped_total")
                                .with({{"reason", "dead_target"}})),
+      dropped_byzantine_(metrics.counter_family("riot_net_dropped_total")
+                             .with({{"reason", "byzantine"}})),
       duplicated_total_(metrics
                             .counter_family("riot_net_duplicated_total",
                                             "extra message copies injected "
                                             "by the duplication hook")
                             .with({})),
+      falsified_total_(metrics
+                           .counter_family("riot_net_falsified_total",
+                                           "messages tainted by a Byzantine "
+                                           "sender")
+                           .with({})),
       latency_us_(metrics
                       .histogram_family("riot_net_latency_us",
                                         "simulated one-way message latency")
@@ -232,6 +239,26 @@ std::uint64_t Network::submit(Message message) {
     }
     return message.id;
   }
+  // Byzantine sender behaviours. Selective drop happens *after* the send
+  // accounting above (ack-then-discard: the sender believes it sent);
+  // falsification leaves the payload intact and only raises the `tainted`
+  // flag, so crash-fault protocols stay oblivious while verification-aware
+  // receivers (RPC verification, trust scoring) can react.
+  const Endpoint& sender = endpoints_[message.from.value];
+  if (sender.selective_drop > 0.0 && rng_.chance(sender.selective_drop)) {
+    ++dropped_;
+    dropped_byzantine_.increment();
+    if (message.span.valid()) {
+      tracer_.annotate(message.span, "drop", "byzantine");
+      tracer_.end(message.span);
+    }
+    return message.id;
+  }
+  if (sender.falsify > 0.0 && rng_.chance(sender.falsify)) {
+    message.tainted = true;
+    ++falsified_;
+    falsified_total_.increment();
+  }
   sim::SimTime latency = q.base_latency;
   if (q.jitter > sim::kSimTimeZero) {
     latency += sim::nanos(static_cast<std::int64_t>(
@@ -240,6 +267,10 @@ std::uint64_t Network::submit(Message message) {
   if (latency_factor_ != 1.0) {
     latency = sim::nanos(static_cast<std::int64_t>(
         static_cast<double>(latency.count()) * latency_factor_));
+  }
+  if (sender.delay_inflation != 1.0) {
+    latency = sim::nanos(static_cast<std::int64_t>(
+        static_cast<double>(latency.count()) * sender.delay_inflation));
   }
   latency_us_.record_time(latency);
   const std::uint64_t id = message.id;
@@ -256,6 +287,10 @@ std::uint64_t Network::submit(Message message) {
     if (latency_factor_ != 1.0) {
       dup_latency = sim::nanos(static_cast<std::int64_t>(
           static_cast<double>(dup_latency.count()) * latency_factor_));
+    }
+    if (sender.delay_inflation != 1.0) {
+      dup_latency = sim::nanos(static_cast<std::int64_t>(
+          static_cast<double>(dup_latency.count()) * sender.delay_inflation));
     }
     if (message.payload.copyable()) {
       ++duplicated_;
@@ -309,6 +344,44 @@ void Network::set_clock_skew(NodeId id, sim::SimTime skew) {
 sim::SimTime Network::clock_skew(NodeId id) const {
   return id.value < endpoints_.size() ? endpoints_[id.value].clock_skew
                                       : sim::kSimTimeZero;
+}
+
+void Network::set_falsify(NodeId id, double p) {
+  auto& ep = endpoints_.at(id.value);
+  if (ep.falsify == p) return;
+  ep.falsify = p;
+  trace_.event("net", "falsify").warn().node(id.value).kv(
+      "pct", static_cast<std::int64_t>(p * 100.0));
+}
+
+double Network::falsify_probability(NodeId id) const {
+  return id.value < endpoints_.size() ? endpoints_[id.value].falsify : 0.0;
+}
+
+void Network::set_selective_drop(NodeId id, double p) {
+  auto& ep = endpoints_.at(id.value);
+  if (ep.selective_drop == p) return;
+  ep.selective_drop = p;
+  trace_.event("net", "selective_drop").warn().node(id.value).kv(
+      "pct", static_cast<std::int64_t>(p * 100.0));
+}
+
+double Network::selective_drop_probability(NodeId id) const {
+  return id.value < endpoints_.size() ? endpoints_[id.value].selective_drop
+                                      : 0.0;
+}
+
+void Network::set_delay_inflation(NodeId id, double factor) {
+  auto& ep = endpoints_.at(id.value);
+  if (ep.delay_inflation == factor) return;
+  ep.delay_inflation = factor;
+  trace_.event("net", "delay_inflate").warn().node(id.value).kv(
+      "pct", static_cast<std::int64_t>(factor * 100.0));
+}
+
+double Network::delay_inflation(NodeId id) const {
+  return id.value < endpoints_.size() ? endpoints_[id.value].delay_inflation
+                                      : 1.0;
 }
 
 void Network::deliver(Message message) {

@@ -147,6 +147,24 @@ class Network {
   void set_clock_skew(NodeId id, sim::SimTime skew);
   [[nodiscard]] sim::SimTime clock_skew(NodeId id) const;
 
+  // --- Byzantine sender behaviours (chaos harness) -------------------------
+  // Per-endpoint misbehaviour knobs, all modelling a *compromised sender*
+  // rather than a failed link. Each draw is guarded by > 0 so honest runs
+  // consume no randomness (seed stability, like the duplication hook).
+  /// With probability `p`, mark each outbound message `tainted` — the
+  /// payload bytes are untouched, so only verification-aware receivers
+  /// (RPC result verification, trust scoring) react; crash-fault protocols
+  /// are deliberately oblivious.
+  void set_falsify(NodeId id, double p);
+  [[nodiscard]] double falsify_probability(NodeId id) const;
+  /// With probability `p`, silently discard each outbound message *after*
+  /// send accounting (ack-then-discard: the sender believes it sent).
+  void set_selective_drop(NodeId id, double p);
+  [[nodiscard]] double selective_drop_probability(NodeId id) const;
+  /// Multiply the sender's outbound latency by `factor` (1 = nominal).
+  void set_delay_inflation(NodeId id, double factor);
+  [[nodiscard]] double delay_inflation(NodeId id) const;
+
   /// Effective quality of the directed link (override, else model).
   [[nodiscard]] LinkQuality link_quality(NodeId from, NodeId to) const;
 
@@ -162,6 +180,7 @@ class Network {
   [[nodiscard]] std::uint64_t messages_duplicated() const {
     return duplicated_;
   }
+  [[nodiscard]] std::uint64_t messages_falsified() const { return falsified_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
@@ -171,6 +190,10 @@ class Network {
     LinkClass link_class = 0;
     std::uint32_t group = 0;
     sim::SimTime clock_skew = sim::kSimTimeZero;
+    // Byzantine sender knobs (see the setters above).
+    double falsify = 0.0;
+    double selective_drop = 0.0;
+    double delay_inflation = 1.0;
   };
 
   // Isolation marks a node with a private group far above explicit
@@ -216,6 +239,7 @@ class Network {
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
+  std::uint64_t falsified_ = 0;
   std::uint64_t bytes_sent_ = 0;
 
   // Metric handles, resolved once at construction (see obs/metrics.hpp).
@@ -225,7 +249,9 @@ class Network {
   sim::Counter& dropped_partition_;
   sim::Counter& dropped_loss_;
   sim::Counter& dropped_dead_target_;
+  sim::Counter& dropped_byzantine_;
   sim::Counter& duplicated_total_;
+  sim::Counter& falsified_total_;
   sim::Histogram& latency_us_;
 
   static std::uint64_t pair_key(NodeId from, NodeId to) {

@@ -99,6 +99,18 @@ class Node {
     };
   }
 
+  /// Like on<T>, but the handler also sees the Message envelope — for
+  /// receivers that care about transport-level facts (the `tainted` flag,
+  /// wire size, span) in addition to the typed payload.
+  template <Payload T>
+  void on_message(std::function<void(const Message&, const T&)> handler) {
+    const PayloadKind kind = payload_kind_of<T>();
+    if (handlers_.size() <= kind) handlers_.resize(kind + 1);
+    handlers_[kind] = [handler = std::move(handler)](const Message& m) {
+      handler(m, m.payload.as_unchecked<T>());
+    };
+  }
+
   /// Send a typed payload to a peer. No-op (returns 0) while crashed.
   template <typename T>
   std::uint64_t send(NodeId to, T payload) {

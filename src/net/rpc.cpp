@@ -121,9 +121,9 @@ RpcEndpoint::RpcEndpoint(Node& node)
       [this](NodeId from, const detail::RpcRequestEnvelope& env) {
         handle_request(from, env);
       });
-  node_.on<detail::RpcResponseEnvelope>(
-      [this](NodeId from, const detail::RpcResponseEnvelope& env) {
-        handle_response(from, env);
+  node_.on_message<detail::RpcResponseEnvelope>(
+      [this](const Message& msg, const detail::RpcResponseEnvelope& env) {
+        handle_response(msg, env);
       });
 }
 
@@ -198,13 +198,13 @@ void RpcEndpoint::fail_fast(const CallPtr& call, RpcError error) {
 }
 
 void RpcEndpoint::finish(const CallPtr& call, RpcError error,
-                         NestedPayloadBox* body) {
+                         NestedPayloadBox* body, bool tainted) {
   completed_by_result_[static_cast<std::size_t>(error)]->increment();
   if (error == RpcError::kNone) {
     ++completed_;
     call_latency_us_.record_time(node_.now() - call->started_at);
   }
-  call->complete(error, body, static_cast<int>(call->attempt));
+  call->complete(error, body, static_cast<int>(call->attempt), tainted);
 }
 
 sim::SimTime RpcEndpoint::next_backoff(CallState& call) {
@@ -357,7 +357,7 @@ void RpcEndpoint::complete_async(const detail::DedupKey& key,
           detail::RpcWireStatus::kOk, std::move(body), size);
 }
 
-void RpcEndpoint::handle_response(NodeId /*from*/,
+void RpcEndpoint::handle_response(const Message& msg,
                                   const detail::RpcResponseEnvelope& env) {
   const auto it = pending_.find(env.call_id);
   if (it == pending_.end() || it->second->attempt != env.attempt) {
@@ -372,9 +372,12 @@ void RpcEndpoint::handle_response(NodeId /*from*/,
   node_.cancel(call->timeout_event);
   switch (env.status) {
     case detail::RpcWireStatus::kOk: {
+      // A tainted response is still a *response*: the channel worked, so
+      // the breaker records success; the taint rides RpcResult for the
+      // verification layer (trust scoring) to judge.
       if (call->options.use_breaker) record_outcome(call->to, false);
       NestedPayloadBox body = env.body;
-      finish(call, RpcError::kNone, &body);
+      finish(call, RpcError::kNone, &body, msg.tainted);
       break;
     }
     case detail::RpcWireStatus::kNoHandler:

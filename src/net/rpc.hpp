@@ -81,6 +81,12 @@ struct RpcResult {
   std::optional<Resp> value;
   RpcError error = RpcError::kNone;
   int attempts = 0;  // attempts actually sent (0 if failed fast pre-send)
+  /// The response message carried the transport's Byzantine-falsification
+  /// mark (see Message::tainted). The call still counts as ok() — detecting
+  /// and reacting to a falsified result (verification, trust scoring) is
+  /// deliberately the caller's job, exactly like a real verify-then-trust
+  /// pipeline.
+  bool tainted = false;
   [[nodiscard]] bool ok() const { return value.has_value(); }
 };
 
@@ -218,10 +224,11 @@ class RpcEndpoint {
     }
     call->complete = [done = std::move(done)](RpcError error,
                                               NestedPayloadBox* body,
-                                              int attempts) {
+                                              int attempts, bool tainted) {
       RpcResult<Resp> r;
       r.error = error;
       r.attempts = attempts;
+      r.tainted = tainted;
       if (body != nullptr) r.value = body->take<Resp>();
       done(std::move(r));
     };
@@ -311,7 +318,7 @@ class RpcEndpoint {
     std::uint32_t attempt = 0;                     // current (1-based)
     sim::SimTime last_backoff = sim::kSimTimeZero;
     sim::EventId timeout_event = sim::kInvalidEventId;
-    std::function<void(RpcError, NestedPayloadBox*, int)> complete;
+    std::function<void(RpcError, NestedPayloadBox*, int, bool)> complete;
     std::function<void()> send;  // (re)send with the current attempt tag
   };
   using CallPtr = std::shared_ptr<CallState>;
@@ -336,7 +343,8 @@ class RpcEndpoint {
   void begin_attempt(const CallPtr& call);
   void on_attempt_timeout(const CallPtr& call);
   void fail_fast(const CallPtr& call, RpcError error);
-  void finish(const CallPtr& call, RpcError error, NestedPayloadBox* body);
+  void finish(const CallPtr& call, RpcError error, NestedPayloadBox* body,
+              bool tainted = false);
   [[nodiscard]] sim::SimTime next_backoff(CallState& call);
 
   // Breaker.
@@ -346,7 +354,10 @@ class RpcEndpoint {
 
   // Server path.
   void handle_request(NodeId from, const detail::RpcRequestEnvelope& env);
-  void handle_response(NodeId from, const detail::RpcResponseEnvelope& env);
+  // Takes the whole Message: the transport-level taint mark must survive
+  // into RpcResult (the payload accessor alone cannot carry it).
+  void handle_response(const Message& msg,
+                       const detail::RpcResponseEnvelope& env);
   void respond(NodeId to, std::uint64_t call_id, std::uint32_t attempt,
                detail::RpcWireStatus status, NestedPayloadBox body,
                std::uint32_t size);

@@ -19,6 +19,10 @@ std::string_view to_string(ActionKind kind) {
     case ActionKind::kDelay: return "delay";
     case ActionKind::kDuplicate: return "duplicate";
     case ActionKind::kClockSkew: return "clock_skew";
+    case ActionKind::kFalsify: return "falsify";
+    case ActionKind::kSelectiveDrop: return "selective_drop";
+    case ActionKind::kDelayInflate: return "delay_inflate";
+    case ActionKind::kFlipFlop: return "flip_flop";
   }
   return "unknown";
 }
@@ -82,11 +86,16 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
   }
 
   Rng rng(seed);
+  // Byzantine weights default to 0, so appending them keeps weighted_index
+  // draws — and therefore whole schedules — bit-identical for pre-existing
+  // profiles and seeds.
   const std::vector<double> weights = {
       profile.crash_weight,     profile.partition_weight,
       profile.isolate_weight,   profile.loss_weight,
       profile.delay_weight,     profile.duplicate_weight,
-      profile.skew_weight};
+      profile.skew_weight,      profile.falsify_weight,
+      profile.selective_drop_weight, profile.delay_inflate_weight,
+      profile.flip_flop_weight};
   const std::size_t count =
       profile.min_actions +
       rng.below(profile.max_actions - profile.min_actions + 1);
@@ -98,6 +107,7 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
   std::vector<Window> topology;    // partition + isolate (heal clears both)
   std::vector<Window> loss, delay, duplicate;  // global knobs, per kind
   std::vector<Window> skew;        // per node
+  std::vector<Window> byzantine;   // falsify/drop/inflate/flip-flop, per node
   constexpr std::uint32_t kGlobal = 0xffffffffu;
 
   const SimTime span = profile.horizon - profile.warmup;
@@ -200,6 +210,34 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
           action.targets = {node};
           action.magnitude = rng.uniform(0.05, profile.max_skew_seconds);
           skew.push_back({node, at, end});
+          ok = true;
+          break;
+        }
+        // All four Byzantine kinds share one per-node window family: a
+        // node misbehaves in at most one way at a time, so a revert never
+        // clears an adversarial knob another window still owns.
+        case ActionKind::kFalsify:
+        case ActionKind::kSelectiveDrop:
+        case ActionKind::kFlipFlop: {
+          if (profile.max_adversary_prob <= 0.0) break;
+          const auto node =
+              static_cast<std::uint32_t>(rng.below(profile.node_count));
+          if (conflicts(byzantine, node, at, end)) break;
+          action.targets = {node};
+          action.magnitude = rng.uniform(0.25, profile.max_adversary_prob);
+          byzantine.push_back({node, at, end});
+          ok = true;
+          break;
+        }
+        case ActionKind::kDelayInflate: {
+          if (profile.max_delay_factor <= profile.min_delay_factor) break;
+          const auto node =
+              static_cast<std::uint32_t>(rng.below(profile.node_count));
+          if (conflicts(byzantine, node, at, end)) break;
+          action.targets = {node};
+          action.magnitude =
+              rng.uniform(profile.min_delay_factor, profile.max_delay_factor);
+          byzantine.push_back({node, at, end});
           ok = true;
           break;
         }
@@ -518,6 +556,10 @@ struct ExecState {
   std::vector<std::pair<std::uint64_t, double>> delay;
   std::vector<std::pair<std::uint64_t, double>> duplicate;
   std::vector<std::vector<std::pair<std::uint64_t, SimTime>>> skew;  // per node
+  // Byzantine knobs, one stack per node (flip-flop shares `falsify`).
+  std::vector<std::vector<std::pair<std::uint64_t, double>>> falsify;
+  std::vector<std::vector<std::pair<std::uint64_t, double>>> sdrop;
+  std::vector<std::vector<std::pair<std::uint64_t, double>>> inflate;
 };
 
 template <typename Payload>
@@ -564,6 +606,9 @@ std::size_t install_schedule(const ChaosSchedule& schedule,
   state->crash_depth.assign(nodes, 0);
   state->isolate_depth.assign(nodes, 0);
   state->skew.assign(nodes, {});
+  state->falsify.assign(nodes, {});
+  state->sdrop.assign(nodes, {});
+  state->inflate.assign(nodes, {});
 
   // Global-knob windows share one shape: apply pushes (id, magnitude) and
   // sets the knob; revert pops its own entry and restores the next active
@@ -589,6 +634,32 @@ std::size_t install_schedule(const ChaosSchedule& schedule,
                                            : windows.back().second);
     };
   };
+
+  // Per-node variant of the same shape, for the Byzantine knobs (falsify
+  // probability, selective-drop probability, latency-inflation factor).
+  auto node_knob_window =
+      [&](std::vector<std::vector<std::pair<std::uint64_t, double>>>
+              ExecState::*stack,
+          std::function<void(std::uint32_t, double)> ChaosHooks::*hook,
+          double healthy, std::uint32_t node, double magnitude,
+          std::function<void()>& apply, std::function<void()>& revert,
+          std::function<bool()>& guard) {
+        auto id = std::make_shared<std::uint64_t>(0);
+        apply = [hooks_ptr, state, stack, hook, node, magnitude, id] {
+          *id = ++state->next_window;
+          ((*state).*stack)[node].emplace_back(*id, magnitude);
+          ((*hooks_ptr).*hook)(node, magnitude);
+        };
+        guard = [state, stack, node, id] {
+          return window_active(((*state).*stack)[node], *id);
+        };
+        revert = [hooks_ptr, state, stack, hook, healthy, node, id] {
+          auto& windows = ((*state).*stack)[node];
+          if (!erase_window(windows, *id)) return;
+          ((*hooks_ptr).*hook)(
+              node, windows.empty() ? healthy : windows.back().second);
+        };
+      };
 
   std::size_t installed = 0;
   for (const ChaosAction& action : schedule.actions) {
@@ -701,6 +772,58 @@ std::size_t install_schedule(const ChaosSchedule& schedule,
               node, windows.empty() ? kSimTimeZero : windows.back().second);
         };
         break;
+      }
+      case ActionKind::kFalsify: {
+        if (!hooks_ptr->falsify || action.targets.empty()) break;
+        const std::uint32_t node = action.targets[0] % nodes;
+        node_knob_window(&ExecState::falsify, &ChaosHooks::falsify, 0.0, node,
+                         action.magnitude, apply, revert, guard);
+        break;
+      }
+      case ActionKind::kSelectiveDrop: {
+        if (!hooks_ptr->selective_drop || action.targets.empty()) break;
+        const std::uint32_t node = action.targets[0] % nodes;
+        node_knob_window(&ExecState::sdrop, &ChaosHooks::selective_drop, 0.0,
+                         node, action.magnitude, apply, revert, guard);
+        break;
+      }
+      case ActionKind::kDelayInflate: {
+        if (!hooks_ptr->delay_inflate || action.targets.empty()) break;
+        const std::uint32_t node = action.targets[0] % nodes;
+        node_knob_window(&ExecState::inflate, &ChaosHooks::delay_inflate, 1.0,
+                         node, action.magnitude, apply, revert, guard);
+        break;
+      }
+      case ActionKind::kFlipFlop: {
+        if (!hooks_ptr->falsify || action.targets.empty()) break;
+        const std::uint32_t node = action.targets[0] % nodes;
+        // Expand into alternating falsify-on windows (bad for one phase,
+        // honest for the next, three on-phases per action); durations too
+        // short to slice degrade to one solid falsify window. Each
+        // on-window rides the shared per-node falsify stack, so flip-flop
+        // composes with plain falsify windows of the same node.
+        const SimTime phase = action.duration / 6;
+        std::vector<std::pair<SimTime, SimTime>> on;
+        if (phase > kSimTimeZero) {
+          on = {{action.at, phase},
+                {action.at + 2 * phase, phase},
+                {action.at + 4 * phase, action.duration - 5 * phase}};
+        } else {
+          on = {{action.at, action.duration}};
+        }
+        for (const auto& [start, length] : on) {
+          std::function<void()> w_apply;
+          std::function<void()> w_revert;
+          std::function<bool()> w_guard;
+          node_knob_window(&ExecState::falsify, &ChaosHooks::falsify, 0.0,
+                           node, action.magnitude, w_apply, w_revert, w_guard);
+          injector.plan(PlannedFault{
+              start, length,
+              Disruption{name, std::move(w_apply), std::move(w_revert),
+                         std::move(w_guard), 0}});
+        }
+        ++installed;
+        continue;  // planned its own windows above
       }
     }
 
@@ -880,13 +1003,18 @@ ShrinkResult ChaosExplorer::shrink(const ChaosSchedule& failing,
       }
       if ((action.kind == ActionKind::kLoss ||
            action.kind == ActionKind::kDuplicate ||
-           action.kind == ActionKind::kClockSkew) &&
+           action.kind == ActionKind::kClockSkew ||
+           action.kind == ActionKind::kFalsify ||
+           action.kind == ActionKind::kSelectiveDrop ||
+           action.kind == ActionKind::kFlipFlop) &&
           action.magnitude > 0.02) {
         ChaosAction v = action;
         v.magnitude = action.magnitude / 2;
         variants.push_back(std::move(v));
       }
-      if (action.kind == ActionKind::kDelay && action.magnitude > 1.25) {
+      if ((action.kind == ActionKind::kDelay ||
+           action.kind == ActionKind::kDelayInflate) &&
+          action.magnitude > 1.25) {
         ChaosAction v = action;
         v.magnitude = 1.0 + (action.magnitude - 1.0) / 2;
         variants.push_back(std::move(v));

@@ -46,12 +46,19 @@ enum class ActionKind : std::uint8_t {
   kDelay,      // global latency factor = magnitude for `duration`
   kDuplicate,  // message duplication probability = magnitude for `duration`
   kClockSkew,  // targets[0]'s clock offset = magnitude seconds for `duration`
+  // Byzantine behaviours (per-endpoint misbehaviour, not mere failure).
+  kFalsify,        // targets[0] taints outbound msgs with p = magnitude
+  kSelectiveDrop,  // targets[0] ack-then-discards outbound with p = magnitude
+  kDelayInflate,   // targets[0]'s outbound latency x magnitude
+  kFlipFlop,       // targets[0] alternates falsify-on/off within the window
 };
 
-inline constexpr std::array<ActionKind, 7> kAllActionKinds = {
+inline constexpr std::array<ActionKind, 11> kAllActionKinds = {
     ActionKind::kCrash,     ActionKind::kPartition, ActionKind::kIsolate,
     ActionKind::kLoss,      ActionKind::kDelay,     ActionKind::kDuplicate,
-    ActionKind::kClockSkew};
+    ActionKind::kClockSkew, ActionKind::kFalsify,
+    ActionKind::kSelectiveDrop, ActionKind::kDelayInflate,
+    ActionKind::kFlipFlop};
 
 std::string_view to_string(ActionKind kind);
 std::optional<ActionKind> action_kind_from(std::string_view name);
@@ -103,6 +110,13 @@ struct ChaosProfile {
   double max_delay_factor = 8.0;  //   [min, max)
   double max_duplicate = 0.5;     // duplication probability
   double max_skew_seconds = 2.0;  // clock offset
+  // Byzantine kinds: all default-off (weight 0) so existing profiles and
+  // seeds generate bit-identical schedules; a scenario opts in explicitly.
+  double falsify_weight = 0.0;
+  double selective_drop_weight = 0.0;
+  double delay_inflate_weight = 0.0;
+  double flip_flop_weight = 0.0;
+  double max_adversary_prob = 0.9;  // falsify/selective-drop/flip-flop cap
   // Never crash/isolate more than this many nodes at once (keeps quorum
   // protocols able to make progress; 0 = unrestricted).
   std::size_t max_concurrent_down = 2;
@@ -145,6 +159,12 @@ struct ChaosHooks {
   std::function<void(double factor)> latency_factor;        // revert: 1
   std::function<void(double probability)> duplicate;        // revert: 0
   std::function<void(std::uint32_t node, SimTime skew)> clock_skew;  // revert: 0
+  // Byzantine, per node. A flip-flop window is expanded at install time
+  // into several short falsify windows, so scenarios only bind these three.
+  std::function<void(std::uint32_t node, double probability)> falsify;  // 0
+  std::function<void(std::uint32_t node, double probability)>
+      selective_drop;                                                   // 0
+  std::function<void(std::uint32_t node, double factor)> delay_inflate;  // 1
 };
 
 /// Install every schedule action into `injector` as guarded windowed

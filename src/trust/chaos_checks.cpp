@@ -1,0 +1,42 @@
+#include "trust/chaos_checks.hpp"
+
+#include <algorithm>
+
+namespace riot::trust::chaos {
+
+bool QuarantineChecker::is_adversary(net::NodeId peer) const {
+  return std::find(adversaries_.begin(), adversaries_.end(), peer) !=
+         adversaries_.end();
+}
+
+std::optional<std::string> QuarantineChecker::check_adversaries_quarantined()
+    const {
+  for (const net::NodeId peer : adversaries_) {
+    if (!store_->quarantined(peer)) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "adversarial peer %u not quarantined (score %.2f, %llu "
+                    "observations)",
+                    peer.value, store_->score(peer),
+                    static_cast<unsigned long long>(
+                        store_->observations(peer)));
+      return std::string(buf);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> QuarantineChecker::check_honest_clear() const {
+  for (const net::NodeId peer : store_->quarantined_peers()) {
+    if (!is_adversary(peer)) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "honest peer %u still quarantined (score %.2f)",
+                    peer.value, store_->score(peer));
+      return std::string(buf);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace riot::trust::chaos

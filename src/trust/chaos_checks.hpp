@@ -1,0 +1,44 @@
+// Chaos invariant checkers for the trust layer.
+//
+// Counterpart of membership/coord/data/adapt chaos_checks: protocol-aware
+// bodies that chaos scenarios register with sim::chaos::InvariantRegistry.
+// The headline property under a schedule with persistently-Byzantine
+// edges: every adversary ends quarantined, and no honest edge does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trust/trust.hpp"
+
+namespace riot::trust::chaos {
+
+class QuarantineChecker {
+ public:
+  explicit QuarantineChecker(const TrustStore& store) : store_(&store) {}
+
+  /// Declare a peer persistently Byzantine for this run (ground truth the
+  /// scenario knows because it wrote the schedule).
+  void mark_adversary(net::NodeId peer) { adversaries_.push_back(peer); }
+
+  [[nodiscard]] std::size_t adversary_count() const {
+    return adversaries_.size();
+  }
+  [[nodiscard]] bool is_adversary(net::NodeId peer) const;
+
+  /// Eventual invariant: every marked adversary is quarantined.
+  [[nodiscard]] std::optional<std::string> check_adversaries_quarantined()
+      const;
+
+  /// Eventual invariant: no peer outside the adversary set is still
+  /// quarantined (wrongly-accused honest edges must have been
+  /// rehabilitated by the probe path before the end of the run).
+  [[nodiscard]] std::optional<std::string> check_honest_clear() const;
+
+ private:
+  const TrustStore* store_;
+  std::vector<net::NodeId> adversaries_;
+};
+
+}  // namespace riot::trust::chaos

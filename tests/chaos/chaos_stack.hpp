@@ -259,6 +259,26 @@ class ChaosStack {
         network_.set_clock_skew(node->id(), skew);
       }
     };
+    // Byzantine behaviours fan out like the crash-fault ones: a lying
+    // logical node lies on every co-located endpoint. Tainted messages
+    // only matter to verification-aware receivers (the trust scenario);
+    // for the crash-fault protocols here falsify is payload-preserving,
+    // while selective drop and delay inflation compose like loss/latency.
+    hooks_.falsify = [this](std::uint32_t i, double p) {
+      for (net::Node* node : logical_node(i)) {
+        network_.set_falsify(node->id(), p);
+      }
+    };
+    hooks_.selective_drop = [this](std::uint32_t i, double p) {
+      for (net::Node* node : logical_node(i)) {
+        network_.set_selective_drop(node->id(), p);
+      }
+    };
+    hooks_.delay_inflate = [this](std::uint32_t i, double f) {
+      for (net::Node* node : logical_node(i)) {
+        network_.set_delay_inflation(node->id(), f);
+      }
+    };
   }
 
   void register_invariants() {

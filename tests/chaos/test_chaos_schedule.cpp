@@ -156,6 +156,94 @@ TEST(ChaosGenerate, DisabledKindsNeverAppear) {
   }
 }
 
+TEST(ChaosGenerate, ByzantineKindsOffByDefault) {
+  // Adversary weights default to zero, so pre-existing profiles (and their
+  // pinned seeds) generate bit-identical schedules with no Byzantine kinds.
+  const ChaosProfile profile = test_profile();
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    for (const ChaosAction& a : generate_schedule(seed, profile).actions) {
+      EXPECT_NE(a.kind, ActionKind::kFalsify);
+      EXPECT_NE(a.kind, ActionKind::kSelectiveDrop);
+      EXPECT_NE(a.kind, ActionKind::kDelayInflate);
+      EXPECT_NE(a.kind, ActionKind::kFlipFlop);
+    }
+  }
+}
+
+TEST(ChaosGenerate, ByzantineKindsRespectTheAdversaryEnvelope) {
+  ChaosProfile profile = test_profile();
+  profile.max_actions = 16;
+  profile.falsify_weight = 3.0;
+  profile.selective_drop_weight = 3.0;
+  profile.delay_inflate_weight = 3.0;
+  profile.flip_flop_weight = 3.0;
+  bool saw_adversary = false;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ChaosSchedule s = generate_schedule(seed, profile);
+    // Per-node adversary windows must be disjoint (one personality at a
+    // time, like crash/isolate).
+    std::map<std::uint32_t, std::vector<std::pair<SimTime, SimTime>>> windows;
+    for (const ChaosAction& a : s.actions) {
+      switch (a.kind) {
+        case ActionKind::kFalsify:
+        case ActionKind::kSelectiveDrop:
+        case ActionKind::kFlipFlop:
+          saw_adversary = true;
+          ASSERT_EQ(a.targets.size(), 1u);
+          EXPECT_GE(a.magnitude, 0.25) << "too soft to observe";
+          EXPECT_LE(a.magnitude, profile.max_adversary_prob);
+          windows[a.targets[0]].emplace_back(a.at, a.at + a.duration);
+          break;
+        case ActionKind::kDelayInflate:
+          saw_adversary = true;
+          ASSERT_EQ(a.targets.size(), 1u);
+          EXPECT_GE(a.magnitude, profile.min_delay_factor);
+          EXPECT_LE(a.magnitude, profile.max_delay_factor);
+          windows[a.targets[0]].emplace_back(a.at, a.at + a.duration);
+          break;
+        default:
+          break;
+      }
+    }
+    for (auto& [node, spans] : windows) {
+      std::sort(spans.begin(), spans.end());
+      for (std::size_t i = 1; i < spans.size(); ++i) {
+        EXPECT_GE(spans[i].first, spans[i - 1].second)
+            << "seed " << seed << " node " << node;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_adversary);
+}
+
+TEST(ChaosJson, ByzantineSchedulesRoundTripExactly) {
+  ChaosProfile profile = test_profile();
+  profile.falsify_weight = 4.0;
+  profile.selective_drop_weight = 4.0;
+  profile.delay_inflate_weight = 4.0;
+  profile.flip_flop_weight = 4.0;
+  std::size_t byzantine_actions = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const ChaosSchedule s = generate_schedule(seed, profile);
+    for (const ChaosAction& a : s.actions) {
+      if (a.kind == ActionKind::kFalsify ||
+          a.kind == ActionKind::kSelectiveDrop ||
+          a.kind == ActionKind::kDelayInflate ||
+          a.kind == ActionKind::kFlipFlop) {
+        ++byzantine_actions;
+      }
+    }
+    const std::string json = schedule_to_json(s);
+    std::string error;
+    const auto parsed = schedule_from_json(json, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(*parsed, s) << json;
+    EXPECT_EQ(schedule_to_json(*parsed), json);
+  }
+  EXPECT_GT(byzantine_actions, 0u)
+      << "the round-trip must actually cover the new kinds";
+}
+
 TEST(ChaosGenerate, EmptyEnvelopeYieldsEmptySchedule) {
   ChaosProfile profile = test_profile();
   profile.horizon = profile.warmup;  // no room for any window
@@ -251,6 +339,15 @@ struct InstallFixture : ::testing::Test {
     };
     hooks.ambient_loss = [this](double p) {
       calls.push_back("loss " + fmt(p));
+    };
+    hooks.falsify = [this](std::uint32_t n, double p) {
+      calls.push_back("falsify " + std::to_string(n) + " " + fmt(p));
+    };
+    hooks.selective_drop = [this](std::uint32_t n, double p) {
+      calls.push_back("sdrop " + std::to_string(n) + " " + fmt(p));
+    };
+    hooks.delay_inflate = [this](std::uint32_t n, double f) {
+      calls.push_back("inflate " + std::to_string(n) + " " + fmt(f));
     };
     return hooks;
   }
@@ -442,6 +539,97 @@ TEST(ChaosInstallNetwork, HomeGroupConsistencyAfterComposedRevert) {
     }
   }
   EXPECT_EQ(injector.reverts_skipped(), 0u);
+}
+
+TEST_F(InstallFixture, ByzantineKnobsApplyAndRevertPerNode) {
+  ChaosSchedule s;
+  s.node_count = 3;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kFalsify, seconds(1), seconds(2), {1}, 0.6},
+      ChaosAction{ActionKind::kSelectiveDrop, seconds(2), seconds(3), {2},
+                  0.3},
+      ChaosAction{ActionKind::kDelayInflate, seconds(4), seconds(2), {0},
+                  3.0},
+  };
+  EXPECT_EQ(install_schedule(s, injector, recording_hooks()), 3u);
+  injector.arm();
+  sim.run_until(seconds(10));
+  EXPECT_EQ(calls,
+            (std::vector<std::string>{"falsify 1 0.6", "sdrop 2 0.3",
+                                      "falsify 1 0", "inflate 0 3",
+                                      "sdrop 2 0", "inflate 0 1"}))
+      << "each knob reverts to its own healthy value on its own node";
+}
+
+TEST_F(InstallFixture, OverlappingFalsifyWindowsRestoreOuterProbability) {
+  ChaosSchedule s;
+  s.node_count = 2;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kFalsify, seconds(1), seconds(4), {0}, 0.5},
+      ChaosAction{ActionKind::kFalsify, seconds(2), seconds(1), {0}, 0.8},
+  };
+  install_schedule(s, injector, recording_hooks());
+  injector.arm();
+  sim.run_until(seconds(10));
+  EXPECT_EQ(calls, (std::vector<std::string>{"falsify 0 0.5", "falsify 0 0.8",
+                                             "falsify 0 0.5", "falsify 0 0"}))
+      << "inner window's revert restores the outer probability, not honesty";
+}
+
+TEST_F(InstallFixture, FlipFlopExpandsToAlternatingFalsifyWindows) {
+  // One six-second flip-flop = three on-phases separated by honest phases:
+  // lie for a phase, behave for a phase — the pattern naive reputation
+  // averages miss and decayed reputations catch.
+  ChaosSchedule s;
+  s.node_count = 3;
+  s.horizon = seconds(10);
+  s.actions = {
+      ChaosAction{ActionKind::kFlipFlop, seconds(1), seconds(6), {2}, 0.5},
+  };
+  EXPECT_EQ(install_schedule(s, injector, recording_hooks()), 1u)
+      << "flip-flop counts once however many windows it plans";
+  injector.arm();
+  sim.run_until(seconds(10));
+  EXPECT_EQ(calls,
+            (std::vector<std::string>{"falsify 2 0.5", "falsify 2 0",
+                                      "falsify 2 0.5", "falsify 2 0",
+                                      "falsify 2 0.5", "falsify 2 0"}));
+}
+
+TEST(ChaosShrink, SoftensByzantineMagnitudes) {
+  // Fails whenever any falsify window is present: ddmin should strip the
+  // noise and the simplifier drive probability and duration to the floor,
+  // producing the smallest adversarial repro that still lies.
+  ChaosProfile profile;
+  profile.node_count = 5;
+  profile.warmup = seconds(2);
+  profile.horizon = seconds(20);
+  ChaosExplorer explorer(profile, [](const ChaosSchedule& s) {
+    ChaosRunReport report;
+    for (const ChaosAction& a : s.actions) {
+      if (a.kind == ActionKind::kFalsify) {
+        report.violations.push_back(
+            InvariantViolation{"taint", "falsified", a.at});
+      }
+    }
+    return report;
+  });
+  ChaosSchedule failing;
+  failing.node_count = 5;
+  failing.horizon = seconds(20);
+  failing.actions = {
+      ChaosAction{ActionKind::kCrash, seconds(1), seconds(2), {1}, 0.0},
+      ChaosAction{ActionKind::kFalsify, seconds(2), seconds(8), {0}, 0.8},
+      ChaosAction{ActionKind::kDelayInflate, seconds(3), seconds(2), {2},
+                  4.0},
+  };
+  const ShrinkResult result = explorer.shrink(failing, 128);
+  ASSERT_EQ(result.schedule.actions.size(), 1u);
+  EXPECT_EQ(result.schedule.actions[0].kind, ActionKind::kFalsify);
+  EXPECT_LE(result.schedule.actions[0].magnitude, 0.02);
+  EXPECT_LE(result.schedule.actions[0].duration, millis(200));
 }
 
 TEST_F(InstallFixture, UnboundKindsAreSkipped) {

@@ -289,6 +289,77 @@ TEST_F(SchedulerTest, EdgeSchedulerSkipsPeerWithOpenBreaker) {
   EXPECT_GE(a.breaker_skips(), 1u);
 }
 
+TEST(PlacementEngine, TrustWeightsDistanceAndQuarantineExcludes) {
+  PlacementEngine engine;
+  auto near = make_view(0, 10, 0);
+  near.trust = 0.2;
+  auto far = make_view(1, 40, 0);  // 4x the distance at full trust
+  engine.upsert_device(near);
+  engine.upsert_device(far);
+  auto task = make_task(1);
+  task.near = {0, 0};
+  // rank = (distance + 1) / trust: near = 11/0.2 = 55, far = 41/1 = 41.
+  auto host = engine.place(task);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->value, 1u) << "low trust must be paid for in distance";
+
+  near.trust = 1.0;
+  engine.upsert_device(near);
+  host = engine.place(make_task(2));
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->value, 0u) << "at full trust closest wins as before";
+
+  near.quarantined = true;
+  engine.upsert_device(near);
+  host = engine.place(make_task(3));
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->value, 1u) << "quarantine excludes outright";
+}
+
+TEST_F(SchedulerTest, EdgeSchedulerRoutesAroundQuarantineAndProbesBack) {
+  // Give both edge devices live endpoints so trust state can attach.
+  const net::NodeId node0 =
+      network.register_endpoint([](const net::Message&) {});
+  const net::NodeId node1 =
+      network.register_endpoint([](const net::Message&) {});
+  registry.attach_node(edge0, node0);
+  registry.attach_node(edge1, node1);
+
+  trust::TrustStore store(sim, metrics, trace);
+  EdgeScheduler scheduler(network, registry);
+  scheduler.set_trust_store(&store);
+  // Deliberately not start()ed: the periodic background refresh would
+  // consume probe slots at its own cadence, racing the assertions below.
+  // place_local() refreshes on demand, which is all this test needs.
+  scheduler.set_scope({edge0, edge1});
+
+  // edge0 is closest to the (default) task origin and wins while trusted.
+  std::optional<device::DeviceId> placed;
+  scheduler.place(edge_task(1), [&](auto host) { placed = host; });
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, edge0);
+
+  // edge0's node starts returning falsified results; once the evidence
+  // clears min_observations its score collapses and quarantine engages.
+  for (int i = 0; i < 8; ++i) {
+    store.observe(node0, trust::Outcome::kVerifyFailed);
+  }
+  ASSERT_TRUE(store.quarantined(node0));
+  placed.reset();
+  scheduler.place(edge_task(2), [&](auto host) { placed = host; });
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, edge1) << "placement routes around the quarantine";
+
+  // After the probe interval the store grants one rehabilitation slot and
+  // the scheduler lets a real task through to the quarantined device —
+  // the traffic that can earn its way back.
+  sim.run_until(sim.now() + sim::seconds(2));
+  placed.reset();
+  scheduler.place(edge_task(3), [&](auto host) { placed = host; });
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, edge0) << "probe window readmits the device";
+}
+
 TEST_F(SchedulerTest, CentralSnapshotGoesStale) {
   CentralScheduler scheduler(network, registry, sim::seconds(10));
   scheduler.start();

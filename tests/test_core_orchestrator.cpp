@@ -209,6 +209,80 @@ TEST_F(OrchestratorTest, CentralBreakerOpensThenRecovers) {
   EXPECT_GE(orchestrator.remote_placements(), 1u);
 }
 
+TEST_F(OrchestratorTest, MigratesOffQuarantinedHostAndProbesItBack) {
+  trust::TrustStore store(system.simulation(), system.metrics(),
+                          system.trace());
+  orchestrator.set_trust_store(&store);
+  orchestrator.add_service(edge_service("analytics"));
+  orchestrator.start();
+  ASSERT_EQ(orchestrator.host_of("analytics"), edge_near);
+
+  // edge-near's results stop verifying: the reputation collapses, the
+  // host reads as unhealthy, and the service migrates — the node never
+  // crashed, so plain liveness would have kept it in place.
+  const net::NodeId lying = system.registry().get(edge_near).node;
+  for (int i = 0; i < 8; ++i) {
+    store.observe(lying, trust::Outcome::kVerifyFailed);
+  }
+  ASSERT_TRUE(store.quarantined(lying));
+  system.run_for(sim::seconds(2));
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_far);
+  EXPECT_EQ(orchestrator.migrations(), 1u);
+
+  // Rehabilitation: once enough probe-fed successes lift the score past
+  // the release mark the quarantine ends, and (with rebalance off) the
+  // service stays where it is — readmission must not thrash placements.
+  for (int i = 0; i < 30; ++i) {
+    store.observe(lying, trust::Outcome::kSuccess);
+  }
+  ASSERT_FALSE(store.quarantined(lying));
+  system.run_for(sim::seconds(2));
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_far);
+
+  // nullptr reverts to trust-oblivious health checks entirely.
+  for (int i = 0; i < 12; ++i) {
+    store.observe(lying, trust::Outcome::kVerifyFailed);
+  }
+  ASSERT_TRUE(store.quarantined(lying));
+  orchestrator.set_trust_store(nullptr);
+  system.crash_device(edge_far);
+  system.run_for(sim::seconds(2));
+  EXPECT_EQ(orchestrator.host_of("analytics"), edge_near)
+      << "without the store, the quarantined-but-alive host is eligible";
+}
+
+TEST_F(OrchestratorTest, QuarantinedHostReadmittedViaProbeWindow) {
+  trust::TrustStore store(system.simulation(), system.metrics(),
+                          system.trace());
+  orchestrator.set_trust_store(&store);
+  orchestrator.add_service(edge_service("analytics"));
+  orchestrator.start();
+  ASSERT_EQ(orchestrator.host_of("analytics"), edge_near);
+  const net::NodeId near_node = system.registry().get(edge_near).node;
+  for (int i = 0; i < 8; ++i) {
+    store.observe(near_node, trust::Outcome::kVerifyFailed);
+  }
+  system.run_for(sim::seconds(2));
+  ASSERT_EQ(orchestrator.host_of("analytics"), edge_far);
+
+  // Kill the only alternative. edge-near is still quarantined, but the
+  // periodic probe window makes it intermittently eligible, so the
+  // orchestrator parks the service there rather than leaving it homeless —
+  // the rehabilitation path keeps the fleet from deadlocking itself.
+  // (Between probe grants the host reads unhealthy again and the service
+  // is evicted, so assert the deploy happened, not the instantaneous
+  // placement at whatever pass run_for ends on.)
+  system.crash_device(edge_far);
+  const std::size_t before = events["analytics"].size();
+  system.run_for(sim::seconds(5));
+  const auto& log = events["analytics"];
+  bool parked = false;
+  for (std::size_t i = before; i < log.size(); ++i) {
+    if (log[i] == "deploy@edge-near") parked = true;
+  }
+  EXPECT_TRUE(parked) << "probe window never readmitted the only host";
+}
+
 TEST_F(OrchestratorTest, DomainConstraintHonored) {
   const auto domain_a = system.add_domain(device::AdminDomain{.name = "a"});
   const auto domain_b = system.add_domain(device::AdminDomain{.name = "b"});

@@ -183,5 +183,22 @@ TEST(DomainToString, Values) {
   EXPECT_EQ(to_string(DeviceClass::kEdge), "edge");
 }
 
+// Privacy policy evaluation (data/privacy.cpp) compares TrustLevel with
+// `remote_domain.trust > *rule.remote_trust_at_most`, so the enum's
+// declaration order IS the trust ordering. Reordering or inserting a level
+// silently inverts `remote_trust_at_most` rules; pin the ladder here.
+TEST(TrustLevelOrdering, UntrustedBelowPartnerBelowTrustedBelowOwned) {
+  EXPECT_LT(TrustLevel::kUntrusted, TrustLevel::kPartner);
+  EXPECT_LT(TrustLevel::kPartner, TrustLevel::kTrusted);
+  EXPECT_LT(TrustLevel::kTrusted, TrustLevel::kOwned);
+  // The comparison semantics remote_trust_at_most relies on: a remote AT
+  // the cap is allowed, anything above it is not.
+  constexpr TrustLevel cap = TrustLevel::kPartner;
+  EXPECT_FALSE(TrustLevel::kUntrusted > cap);
+  EXPECT_FALSE(TrustLevel::kPartner > cap);
+  EXPECT_TRUE(TrustLevel::kTrusted > cap);
+  EXPECT_TRUE(TrustLevel::kOwned > cap);
+}
+
 }  // namespace
 }  // namespace riot::device

@@ -371,5 +371,77 @@ TEST_F(NetworkTest, ClockSkewShiftsOneNodesClockOnly) {
   EXPECT_EQ(trace.count("net", "clock_skew"), 2u);
 }
 
+// --- Byzantine sender knobs (chaos `falsify` / `selective_drop` /
+// --- `delay_inflate` land here) ---------------------------------------------
+
+TEST_F(NetworkTest, FalsifyTaintsButStillDelivers) {
+  std::vector<Message> inbox;
+  const NodeId liar = make_sink(&inbox);
+  const NodeId honest = make_sink(&inbox);
+  inbox.clear();
+  network.set_falsify(liar, 1.0);
+  network.send(liar, honest, Ping{7});
+  network.send(honest, liar, Ping{8});
+  sim.run_until(sim::seconds(1));
+  ASSERT_EQ(inbox.size(), 2u);
+  for (const Message& m : inbox) {
+    // Falsification is sender-attributed, payload-preserving: the taint
+    // flag flips, the bytes do not — crash-fault protocols stay oblivious.
+    EXPECT_EQ(m.tainted, m.from == liar);
+    EXPECT_EQ(m.as<Ping>().value, m.from == liar ? 7 : 8);
+  }
+  EXPECT_EQ(metrics.counter_value("riot_net_falsified_total", {}), 1u);
+  EXPECT_EQ(network.falsify_probability(liar), 1.0);
+  network.set_falsify(liar, 0.0);
+  network.send(liar, honest, Ping{9});
+  sim.run_until(sim::seconds(2));
+  ASSERT_EQ(inbox.size(), 3u);
+  EXPECT_FALSE(inbox.back().tainted) << "knob reverts cleanly";
+}
+
+TEST_F(NetworkTest, SelectiveDropIsSenderScopedAndCounted) {
+  std::vector<Message> inbox;
+  const NodeId dropper = make_sink(&inbox);
+  const NodeId honest = make_sink(&inbox);
+  inbox.clear();
+  network.set_selective_drop(dropper, 1.0);
+  network.send(dropper, honest, Ping{1});
+  network.send(honest, dropper, Ping{2});
+  sim.run_until(sim::seconds(1));
+  ASSERT_EQ(inbox.size(), 1u) << "only the honest sender's message lands";
+  EXPECT_EQ(inbox[0].from, honest);
+  EXPECT_EQ(metrics.counter_value("riot_net_dropped_total",
+                                  {{"reason", "byzantine"}}),
+            1u);
+  EXPECT_EQ(network.selective_drop_probability(dropper), 1.0);
+  network.set_selective_drop(dropper, 0.0);
+  network.send(dropper, honest, Ping{3});
+  sim.run_until(sim::seconds(2));
+  EXPECT_EQ(inbox.size(), 2u);
+}
+
+TEST_F(NetworkTest, DelayInflationStretchesOnlyTheByzantineSender) {
+  std::vector<Message> inbox;
+  const NodeId slow = make_sink(&inbox);
+  const NodeId honest = make_sink(&inbox);
+  inbox.clear();
+  network.set_link_model([](NodeId, NodeId) {
+    return LinkQuality{sim::millis(10), sim::kSimTimeZero, 0.0};
+  });
+  network.set_delay_inflation(slow, 4.0);
+  network.send(slow, honest, Ping{1});
+  network.send(honest, slow, Ping{2});
+  sim.run_until(sim::millis(11));
+  ASSERT_EQ(inbox.size(), 1u) << "honest 10 ms latency unchanged";
+  EXPECT_EQ(inbox[0].from, honest);
+  sim.run_until(sim::millis(39));
+  EXPECT_EQ(inbox.size(), 1u) << "inflated message still in flight";
+  sim.run_until(sim::millis(41));
+  ASSERT_EQ(inbox.size(), 2u) << "arrives at 4x the link latency";
+  EXPECT_EQ(network.delay_inflation(slow), 4.0);
+  EXPECT_EQ(network.delay_inflation(NodeId{999}), 1.0)
+      << "unknown endpoints read as uninflated";
+}
+
 }  // namespace
 }  // namespace riot::net

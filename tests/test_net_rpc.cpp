@@ -536,5 +536,33 @@ TEST_F(RpcTest, AsyncDoubleRespondIsIgnored) {
   EXPECT_EQ(server.rpc.in_progress_count(), 0u);
 }
 
+TEST_F(RpcTest, TaintedResponseIsOkButFlagged) {
+  // A Byzantine server: every message it sends carries the transport-level
+  // taint. The call still completes ok() — lying is not a channel failure —
+  // but RpcResult::tainted surfaces the mark so verification-aware callers
+  // (the trust layer) can score it, while callers using the plain
+  // optional<Resp> overload stay oblivious by design.
+  network.set_falsify(server.id(), 1.0);
+  std::optional<RpcResult<EchoResp>> result;
+  client.rpc.call_result<EchoReq, EchoResp>(
+      server.id(), EchoReq{21}, RpcOptions{},
+      [&](RpcResult<EchoResp> r) { result = std::move(r); });
+  sim.run_until(sim::seconds(1));
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->ok());
+  EXPECT_TRUE(result->tainted);
+  EXPECT_EQ(result->value->value, 42) << "payload itself is untouched";
+
+  network.set_falsify(server.id(), 0.0);
+  result.reset();
+  client.rpc.call_result<EchoReq, EchoResp>(
+      server.id(), EchoReq{5}, RpcOptions{},
+      [&](RpcResult<EchoResp> r) { result = std::move(r); });
+  sim.run_until(sim::seconds(2));
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->ok());
+  EXPECT_FALSE(result->tainted) << "honest responses carry no taint";
+}
+
 }  // namespace
 }  // namespace riot::net
